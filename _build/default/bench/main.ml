@@ -1,0 +1,354 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (default mode), runs the design-choice ablations (--ablate) and times
+   the pass's components with Bechamel (--micro).
+
+   Usage:
+     dune exec bench/main.exe            # all tables and figures
+     dune exec bench/main.exe -- --quick # 2 loops/benchmark smoke run
+     dune exec bench/main.exe -- --only fig7,fig10
+     dune exec bench/main.exe -- --ablate
+     dune exec bench/main.exe -- --extensions
+     dune exec bench/main.exe -- --micro *)
+
+let quick_loops () =
+  (* First few loops of each benchmark: enough to exercise every code
+     path while keeping a smoke run under a couple of seconds. *)
+  List.concat_map
+    (fun (b : Workload.Benchmark.t) ->
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: tl -> x :: take (k - 1) tl
+      in
+      take 2 (Workload.Generator.generate b))
+    Workload.Benchmark.all
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures ~quick ~only =
+  let t0 = Unix.gettimeofday () in
+  let loops = if quick then quick_loops () else Workload.Generator.suite () in
+  let suite = Metrics.Suite.create ~loops () in
+  Printf.printf
+    "Instruction Replication for Clustered Microarchitectures (MICRO-36'03)\n\
+     reproduction: %d loops, %d benchmarks%s\n\n%!"
+    (List.length loops)
+    (List.length Workload.Benchmark.all)
+    (if quick then " [--quick subset]" else "");
+  let wanted id =
+    match only with None -> true | Some ids -> List.mem id ids
+  in
+  List.iter
+    (fun (id, render) ->
+      if wanted id then begin
+        let t = Unix.gettimeofday () in
+        let text = render () in
+        Printf.printf "=== %s ===\n%s   [%.1fs]\n\n%!" id text
+          (Unix.gettimeofday () -. t)
+      end)
+    [
+      ("table1", fun () -> Metrics.Figures.table1 ());
+      ("fig1", fun () -> Metrics.Figures.fig1 suite);
+      ("fig7", fun () -> Metrics.Figures.fig7 suite);
+      ("fig8", fun () -> Metrics.Figures.fig8 suite);
+      ("fig9", fun () -> Metrics.Figures.fig9 suite);
+      ("fig10", fun () -> Metrics.Figures.fig10 suite);
+      ("fig12", fun () -> Metrics.Figures.fig12 suite);
+      ("sec4_stats", fun () -> Metrics.Figures.sec4 suite);
+      ("sec4_regs", fun () -> Metrics.Figures.sec4_regs suite);
+      ("sec51_length", fun () -> Metrics.Figures.sec51 suite);
+      ("sec52_macro", fun () -> Metrics.Figures.sec52 suite);
+    ];
+  Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md section 5)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablations ~quick =
+  let loops = if quick then quick_loops () else Workload.Generator.suite () in
+  let config = Option.get (Machine.Config.of_name "4c1b2l64r") in
+  let run_variant name transform =
+    let t, stats_ref = transform () in
+    let runs =
+      List.map
+        (fun l ->
+          match
+            Metrics.Experiment.run_with ~transform:(Some t) ~stats_ref config l
+          with
+          | Ok r -> r
+          | Error e -> failwith e)
+        loops
+    in
+    let groups = Metrics.Experiment.group_by_benchmark runs in
+    let hm =
+      Metrics.Experiment.hmean
+        (List.map (fun (_, rs) -> Metrics.Experiment.ipc rs) groups)
+    in
+    let added =
+      List.fold_left
+        (fun acc (r : Metrics.Experiment.loop_run) ->
+          match r.repl_stats with
+          | Some st -> acc + st.Replication.Replicate.added_instances
+          | None -> acc)
+        0 runs
+    in
+    (name, hm, added)
+  in
+  let variants =
+    [
+      ("paper (lowest weight)", fun () -> Replication.Replicate.transform ());
+      ( "first feasible",
+        fun () ->
+          Replication.Replicate.transform
+            ~heuristic:Replication.Replicate.First_come () );
+      ( "fewest added instrs",
+        fun () ->
+          Replication.Replicate.transform
+            ~heuristic:Replication.Replicate.Fewest_added () );
+      ( "no sharing discount",
+        fun () -> Replication.Replicate.transform ~share_discount:false () );
+      ( "no removable credit",
+        fun () -> Replication.Replicate.transform ~removable_credit:false () );
+      ("macro-node cones (s5.2)", fun () -> Replication.Macro.transform ());
+    ]
+  in
+  Printf.printf "Ablations of the replication heuristic on %s:\n\n"
+    (Machine.Config.name config);
+  let rows =
+    List.map
+      (fun (name, tr) ->
+        let name, hm, added = run_variant name tr in
+        [ name; Metrics.Table.f2 hm; string_of_int added ])
+      variants
+  in
+  print_string
+    (Metrics.Table.render
+       ~header:[ "variant"; "HMEAN IPC"; "static replicas" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Extension: loop unrolling vs replication (related work, Section 6)  *)
+(* ------------------------------------------------------------------ *)
+
+let run_extensions ~quick =
+  let loops = if quick then quick_loops () else Workload.Generator.suite () in
+  (* unrolling multiplies the body; keep the evaluation affordable *)
+  let rec take k = function
+    | [] -> [] | _ when k = 0 -> [] | x :: tl -> x :: take (k - 1) tl
+  in
+  let loops = if quick then loops else take 200 loops in
+  let config = Option.get (Machine.Config.of_name "4c1b2l64r") in
+  let evaluate name prepare transform =
+    let runs, kernel_ops =
+      List.fold_left
+        (fun (runs, ops) l ->
+          let l = prepare l in
+          let tr, stats_ref =
+            match transform with
+            | Some mk -> (let t, r = mk () in (Some t, r))
+            | None -> (None, ref None)
+          in
+          match
+            Metrics.Experiment.run_with ~transform:tr ~stats_ref config l
+          with
+          | Ok r ->
+              let sched = r.Metrics.Experiment.outcome.Sched.Driver.schedule in
+              let n =
+                Ddg.Graph.n_nodes sched.Sched.Schedule.route.Sched.Route.graph
+              in
+              (r :: runs, ops + n)
+          | Error _ -> (runs, ops))
+        ([], 0) loops
+    in
+    let groups = Metrics.Experiment.group_by_benchmark runs in
+    let hm =
+      Metrics.Experiment.hmean
+        (List.filter_map
+           (fun (_, rs) ->
+             if rs = [] then None else Some (Metrics.Experiment.ipc rs))
+           groups)
+    in
+    [ name; Metrics.Table.f2 hm; string_of_int kernel_ops ]
+  in
+  Printf.printf
+    "Extension: unrolling vs replication on %s (%d loops).\n\
+     Unrolling also removes communications but multiplies the kernel,\n\
+     which is what the paper's DSP context cannot afford (Section 6).\n\n"
+    (Machine.Config.name config) (List.length loops);
+  let rows =
+    [
+      evaluate "baseline" Fun.id None;
+      evaluate "replication" Fun.id
+        (Some (fun () -> Replication.Replicate.transform ()));
+      evaluate "unroll x2" (fun l -> Workload.Unroll.unrolled_loop l ~factor:2)
+        None;
+      evaluate "unroll x2 + replication"
+        (fun l -> Workload.Unroll.unrolled_loop l ~factor:2)
+        (Some (fun () -> Replication.Replicate.transform ()));
+    ]
+  in
+  print_string
+    (Metrics.Table.render
+       ~header:[ "scheme"; "HMEAN IPC"; "static kernel ops" ]
+       rows);
+  (* -------- acyclic blocks (Section 6: "can also be applied") ------ *)
+  let acyclic_of g =
+    let b = Ddg.Graph.Builder.create ~name:(Ddg.Graph.name g ^ ".a") () in
+    List.iter
+      (fun v ->
+        ignore
+          (Ddg.Graph.Builder.add b ~label:(Ddg.Graph.label g v)
+             (Ddg.Graph.op g v)))
+      (Ddg.Graph.nodes g);
+    List.iter
+      (fun e ->
+        if e.Ddg.Graph.distance = 0 then
+          match e.Ddg.Graph.kind with
+          | Ddg.Graph.Reg ->
+              Ddg.Graph.Builder.depend b ~latency:e.Ddg.Graph.latency
+                ~src:e.Ddg.Graph.src ~dst:e.Ddg.Graph.dst
+          | Ddg.Graph.Mem ->
+              Ddg.Graph.Builder.mem_depend b ~src:e.Ddg.Graph.src
+                ~dst:e.Ddg.Graph.dst)
+      (Ddg.Graph.edges g);
+    Ddg.Graph.Builder.build b
+  in
+  let blocks = take 120 loops in
+  let base_span = ref 0 and repl_span = ref 0 and improved = ref 0 in
+  List.iter
+    (fun (l : Workload.Generator.loop) ->
+      match Replication.Acyclic.improve config (acyclic_of l.graph) with
+      | Error _ -> ()
+      | Ok r ->
+          let b = r.Replication.Acyclic.baseline.Sched.Listsched.makespan in
+          let i = r.Replication.Acyclic.improved.Sched.Listsched.makespan in
+          base_span := !base_span + b;
+          repl_span := !repl_span + i;
+          if i < b then incr improved)
+    blocks;
+  Printf.printf
+    "\nAcyclic blocks (loop bodies as straight-line code, %d blocks):\n\
+    \  total makespan %d -> %d cycles (%.1f%% shorter), %d blocks improved\n"
+    (List.length blocks) !base_span !repl_span
+    (100.
+    *. (1. -. (float_of_int !repl_span /. float_of_int (max 1 !base_span))))
+    !improved;
+  (* -------- cross-path copies: transfers steal an int issue slot ---- *)
+  let xp = Machine.Config.with_copy_int_slot config in
+  let sample = take 120 loops in
+  let hmean_of cfg transform =
+    let runs =
+      List.filter_map
+        (fun l ->
+          let tr, stats_ref =
+            match transform with
+            | Some mk ->
+                let t, r = mk () in
+                (Some t, r)
+            | None -> (None, ref None)
+          in
+          Result.to_option
+            (Metrics.Experiment.run_with ~transform:tr ~stats_ref cfg l))
+        sample
+    in
+    Metrics.Experiment.hmean
+      (List.filter_map
+         (fun (_, rs) ->
+           if rs = [] then None else Some (Metrics.Experiment.ipc rs))
+         (Metrics.Experiment.group_by_benchmark runs))
+  in
+  Printf.printf
+    "\nCross-path copies (a transfer also issues through an integer unit\n\
+     of the producer cluster, as on machines without dedicated bus ports):\n\n";
+  print_string
+    (Metrics.Table.render
+       ~header:[ "machine"; "baseline"; "replication"; "gain" ]
+       (List.map
+          (fun cfg ->
+            let b = hmean_of cfg None in
+            let r =
+              hmean_of cfg
+                (Some (fun () -> Replication.Replicate.transform ()))
+            in
+            [
+              Machine.Config.name cfg;
+              Metrics.Table.f2 b;
+              Metrics.Table.f2 r;
+              Printf.sprintf "%+.0f%%" (100. *. (r /. b -. 1.));
+            ])
+          [ config; xp ]))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro () =
+  let open Bechamel in
+  let loops = Workload.Generator.generate (Workload.Benchmark.find "tomcatv") in
+  let loop = List.hd loops in
+  let g = loop.Workload.Generator.graph in
+  let config = Option.get (Machine.Config.of_name "4c1b2l64r") in
+  let mii = Ddg.Mii.mii config g in
+  let assign = Sched.Partition.initial config g ~ii:mii in
+  let tests =
+    [
+      Test.make ~name:"mii" (Staged.stage (fun () -> Ddg.Mii.mii config g));
+      Test.make ~name:"partition_initial"
+        (Staged.stage (fun () -> Sched.Partition.initial config g ~ii:mii));
+      Test.make ~name:"partition_refine"
+        (Staged.stage (fun () ->
+             Sched.Partition.refine config g ~ii:(mii + 1) assign));
+      Test.make ~name:"replication_pass"
+        (Staged.stage (fun () ->
+             Replication.Replicate.run config g ~assign ~ii:mii));
+      Test.make ~name:"schedule_baseline"
+        (Staged.stage (fun () -> Sched.Driver.schedule_loop config g));
+      Test.make ~name:"schedule_replication"
+        (Staged.stage (fun () ->
+             let t, _ = Replication.Replicate.transform () in
+             Sched.Driver.schedule_loop ~transform:t config g));
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  Printf.printf "Micro-benchmarks (tomcatv.0, %s):\n\n"
+    (Machine.Config.name config);
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-24s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-24s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let has f = List.mem f args in
+  let only =
+    let rec find = function
+      | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
+      | _ :: tl -> find tl
+      | [] -> None
+    in
+    find args
+  in
+  let quick = has "--quick" in
+  if has "--micro" then run_micro ()
+  else if has "--ablate" then run_ablations ~quick
+  else if has "--extensions" then run_extensions ~quick
+  else run_figures ~quick ~only

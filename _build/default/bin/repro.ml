@@ -1,0 +1,399 @@
+(* Command-line driver for the reproduction.
+
+   repro figures   - regenerate the paper's tables and figures
+   repro loop      - schedule one workload loop and show everything
+   repro suite     - per-benchmark IPC table for one configuration
+   repro workload  - describe the synthetic 678-loop suite
+   repro example   - walk through the paper's Figure-3 worked example *)
+
+open Cmdliner
+
+let config_conv =
+  let parse s =
+    match Machine.Config.of_name s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "bad configuration name: %s" s))
+  in
+  Arg.conv (parse, Machine.Config.pp)
+
+let config_arg =
+  let doc =
+    "Machine configuration, paper-style (e.g. 4c2b4l64r, unified64r)."
+  in
+  Arg.(
+    value
+    & opt config_conv (Option.get (Machine.Config.of_name "4c1b2l64r"))
+    & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+
+let quick_arg =
+  let doc = "Use only two loops per benchmark (fast smoke run)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: tl -> x :: take (k - 1) tl
+
+let loops_of ~quick =
+  if quick then
+    List.concat_map
+      (fun b -> take 2 (Workload.Generator.generate b))
+      Workload.Benchmark.all
+  else Workload.Generator.suite ()
+
+(* ------------------------------------------------------------------ *)
+(* figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figures quick only csv =
+  let suite = Metrics.Suite.create ~loops:(loops_of ~quick) () in
+  let wanted id = match only with [] -> true | ids -> List.mem id ids in
+  List.iter
+    (fun (id, text) ->
+      if wanted id then Printf.printf "=== %s ===\n%s\n%!" id text)
+    (Metrics.Figures.all suite);
+  match csv with
+  | Some dir ->
+      let files = Metrics.Csv.write_all suite ~dir in
+      Printf.printf "CSV written: %s\n" (String.concat ", " files)
+  | None -> ()
+
+let figures_cmd =
+  let only =
+    Arg.(
+      value & opt (list string) []
+      & info [ "only" ] ~docv:"IDS"
+          ~doc:"Comma-separated experiment ids (fig7, sec4_stats, ...).")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also export the figure data as CSV files into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const figures $ quick_arg $ only $ csv)
+
+(* ------------------------------------------------------------------ *)
+(* loop                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let show_loop config benchmark index replicate dot kernel asm trace =
+  let loops = Workload.Generator.generate (Workload.Benchmark.find benchmark) in
+  let loop =
+    try List.nth loops index
+    with _ -> failwith (Printf.sprintf "%s has %d loops" benchmark (List.length loops))
+  in
+  let g = loop.Workload.Generator.graph in
+  Format.printf "%a@." Ddg.Graph.pp_stats g;
+  Printf.printf "trip=%d visits=%d mii=%d (res %d, rec %d)\n" loop.trip
+    loop.visits (Ddg.Mii.mii config g)
+    (Ddg.Mii.res_mii config g) (Ddg.Mii.rec_mii g);
+  (match dot with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Ddg.Graph.to_dot g));
+      Printf.printf "DOT written to %s\n" path
+  | None -> ());
+  let mode =
+    if replicate then Metrics.Experiment.Replication
+    else Metrics.Experiment.Baseline
+  in
+  match Metrics.Experiment.run_loop mode config loop with
+  | Error e -> failwith e
+  | Ok r ->
+      let o = r.Metrics.Experiment.outcome in
+      Printf.printf "scheduled: ii=%d (mii %d), length=%d, SC=%d, comms=%d\n"
+        o.Sched.Driver.ii o.Sched.Driver.mii
+        (Sched.Schedule.length o.Sched.Driver.schedule)
+        (Sched.Schedule.stage_count o.Sched.Driver.schedule)
+        o.Sched.Driver.n_comms;
+      (match r.Metrics.Experiment.repl_stats with
+      | Some st ->
+          Printf.printf
+            "replication: %d of %d comms removed, %d replicas added, %d originals removed\n"
+            st.Replication.Replicate.comms_removed
+            st.Replication.Replicate.comms_before
+            st.Replication.Replicate.added_instances
+            st.Replication.Replicate.removed_instances
+      | None -> ());
+      Printf.printf "one visit: %d cycles for %d useful ops -> IPC %.2f\n"
+        r.counts.Sim.Lockstep.cycles r.counts.Sim.Lockstep.useful_ops
+        (float_of_int r.counts.Sim.Lockstep.useful_ops
+        /. float_of_int r.counts.Sim.Lockstep.cycles);
+      if kernel then
+        Format.printf "%a@." Sched.Schedule.pp o.Sched.Driver.schedule;
+      if asm then begin
+        let alloc =
+          match Sched.Regalloc.allocate o.Sched.Driver.schedule with
+          | Ok a ->
+              Printf.printf
+                "registers used per cluster: %s\n"
+                (String.concat ", "
+                   (Array.to_list
+                      (Array.map string_of_int
+                         a.Sched.Regalloc.used_per_cluster)));
+              Some a
+          | Error e ->
+              Printf.printf "; register allocation failed: %s\n" e;
+              None
+        in
+        print_string (Sim.Codegen.kernel ?alloc o.Sched.Driver.schedule)
+      end;
+      (match trace with
+      | Some n when n > 0 ->
+          print_string (Sim.Codegen.pipeline o.Sched.Driver.schedule ~iterations:n)
+      | _ -> ())
+
+let loop_cmd =
+  let benchmark =
+    Arg.(
+      value & opt string "tomcatv"
+      & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let index =
+    Arg.(value & opt int 0 & info [ "i"; "index" ] ~docv:"N" ~doc:"Loop index.")
+  in
+  let replicate =
+    Arg.(value & flag & info [ "r"; "replicate" ] ~doc:"Enable replication.")
+  in
+  let dot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the DDG in GraphViz format.")
+  in
+  let kernel =
+    Arg.(value & flag & info [ "kernel" ] ~doc:"Print the kernel schedule.")
+  in
+  let asm =
+    Arg.(
+      value & flag
+      & info [ "asm" ]
+          ~doc:"Emit the kernel as assembly with allocated registers.")
+  in
+  let trace =
+    Arg.(
+      value & opt (some int) None
+      & info [ "trace" ] ~docv:"N"
+          ~doc:"Print the flat pipelined trace for N iterations.")
+  in
+  Cmd.v
+    (Cmd.info "loop" ~doc:"Schedule one workload loop and show the result.")
+    Term.(
+      const show_loop $ config_arg $ benchmark $ index $ replicate $ dot
+      $ kernel $ asm $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let suite_run config quick =
+  let suite = Metrics.Suite.create ~loops:(loops_of ~quick) () in
+  let base = Metrics.Suite.benchmark_runs suite Metrics.Experiment.Baseline config in
+  let repl =
+    Metrics.Suite.benchmark_runs suite Metrics.Experiment.Replication config
+  in
+  let rows =
+    List.map2
+      (fun (name, b) (_, r) ->
+        let bi = Metrics.Experiment.ipc b and ri = Metrics.Experiment.ipc r in
+        [
+          name;
+          Metrics.Table.f2 bi;
+          Metrics.Table.f2 ri;
+          Printf.sprintf "%+.0f%%" (100. *. (ri /. bi -. 1.));
+        ])
+      base repl
+  in
+  Printf.printf "%s\n%s"
+    (Machine.Config.name config)
+    (Metrics.Table.render
+       ~header:[ "benchmark"; "baseline"; "replication"; "gain" ]
+       rows)
+
+let suite_cmd =
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Per-benchmark IPC for one configuration.")
+    Term.(const suite_run $ config_arg $ quick_arg)
+
+(* ------------------------------------------------------------------ *)
+(* benchmark: per-loop detail                                          *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark_report config name =
+  let loops = Workload.Generator.generate (Workload.Benchmark.find name) in
+  let rows =
+    List.map
+      (fun (l : Workload.Generator.loop) ->
+        let cell mode =
+          match Metrics.Experiment.run_loop mode config l with
+          | Ok r ->
+              (r.Metrics.Experiment.outcome.Sched.Driver.ii,
+               r.Metrics.Experiment.outcome.Sched.Driver.n_comms)
+          | Error _ -> (-1, -1)
+        in
+        let bii, bcomms = cell Metrics.Experiment.Baseline in
+        let rii, rcomms = cell Metrics.Experiment.Replication in
+        [
+          l.id;
+          string_of_int (Ddg.Graph.n_nodes l.graph);
+          string_of_int l.trip;
+          string_of_int (Ddg.Mii.mii config l.graph);
+          string_of_int bii;
+          string_of_int rii;
+          string_of_int bcomms;
+          string_of_int rcomms;
+        ])
+      loops
+  in
+  Printf.printf "%s on %s (%d loops)\n\n" name (Machine.Config.name config)
+    (List.length loops);
+  print_string
+    (Metrics.Table.render
+       ~header:
+         [ "loop"; "nodes"; "trip"; "MII"; "II base"; "II repl";
+           "coms base"; "coms repl" ]
+       rows)
+
+let benchmark_cmd =
+  let bench_name =
+    Arg.(
+      value & opt string "tomcatv"
+      & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  Cmd.v
+    (Cmd.info "benchmark"
+       ~doc:"Per-loop schedule details for one benchmark.")
+    Term.(const benchmark_report $ config_arg $ bench_name)
+
+(* ------------------------------------------------------------------ *)
+(* workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let workload_describe () =
+  let rows =
+    List.map
+      (fun (b : Workload.Benchmark.t) ->
+        let loops = Workload.Generator.generate b in
+        let sizes =
+          List.map (fun l -> Ddg.Graph.n_nodes l.Workload.Generator.graph) loops
+        in
+        let avg =
+          float_of_int (List.fold_left ( + ) 0 sizes)
+          /. float_of_int (List.length sizes)
+        in
+        let avg_trip =
+          float_of_int
+            (List.fold_left (fun a l -> a + l.Workload.Generator.trip) 0 loops)
+          /. float_of_int (List.length loops)
+        in
+        [
+          b.name;
+          string_of_int b.n_loops;
+          Printf.sprintf "%.1f" avg;
+          string_of_int (List.fold_left min max_int sizes);
+          string_of_int (List.fold_left max 0 sizes);
+          Printf.sprintf "%.0f" avg_trip;
+        ])
+      Workload.Benchmark.all
+  in
+  print_string
+    (Metrics.Table.render
+       ~header:[ "benchmark"; "loops"; "avg nodes"; "min"; "max"; "avg trip" ]
+       rows);
+  Printf.printf "total loops: %d\n" Workload.Benchmark.total_loops
+
+let workload_cmd =
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Describe the synthetic loop suite.")
+    Term.(const workload_describe $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* example: the paper's Figure 3 walkthrough                           *)
+(* ------------------------------------------------------------------ *)
+
+let example () =
+  let g = Ddg.Examples.figure3 () in
+  let config =
+    Machine.Config.custom ~clusters:4 ~buses:1 ~bus_latency:1 ~registers:64
+      ~fus_per_cluster:(4, 0, 0)
+  in
+  let assign = Ddg.Examples.figure3_partition g in
+  let state = Replication.State.create config g ~assign in
+  Printf.printf
+    "Figure 3 of the paper: 14 instructions partitioned over 4 clusters\n\
+     (4 universal units each), one 1-cycle bus, II = 2.\n\n";
+  Printf.printf "communications: %s  (bus fits 2 -> extra_coms = %d)\n\n"
+    (String.concat ", "
+       (List.map (Ddg.Graph.label g) (Replication.State.comms state)))
+    (Replication.State.extra_coms state ~ii:2);
+  let subs =
+    List.map (Replication.Subgraph.compute state)
+      (Replication.State.comms state)
+  in
+  List.iter
+    (fun (s : Replication.Subgraph.t) ->
+      let w = Replication.Weight.subgraph_weight state ~ii:2 ~all:subs s in
+      Printf.printf "  S_%s = {%s}  removable={%s}  weight = %.4f (%g/16)\n"
+        (Ddg.Graph.label g s.com)
+        (String.concat ","
+           (List.map (Ddg.Graph.label g) s.Replication.Subgraph.members))
+        (String.concat ","
+           (List.map (Ddg.Graph.label g) s.Replication.Subgraph.removable))
+        w (w *. 16.))
+    subs;
+  Printf.printf
+    "\nThe paper's own arithmetic: weight(S_D) = 49/16, weight(S_J) = 40/16;\n\
+     S_E is the cheapest and is replicated into clusters 2 and 4, stranding\n\
+     the original E.  After the update (Section 3.4):\n\n";
+  (match Replication.Replicate.select state ~ii:2 ~extra:1 with
+  | Some [ s ] ->
+      Printf.printf "  replicated S_%s (%d instances added)\n"
+        (Ddg.Graph.label g s.Replication.Subgraph.com)
+        (Replication.Subgraph.n_added_instances s)
+  | _ -> ());
+  let s_d =
+    Replication.Subgraph.compute state (Ddg.Graph.find_label g "D")
+  in
+  let s_j =
+    Replication.Subgraph.compute state (Ddg.Graph.find_label g "J")
+  in
+  Printf.printf "  S_D = {%s}  now targets clusters {%s}, removable={%s}\n"
+    (String.concat "," (List.map (Ddg.Graph.label g) s_d.members))
+    (String.concat ","
+       (List.map string_of_int
+          (Replication.State.Iset.elements
+             (Replication.State.needing state (Ddg.Graph.find_label g "D")))))
+    (String.concat "," (List.map (Ddg.Graph.label g) s_d.removable));
+  Printf.printf "  S_J = {%s}\n"
+    (String.concat "," (List.map (Ddg.Graph.label g) s_j.members));
+  Printf.printf "\nScheduling the transformed loop:\n";
+  let tr, _ = Replication.Replicate.transform () in
+  match Sched.Driver.schedule_loop ~transform:tr config g with
+  | Ok o ->
+      Printf.printf "  II = %d (MII %d), length = %d, comms = %d\n"
+        o.Sched.Driver.ii o.Sched.Driver.mii
+        (Sched.Schedule.length o.Sched.Driver.schedule)
+        o.Sched.Driver.n_comms
+  | Error e -> Printf.printf "  failed: %s\n" e
+
+let example_cmd =
+  Cmd.v
+    (Cmd.info "example" ~doc:"Walk through the paper's worked example.")
+    Term.(const example $ const ())
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Instruction Replication for Clustered \
+         Microarchitectures' (MICRO-36, 2003)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            figures_cmd; loop_cmd; suite_cmd; benchmark_cmd; workload_cmd;
+            example_cmd;
+          ]))

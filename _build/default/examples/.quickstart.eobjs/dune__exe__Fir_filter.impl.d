@@ -1,0 +1,1 @@
+examples/fir_filter.ml: Ddg Format List Machine Metrics Option Printf Replication Result Sched Sim

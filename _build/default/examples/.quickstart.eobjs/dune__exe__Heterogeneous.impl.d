@@ -1,0 +1,1 @@
+examples/heterogeneous.ml: List Machine Metrics Printf Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ddg Format Machine Option Printf Replication Result Sched Sim

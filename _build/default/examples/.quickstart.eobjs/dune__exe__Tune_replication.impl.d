@@ -1,0 +1,1 @@
+examples/tune_replication.ml: List Machine Metrics Option Printf Replication Result Workload

@@ -1,0 +1,1 @@
+examples/tune_replication.mli:

@@ -1,0 +1,55 @@
+(* Design-space exploration: how bus count, bus latency and register
+   file size move the needle for one benchmark, with and without
+   replication.  This is the experiment a machine architect would run
+   with this library.
+
+   Run with:  dune exec examples/design_space.exe *)
+
+let () =
+  let benchmark = "su2cor" in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  let loops =
+    take 12 (Workload.Generator.generate (Workload.Benchmark.find benchmark))
+  in
+  Printf.printf "design space for %s (%d loops)\n\n" benchmark
+    (List.length loops);
+  let sweep =
+    [
+      (4, 1, 2, 64); (4, 2, 2, 64); (4, 4, 2, 64);   (* more buses *)
+      (4, 2, 1, 64); (4, 2, 4, 64);                  (* bus latency *)
+      (4, 2, 2, 32); (4, 2, 2, 128);                 (* registers *)
+      (2, 1, 2, 64); (2, 2, 2, 64);                  (* fewer clusters *)
+    ]
+  in
+  let rows =
+    List.map
+      (fun (clusters, buses, bus_latency, registers) ->
+        let config =
+          Machine.Config.make ~clusters ~buses ~bus_latency ~registers
+        in
+        let run mode =
+          Metrics.Experiment.ipc
+            (Metrics.Experiment.run_suite mode config loops)
+        in
+        let base = run Metrics.Experiment.Baseline in
+        let repl = run Metrics.Experiment.Replication in
+        [
+          Machine.Config.name config;
+          Metrics.Table.f2 base;
+          Metrics.Table.f2 repl;
+          Printf.sprintf "%+.0f%%" (100. *. (repl /. base -. 1.));
+        ])
+      sweep
+  in
+  print_string
+    (Metrics.Table.render
+       ~header:[ "config"; "IPC base"; "IPC repl"; "gain" ]
+       rows);
+  print_newline ();
+  Printf.printf
+    "Replication matters most when bus bandwidth is scarce (few buses,\n\
+     long latency) and recovers a large part of what extra buses would buy.\n"

@@ -1,0 +1,93 @@
+(* A 4-tap FIR filter — the kind of kernel the paper's target machines
+   (TI C6x, TigerSHARC, Lx ...) run all day.  The taps share the same
+   induction variable and address arithmetic, so a clustered partition
+   must either communicate those values or recompute them: exactly the
+   trade instruction replication automates.
+
+   Run with:  dune exec examples/fir_filter.exe *)
+
+let fir ~taps =
+  let b = Ddg.Graph.Builder.create ~name:(Printf.sprintf "fir%d" taps) () in
+  let add ?label op = Ddg.Graph.Builder.add b ?label op in
+  let dep ?distance src dst = Ddg.Graph.Builder.depend b ?distance ~src ~dst in
+  (* one induction variable drives every tap's load address *)
+  let i = add ~label:"i" Machine.Opclass.Int_arith in
+  dep ~distance:1 i i;
+  (* x[i-k] loads and coefficient multiplies *)
+  let products =
+    List.init taps (fun k ->
+        let a = add ~label:(Printf.sprintf "a%d" k) Machine.Opclass.Int_arith in
+        dep i a;
+        let x = add ~label:(Printf.sprintf "x%d" k) Machine.Opclass.Load in
+        dep a x;
+        let m = add ~label:(Printf.sprintf "m%d" k) Machine.Opclass.Fp_mul in
+        dep x m;
+        m)
+  in
+  (* adder tree *)
+  let rec sum = function
+    | [ only ] -> only
+    | xs ->
+        let rec pair = function
+          | a :: c :: rest ->
+              let s = add Machine.Opclass.Fp_arith in
+              dep a s;
+              dep c s;
+              s :: pair rest
+          | [ last ] -> [ last ]
+          | [] -> []
+        in
+        sum (pair xs)
+  in
+  let y = sum products in
+  let ao = add ~label:"ao" Machine.Opclass.Int_arith in
+  dep i ao;
+  let st = add ~label:"st" Machine.Opclass.Store in
+  dep y st;
+  dep ao st;
+  Ddg.Graph.Builder.build b
+
+let () =
+  let g = fir ~taps:4 in
+  Format.printf "%a@.@." Ddg.Graph.pp_stats g;
+  let rows =
+    List.map
+      (fun name ->
+        let config = Option.get (Machine.Config.of_name name) in
+        let base = Result.get_ok (Sched.Driver.schedule_loop config g) in
+        let tr, _ = Replication.Replicate.transform () in
+        let repl =
+          Result.get_ok (Sched.Driver.schedule_loop ~transform:tr config g)
+        in
+        Sim.Checker.check_exn base.Sched.Driver.schedule;
+        Sim.Checker.check_exn repl.Sched.Driver.schedule;
+        let ipc (o : Sched.Driver.outcome) =
+          let c =
+            Sim.Lockstep.run_exn
+              ~useful_per_iteration:(Ddg.Graph.n_nodes g)
+              o.Sched.Driver.schedule ~iterations:4096
+          in
+          float_of_int c.Sim.Lockstep.useful_ops
+          /. float_of_int c.Sim.Lockstep.cycles
+        in
+        [
+          name;
+          string_of_int base.Sched.Driver.ii;
+          string_of_int repl.Sched.Driver.ii;
+          string_of_int base.Sched.Driver.n_comms;
+          string_of_int repl.Sched.Driver.n_comms;
+          Metrics.Table.f2 (ipc base);
+          Metrics.Table.f2 (ipc repl);
+        ])
+      [ "unified64r"; "2c1b2l64r"; "2c2b4l64r"; "4c1b2l64r"; "4c2b4l64r" ]
+  in
+  print_string
+    (Metrics.Table.render
+       ~header:
+         [ "machine"; "II base"; "II repl"; "coms base"; "coms repl";
+           "IPC base"; "IPC repl" ]
+       rows);
+  print_newline ();
+  Printf.printf
+    "The shared induction/address chain is recomputed per cluster instead\n\
+     of being broadcast, which is why the communication count drops.\n"

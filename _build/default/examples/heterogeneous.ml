@@ -1,0 +1,60 @@
+(* Heterogeneous clusters: the paper notes its algorithm "can be easily
+   extended to deal with heterogeneous clusters" — this library does.
+   We compare a homogeneous 3-cluster machine against an asymmetric one
+   with a dedicated address/memory cluster and two fp compute clusters,
+   on the communication-heavy su2cor loops.
+
+   Run with:  dune exec examples/heterogeneous.exe *)
+
+let () =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  let loops =
+    take 14 (Workload.Generator.generate (Workload.Benchmark.find "su2cor"))
+  in
+  let machines =
+    [
+      ( "homogeneous 4c1b2l64r",
+        Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64 );
+      ( "addr + 2 fp clusters",
+        (* same 12-unit total, shaped: one int/mem-heavy cluster feeding
+           two fp-heavy ones *)
+        Machine.Config.heterogeneous ~buses:1 ~bus_latency:2 ~registers:63
+          ~clusters:[ (2, 0, 2); (1, 2, 1); (1, 2, 1) ] );
+      ( "fp-lopsided pair",
+        Machine.Config.heterogeneous ~buses:1 ~bus_latency:2 ~registers:64
+          ~clusters:[ (3, 1, 2); (1, 3, 2) ] );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, config) ->
+        let run mode =
+          Metrics.Experiment.ipc
+            (Metrics.Experiment.run_suite mode config loops)
+        in
+        let base = run Metrics.Experiment.Baseline in
+        let repl = run Metrics.Experiment.Replication in
+        [
+          label;
+          Machine.Config.name config;
+          Metrics.Table.f2 base;
+          Metrics.Table.f2 repl;
+          Printf.sprintf "%+.0f%%" (100. *. (repl /. base -. 1.));
+        ])
+      machines
+  in
+  Printf.printf "su2cor loops (%d) on heterogeneous machines\n\n"
+    (List.length loops);
+  print_string
+    (Metrics.Table.render
+       ~header:[ "machine"; "config"; "IPC base"; "IPC repl"; "gain" ]
+       rows);
+  print_newline ();
+  Printf.printf
+    "Replication still pays on asymmetric machines: shared integer address\n\
+     chains are recomputed in whichever cluster has integer slots to spare,\n\
+     and the per-cluster capacity checks keep every replica legal.\n"

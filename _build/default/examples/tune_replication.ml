@@ -1,0 +1,66 @@
+(* Tuning the replication heuristic: the paper's lowest-weight selection
+   versus the ablation variants exposed by the library, on a slice of
+   the workload.
+
+   Run with:  dune exec examples/tune_replication.exe *)
+
+let () =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  let loops =
+    List.concat_map
+      (fun name -> take 8 (Workload.Generator.generate (Workload.Benchmark.find name)))
+      [ "tomcatv"; "su2cor"; "hydro2d" ]
+  in
+  let config = Option.get (Machine.Config.of_name "4c2b4l64r") in
+  let evaluate name transform =
+    let tr, stats_ref = transform () in
+    let runs =
+      List.filter_map
+        (fun l ->
+          Result.to_option
+            (Metrics.Experiment.run_with ~transform:(Some tr) ~stats_ref
+               config l))
+        loops
+    in
+    let ipc = Metrics.Experiment.ipc runs in
+    let added, removed =
+      List.fold_left
+        (fun (a, r) (run : Metrics.Experiment.loop_run) ->
+          match run.repl_stats with
+          | Some st ->
+              ( a + st.Replication.Replicate.added_instances,
+                r + st.Replication.Replicate.comms_removed )
+          | None -> (a, r))
+        (0, 0) runs
+    in
+    [
+      name;
+      Metrics.Table.f2 ipc;
+      string_of_int removed;
+      string_of_int added;
+      (if removed = 0 then "-"
+       else Printf.sprintf "%.2f" (float_of_int added /. float_of_int removed));
+    ]
+  in
+  let open Replication.Replicate in
+  let rows =
+    [
+      evaluate "lowest weight (paper)" (fun () -> transform ());
+      evaluate "first feasible" (fun () -> transform ~heuristic:First_come ());
+      evaluate "fewest added" (fun () -> transform ~heuristic:Fewest_added ());
+      evaluate "no sharing discount" (fun () -> transform ~share_discount:false ());
+      evaluate "no removable credit" (fun () ->
+          transform ~removable_credit:false ());
+      evaluate "macro cones (s5.2)" (fun () -> Replication.Macro.transform ());
+    ]
+  in
+  Printf.printf "replication heuristic variants on %s (%d loops)\n\n"
+    (Machine.Config.name config) (List.length loops);
+  print_string
+    (Metrics.Table.render
+       ~header:[ "variant"; "IPC"; "coms removed"; "replicas"; "per comm" ]
+       rows)

@@ -1,0 +1,1 @@
+lib/core/acyclic.ml: Array Ddg Graph Hashtbl List Machine Option Replicate Sched State Stdlib Subgraph

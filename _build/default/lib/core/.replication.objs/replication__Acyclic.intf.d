@@ -1,0 +1,1 @@
+lib/core/acyclic.mli: Ddg Machine Sched Stdlib

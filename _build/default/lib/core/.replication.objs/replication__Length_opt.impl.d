@@ -1,0 +1,1 @@
+lib/core/length_opt.ml: Analysis Array Ddg Graph List Mii Replicate Sched State Stdlib Subgraph

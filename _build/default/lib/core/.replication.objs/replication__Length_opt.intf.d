@@ -1,0 +1,1 @@
+lib/core/length_opt.mli: Machine Sched

@@ -1,0 +1,1 @@
+lib/core/macro.ml: Ddg Graph Hashtbl List Machine Option Queue Replicate State Stdlib Subgraph Weight

@@ -1,0 +1,1 @@
+lib/core/macro.mli: Replicate Sched State

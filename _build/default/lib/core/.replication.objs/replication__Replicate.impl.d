@@ -1,0 +1,1 @@
+lib/core/replicate.ml: Array Ddg Graph Hashtbl List Machine Option Printf State Subgraph Weight

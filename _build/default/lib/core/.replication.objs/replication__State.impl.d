@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Ddg Graph Int List Machine Set

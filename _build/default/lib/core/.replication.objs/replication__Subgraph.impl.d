@@ -1,0 +1,1 @@
+lib/core/subgraph.ml: Array Ddg Graph Hashtbl List Machine Queue State Stdlib

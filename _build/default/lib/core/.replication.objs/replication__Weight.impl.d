@@ -1,0 +1,1 @@
+lib/core/weight.ml: Array Ddg Graph List Machine State Subgraph

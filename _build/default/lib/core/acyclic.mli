@@ -1,0 +1,23 @@
+(** Replication for acyclic code (Section 6).
+
+    "To the best of our knowledge none of them [acyclic schedulers for
+    clustered VLIW] make use of instruction replication.  However,
+    heuristics proposed in this paper to reduce scheduling length can be
+    also applied to acyclic code."  This module does exactly that: on a
+    list-scheduled straight-line block, communications whose bus latency
+    sits on the critical path are removed by replicating the producer's
+    minimal subgraph into the consuming cluster; an attempt is kept only
+    when the re-scheduled block is strictly shorter. *)
+
+type t = {
+  baseline : Sched.Listsched.t;
+  improved : Sched.Listsched.t;  (** equals [baseline] when nothing won *)
+  replicas_added : int;
+  rounds : int;                  (** replications applied *)
+}
+
+val improve :
+  Machine.Config.t -> Ddg.Graph.t -> (t, string) Stdlib.result
+(** Partition, list-schedule, then iterate critical-path replication
+    (bounded at 8 rounds).
+    @raise Invalid_argument on loop-carried edges. *)

@@ -1,0 +1,29 @@
+(** Replication to reduce the schedule length (Section 5.1).
+
+    For loops with small trip counts the prologue/epilogue time
+    [SC * II] can dominate, so removing the bus latency from the critical
+    path of a single iteration matters more than the II.  The extension
+    identifies communication edges on the critical path and replicates
+    the producer's subgraph {e only into the cluster where it shortens
+    the path} — the communication itself may survive for other consumers
+    (the paper's Figure 11).
+
+    A candidate replication is kept only if rescheduling at the same II
+    succeeds and strictly shortens the schedule; otherwise it is rolled
+    back.  The paper finds the achievable benefit small (~1% overall,
+    ~5% for applu) and bounded above by the latency-0 experiment of
+    {!Sched.Route.build}; our harness reproduces both sides. *)
+
+type stats = {
+  attempts : int;        (** critical-path communications examined *)
+  applied : int;         (** replications kept *)
+  cycles_saved : int;    (** schedule-length cycles removed in total *)
+}
+
+val improve :
+  Machine.Config.t ->
+  Sched.Driver.outcome ->
+  Sched.Driver.outcome * stats
+(** Post-pass on a successful schedule: returns the (possibly improved)
+    outcome at the same II.  The input outcome is returned unchanged when
+    nothing helps. *)

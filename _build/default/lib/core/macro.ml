@@ -1,0 +1,114 @@
+open Ddg
+module Iset = State.Iset
+
+(* Full same-cluster ancestor cone: unlike Figure 4 it does not stop at
+   values that are already on the bus, so it drags along everything the
+   producer transitively needs — the over-replication the paper
+   criticises. *)
+let cone state com =
+  let g = State.graph state in
+  let home = State.home state com in
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen com ();
+  let queue = Queue.create () in
+  Queue.add com queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun e ->
+        let u = e.Graph.src in
+        if
+          e.Graph.kind = Graph.Reg
+          && (not (Hashtbl.mem seen u))
+          && State.home state u = home
+          && not (Graph.is_store g u)
+        then begin
+          Hashtbl.replace seen u ();
+          Queue.add u queue
+        end)
+      (Graph.preds g v)
+  done;
+  Hashtbl.fold (fun v () acc -> v :: acc) seen []
+  |> List.sort Stdlib.compare
+
+let subgraph_of_cone state com =
+  let targets = State.needing state com in
+  let members = cone state com in
+  let additions =
+    List.filter_map
+      (fun v ->
+        let missing = Iset.diff targets (State.placement state v) in
+        if Iset.is_empty missing then None else Some (v, missing))
+      members
+  in
+  let removable = Subgraph.stranded state ~additions ~com in
+  { Subgraph.com; members; additions; removable }
+
+let select state ~ii ~extra =
+  let rec go remaining acc =
+    if remaining = 0 then Some (List.rev acc)
+    else begin
+      let candidates =
+        State.comms state |> List.map (subgraph_of_cone state)
+      in
+      let feasible = List.filter (Subgraph.feasible state ~ii) candidates in
+      match feasible with
+      | [] -> None
+      | _ ->
+          let best =
+            List.fold_left
+              (fun best s ->
+                let w = Weight.subgraph_weight state ~ii ~all:candidates s in
+                match best with
+                | None -> Some (s, w)
+                | Some (_, bw) when w < bw -> Some (s, w)
+                | Some _ -> best)
+              None feasible
+          in
+          let s, _ = Option.get best in
+          List.iter
+            (fun (v, cs) ->
+              Iset.iter
+                (fun c -> State.add_instance state ~node:v ~cluster:c)
+                cs)
+            s.Subgraph.additions;
+          List.iter
+            (fun v ->
+              State.remove_instance state ~node:v
+                ~cluster:(State.home state v))
+            s.Subgraph.removable;
+          go (remaining - 1) (s :: acc)
+    end
+  in
+  go extra []
+
+let run config g ~assign ~ii =
+  if config.Machine.Config.clusters = 1 then None
+  else begin
+    let state = State.create config g ~assign in
+    let extra = State.extra_coms state ~ii in
+    if extra = 0 then None
+    else begin
+      let comms_before = State.n_comms state in
+      match select state ~ii ~extra with
+      | None -> None
+      | Some subgraphs ->
+          let stats =
+            Replicate.stats_of_subgraphs g ~comms_before subgraphs
+          in
+          Some (Replicate.materialize state ~base:g stats)
+    end
+  end
+
+let transform () =
+  let last = ref None in
+  let f config g ~assign ~ii =
+    match run config g ~assign ~ii with
+    | None ->
+        last := None;
+        None
+    | Some o ->
+        last := Some o.Replicate.stats;
+        Some (o.Replicate.graph, o.Replicate.assign)
+  in
+  (f, last)

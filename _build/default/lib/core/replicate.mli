@@ -1,0 +1,82 @@
+(** The replication pass (Section 3).
+
+    Given a partitioned loop DDG whose communications exceed the bus
+    bandwidth at the current II, repeatedly: build the replication
+    subgraph of every pending communication, weight each by its resource
+    impact ({!Weight}), replicate the lightest one, and update — until the
+    excess is gone ("no over-replication is possible") or resources run
+    out, in which case the attempt is abandoned and the scheduler
+    escalates the II. *)
+
+type stats = {
+  comms_before : int;
+  comms_removed : int;
+  added_instances : int;        (** replica instances created *)
+  added_by_kind : int array;    (** indexed by {!Machine.Fu.index} *)
+  removed_instances : int;      (** stranded originals deleted *)
+  removed_by_kind : int array;
+  subgraph_sizes : int list;
+      (** members count of each replicated subgraph, selection order *)
+}
+
+val empty_stats : stats
+
+type outcome = {
+  graph : Ddg.Graph.t;   (** materialized graph: one node per instance *)
+  assign : int array;    (** cluster of every instance *)
+  originals : int array; (** base node each instance descends from *)
+  is_replica : bool array;
+      (** [true] for added instances, [false] for surviving originals *)
+  stats : stats;
+}
+
+type heuristic =
+  | Lowest_weight  (** the paper's heuristic (Section 3.3) *)
+  | First_come     (** ablation: first feasible subgraph in scan order *)
+  | Fewest_added   (** ablation: minimize added instances directly *)
+
+val run :
+  ?heuristic:heuristic ->
+  ?share_discount:bool ->
+  ?removable_credit:bool ->
+  Machine.Config.t ->
+  Ddg.Graph.t ->
+  assign:int array ->
+  ii:int ->
+  outcome option
+(** [None] when the machine is unified, when there is no excess to fix,
+    or when resource limits stop the pass before [extra_coms] reaches
+    zero (the caller must then increase the II).  On success the
+    materialized graph's communication count fits the bus at [ii]. *)
+
+val select :
+  ?heuristic:heuristic ->
+  ?share_discount:bool ->
+  ?removable_credit:bool ->
+  State.t ->
+  ii:int ->
+  extra:int ->
+  Subgraph.t list option
+(** The bare selection loop on an explicit state, returning the
+    subgraphs replicated in order (the state is mutated).  Exposed for
+    tests and ablation benchmarks. *)
+
+val stats_of_subgraphs :
+  Ddg.Graph.t -> comms_before:int -> Subgraph.t list -> stats
+(** Aggregate the additions/removals of a list of applied subgraphs. *)
+
+val materialize : State.t -> base:Ddg.Graph.t -> stats -> outcome
+(** Expand a replication state into a schedulable graph: one node per
+    live instance, register edges rewired to cluster-local producers
+    when one exists (cross-cluster edges then carry the remaining
+    communications), memory edges fanned out across instances. *)
+
+val transform :
+  ?heuristic:heuristic ->
+  ?share_discount:bool ->
+  ?removable_credit:bool ->
+  unit ->
+  Sched.Driver.transform * stats option ref
+(** Adapter for {!Sched.Driver.schedule_loop}: the ref holds the stats
+    of the most recent (hence, on success, final) invocation — [None]
+    when the last attempt did not replicate. *)

@@ -1,0 +1,56 @@
+(** Replication state: which clusters hold an instance of each node.
+
+    The replication pass works on a partitioned DDG.  Initially every node
+    has exactly one {e instance}, in its partition ("home") cluster.
+    Replicating a subgraph adds instances in other clusters; removing a
+    dead original deletes the home instance.  A node's value still needs a
+    communication while some cluster holds a consumer instance but no
+    instance of the producer (Section 3.1).
+
+    The state is mutable — the selection loop applies one replication at a
+    time and recomputes subgraphs, exactly the update process of
+    Section 3.4 (recomputation and incremental update are semantically
+    equivalent; we recompute). *)
+
+module Iset : Set.S with type elt = int
+
+type t
+
+val create : Machine.Config.t -> Ddg.Graph.t -> assign:int array -> t
+(** Every node placed in its partition cluster only. *)
+
+val copy : t -> t
+(** Independent deep copy (for hypothetical application). *)
+
+val config : t -> Machine.Config.t
+val graph : t -> Ddg.Graph.t
+val home : t -> int -> int
+
+val placement : t -> int -> Iset.t
+(** Clusters currently holding a live instance of the node. *)
+
+val is_placed : t -> int -> int -> bool
+(** [is_placed t v c]: does cluster [c] hold an instance of [v]? *)
+
+val needing : t -> int -> Iset.t
+(** Clusters holding a consumer instance of the node's value but no
+    instance of the node itself: the clusters its communication must
+    reach.  Empty iff the node needs no communication. *)
+
+val has_comm : t -> int -> bool
+val comms : t -> int list
+(** Nodes whose value must be communicated, ascending. *)
+
+val n_comms : t -> int
+
+val extra_coms : t -> ii:int -> int
+(** Communications beyond the bus capacity at [ii] (Section 3). *)
+
+val usage : t -> cluster:int -> kind:Machine.Fu.kind -> int
+(** Live instances in a cluster that execute on the given unit kind. *)
+
+val add_instance : t -> node:int -> cluster:int -> unit
+val remove_instance : t -> node:int -> cluster:int -> unit
+
+val n_instances : t -> int
+(** Total live instances across all nodes. *)

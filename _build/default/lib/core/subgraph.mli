@@ -1,0 +1,52 @@
+(** Replication subgraphs (Figure 4) and removable instructions
+    (Figure 5).
+
+    The replication subgraph [S_com] of a communicated value [com] is the
+    minimum set of nodes to re-execute in the consuming clusters so the
+    value becomes locally available: [com] plus, transitively, every
+    register parent whose own value is {e not} communicated (a
+    communicated parent is already visible everywhere through the bus).
+    Stores never join a subgraph.
+
+    Replicating [S_com] can strand instructions: an original whose
+    consumers now all read local replicas is dead and its removal frees
+    resources (Figure 3's node [E]).  [removable] anticipates those
+    instructions so the selection heuristic can credit them. *)
+
+type t = {
+  com : int;  (** the node whose communication this subgraph removes *)
+  members : int list;  (** the subgraph, [com] included, ascending *)
+  additions : (int * State.Iset.t) list;
+      (** per member, the clusters where an instance must be created
+          (members already present everywhere needed contribute nothing);
+          covers exactly the clusters {!State.needing} [com] *)
+  removable : int list;
+      (** home instances that die once this subgraph is replicated,
+          ascending *)
+}
+
+val compute : State.t -> int -> t
+(** [compute state com] — [com] must currently need a communication.
+    @raise Invalid_argument otherwise. *)
+
+val compute_for : State.t -> clusters:State.Iset.t -> int -> t
+(** Like {!compute} but replicating only into the given clusters (their
+    intersection with {!State.needing}); used by the Section-5.1
+    schedule-length extension, where a value is replicated just where it
+    shortens the critical path and the communication itself may remain.
+    @raise Invalid_argument when the intersection is empty. *)
+
+val n_added_instances : t -> int
+(** Total instances the replication would create. *)
+
+val feasible : State.t -> ii:int -> t -> bool
+(** Do all target clusters keep enough functional-unit slots at this II
+    after adding the instances (counting the removable credit)?  The
+    heuristic never over-subscribes a cluster (Section 3.3: "until no
+    further replication is possible due to resource constraints"). *)
+
+val stranded : State.t -> additions:(int * State.Iset.t) list -> com:int -> int list
+(** The Figure-5 worklist: home instances dead under the hypothetical
+    placement [state + additions] with [com]'s communication gone.
+    Exposed for the weight module and tests; {!compute} already fills
+    [removable] with it. *)

@@ -1,0 +1,75 @@
+open Ddg
+module Iset = State.Iset
+
+let share ~all ~node ~cluster =
+  let count =
+    List.fold_left
+      (fun acc (s : Subgraph.t) ->
+        let benefits =
+          List.exists
+            (fun (v, cs) -> v = node && Iset.mem cluster cs)
+            s.Subgraph.additions
+        in
+        if benefits then acc + 1 else acc)
+      0 all
+  in
+  max 1 count
+
+let kind_of g v =
+  match Machine.Opclass.fu_kind (Graph.op g v) with
+  | Some k -> k
+  | None -> assert false (* subgraph members are real instructions *)
+
+let subgraph_weight ?(share_discount = true) ?(removable_credit = true)
+    state ~ii ~all (s : Subgraph.t) =
+  let config = State.config state in
+  let g = State.graph state in
+  let avail c kind =
+    float_of_int (Machine.Config.fus config ~cluster:c kind * ii)
+  in
+  (* extra_ops (res, c, S): instances S adds to c per unit kind *)
+  let clusters = config.Machine.Config.clusters in
+  let extra = Array.make_matrix clusters Machine.Fu.count 0 in
+  List.iter
+    (fun (v, cs) ->
+      let k = Machine.Fu.index (kind_of g v) in
+      Iset.iter (fun c -> extra.(c).(k) <- extra.(c).(k) + 1) cs)
+    s.Subgraph.additions;
+  let removed = Array.make_matrix clusters Machine.Fu.count 0 in
+  List.iter
+    (fun v ->
+      let k = Machine.Fu.index (kind_of g v) in
+      let h = State.home state v in
+      removed.(h).(k) <- removed.(h).(k) + 1)
+    s.Subgraph.removable;
+  let cost =
+    List.fold_left
+      (fun acc (v, cs) ->
+        let kind = kind_of g v in
+        let k = Machine.Fu.index kind in
+        Iset.fold
+          (fun c acc ->
+            let usage =
+              float_of_int (State.usage state ~cluster:c ~kind)
+            in
+            let term =
+              (usage +. float_of_int extra.(c).(k)) /. avail c kind
+            in
+            let sh =
+              if share_discount then share ~all ~node:v ~cluster:c else 1
+            in
+            acc +. (term /. float_of_int sh))
+          cs acc)
+      0.0 s.Subgraph.additions
+  in
+  let credit =
+    List.fold_left
+      (fun acc v ->
+        let kind = kind_of g v in
+        let k = Machine.Fu.index kind in
+        let h = State.home state v in
+        let usage = float_of_int (State.usage state ~cluster:h ~kind) in
+        acc +. ((usage -. float_of_int removed.(h).(k)) /. avail h kind))
+      0.0 s.Subgraph.removable
+  in
+  if removable_credit then cost -. credit else cost

@@ -1,0 +1,40 @@
+(** The resource-pressure weight of a replication subgraph (Section 3.3).
+
+    For every instance the replication adds, the cost term is
+
+    {v
+      usage(res, c) + extra_ops(res, c, S)
+      ------------------------------------  /  share(v, c)
+           available(res, c) * II
+    v}
+
+    where [usage] counts the live instances in cluster [c] executing on
+    [v]'s unit kind, [extra_ops] the instances [S] adds there of that
+    kind, and [share (v, c)] the number of current subgraphs that benefit
+    from a copy of [v] in [c] (a node replicated once can serve several
+    subgraphs, so its cost is split).
+
+    Every instruction the replication strands (its {!Subgraph.t}
+    [removable] list) credits the weight with the cluster load it leaves
+    behind, [(usage - removed) / (available * II)] — this is the reading
+    of the paper's two worked examples (Figures 3 and 6), which both
+    evaluate to exactly these values (4/8 for one removed instruction of
+    five with 4 units at II 2; 4 * 1/8 for four removed of five). *)
+
+val subgraph_weight :
+  ?share_discount:bool ->
+  ?removable_credit:bool ->
+  State.t ->
+  ii:int ->
+  all:Subgraph.t list ->
+  Subgraph.t ->
+  float
+(** Weight of one subgraph given the full current set (needed for the
+    sharing discount).  Lower is better.  The two flags disable the
+    sharing division and the removable-instruction credit — the paper's
+    design choices — for the ablation benchmarks. *)
+
+val share : all:Subgraph.t list -> node:int -> cluster:int -> int
+(** Number of subgraphs in [all] that would place (or use) an instance of
+    [node] in [cluster]; at least 1 when the node belongs to at least one
+    subgraph targeting that cluster. *)

@@ -1,0 +1,1 @@
+lib/ddg/analysis.ml: Array Graph List

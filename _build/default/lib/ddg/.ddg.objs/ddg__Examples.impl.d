@@ -1,0 +1,1 @@
+lib/ddg/examples.ml: Array Graph List Machine Opclass Printf

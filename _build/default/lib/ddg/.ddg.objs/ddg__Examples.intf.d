@@ -1,0 +1,1 @@
+lib/ddg/examples.mli: Graph

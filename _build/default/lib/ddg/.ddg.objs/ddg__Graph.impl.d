@@ -1,0 +1,1 @@
+lib/ddg/graph.ml: Array Buffer Char Format Fun List Machine Printf Queue Stdlib String

@@ -1,0 +1,1 @@
+lib/ddg/mii.ml: Array Graph List Machine

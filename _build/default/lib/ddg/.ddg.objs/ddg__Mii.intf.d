@@ -1,0 +1,1 @@
+lib/ddg/mii.mli: Graph Machine

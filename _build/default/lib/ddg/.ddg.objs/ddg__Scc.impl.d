@@ -1,0 +1,1 @@
+lib/ddg/scc.ml: Array Graph Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/ddg/scc.mli: Graph

@@ -1,0 +1,48 @@
+(** Timing analyses over a DDG: earliest/latest start times, node height and
+    depth, edge slack — the ingredients of the slack-based edge weighting
+    used by the multilevel partitioner [Aletà et al., MICRO'01] and of the
+    SMS-style node ordering.
+
+    All analyses are parameterized by an initiation interval [ii]: a
+    dependence edge [e] imposes
+    [start dst >= start src + latency e - ii * distance e]. *)
+
+type t
+
+val compute : Graph.t -> ii:int -> t
+(** Longest-path fixpoint over the whole graph (loop-carried edges
+    included).  Requires [ii] to satisfy every recurrence
+    ({!Mii.feasible_ii}); @raise Invalid_argument otherwise. *)
+
+val asap : t -> int -> int
+(** Earliest start time of a node, with sources at cycle 0. *)
+
+val alap : t -> int -> int
+(** Latest start time that does not stretch the critical path. *)
+
+val depth : t -> int -> int
+(** Longest latency-weighted path from any source to the node
+    (equals {!asap}). *)
+
+val height : t -> int -> int
+(** Longest latency-weighted path from the node to any sink. *)
+
+val critical_path : t -> int
+(** Length in cycles of a single iteration's critical path: the schedule
+    length no placement can beat. *)
+
+val slack : t -> Graph.edge -> int
+(** [alap dst - (asap src + latency)] — how many cycles of delay the edge
+    absorbs before lengthening the critical path.  Never negative. *)
+
+val mobility : t -> int -> int
+(** [alap n - asap n]. *)
+
+val edge_weight : t -> Graph.edge -> int
+(** Partitioning weight of an edge: large when cutting the edge (adding a
+    bus latency to it) would hurt, i.e. inversely related to slack.
+    Memory edges weigh 0 — they never cost a communication.  Always
+    [>= 1] for register edges. *)
+
+val on_critical_path : t -> int -> bool
+(** Nodes with zero mobility. *)

@@ -1,0 +1,78 @@
+open Machine
+
+(* Figure 3: the exact adjacency is reconstructed from the prose:
+   - A is the parent of B, C and E; B and C are parents of D; D is a
+     parent of E (after replicating S_E in cluster 2 "there exists a
+     child of node D: the copy of node E").
+   - D's value is consumed in cluster 4 (by F); E's value in clusters 2
+     and 4 (by J and G); J's value in clusters 1 and 4 (by N and H).
+   - L, M, N form a chain in cluster 1; I feeds J feeds K in cluster 2;
+     F feeds G feeds H in cluster 4. *)
+let figure3 () =
+  let b = Graph.Builder.create ~name:"figure3" () in
+  let add l = Graph.Builder.add b ~label:l Opclass.Int_arith in
+  let a = add "A" and b_ = add "B" and c = add "C" and d = add "D"
+  and e = add "E" and f = add "F" and g = add "G" and h = add "H"
+  and i = add "I" and j = add "J" and k = add "K" and l = add "L"
+  and m = add "M" and n = add "N" in
+  let dep src dst = Graph.Builder.depend b ~src ~dst in
+  dep a b_; dep a c; dep a e;
+  dep b_ d; dep c d; dep d e;
+  dep d f;
+  dep e j; dep e g;
+  dep i j; dep j k; dep j n; dep j h;
+  dep l m; dep m n;
+  dep f g; dep g h;
+  Graph.Builder.build b
+
+let figure3_partition g =
+  let assign = Array.make (Graph.n_nodes g) 0 in
+  let set lbl c = assign.(Graph.find_label g lbl) <- c in
+  set "L" 0; set "M" 0; set "N" 0;
+  set "I" 1; set "J" 1; set "K" 1;
+  set "A" 2; set "B" 2; set "C" 2; set "D" 2; set "E" 2;
+  set "F" 3; set "G" 3; set "H" 3;
+  assign
+
+(* Figure 11: B -> C -> F in cluster 2/3; A -> D -> E where A's value is
+   used both by D (cluster 1) and by a consumer in cluster 3. *)
+let figure11 () =
+  let b = Graph.Builder.create ~name:"figure11" () in
+  let add l = Graph.Builder.add b ~label:l Opclass.Int_arith in
+  let a = add "A" and b_ = add "B" and c = add "C" and d = add "D"
+  and e = add "E" and f = add "F" in
+  let dep src dst = Graph.Builder.depend b ~src ~dst in
+  dep a d; dep d e;
+  dep b_ c; dep c f;
+  dep a f;
+  Graph.Builder.build b
+
+let tiny_chain ?(n = 4) () =
+  let b = Graph.Builder.create ~name:"tiny_chain" () in
+  let ids =
+    List.init n (fun i ->
+        Graph.Builder.add b ~label:(Printf.sprintf "t%d" i) Opclass.Int_arith)
+  in
+  let rec link = function
+    | x :: (y :: _ as rest) ->
+        Graph.Builder.depend b ~src:x ~dst:y;
+        link rest
+    | _ -> ()
+  in
+  link ids;
+  Graph.Builder.build b
+
+let with_recurrence () =
+  let b = Graph.Builder.create ~name:"with_recurrence" () in
+  let load = Graph.Builder.add b ~label:"ld" Opclass.Load in
+  let acc = Graph.Builder.add b ~label:"acc" Opclass.Fp_arith in
+  let st = Graph.Builder.add b ~label:"st" Opclass.Store in
+  let inc = Graph.Builder.add b ~label:"inc" Opclass.Int_arith in
+  Graph.Builder.depend b ~src:load ~dst:acc;
+  Graph.Builder.depend b ~src:acc ~dst:st;
+  (* acc feeds itself next iteration: RecMII = fp latency 3. *)
+  Graph.Builder.depend b ~distance:1 ~src:acc ~dst:acc;
+  (* induction variable *)
+  Graph.Builder.depend b ~distance:1 ~src:inc ~dst:inc;
+  Graph.Builder.depend b ~src:inc ~dst:load;
+  Graph.Builder.build b

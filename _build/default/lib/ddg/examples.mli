@@ -1,0 +1,26 @@
+(** Small hand-built DDGs used by tests, documentation and the worked
+    examples of the paper. *)
+
+val figure3 : unit -> Graph.t
+(** The running example of the paper's Section 3 (Figures 3 and 6):
+    fourteen instructions [A]–[N].  With the partition
+    [{L,M,N} | {I,J,K} | {A,B,C,D,E} | {F,G,H}] the values of [D], [E]
+    and [J] must be communicated; the replication subgraphs are
+    [S_D = {D,B,C,A}], [S_E = {E,A}] and [S_J = {J,I}]. *)
+
+val figure3_partition : Graph.t -> int array
+(** The cluster assignment pictured in Figure 3 (clusters numbered 0-3
+    for the paper's 1-4). *)
+
+val figure11 : unit -> Graph.t
+(** The schedule-length example of Section 5.1 (Figure 11): six
+    instructions [A]–[F] where communicating [A] lengthens the critical
+    path [A, D, E]. *)
+
+val tiny_chain : ?n:int -> unit -> Graph.t
+(** A dependence chain of [n] (default 4) integer operations — the
+    simplest schedulable loop. *)
+
+val with_recurrence : unit -> Graph.t
+(** A small loop with a loop-carried recurrence of latency 4, distance 1
+    (RecMII 4), for MII and ordering tests. *)

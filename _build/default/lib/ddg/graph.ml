@@ -1,0 +1,200 @@
+type edge_kind = Reg | Mem
+
+type edge = {
+  src : int;
+  dst : int;
+  latency : int;
+  distance : int;
+  kind : edge_kind;
+}
+
+type t = {
+  graph_name : string;
+  ops : Machine.Opclass.t array;
+  labels : string array;
+  all_edges : edge list;
+  succ : edge list array;
+  pred : edge list array;
+}
+
+let n_nodes t = Array.length t.ops
+let op t i = t.ops.(i)
+let label t i = t.labels.(i)
+let edges t = t.all_edges
+let succs t i = t.succ.(i)
+let preds t i = t.pred.(i)
+
+let reg_succs t i = List.filter (fun e -> e.kind = Reg) t.succ.(i)
+let reg_preds t i = List.filter (fun e -> e.kind = Reg) t.pred.(i)
+
+let consumers t i =
+  reg_succs t i
+  |> List.map (fun e -> e.dst)
+  |> List.sort_uniq Stdlib.compare
+
+let value_producers t i =
+  reg_preds t i
+  |> List.map (fun e -> e.src)
+  |> List.sort_uniq Stdlib.compare
+
+let is_store t i = Machine.Opclass.is_store t.ops.(i)
+
+let nodes t = List.init (n_nodes t) Fun.id
+
+let n_ops_of_kind t kind =
+  Array.fold_left
+    (fun acc o ->
+      match Machine.Opclass.fu_kind o with
+      | Some k when Machine.Fu.equal k kind -> acc + 1
+      | _ -> acc)
+    0 t.ops
+
+let find_label t lbl =
+  let n = n_nodes t in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if String.equal t.labels.(i) lbl then i
+    else go (i + 1)
+  in
+  go 0
+
+let name t = t.graph_name
+
+(* Excel-style base-26 label: 0 -> "A", 25 -> "Z", 26 -> "AA". *)
+let default_label i =
+  let rec go i acc =
+    let acc = String.make 1 (Char.chr (Char.code 'A' + (i mod 26))) ^ acc in
+    if i < 26 then acc else go ((i / 26) - 1) acc
+  in
+  go i ""
+
+module Builder = struct
+  type building = {
+    bname : string;
+    mutable rev_ops : (Machine.Opclass.t * string) list;
+    mutable count : int;
+    mutable rev_edges : edge list;
+  }
+
+  type t = building
+
+  let create ?(name = "") () = { bname = name; rev_ops = []; count = 0; rev_edges = [] }
+
+  let add b ?label opc =
+    let id = b.count in
+    let lbl = match label with Some l -> l | None -> default_label id in
+    b.rev_ops <- (opc, lbl) :: b.rev_ops;
+    b.count <- b.count + 1;
+    id
+
+  let check_id b i what =
+    if i < 0 || i >= b.count then
+      invalid_arg (Printf.sprintf "Ddg.Builder: unknown %s node %d" what i)
+
+  let op_of b i =
+    fst (List.nth b.rev_ops (b.count - 1 - i))
+
+  let depend ?(distance = 0) ?latency b ~src ~dst =
+    check_id b src "src";
+    check_id b dst "dst";
+    if distance < 0 then invalid_arg "Ddg.Builder.depend: negative distance";
+    let src_op = op_of b src in
+    if Machine.Opclass.is_store src_op then
+      invalid_arg "Ddg.Builder.depend: a store produces no register value";
+    let latency =
+      match latency with
+      | Some l ->
+          if l < 0 then invalid_arg "Ddg.Builder.depend: negative latency";
+          l
+      | None -> Machine.Opclass.latency src_op
+    in
+    b.rev_edges <- { src; dst; latency; distance; kind = Reg } :: b.rev_edges
+
+  let mem_depend ?(distance = 0) b ~src ~dst =
+    check_id b src "src";
+    check_id b dst "dst";
+    if distance < 0 then
+      invalid_arg "Ddg.Builder.mem_depend: negative distance";
+    if
+      (not (Machine.Opclass.is_memory (op_of b src)))
+      || not (Machine.Opclass.is_memory (op_of b dst))
+    then
+      invalid_arg
+        "Ddg.Builder.mem_depend: both endpoints must be memory operations";
+    b.rev_edges <- { src; dst; latency = 1; distance; kind = Mem } :: b.rev_edges
+
+  (* Kahn's algorithm on distance-0 edges; a leftover node means a
+     zero-distance cycle, which no execution order could satisfy. *)
+  let acyclic_same_iteration n edges =
+    let indeg = Array.make n 0 in
+    let out = Array.make n [] in
+    List.iter
+      (fun e ->
+        if e.distance = 0 then begin
+          indeg.(e.dst) <- indeg.(e.dst) + 1;
+          out.(e.src) <- e.dst :: out.(e.src)
+        end)
+      edges;
+    let queue = Queue.create () in
+    Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+    let seen = ref 0 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      incr seen;
+      List.iter
+        (fun v ->
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then Queue.add v queue)
+        out.(u)
+    done;
+    !seen = n
+
+  let build b =
+    let pairs = Array.of_list (List.rev b.rev_ops) in
+    let ops = Array.map fst pairs in
+    let labels = Array.map snd pairs in
+    let all_edges = List.rev b.rev_edges in
+    let n = Array.length ops in
+    if not (acyclic_same_iteration n all_edges) then
+      invalid_arg "Ddg.Builder.build: zero-distance dependence cycle";
+    let succ = Array.make n [] in
+    let pred = Array.make n [] in
+    List.iter
+      (fun e ->
+        succ.(e.src) <- e :: succ.(e.src);
+        pred.(e.dst) <- e :: pred.(e.dst))
+      all_edges;
+    Array.iteri (fun i l -> succ.(i) <- List.rev l) succ;
+    Array.iteri (fun i l -> pred.(i) <- List.rev l) pred;
+    { graph_name = b.bname; ops; labels; all_edges; succ; pred }
+end
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph ddg {\n  node [shape=box];\n";
+  for i = 0 to n_nodes t - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\\n%s\"];\n" i t.labels.(i)
+         (Machine.Opclass.to_string t.ops.(i)))
+  done;
+  List.iter
+    (fun e ->
+      let style =
+        match (e.kind, e.distance) with
+        | Mem, _ -> " [style=dotted]"
+        | Reg, 0 -> ""
+        | Reg, d -> Printf.sprintf " [style=dashed,label=\"d=%d\"]" d
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d%s;\n" e.src e.dst style))
+    t.all_edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_stats ppf t =
+  let count k = n_ops_of_kind t k in
+  Format.fprintf ppf "%s: %d nodes (%d int, %d fp, %d mem), %d edges"
+    (if String.equal t.graph_name "" then "<ddg>" else t.graph_name)
+    (n_nodes t) (count Machine.Fu.Int) (count Machine.Fu.Fp)
+    (count Machine.Fu.Mem)
+    (List.length t.all_edges)

@@ -1,0 +1,25 @@
+(** Minimum initiation interval (MII) bounds for modulo scheduling.
+
+    The MII is the classic lower bound of Rau: the maximum of a resource
+    bound (ResMII — no schedule can initiate iterations faster than the
+    busiest functional-unit kind allows) and a recurrence bound (RecMII —
+    every dependence cycle [c] forces
+    [II >= ceil (sum of latencies around c / sum of distances around c)]). *)
+
+val res_mii : Machine.Config.t -> Graph.t -> int
+(** Resource-constrained bound: for each functional-unit kind, the
+    operations of that kind divided by the total units of that kind in the
+    machine, rounded up; at least 1. *)
+
+val rec_mii : Graph.t -> int
+(** Recurrence-constrained bound: the smallest [ii >= 1] such that the
+    dependence graph with edge weights [latency - ii * distance] has no
+    positive-weight cycle.  Computed by binary search with a Bellman-Ford
+    positive-cycle test (exact; graphs here are small). *)
+
+val mii : Machine.Config.t -> Graph.t -> int
+(** [max (res_mii config g) (rec_mii g)]. *)
+
+val feasible_ii : Graph.t -> int -> bool
+(** [feasible_ii g ii] is [true] iff no recurrence of [g] requires an
+    initiation interval larger than [ii]. *)

@@ -1,0 +1,24 @@
+(** Strongly connected components of a DDG — its recurrences.
+
+    A non-trivial SCC (more than one node, or a node with a self edge) is a
+    recurrence: a dependence cycle closed by loop-carried edges.  The SMS
+    node ordering schedules recurrences first, most critical (highest
+    recurrence MII) first. *)
+
+type component = {
+  members : int list;  (** node ids, ascending *)
+  rec_mii : int;       (** smallest II satisfying every cycle inside the
+                           component; 1 for trivial components *)
+}
+
+val compute : Graph.t -> component list
+(** All SCCs (Tarjan), non-trivial recurrences first in decreasing
+    [rec_mii] order, then trivial components in topological order of the
+    condensation. *)
+
+val recurrences : Graph.t -> component list
+(** Only the non-trivial components, decreasing [rec_mii]. *)
+
+val component_of : Graph.t -> int array
+(** [component_of g] maps each node to the index of its component in
+    [compute g]'s list. *)

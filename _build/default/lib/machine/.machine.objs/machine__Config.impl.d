@@ -1,0 +1,1 @@
+lib/machine/config.ml: Array Buffer Format Fu List Printf String

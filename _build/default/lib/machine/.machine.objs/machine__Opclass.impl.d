@@ -1,0 +1,1 @@
+lib/machine/opclass.ml: Format Fu Stdlib

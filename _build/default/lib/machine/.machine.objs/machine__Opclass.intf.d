@@ -1,0 +1,1 @@
+lib/machine/opclass.mli: Format Fu

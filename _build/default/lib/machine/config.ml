@@ -1,0 +1,178 @@
+type t = {
+  clusters : int;
+  buses : int;
+  bus_latency : int;
+  total_registers : int;
+  fu_matrix : int array array;
+  copy_uses_int_slot : bool;
+}
+
+let total_fus_of_each_kind = 4
+
+let row (ints, fps, mems) =
+  let r = Array.make Fu.count 0 in
+  r.(Fu.index Fu.Int) <- ints;
+  r.(Fu.index Fu.Fp) <- fps;
+  r.(Fu.index Fu.Mem) <- mems;
+  r
+
+let check_common ~clusters ~buses ~bus_latency ~registers =
+  if clusters <= 0 then invalid_arg "Config: clusters <= 0";
+  if registers <= 0 then invalid_arg "Config: registers <= 0";
+  if registers mod clusters <> 0 then
+    invalid_arg "Config: clusters must divide the register count";
+  if clusters > 1 && buses <= 0 then
+    invalid_arg "Config: a clustered machine needs at least one bus";
+  if buses < 0 then invalid_arg "Config: negative bus count";
+  if clusters > 1 && bus_latency <= 0 then
+    invalid_arg "Config: bus latency must be positive"
+
+let make ~clusters ~buses ~bus_latency ~registers =
+  check_common ~clusters ~buses ~bus_latency ~registers;
+  if total_fus_of_each_kind mod clusters <> 0 then
+    invalid_arg "Config.make: clusters must divide 4 (valid: 1, 2, 4)";
+  let per = total_fus_of_each_kind / clusters in
+  {
+    clusters;
+    buses;
+    bus_latency = (if clusters = 1 then 0 else bus_latency);
+    total_registers = registers;
+    fu_matrix = Array.init clusters (fun _ -> row (per, per, per));
+    copy_uses_int_slot = false;
+  }
+
+let unified ~registers = make ~clusters:1 ~buses:0 ~bus_latency:0 ~registers
+
+let custom ~clusters ~buses ~bus_latency ~registers ~fus_per_cluster =
+  check_common ~clusters ~buses ~bus_latency ~registers;
+  let ints, fps, mems = fus_per_cluster in
+  if ints < 0 || fps < 0 || mems < 0 then
+    invalid_arg "Config.custom: negative unit count";
+  {
+    clusters;
+    buses;
+    bus_latency = (if clusters = 1 then 0 else bus_latency);
+    total_registers = registers;
+    fu_matrix = Array.init clusters (fun _ -> row (ints, fps, mems));
+    copy_uses_int_slot = false;
+  }
+
+let heterogeneous ~buses ~bus_latency ~registers ~clusters =
+  (match clusters with
+  | [] -> invalid_arg "Config.heterogeneous: no clusters"
+  | _ -> ());
+  let n = List.length clusters in
+  check_common ~clusters:n ~buses ~bus_latency ~registers;
+  List.iter
+    (fun (i, f, m) ->
+      if i < 0 || f < 0 || m < 0 then
+        invalid_arg "Config.heterogeneous: negative unit count")
+    clusters;
+  {
+    clusters = n;
+    buses;
+    bus_latency = (if n = 1 then 0 else bus_latency);
+    total_registers = registers;
+    fu_matrix = Array.of_list (List.map row clusters);
+    copy_uses_int_slot = false;
+  }
+
+let with_copy_int_slot t = { t with copy_uses_int_slot = true }
+
+let fus t ~cluster kind = t.fu_matrix.(cluster).(Fu.index kind)
+
+let total_fus t kind =
+  Array.fold_left (fun acc r -> acc + r.(Fu.index kind)) 0 t.fu_matrix
+
+let max_cluster_fus t kind =
+  Array.fold_left (fun acc r -> max acc r.(Fu.index kind)) 0 t.fu_matrix
+
+let is_homogeneous t =
+  Array.for_all (fun r -> r = t.fu_matrix.(0)) t.fu_matrix
+
+let registers_per_cluster t = t.total_registers / t.clusters
+
+let issue_width t =
+  Array.fold_left
+    (fun acc r -> acc + Array.fold_left ( + ) 0 r)
+    0 t.fu_matrix
+
+let copy_latency t = t.bus_latency
+
+let bus_capacity_per_ii t ~ii =
+  if t.clusters = 1 then max_int else ii / t.bus_latency * t.buses
+
+let name t =
+  let suffix = if t.copy_uses_int_slot then "+cp" else "" in
+  if t.clusters = 1 && is_homogeneous t then
+    Printf.sprintf "unified%dr%s" t.total_registers suffix
+  else if is_homogeneous t then
+    Printf.sprintf "%dc%db%dl%dr%s" t.clusters t.buses t.bus_latency
+      t.total_registers suffix
+  else begin
+    let cluster_desc r =
+      Printf.sprintf "%d%d%d" r.(Fu.index Fu.Int) r.(Fu.index Fu.Fp)
+        r.(Fu.index Fu.Mem)
+    in
+    Printf.sprintf "het[%s]%db%dl%dr%s"
+      (String.concat "+"
+         (Array.to_list (Array.map cluster_desc t.fu_matrix)))
+      t.buses t.bus_latency t.total_registers suffix
+  end
+
+let of_name s =
+  if String.length s > 7 && String.sub s 0 7 = "unified" then
+    match int_of_string_opt (String.sub s 7 (String.length s - 8)) with
+    | Some r when String.length s > 8 && s.[String.length s - 1] = 'r' ->
+        Some (unified ~registers:r)
+    | _ -> None
+  else begin
+    (* Split "4c2b4l64r" on the letter markers c, b, l, r. *)
+    let buf = Buffer.create 4 in
+    let fields = ref [] in
+    let ok = ref true in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '0' .. '9' -> Buffer.add_char buf ch
+        | 'c' | 'b' | 'l' | 'r' ->
+            (match int_of_string_opt (Buffer.contents buf) with
+            | Some n -> fields := n :: !fields
+            | None -> ok := false);
+            Buffer.clear buf
+        | _ -> ok := false)
+      s;
+    if (not !ok) || Buffer.length buf > 0 then None
+    else
+      match List.rev !fields with
+      | [ w; x; y; z ] -> (
+          try Some (make ~clusters:w ~buses:x ~bus_latency:y ~registers:z)
+          with Invalid_argument _ -> None)
+      | _ -> None
+  end
+
+let paper_configs =
+  [
+    make ~clusters:2 ~buses:1 ~bus_latency:2 ~registers:64;
+    make ~clusters:2 ~buses:2 ~bus_latency:4 ~registers:64;
+    make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64;
+    make ~clusters:4 ~buses:2 ~bus_latency:4 ~registers:64;
+    make ~clusters:4 ~buses:2 ~bus_latency:2 ~registers:64;
+    make ~clusters:4 ~buses:4 ~bus_latency:4 ~registers:64;
+  ]
+
+let fig1_configs =
+  [
+    make ~clusters:2 ~buses:1 ~bus_latency:2 ~registers:64;
+    make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64;
+    make ~clusters:4 ~buses:2 ~bus_latency:2 ~registers:64;
+  ]
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let equal a b =
+  a.clusters = b.clusters && a.buses = b.buses
+  && a.bus_latency = b.bus_latency
+  && a.total_registers = b.total_registers
+  && a.fu_matrix = b.fu_matrix
+  && a.copy_uses_int_slot = b.copy_uses_int_slot

@@ -1,0 +1,118 @@
+(** Clustered-VLIW machine configurations.
+
+    The paper names configurations with the scheme [wcxbylzr] (Section 1):
+    [w] clusters, [x] inter-cluster buses, [y] cycles of bus latency and [z]
+    architected registers in total.  The total machine always has an issue
+    width of 12 — 4 integer units, 4 floating-point units and 4 memory ports
+    — split evenly across clusters, and the register file is likewise split
+    ([z]/[w] registers per cluster).  The memory hierarchy is centralized:
+    loads and stores may execute in any cluster and all accesses hit.
+
+    A {e unified} machine ([clusters = 1]) keeps all twelve units and the
+    whole register file in a single cluster and needs no buses; it is the
+    upper bound used in the paper's Figure 8.
+
+    The paper notes the algorithm "can be easily extended to deal with
+    heterogeneous clusters"; {!heterogeneous} builds such machines (each
+    cluster with its own unit counts) and the whole scheduler/replication
+    stack honours per-cluster capacities. *)
+
+type t = private {
+  clusters : int;          (** number of clusters, [>= 1] *)
+  buses : int;             (** number of inter-cluster register buses *)
+  bus_latency : int;       (** latency, in cycles, of a bus transfer *)
+  total_registers : int;   (** registers in the whole machine *)
+  fu_matrix : int array array;
+      (** functional units per cluster and kind:
+          [fu_matrix.(cluster).(Fu.index kind)] *)
+  copy_uses_int_slot : bool;
+      (** when set, a copy also occupies an integer-unit issue slot in
+          the producer's cluster on its issue cycle (TI C6x-style cross
+          paths read the register file through a regular port); the
+          paper's machine has dedicated bus ports (false) *)
+}
+
+val make :
+  clusters:int -> buses:int -> bus_latency:int -> registers:int -> t
+(** [make ~clusters ~buses ~bus_latency ~registers] builds a homogeneous
+    configuration with the paper's total resources (4 units of each kind)
+    split evenly.
+    @raise Invalid_argument if [clusters] does not divide 4 evenly (valid
+    values: 1, 2, 4), or if any argument is non-positive (buses may be 0
+    only when [clusters = 1]). *)
+
+val unified : registers:int -> t
+(** Monolithic 12-issue machine: one cluster with 4 units of each kind. *)
+
+val custom :
+  clusters:int ->
+  buses:int ->
+  bus_latency:int ->
+  registers:int ->
+  fus_per_cluster:int * int * int ->
+  t
+(** Homogeneous machine with arbitrary per-cluster unit counts
+    [(int, fp, mem)] — used by tests that reproduce the paper's worked
+    example, which assumes four universal units per cluster. *)
+
+val heterogeneous :
+  buses:int ->
+  bus_latency:int ->
+  registers:int ->
+  clusters:(int * int * int) list ->
+  t
+(** Each cluster with its own [(int, fp, mem)] unit counts, e.g. an
+    integer-heavy address cluster next to fp-heavy compute clusters.
+    @raise Invalid_argument on an empty list, negative counts, or a
+    register count the cluster count does not divide. *)
+
+val with_copy_int_slot : t -> t
+(** The same machine, but copies steal an integer issue slot in the
+    producer's cluster (design-space variant; see the field above). *)
+
+val fus : t -> cluster:int -> Fu.kind -> int
+(** Functional units of a kind in one cluster. *)
+
+val total_fus : t -> Fu.kind -> int
+(** Units of a kind across the whole machine. *)
+
+val max_cluster_fus : t -> Fu.kind -> int
+(** Largest per-cluster count of a kind (capacity of the roomiest
+    cluster). *)
+
+val is_homogeneous : t -> bool
+
+val registers_per_cluster : t -> int
+
+val issue_width : t -> int
+(** Total operations issued per cycle across all clusters (12 for the
+    paper's machines, plus copies on buses). *)
+
+val copy_latency : t -> int
+(** Latency of an inter-cluster copy: the bus latency. *)
+
+val bus_capacity_per_ii : t -> ii:int -> int
+(** [bus_capacity_per_ii t ~ii] is [bus_coms] of Section 3: the maximum
+    number of communications schedulable per iteration,
+    [ii / bus_latency * buses].  Each transfer occupies its bus for
+    [bus_latency] consecutive cycles. *)
+
+val name : t -> string
+(** Paper-style name, e.g. ["4c2b4l64r"]; ["unified64r"] for a unified
+    machine; heterogeneous machines list their clusters, e.g.
+    ["het[211+121]1b2l64r"]. *)
+
+val of_name : string -> t option
+(** Parse a homogeneous [wcxbylzr] name; returns [None] on malformed
+    input (heterogeneous names are display-only). *)
+
+val paper_configs : t list
+(** The six clustered configurations evaluated in Figure 7/10/12:
+    2c1b2l64r, 2c2b4l64r, 4c1b2l64r, 4c2b4l64r, 4c2b2l64r, 4c4b4l64r. *)
+
+val fig1_configs : t list
+(** The three configurations of Figure 1: 2c1b2l64r, 4c1b2l64r,
+    4c2b2l64r. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

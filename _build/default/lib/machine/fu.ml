@@ -1,0 +1,20 @@
+type kind = Int | Fp | Mem
+
+let all = [ Int; Fp; Mem ]
+
+let index = function Int -> 0 | Fp -> 1 | Mem -> 2
+
+let of_index = function
+  | 0 -> Int
+  | 1 -> Fp
+  | 2 -> Mem
+  | i -> invalid_arg (Printf.sprintf "Fu.of_index: %d" i)
+
+let count = 3
+
+let to_string = function Int -> "int" | Fp -> "fp" | Mem -> "mem"
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let equal (a : kind) (b : kind) = a = b
+let compare (a : kind) (b : kind) = Stdlib.compare a b

@@ -1,0 +1,33 @@
+(** Functional-unit kinds of the clustered VLIW machine.
+
+    The paper's machine (Section 4, Table 1) has three kinds of functional
+    units in every cluster: integer units, floating-point units and memory
+    ports.  Inter-cluster copy operations do not use a functional unit; they
+    occupy a register bus, which is modelled separately (see
+    {!Machine.Config}). *)
+
+type kind =
+  | Int  (** integer ALU / multiplier / divider *)
+  | Fp   (** floating-point ALU / multiplier / divider *)
+  | Mem  (** memory port (loads and stores; the cache is centralized) *)
+
+val all : kind list
+(** All functional-unit kinds, in a fixed order ([Int; Fp; Mem]). *)
+
+val index : kind -> int
+(** [index k] is a dense index in [0, 2] usable for array-backed tables. *)
+
+val of_index : int -> kind
+(** Inverse of {!index}.  @raise Invalid_argument on out-of-range input. *)
+
+val count : int
+(** Number of distinct kinds (3). *)
+
+val to_string : kind -> string
+(** Lower-case name: ["int"], ["fp"], ["mem"]. *)
+
+val pp : Format.formatter -> kind -> unit
+(** Pretty-printer using {!to_string}. *)
+
+val equal : kind -> kind -> bool
+val compare : kind -> kind -> int

@@ -1,0 +1,62 @@
+type t =
+  | Load
+  | Store
+  | Int_arith
+  | Int_mul
+  | Int_div
+  | Fp_arith
+  | Fp_mul
+  | Fp_div
+  | Copy
+
+let all =
+  [ Load; Store; Int_arith; Int_mul; Int_div; Fp_arith; Fp_mul; Fp_div ]
+
+let fu_kind = function
+  | Load | Store -> Some Fu.Mem
+  | Int_arith | Int_mul | Int_div -> Some Fu.Int
+  | Fp_arith | Fp_mul | Fp_div -> Some Fu.Fp
+  | Copy -> None
+
+(* Table 1 of the paper: MEM 2/2, ARITH 1/3, MUL/ABS 2/6, DIV/SQRT 6/18. *)
+let latency = function
+  | Load | Store -> 2
+  | Int_arith -> 1
+  | Int_mul -> 2
+  | Int_div -> 6
+  | Fp_arith -> 3
+  | Fp_mul -> 6
+  | Fp_div -> 18
+  | Copy -> invalid_arg "Opclass.latency: Copy latency is the bus latency"
+
+let is_memory = function Load | Store -> true | _ -> false
+let is_store = function Store -> true | _ -> false
+
+let replicable = function Store | Copy -> false | _ -> true
+
+let to_string = function
+  | Load -> "load"
+  | Store -> "store"
+  | Int_arith -> "int_arith"
+  | Int_mul -> "int_mul"
+  | Int_div -> "int_div"
+  | Fp_arith -> "fp_arith"
+  | Fp_mul -> "fp_mul"
+  | Fp_div -> "fp_div"
+  | Copy -> "copy"
+
+let of_string = function
+  | "load" -> Some Load
+  | "store" -> Some Store
+  | "int_arith" -> Some Int_arith
+  | "int_mul" -> Some Int_mul
+  | "int_div" -> Some Int_div
+  | "fp_arith" -> Some Fp_arith
+  | "fp_mul" -> Some Fp_mul
+  | "fp_div" -> Some Fp_div
+  | "copy" -> Some Copy
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b

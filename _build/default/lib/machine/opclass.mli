@@ -1,0 +1,57 @@
+(** Operation classes and their latencies (paper Table 1).
+
+    Every instruction of a loop body belongs to one of these classes.  The
+    class determines which functional-unit {!Fu.kind} executes it and its
+    result latency in cycles:
+
+    {v
+                     INT   FP
+        MEM           2     2
+        ARITH         1     3
+        MUL/ABS       2     6
+        DIV/SQRT      6    18
+    v}
+
+    [Copy] is the special inter-cluster move inserted by the scheduler; its
+    latency is the bus latency of the configuration and it occupies a bus
+    slot rather than a functional unit. *)
+
+type t =
+  | Load        (** memory read; executes on a memory port *)
+  | Store       (** memory write; executes on a memory port; never replicated *)
+  | Int_arith   (** integer add/sub/logic/compare (latency 1) *)
+  | Int_mul     (** integer multiply / abs (latency 2) *)
+  | Int_div     (** integer divide / sqrt (latency 6) *)
+  | Fp_arith    (** fp add/sub/convert (latency 3) *)
+  | Fp_mul      (** fp multiply / abs (latency 6) *)
+  | Fp_div      (** fp divide / sqrt (latency 18) *)
+  | Copy        (** inter-cluster register copy (bus operation) *)
+
+val all : t list
+(** All operation classes except {!Copy}, i.e. the classes a source program
+    can contain. *)
+
+val fu_kind : t -> Fu.kind option
+(** Functional unit required to execute the class; [None] for {!Copy},
+    which uses a bus instead. *)
+
+val latency : t -> int
+(** Result latency in cycles per Table 1.  The latency of [Copy] depends on
+    the bus and is not defined here; calling [latency Copy] raises
+    [Invalid_argument]. *)
+
+val is_memory : t -> bool
+(** [true] for {!Load} and {!Store}. *)
+
+val is_store : t -> bool
+
+val replicable : t -> bool
+(** Whether the replication pass may duplicate an instruction of this class
+    in another cluster.  Stores are never replicated (the memory hierarchy
+    is centralized, Section 3.1); copies are not source instructions. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

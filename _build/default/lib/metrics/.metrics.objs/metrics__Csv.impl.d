@@ -1,0 +1,1 @@
+lib/metrics/csv.ml: Figures Filename List Out_channel Printf String Sys

@@ -1,0 +1,1 @@
+lib/metrics/experiment.ml: Ddg List Printf Replication Sched Sim String Workload

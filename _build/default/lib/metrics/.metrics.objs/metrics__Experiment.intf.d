@@ -1,0 +1,1 @@
+lib/metrics/experiment.mli: Machine Replication Sched Sim Workload

@@ -1,0 +1,1 @@
+lib/metrics/figures.ml: Array Experiment List Machine Option Printf Replication Result Sched Sim String Suite Table Workload

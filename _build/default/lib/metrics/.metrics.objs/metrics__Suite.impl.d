@@ -1,0 +1,1 @@
+lib/metrics/suite.ml: Experiment Hashtbl List Machine String Workload

@@ -1,0 +1,1 @@
+lib/metrics/suite.mli: Experiment Machine Workload

@@ -1,0 +1,1 @@
+lib/metrics/table.ml: Float List Option Printf String

@@ -1,0 +1,68 @@
+let escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let write_file path header rows =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (String.concat "," header ^ "\n");
+      List.iter
+        (fun row ->
+          Out_channel.output_string oc
+            (String.concat "," (List.map escape row) ^ "\n"))
+        rows);
+  path
+
+let f = Printf.sprintf "%.4f"
+
+let write_all suite ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path name = Filename.concat dir name in
+  [
+    write_file (path "fig1.csv")
+      [ "config"; "bus"; "recurrences"; "registers" ]
+      (List.map
+         (fun (r : Figures.fig1_row) ->
+           [ r.f1_config; f r.f1_bus; f r.f1_recurrence; f r.f1_registers ])
+         (Figures.fig1_data suite));
+    write_file (path "fig7.csv")
+      [ "config"; "benchmark"; "baseline_ipc"; "replication_ipc" ]
+      (List.concat_map
+         (fun (p : Figures.fig7_panel) ->
+           List.map
+             (fun (c : Figures.fig7_cell) ->
+               [ p.f7_config; c.benchmark; f c.base_ipc; f c.repl_ipc ])
+             p.cells
+           @ [ [ p.f7_config; "HMEAN"; f p.hmean_base; f p.hmean_repl ] ])
+         (Figures.fig7_data suite));
+    write_file (path "fig8.csv")
+      [ "machine"; "baseline_ipc"; "replication_ipc" ]
+      (List.map
+         (fun (r : Figures.fig8_row) ->
+           [ r.machine; f r.f8_base; f r.f8_repl ])
+         (Figures.fig8_data suite));
+    write_file (path "fig9.csv")
+      [ "config"; "baseline_ii"; "replication_ii"; "reduction" ]
+      (List.map
+         (fun (r : Figures.fig9_row) ->
+           [ r.f9_config; f r.base_ii; f r.repl_ii; f r.reduction ])
+         (Figures.fig9_data suite));
+    write_file (path "fig10.csv")
+      [ "config"; "mem"; "int"; "fp" ]
+      (List.map
+         (fun (r : Figures.fig10_row) ->
+           [ r.f10_config; f r.added_mem; f r.added_int; f r.added_fp ])
+         (Figures.fig10_data suite));
+    write_file (path "fig12.csv")
+      [ "config"; "replication_ipc"; "latency0_ipc" ]
+      (List.map
+         (fun (r : Figures.fig12_row) ->
+           [ r.f12_config; f r.ipc_repl; f r.ipc_latency0 ])
+         (Figures.fig12_data suite));
+    write_file (path "sec4_regs.csv")
+      [ "registers"; "baseline_hmean"; "replication_hmean" ]
+      (List.map
+         (fun (r : Figures.sec4_regs_row) ->
+           [ string_of_int r.registers; f r.r_hmean_base; f r.r_hmean_repl ])
+         (Figures.sec4_regs_data suite));
+  ]

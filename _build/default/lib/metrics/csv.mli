@@ -1,0 +1,10 @@
+(** CSV export of the experiment data, for external plotting.
+
+    One file per experiment, written into a directory; values exactly as
+    the text figures print them (same {!Suite} cache, so exporting after
+    rendering costs nothing). *)
+
+val write_all : Suite.t -> dir:string -> string list
+(** Writes [fig1.csv], [fig7.csv], [fig8.csv], [fig9.csv], [fig10.csv],
+    [fig12.csv], [sec4_regs.csv] into [dir] (created if missing) and
+    returns the paths. *)

@@ -1,0 +1,137 @@
+type mode =
+  | Baseline
+  | Replication
+  | Replication_latency0
+  | Macro_replication
+  | Replication_length
+
+type loop_run = {
+  loop : Workload.Generator.loop;
+  mode : mode;
+  outcome : Sched.Driver.outcome;
+  repl_stats : Replication.Replicate.stats option;
+  counts : Sim.Lockstep.counts;
+}
+
+let run_with ?(mode = Baseline) ?(latency0 = false) ?(length_pass = false)
+    ?spiller ~transform ~stats_ref config (loop : Workload.Generator.loop) =
+  let scheduled =
+    match transform with
+    | None -> Sched.Driver.schedule_loop ~latency0 ?spiller config loop.graph
+    | Some t ->
+        Sched.Driver.schedule_loop ~latency0 ?spiller ~transform:t config
+          loop.graph
+  in
+  let scheduled =
+    match scheduled with
+    | Ok o when length_pass ->
+        let o', _ = Replication.Length_opt.improve config o in
+        Ok o'
+    | _ -> scheduled
+  in
+  match scheduled with
+  | Error e -> Error (Printf.sprintf "%s: %s" loop.id e)
+  | Ok outcome -> (
+      match Sim.Checker.check ~registers:(not latency0) outcome.schedule with
+      | Error es ->
+          Error
+            (Printf.sprintf "%s: illegal schedule: %s" loop.id
+               (String.concat "; " es))
+      | Ok () -> (
+          let useful = Ddg.Graph.n_nodes loop.graph in
+          match
+            Sim.Lockstep.run ~useful_per_iteration:useful outcome.schedule
+              ~iterations:loop.trip
+          with
+          | Error e -> Error (Printf.sprintf "%s: simulation: %s" loop.id e)
+          | Ok counts ->
+              Ok
+                {
+                  loop;
+                  mode;
+                  outcome;
+                  repl_stats = !stats_ref;
+                  counts;
+                }))
+
+let run_loop mode config loop =
+  let transform, stats_ref =
+    match mode with
+    | Baseline -> (None, ref None)
+    | Replication | Replication_latency0 | Replication_length ->
+        let t, r = Replication.Replicate.transform () in
+        (Some t, r)
+    | Macro_replication ->
+        let t, r = Replication.Macro.transform () in
+        (Some t, r)
+  in
+  run_with ~mode ~latency0:(mode = Replication_latency0)
+    ~length_pass:(mode = Replication_length) ~transform ~stats_ref config
+    loop
+
+exception Illegal of string
+
+let run_suite mode config loops =
+  List.filter_map
+    (fun l ->
+      match run_loop mode config l with
+      | Ok r -> Some r
+      | Error e ->
+          (* A schedule that exists but breaks the machine rules is a bug
+             and must explode; a loop the scheduler gives up on (e.g. at 8
+             registers per cluster) is data and is skipped, as the paper
+             skips loops that cannot be modulo scheduled. *)
+          if
+            String.length e > 0
+            && (let has sub =
+                  let ls = String.length sub and le = String.length e in
+                  let rec go i =
+                    i + ls <= le && (String.sub e i ls = sub || go (i + 1))
+                  in
+                  go 0
+                in
+                has "illegal schedule" || has "simulation:")
+          then raise (Illegal e)
+          else None)
+    loops
+
+let ipc runs =
+  let num, den =
+    List.fold_left
+      (fun (n, d) r ->
+        let v = float_of_int r.loop.Workload.Generator.visits in
+        ( n +. (v *. float_of_int r.counts.Sim.Lockstep.useful_ops),
+          d +. (v *. float_of_int r.counts.Sim.Lockstep.cycles) ))
+      (0., 0.) runs
+  in
+  if den = 0. then 0. else num /. den
+
+let hmean = function
+  | [] -> 0.
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      let s = List.fold_left (fun acc x -> acc +. (1. /. x)) 0. xs in
+      n /. s
+
+let ii_of r = r.outcome.Sched.Driver.ii
+
+let weighted_mean_ii runs =
+  let num, den =
+    List.fold_left
+      (fun (n, d) r ->
+        let w =
+          float_of_int (Workload.Generator.dynamic_weight r.loop)
+        in
+        (n +. (w *. float_of_int (ii_of r)), d +. w))
+      (0., 0.) runs
+  in
+  if den = 0. then 0. else num /. den
+
+let group_by_benchmark runs =
+  List.map
+    (fun (b : Workload.Benchmark.t) ->
+      ( b.name,
+        List.filter
+          (fun r -> String.equal r.loop.Workload.Generator.benchmark b.name)
+          runs ))
+    Workload.Benchmark.all

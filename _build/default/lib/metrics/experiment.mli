@@ -1,0 +1,79 @@
+(** Running the paper's experiments: scheduling a loop (baseline or with
+    replication), simulating it, and aggregating per-benchmark IPC.
+
+    IPC follows the paper's accounting: the useful work of a loop
+    iteration is its original instruction count — copies and replicas
+    execute but do not count as progress — and each loop contributes with
+    its profiled weight, [visits * Texec] cycles for [visits * trip *
+    useful] instructions. *)
+
+type mode =
+  | Baseline           (** the state-of-the-art scheduler alone *)
+  | Replication        (** with the Section-3 replication pass *)
+  | Replication_latency0
+      (** replication scheduled as if buses delivered instantly — the
+          Section-5.1 upper bound of Figure 12 *)
+  | Macro_replication  (** the Section-5.2 macro-node alternative *)
+  | Replication_length
+      (** replication plus the Section-5.1 schedule-length post-pass *)
+
+type loop_run = {
+  loop : Workload.Generator.loop;
+  mode : mode;
+  outcome : Sched.Driver.outcome;
+  repl_stats : Replication.Replicate.stats option;
+      (** present when replication actually ran on the final schedule *)
+  counts : Sim.Lockstep.counts;  (** one visit of the loop, simulated *)
+}
+
+val run_loop :
+  mode ->
+  Machine.Config.t ->
+  Workload.Generator.loop ->
+  (loop_run, string) result
+(** Schedule, verify with {!Sim.Checker}, execute with {!Sim.Lockstep}.
+    Any legality violation is an [Error] — the harness treats it as a
+    bug, not data. *)
+
+val run_with :
+  ?mode:mode ->
+  ?latency0:bool ->
+  ?length_pass:bool ->
+  ?spiller:Sched.Driver.spiller ->
+  transform:Sched.Driver.transform option ->
+  stats_ref:Replication.Replicate.stats option ref ->
+  Machine.Config.t ->
+  Workload.Generator.loop ->
+  (loop_run, string) result
+(** Generalized runner for custom transforms — the ablation benchmarks
+    plug replication variants in here.  [mode] only tags the result. *)
+
+exception Illegal of string
+
+val run_suite :
+  mode ->
+  Machine.Config.t ->
+  Workload.Generator.loop list ->
+  loop_run list
+(** Runs every loop.  Loops the scheduler gives up on (possible at very
+    small register files) are skipped — the paper likewise reports only
+    loops it can modulo schedule.  A schedule that fails the legality
+    checker or the simulator raises {!Illegal}: that is a bug, not
+    data. *)
+
+(** {1 Aggregation} *)
+
+val ipc : loop_run list -> float
+(** Weighted IPC over a set of runs:
+    [sum (visits * trip * useful) / sum (visits * Texec)]. *)
+
+val hmean : float list -> float
+(** Harmonic mean (the paper's HMEAN bars). *)
+
+val ii_of : loop_run -> int
+val weighted_mean_ii : loop_run list -> float
+(** Average II weighted by dynamic execution (for Figure 9). *)
+
+val group_by_benchmark :
+  loop_run list -> (string * loop_run list) list
+(** In {!Workload.Benchmark.all} order. *)

@@ -1,0 +1,36 @@
+type t = {
+  loops_ : Workload.Generator.loop list;
+  cache : (string, Experiment.loop_run list) Hashtbl.t;
+}
+
+let create ?loops () =
+  let loops_ =
+    match loops with Some l -> l | None -> Workload.Generator.suite ()
+  in
+  { loops_; cache = Hashtbl.create 32 }
+
+let loops t = t.loops_
+
+let mode_tag = function
+  | Experiment.Baseline -> "base"
+  | Experiment.Replication -> "repl"
+  | Experiment.Replication_latency0 -> "repl0"
+  | Experiment.Macro_replication -> "macro"
+  | Experiment.Replication_length -> "repllen"
+
+let runs t mode config =
+  let key = mode_tag mode ^ "/" ^ Machine.Config.name config in
+  match Hashtbl.find_opt t.cache key with
+  | Some r -> r
+  | None ->
+      let r = Experiment.run_suite mode config t.loops_ in
+      Hashtbl.replace t.cache key r;
+      r
+
+let benchmark_runs t mode config =
+  Experiment.group_by_benchmark (runs t mode config)
+
+let benchmark_loops t name =
+  List.filter
+    (fun l -> String.equal l.Workload.Generator.benchmark name)
+    t.loops_

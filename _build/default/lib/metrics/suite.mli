@@ -1,0 +1,25 @@
+(** Memoized experiment runner.
+
+    All figures draw on the same (config, mode) sweeps — Figure 7's runs
+    also feed Figure 10 and the Section-4 statistics — so the suite caches
+    every sweep it executes.  One [t] is shared by a whole report run. *)
+
+type t
+
+val create : ?loops:Workload.Generator.loop list -> unit -> t
+(** Defaults to the full 678-loop suite. *)
+
+val loops : t -> Workload.Generator.loop list
+
+val runs :
+  t -> Experiment.mode -> Machine.Config.t -> Experiment.loop_run list
+(** Cached sweep of every loop under the mode and configuration. *)
+
+val benchmark_runs :
+  t ->
+  Experiment.mode ->
+  Machine.Config.t ->
+  (string * Experiment.loop_run list) list
+(** The same runs grouped per benchmark. *)
+
+val benchmark_loops : t -> string -> Workload.Generator.loop list

@@ -1,0 +1,45 @@
+let render ~header rows =
+  let all = header :: rows in
+  let cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad align w s =
+    let d = w - String.length s in
+    if d <= 0 then s
+    else if align = `Left then s ^ String.make d ' '
+    else String.make d ' ' ^ s
+  in
+  let line row =
+    List.mapi
+      (fun c w ->
+        let cell = Option.value ~default:"" (List.nth_opt row c) in
+        pad (if c = 0 then `Left else `Right) w cell)
+      widths
+    |> String.concat "  "
+  in
+  let sep =
+    List.map (fun w -> String.make w '-') widths |> String.concat "  "
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"
+
+let bar ~width value maxv =
+  if maxv <= 0. then ""
+  else begin
+    let n =
+      int_of_float (Float.round (float_of_int width *. value /. maxv))
+    in
+    String.make (max 0 (min width n)) '#'
+  end
+
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+
+let f2 x = Printf.sprintf "%.2f" x

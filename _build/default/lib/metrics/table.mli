@@ -1,0 +1,15 @@
+(** Plain-text tables for the experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** Fixed-width table with a separator under the header; columns sized to
+    their widest cell, left-aligned first column, right-aligned rest. *)
+
+val bar : width:int -> float -> float -> string
+(** [bar ~width value max] — an ASCII bar proportional to [value/max],
+    for figure-like output. *)
+
+val pct : float -> string
+(** [pct 0.253] is ["25.3%"]. *)
+
+val f2 : float -> string
+(** Two-decimal float. *)

@@ -1,0 +1,1 @@
+lib/sched/comm.ml: Array Ddg Graph List Machine Stdlib

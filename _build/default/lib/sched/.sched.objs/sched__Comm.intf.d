@@ -1,0 +1,1 @@
+lib/sched/comm.mli: Ddg Machine

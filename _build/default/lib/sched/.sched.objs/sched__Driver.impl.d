@@ -1,0 +1,1 @@
+lib/sched/driver.ml: Comm Ddg Machine Partition Place Printf Regpressure Route Schedule

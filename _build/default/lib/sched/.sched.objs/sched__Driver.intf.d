@@ -1,0 +1,1 @@
+lib/sched/driver.mli: Ddg Machine Schedule

@@ -1,0 +1,1 @@
+lib/sched/listsched.ml: Analysis Array Ddg Graph List Machine Partition Printf Route

@@ -1,0 +1,1 @@
+lib/sched/listsched.mli: Ddg Machine Route

@@ -1,0 +1,1 @@
+lib/sched/matching.ml: Array List Stdlib

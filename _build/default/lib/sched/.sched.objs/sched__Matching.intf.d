@@ -1,0 +1,1 @@
+lib/sched/matching.mli:

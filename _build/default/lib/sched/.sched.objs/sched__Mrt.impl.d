@@ -1,0 +1,1 @@
+lib/sched/mrt.ml: Array Machine

@@ -1,0 +1,1 @@
+lib/sched/ordering.ml: Analysis Array Ddg Graph Int List Mii Option Queue Scc Set Stdlib

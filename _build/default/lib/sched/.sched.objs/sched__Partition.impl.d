@@ -1,0 +1,1 @@
+lib/sched/partition.ml: Analysis Array Ddg Fun Graph Hashtbl List Machine Matching Mii Pseudo Stdlib

@@ -1,0 +1,1 @@
+lib/sched/place.ml: Analysis Array Ddg Fun Graph List Machine Mrt Ordering Route Schedule

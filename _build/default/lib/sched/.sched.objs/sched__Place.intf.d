@@ -1,0 +1,1 @@
+lib/sched/place.mli: Machine Route Schedule

@@ -1,0 +1,1 @@
+lib/sched/pseudo.ml: Array Comm Ddg Graph List Machine Mii Stdlib

@@ -1,0 +1,1 @@
+lib/sched/pseudo.mli: Ddg Machine

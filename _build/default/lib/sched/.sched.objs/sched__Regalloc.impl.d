@@ -1,0 +1,1 @@
+lib/sched/regalloc.ml: Array Ddg Graph Hashtbl List Machine Printf Route Schedule

@@ -1,0 +1,1 @@
+lib/sched/regpressure.ml: Array Ddg Graph Hashtbl List Machine Route Schedule

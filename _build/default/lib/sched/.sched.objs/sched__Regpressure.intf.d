@@ -1,0 +1,1 @@
+lib/sched/regpressure.mli: Schedule

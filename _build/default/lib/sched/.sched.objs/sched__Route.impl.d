@@ -1,0 +1,1 @@
+lib/sched/route.ml: Array Comm Ddg Graph Hashtbl List Machine

@@ -1,0 +1,1 @@
+lib/sched/route.mli: Ddg Machine

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Ddg Format Machine Route

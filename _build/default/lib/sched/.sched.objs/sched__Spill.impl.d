@@ -1,0 +1,1 @@
+lib/sched/spill.ml: Array Ddg Graph List Machine Printf Regpressure Route Schedule

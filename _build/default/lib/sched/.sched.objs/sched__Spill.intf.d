@@ -1,0 +1,1 @@
+lib/sched/spill.mli: Ddg Driver Machine Schedule

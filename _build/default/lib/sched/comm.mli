@@ -1,0 +1,32 @@
+(** Inter-cluster communications implied by a partition.
+
+    A node [v] placed in cluster [c] whose register value is consumed by at
+    least one node placed in a different cluster requires one communication:
+    a copy instruction that reads [v]'s result and broadcasts it over a
+    register bus, after which the value is available in every other cluster
+    (Section 3: "there are three values that have to be communicated").
+    Memory edges never communicate — the cache hierarchy is shared.
+
+    [extra_coms] (Section 3) is how many of those communications exceed the
+    bus bandwidth available at a given II; it is the quantity the
+    replication pass drives to zero. *)
+
+val producers : Ddg.Graph.t -> assign:int array -> int list
+(** Nodes whose value must be communicated, ascending id order. *)
+
+val count : Ddg.Graph.t -> assign:int array -> int
+(** [List.length (producers g ~assign)]. *)
+
+val consumer_clusters : Ddg.Graph.t -> assign:int array -> int -> int list
+(** Clusters, other than the producer's own, where the node's value is
+    consumed.  Empty when the node needs no communication. *)
+
+val extra :
+  Machine.Config.t -> Ddg.Graph.t -> assign:int array -> ii:int -> int
+(** [extra_coms = max 0 (nof_coms - bus_coms)] with
+    [bus_coms = ii / bus_lat * nof_buses] (Section 3). *)
+
+val min_ii_for_bus : Machine.Config.t -> n_comms:int -> int
+(** Smallest II whose bus capacity fits [n_comms] communications
+    ([IIpart] of Figure 2); 1 when [n_comms = 0] or the machine is
+    unified. *)

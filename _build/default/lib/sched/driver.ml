@@ -1,0 +1,114 @@
+type cause = Bus | Recurrence | Registers
+
+type outcome = {
+  schedule : Schedule.t;
+  graph : Ddg.Graph.t;
+  assign : int array;
+  mii : int;
+  ii : int;
+  increments : (cause * int) list;
+  n_comms : int;
+}
+
+type transform =
+  Machine.Config.t ->
+  Ddg.Graph.t ->
+  assign:int array ->
+  ii:int ->
+  (Ddg.Graph.t * int array) option
+
+type spiller =
+  Machine.Config.t ->
+  Schedule.t ->
+  graph:Ddg.Graph.t ->
+  assign:int array ->
+  (Ddg.Graph.t * int array) option
+
+let schedule_loop ?transform ?max_ii ?(latency0 = false) ?spiller config g =
+  let mii = Ddg.Mii.mii config g in
+  let cap = match max_ii with Some m -> m | None -> (16 * mii) + 64 in
+  let bus = ref 0 and recur = ref 0 and regs = ref 0 in
+  let bump = function
+    | Bus -> incr bus
+    | Recurrence -> incr recur
+    | Registers -> incr regs
+  in
+  let finish schedule graph assign ii =
+    Ok
+      {
+        schedule;
+        graph;
+        assign;
+        mii;
+        ii;
+        increments =
+          [ (Bus, !bus); (Recurrence, !recur); (Registers, !regs) ];
+        n_comms = Route.n_copies schedule.Schedule.route;
+      }
+  in
+  (* One full attempt — transform hook, bus check, routing, placement,
+     register check (with optional spill-and-retry) — at a fixed II and
+     partition. *)
+  let try_at ii assign =
+    let g0', assign0' =
+      match transform with
+      | None -> (g, assign)
+      | Some f -> (
+          match f config g ~assign ~ii with
+          | Some (g', a') -> (g', a')
+          | None -> (g, assign))
+    in
+    let rec route_and_place g' assign' spills_left =
+      if Comm.extra config g' ~assign:assign' ~ii > 0 then Error Bus
+      else begin
+        let route = Route.build ~latency0 config g' ~assign:assign' in
+        if not (Ddg.Mii.feasible_ii route.Route.graph ii) then
+          (* Copies stretched a recurrence beyond the current II: the bus
+             latency is to blame (the plain graph is feasible at
+             ii >= mii). *)
+          Error Bus
+        else
+          match Place.try_schedule config route ~ii with
+          | Error f ->
+              Error (if f.Place.copy_involved then Bus else Recurrence)
+          | Ok schedule ->
+              (* The latency-0 upper-bound schedule is knowingly wrong
+                 (Section 5.1); register feasibility is not enforced on
+                 it. *)
+              if latency0 || Regpressure.ok schedule then
+                Ok (schedule, g', assign')
+              else begin
+                match spiller with
+                | Some f when spills_left > 0 -> (
+                    match f config schedule ~graph:g' ~assign:assign' with
+                    | Some (g'', a'') ->
+                        route_and_place g'' a'' (spills_left - 1)
+                    | None -> Error Registers)
+                | _ -> Error Registers
+              end
+      end
+    in
+    route_and_place g0' assign0' 4
+  in
+  let rec attempt ii assign =
+    if ii > cap then
+      Error (Printf.sprintf "no schedule found up to II=%d (MII=%d)" cap mii)
+    else
+      match try_at ii assign with
+      | Ok (schedule, g', assign') -> finish schedule g' assign' ii
+      | Error cause -> (
+          (* The refined lineage can sit in a local optimum that never
+             schedules; a from-scratch partition at this II is an
+             independent second chance before escalating (Figure 2 only
+             refines, but without this the escalation may not
+             terminate). *)
+          let fresh = Partition.initial config g ~ii in
+          let fresh_differs = fresh <> assign in
+          match (if fresh_differs then try_at ii fresh else Error cause) with
+          | Ok (schedule, g', assign') -> finish schedule g' assign' ii
+          | Error _ ->
+              bump cause;
+              let ii = ii + 1 in
+              attempt ii (Partition.refine config g ~ii assign))
+  in
+  attempt mii (Partition.initial config g ~ii:mii)

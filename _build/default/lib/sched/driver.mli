@@ -1,0 +1,63 @@
+(** The scheduling driver — Figure 2 of the paper.
+
+    Starting at II = MII: partition the DDG, check that the implied
+    communications fit the buses, schedule, check register pressure; on
+    any failure increase the II, refine the partition and retry.  Each II
+    increment is attributed to the cause that triggered it — the data
+    behind Figure 1.
+
+    A [transform] hook runs after partitioning and before the bus check;
+    the replication pass plugs in there, rewriting the graph and the
+    partition (adding replicas, dropping dead originals) to eliminate the
+    excess communications at the current II. *)
+
+type cause =
+  | Bus          (** more communications than bus slots, a copy without a
+                     bus slot, or a copy-stretched dependence *)
+  | Recurrence   (** a dependence window closed with no copy involved *)
+  | Registers    (** MaxLive exceeded a cluster's register file *)
+
+type outcome = {
+  schedule : Schedule.t;
+  graph : Ddg.Graph.t;    (** final graph (transformed if a hook ran) *)
+  assign : int array;     (** final partition of [graph] *)
+  mii : int;
+  ii : int;
+  increments : (cause * int) list;
+      (** II increments beyond MII, bucketed by cause; the sum is
+          [ii - mii] *)
+  n_comms : int;          (** communications in the final schedule *)
+}
+
+type transform =
+  Machine.Config.t ->
+  Ddg.Graph.t ->
+  assign:int array ->
+  ii:int ->
+  (Ddg.Graph.t * int array) option
+(** Returns the rewritten graph and its partition, or [None] to proceed
+    unchanged. *)
+
+type spiller =
+  Machine.Config.t ->
+  Schedule.t ->
+  graph:Ddg.Graph.t ->
+  assign:int array ->
+  (Ddg.Graph.t * int array) option
+(** Called when a schedule exists but exceeds a register file, with that
+    schedule; may split a live range with spill code (see {!Spill}) and
+    return the rewritten graph for a same-II retry (bounded at 4 rounds
+    per II). *)
+
+val schedule_loop :
+  ?transform:transform ->
+  ?max_ii:int ->
+  ?latency0:bool ->
+  ?spiller:spiller ->
+  Machine.Config.t ->
+  Ddg.Graph.t ->
+  (outcome, string) result
+(** [max_ii] caps the escalation (default [16 * mii + 64]); exceeding it
+    returns [Error] — in practice only pathological inputs do.
+    [latency0] routes communications with zero consumer latency (the
+    Section-5.1 upper bound; see {!Route.build}). *)

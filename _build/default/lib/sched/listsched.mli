@@ -1,0 +1,31 @@
+(** Cluster-aware list scheduling for acyclic code.
+
+    The paper's Section 6 notes the schedule-length heuristics "can also
+    be applied to acyclic code" — straight-line blocks scheduled once,
+    with no initiation interval.  This is the acyclic substrate for that
+    extension: a classic height-priority list scheduler that honours the
+    same machine model (per-cluster functional units, copy instructions
+    holding a bus for [bus_latency] consecutive cycles).
+
+    Cluster assignment comes from the same multilevel partitioner used
+    for loops, queried with a capacity window as long as the critical
+    path. *)
+
+type t = {
+  route : Route.t;        (** routed block (copies materialized) *)
+  cycles : int array;     (** issue cycle per routed node *)
+  makespan : int;         (** completion time of the whole block *)
+}
+
+val schedule :
+  Machine.Config.t -> Ddg.Graph.t -> assign:int array -> (t, string) result
+(** Schedule an acyclic block under a given partition.
+    @raise Invalid_argument if the graph has loop-carried edges. *)
+
+val schedule_auto : Machine.Config.t -> Ddg.Graph.t -> (t, string) result
+(** Partition with {!Partition.initial} (capacity window = critical
+    path), then schedule. *)
+
+val verify : Machine.Config.t -> t -> (unit, string list) result
+(** Dependences respected; per-cycle functional-unit and bus limits
+    never exceeded. *)

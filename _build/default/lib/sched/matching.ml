@@ -1,0 +1,32 @@
+type edge = { u : int; v : int; weight : int }
+
+let greedy ~n edges =
+  let order a b =
+    (* Heavier first; ties by endpoints for determinism. *)
+    match Stdlib.compare b.weight a.weight with
+    | 0 -> Stdlib.compare (min a.u a.v, max a.u a.v) (min b.u b.v, max b.u b.v)
+    | c -> c
+  in
+  let sorted = List.sort order edges in
+  let taken = Array.make n false in
+  List.fold_left
+    (fun acc e ->
+      if e.weight <= 0 || e.u = e.v then acc
+      else if e.u < 0 || e.u >= n || e.v < 0 || e.v >= n then acc
+      else if taken.(e.u) || taken.(e.v) then acc
+      else begin
+        taken.(e.u) <- true;
+        taken.(e.v) <- true;
+        (min e.u e.v, max e.u e.v) :: acc
+      end)
+    [] sorted
+  |> List.rev
+
+let matched_array ~n pairs =
+  let partner = Array.make n (-1) in
+  List.iter
+    (fun (u, v) ->
+      partner.(u) <- v;
+      partner.(v) <- u)
+    pairs;
+  partner

@@ -1,0 +1,18 @@
+(** Maximum-weight matching used by the multilevel coarsener.
+
+    The coarsening step of the partitioner (Section 2.3.1) groups pairs of
+    nodes connected by heavy edges into macro-nodes.  Exact maximum-weight
+    matching is overkill here; like Metis and Chaco we use the standard
+    greedy heavy-edge heuristic (visit edges by decreasing weight, match
+    both endpoints if still free), which is a 1/2-approximation and what
+    multilevel partitioners use in practice. *)
+
+type edge = { u : int; v : int; weight : int }
+
+val greedy : n:int -> edge list -> (int * int) list
+(** [greedy ~n edges] returns matched pairs [(u, v)] with [u < v].  Edges
+    with [u = v] or non-positive weight are ignored.  Deterministic: ties
+    broken by lowest endpoint ids. *)
+
+val matched_array : n:int -> (int * int) list -> int array
+(** Partner of each node, [-1] when unmatched. *)

@@ -1,0 +1,68 @@
+type t = {
+  config : Machine.Config.t;
+  ii_ : int;
+  (* fu.(cluster).(kind).(slot) = units busy *)
+  fu : int array array array;
+  (* bus.(b).(slot) = busy *)
+  bus : bool array array;
+}
+
+let create config ~ii =
+  if ii < 1 then invalid_arg "Mrt.create: ii < 1";
+  {
+    config;
+    ii_ = ii;
+    fu =
+      Array.init config.Machine.Config.clusters (fun _ ->
+          Array.init Machine.Fu.count (fun _ -> Array.make ii 0));
+    bus = Array.init config.Machine.Config.buses (fun _ -> Array.make ii false);
+  }
+
+let ii t = t.ii_
+
+(* Floor-mod: placement cycles may be arbitrarily negative before the
+   final normalization shift. *)
+let slot t cycle =
+  let m = cycle mod t.ii_ in
+  if m < 0 then m + t.ii_ else m
+[@@inline]
+
+let fu_available t ~cluster ~kind ~cycle =
+  let k = Machine.Fu.index kind in
+  t.fu.(cluster).(k).(slot t cycle) < Machine.Config.fus t.config ~cluster kind
+
+let reserve_fu t ~cluster ~kind ~cycle =
+  if not (fu_available t ~cluster ~kind ~cycle) then
+    invalid_arg "Mrt.reserve_fu: no unit free";
+  let k = Machine.Fu.index kind in
+  let s = slot t cycle in
+  t.fu.(cluster).(k).(s) <- t.fu.(cluster).(k).(s) + 1
+
+let bus_free_at t ~bus ~cycle =
+  let lat = max 1 t.config.Machine.Config.bus_latency in
+  let rec check i = i >= lat || ((not t.bus.(bus).(slot t (cycle + i))) && check (i + 1)) in
+  (* A transfer longer than the II can never fit: it would overlap
+     itself. *)
+  lat <= t.ii_ && check 0
+
+let find_bus t ~cycle =
+  let n = Array.length t.bus in
+  let rec go b =
+    if b >= n then None
+    else if bus_free_at t ~bus:b ~cycle then Some b
+    else go (b + 1)
+  in
+  go 0
+
+let reserve_bus t ~bus ~cycle =
+  if not (bus_free_at t ~bus ~cycle) then
+    invalid_arg "Mrt.reserve_bus: bus busy";
+  let lat = max 1 t.config.Machine.Config.bus_latency in
+  for i = 0 to lat - 1 do
+    t.bus.(bus).(slot t (cycle + i)) <- true
+  done
+
+let fu_slack_slots t ~cluster ~kind =
+  let k = Machine.Fu.index kind in
+  let cap = Machine.Config.fus t.config ~cluster kind in
+  Array.fold_left (fun acc busy -> acc + (cap - busy)) 0 t.fu.(cluster).(k)

@@ -1,0 +1,32 @@
+(** Modulo reservation tables.
+
+    A modulo schedule repeats every II cycles, so a resource used at cycle
+    [c] is used at every cycle congruent to [c] modulo II.  The table
+    tracks, per cluster, how many functional units of each kind are busy
+    in each of the II modulo slots, and which buses are busy: a bus
+    transfer occupies {e the same bus} for [bus_latency] consecutive
+    slots. *)
+
+type t
+
+val create : Machine.Config.t -> ii:int -> t
+
+val ii : t -> int
+
+val fu_available : t -> cluster:int -> kind:Machine.Fu.kind -> cycle:int -> bool
+(** Is a unit of [kind] free in [cluster] at [cycle mod ii]? *)
+
+val reserve_fu :
+  t -> cluster:int -> kind:Machine.Fu.kind -> cycle:int -> unit
+(** @raise Invalid_argument when no unit is free (callers must check
+    {!fu_available} first). *)
+
+val find_bus : t -> cycle:int -> int option
+(** A bus that is free for [bus_latency] consecutive slots starting at
+    [cycle mod ii], if any.  Returns [None] on a unified machine. *)
+
+val reserve_bus : t -> bus:int -> cycle:int -> unit
+
+val fu_slack_slots : t -> cluster:int -> kind:Machine.Fu.kind -> int
+(** Number of still-free unit-slots of a kind in a cluster (diagnostic:
+    how much replication headroom remains). *)

@@ -1,0 +1,173 @@
+open Ddg
+
+module Iset = Set.Make (Int)
+
+(* Reachability over all dependence edges (any distance): desc.(v) holds
+   every node reachable from v.  Plain BFS per node; graphs are small. *)
+let descendants g =
+  let n = Graph.n_nodes g in
+  let from v =
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    Queue.add v queue;
+    let acc = ref Iset.empty in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun e ->
+          let w = e.Graph.dst in
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            acc := Iset.add w !acc;
+            Queue.add w queue
+          end)
+        (Graph.succs g u)
+    done;
+    !acc
+  in
+  Array.init n from
+
+let order g ~ii =
+  let n = Graph.n_nodes g in
+  if n = 0 then []
+  else begin
+    let analysis = Analysis.compute g ~ii:(max ii (Mii.rec_mii g)) in
+    let desc = descendants g in
+    let reaches u v = Iset.mem v desc.(u) in
+    (* Build the SMS node sets: recurrences by decreasing RecMII, each
+       extended with the nodes lying on paths from/to the already grouped
+       nodes; one final set with everything else. *)
+    let comps = Scc.compute g in
+    let recurrences, _trivial =
+      List.partition (fun c -> List.length c.Scc.members > 1
+                               || List.exists
+                                    (fun v ->
+                                      List.exists
+                                        (fun e -> e.Graph.dst = v)
+                                        (Graph.succs g v))
+                                    c.Scc.members)
+        comps
+    in
+    let grouped = Array.make n false in
+    let sets = ref [] in
+    List.iter
+      (fun c ->
+        let members = List.filter (fun v -> not grouped.(v)) c.Scc.members in
+        if members <> [] then begin
+          (* Pull in ungrouped nodes on paths between previous sets and
+             this recurrence (either direction). *)
+          let previous = List.concat !sets in
+          let on_path v =
+            (not grouped.(v))
+            && (not (List.mem v members))
+            && List.exists
+                 (fun p ->
+                   List.exists
+                     (fun m -> (reaches p v && reaches v m)
+                               || (reaches m v && reaches v p))
+                     members)
+                 previous
+          in
+          let path_nodes =
+            List.filter on_path (Graph.nodes g)
+          in
+          let set = members @ path_nodes in
+          List.iter (fun v -> grouped.(v) <- true) set;
+          sets := !sets @ [ set ]
+        end)
+      recurrences;
+    let rest = List.filter (fun v -> not grouped.(v)) (Graph.nodes g) in
+    let sets = !sets @ (if rest = [] then [] else [ rest ]) in
+    (* Ordering phase: alternate bottom-up (pick max depth) and top-down
+       (pick max height) sweeps, seeding each sweep with the neighbours of
+       the nodes ordered so far. *)
+    let ordered = Array.make n false in
+    let out = ref [] in
+    let emit v =
+      if not ordered.(v) then begin
+        ordered.(v) <- true;
+        out := v :: !out
+      end
+    in
+    let pick_best candidates key =
+      List.fold_left
+        (fun best v ->
+          match best with
+          | None -> Some v
+          | Some b -> if key v > key b then Some v else Some b)
+        None candidates
+    in
+    let preds_in set v =
+      List.filter_map
+        (fun e ->
+          let u = e.Graph.src in
+          if List.mem u set && not ordered.(u) then Some u else None)
+        (Graph.preds g v)
+    in
+    let succs_in set v =
+      List.filter_map
+        (fun e ->
+          let w = e.Graph.dst in
+          if List.mem w set && not ordered.(w) then Some w else None)
+        (Graph.succs g v)
+    in
+    let handle_set set =
+      let remaining () = List.filter (fun v -> not ordered.(v)) set in
+      (* Seed: predecessors of already-ordered nodes in this set (schedule
+         bottom-up towards them), else successors (top-down), else the
+         node with the lowest ASAP. *)
+      let rec drive () =
+        match remaining () with
+        | [] -> ()
+        | rem ->
+            let already = List.filter (fun v -> ordered.(v)) (Graph.nodes g) in
+            let pred_seed =
+              List.concat_map (preds_in set) already
+              |> List.sort_uniq Stdlib.compare
+            in
+            let succ_seed =
+              List.concat_map (succs_in set) already
+              |> List.sort_uniq Stdlib.compare
+            in
+            let mode, seed =
+              if pred_seed <> [] then (`Bottom_up, pred_seed)
+              else if succ_seed <> [] then (`Top_down, succ_seed)
+              else
+                let v =
+                  pick_best rem (fun v ->
+                      (- Analysis.asap analysis v, - v))
+                  |> Option.get
+                in
+                (`Top_down, [ v ])
+            in
+            let frontier = ref (List.filter (fun v -> not ordered.(v)) seed) in
+            while !frontier <> [] do
+              let key v =
+                match mode with
+                | `Top_down ->
+                    (Analysis.height analysis v,
+                     - Analysis.mobility analysis v, - v)
+                | `Bottom_up ->
+                    (Analysis.depth analysis v,
+                     - Analysis.mobility analysis v, - v)
+              in
+              let v = Option.get (pick_best !frontier key) in
+              emit v;
+              let next =
+                match mode with
+                | `Top_down -> succs_in set v
+                | `Bottom_up -> preds_in set v
+              in
+              frontier :=
+                List.filter (fun u -> not ordered.(u)) (!frontier @ next)
+                |> List.sort_uniq Stdlib.compare
+            done;
+            drive ()
+      in
+      drive ()
+    in
+    List.iter handle_set sets;
+    (* Safety: any node the sweeps missed (isolated nodes). *)
+    List.iter emit (Graph.nodes g);
+    List.rev !out
+  end

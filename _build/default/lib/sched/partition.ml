@@ -1,0 +1,317 @@
+open Ddg
+
+type t = int array
+
+(* ------------------------------------------------------------------ *)
+(* Coarsening                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A macro-node: a set of original nodes plus its per-kind op counts so
+   capacity checks are O(1). *)
+type macro = { members : int list; kind_count : int array }
+
+let macro_of_node g v =
+  let kind_count = Array.make Machine.Fu.count 0 in
+  (match Machine.Opclass.fu_kind (Graph.op g v) with
+  | Some k -> kind_count.(Machine.Fu.index k) <- 1
+  | None -> ());
+  { members = [ v ]; kind_count }
+
+let merge_macro a b =
+  {
+    members = List.rev_append a.members b.members;
+    kind_count = Array.init Machine.Fu.count (fun i ->
+        a.kind_count.(i) + b.kind_count.(i));
+  }
+
+(* A macro-node is contractible if at least one cluster could hold it at
+   this II (on heterogeneous machines, the roomiest cluster decides). *)
+let fits config ~ii m =
+  List.for_all
+    (fun k ->
+      let units = Machine.Config.max_cluster_fus config k in
+      m.kind_count.(Machine.Fu.index k) <= units * ii)
+    Machine.Fu.all
+
+(* Edges between macro-nodes, weights accumulated. *)
+let macro_edges g analysis macro_of =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let mu = macro_of.(e.Graph.src) and mv = macro_of.(e.Graph.dst) in
+      if mu <> mv then begin
+        let key = (min mu mv, max mu mv) in
+        let w = Analysis.edge_weight analysis e in
+        let prev = try Hashtbl.find table key with Not_found -> 0 in
+        Hashtbl.replace table key (prev + w)
+      end)
+    (Graph.edges g);
+  Hashtbl.fold
+    (fun (u, v) weight acc -> { Matching.u; v; weight } :: acc)
+    table []
+
+(* One coarsening level: match macro-nodes along heavy edges and contract
+   the pairs that still fit a cluster.  Returns [None] when no pair could
+   be contracted (coarsening has stalled). *)
+let coarsen_level config ~ii g analysis macros macro_of =
+  let n = Array.length macros in
+  let edges = macro_edges g analysis macro_of in
+  let pairs = Matching.greedy ~n edges in
+  let contractible =
+    List.filter
+      (fun (u, v) -> fits config ~ii (merge_macro macros.(u) macros.(v)))
+      pairs
+  in
+  if contractible = [] then None
+  else begin
+    let partner = Matching.matched_array ~n contractible in
+    (* Give each surviving macro a dense new id. *)
+    let new_id = Array.make n (-1) in
+    let next = ref 0 in
+    for i = 0 to n - 1 do
+      if new_id.(i) = -1 then begin
+        new_id.(i) <- !next;
+        if partner.(i) >= 0 then new_id.(partner.(i)) <- !next;
+        incr next
+      end
+    done;
+    let merged = Array.make !next None in
+    for i = 0 to n - 1 do
+      let id = new_id.(i) in
+      merged.(id) <-
+        (match merged.(id) with
+        | None -> Some macros.(i)
+        | Some m -> Some (merge_macro m macros.(i)))
+    done;
+    let macros' =
+      Array.map
+        (function Some m -> m | None -> assert false)
+        merged
+    in
+    let macro_of' = Array.map (fun m -> new_id.(m)) macro_of in
+    Some (macros', macro_of')
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Assignment of macro-nodes to clusters                               *)
+(* ------------------------------------------------------------------ *)
+
+let assign_macros config g analysis ~ii macros macro_of =
+  let clusters = config.Machine.Config.clusters in
+  let n_macros = Array.length macros in
+  let cluster_of_macro = Array.make n_macros (-1) in
+  let cluster_count = Array.make_matrix clusters Machine.Fu.count 0 in
+  let cluster_load = Array.make clusters 0 in
+  (* A macro only fits a cluster whose functional units can still absorb
+     its operations at the current II. *)
+  let fits_cluster m c =
+    List.for_all
+      (fun k ->
+        let i = Machine.Fu.index k in
+        cluster_count.(c).(i) + macros.(m).kind_count.(i)
+        <= Machine.Config.fus config ~cluster:c k * ii)
+      Machine.Fu.all
+  in
+  (* Connection weight between a macro and each cluster, from edges whose
+     other endpoint is already placed. *)
+  let connection m =
+    let conn = Array.make clusters 0 in
+    List.iter
+      (fun e ->
+        let mu = macro_of.(e.Graph.src) and mv = macro_of.(e.Graph.dst) in
+        let other =
+          if mu = m && mv <> m then Some mv
+          else if mv = m && mu <> m then Some mu
+          else None
+        in
+        match other with
+        | Some o when cluster_of_macro.(o) >= 0 ->
+            let w = Analysis.edge_weight analysis e in
+            conn.(cluster_of_macro.(o)) <- conn.(cluster_of_macro.(o)) + w
+        | _ -> ())
+      (Graph.edges g);
+    conn
+  in
+  let size m = List.length macros.(m).members in
+  let order =
+    List.sort
+      (fun a b -> Stdlib.compare (size b, a) (size a, b))
+      (List.init n_macros Fun.id)
+  in
+  List.iter
+    (fun m ->
+      let conn = connection m in
+      let pick ~require_fit =
+        let best = ref (-1) in
+        let best_key = ref (min_int, min_int) in
+        for c = 0 to clusters - 1 do
+          if (not require_fit) || fits_cluster m c then begin
+            (* Prefer strong connections, then light load. *)
+            let key = (conn.(c), -cluster_load.(c)) in
+            if key > !best_key then begin
+              best_key := key;
+              best := c
+            end
+          end
+        done;
+        !best
+      in
+      let c =
+        match pick ~require_fit:true with
+        | -1 ->
+            (* Nothing fits within the II window: fall back to the
+               least-loaded cluster that at least owns a unit of every
+               kind the macro needs (the driver will raise the II); a
+               cluster with no such unit could never execute the ops. *)
+            let executable c =
+              List.for_all
+                (fun k ->
+                  macros.(m).kind_count.(Machine.Fu.index k) = 0
+                  || Machine.Config.fus config ~cluster:c k > 0)
+                Machine.Fu.all
+            in
+            let least = ref (-1) in
+            for c = 0 to clusters - 1 do
+              if
+                executable c
+                && (!least = -1 || cluster_load.(c) < cluster_load.(!least))
+              then least := c
+            done;
+            if !least = -1 then 0 else !least
+        | c -> c
+      in
+      cluster_of_macro.(m) <- c;
+      cluster_load.(c) <- cluster_load.(c) + size m;
+      Array.iteri
+        (fun i k -> cluster_count.(c).(i) <- cluster_count.(c).(i) + k)
+        macros.(m).kind_count)
+    order;
+  cluster_of_macro
+
+(* ------------------------------------------------------------------ *)
+(* Refinement                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let refine ?(metric = `Pseudo) config g ~ii assign =
+  let clusters = config.Machine.Config.clusters in
+  if clusters = 1 then Array.copy assign
+  else begin
+    let n = Graph.n_nodes g in
+    let assign = Array.copy assign in
+    let rec_ii = Mii.rec_mii g in
+    (* Per-cluster operation counts by unit kind, so capacity at the
+       current II stays a hard constraint during hill-climbing. *)
+    let counts = Array.make_matrix clusters Machine.Fu.count 0 in
+    for v = 0 to n - 1 do
+      match Machine.Opclass.fu_kind (Graph.op g v) with
+      | Some k ->
+          let i = Machine.Fu.index k in
+          counts.(assign.(v)).(i) <- counts.(assign.(v)).(i) + 1
+      | None -> ()
+    done;
+    let kind_of v = Machine.Opclass.fu_kind (Graph.op g v) in
+    let room_for v c =
+      match kind_of v with
+      | None -> true
+      | Some k ->
+          counts.(c).(Machine.Fu.index k)
+          < Machine.Config.fus config ~cluster:c k * ii
+    in
+    let move v ~from ~to_ =
+      assign.(v) <- to_;
+      match kind_of v with
+      | None -> ()
+      | Some k ->
+          let i = Machine.Fu.index k in
+          counts.(from).(i) <- counts.(from).(i) - 1;
+          counts.(to_).(i) <- counts.(to_).(i) + 1
+    in
+    let estimate assign =
+      let e = Pseudo.estimate ~rec_ii config g ~assign ~ii in
+      match metric with
+      | `Pseudo -> e
+      | `Cut ->
+          (* Ablation: ignore the pseudo-schedule terms, keep only the
+             raw communication count and balance. *)
+          { e with Pseudo.ii_induced = 0; length = 0 }
+    in
+    let best_est = ref (estimate assign) in
+    (* Only nodes on the partition boundary (incident to a cut register
+       edge) can reduce communications; restricting moves to them keeps a
+       refinement pass cheap, as in KL/FM-style refiners. *)
+    let boundary v =
+      List.exists
+        (fun e ->
+          e.Graph.kind = Graph.Reg
+          && assign.(e.Graph.src) <> assign.(e.Graph.dst))
+        (Graph.preds g v @ Graph.succs g v)
+    in
+    let improved = ref true in
+    let passes = ref 0 in
+    while !improved && !passes < 3 do
+      improved := false;
+      incr passes;
+      for v = 0 to n - 1 do
+        if boundary v then begin
+        let home = assign.(v) in
+        let best_c = ref home in
+        for c = 0 to clusters - 1 do
+          if c <> home && room_for v c then begin
+            assign.(v) <- c;
+            let est = estimate assign in
+            if Pseudo.compare est !best_est < 0 then begin
+              best_est := est;
+              best_c := c;
+              improved := true
+            end
+          end
+        done;
+        assign.(v) <- home;
+        if !best_c <> home then move v ~from:home ~to_:!best_c
+        end
+      done
+    done;
+    assign
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let initial config g ~ii =
+  let n = Graph.n_nodes g in
+  let clusters = config.Machine.Config.clusters in
+  if clusters = 1 || n = 0 then Array.make n 0
+  else begin
+    let analysis = Analysis.compute g ~ii:(max ii (Mii.rec_mii g)) in
+    let macros = ref (Array.init n (fun v -> macro_of_node g v)) in
+    let macro_of = ref (Array.init n Fun.id) in
+    let continue_ = ref true in
+    while !continue_ && Array.length !macros > clusters do
+      match coarsen_level config ~ii g analysis !macros !macro_of with
+      | Some (m, mo) ->
+          macros := m;
+          macro_of := mo
+      | None -> continue_ := false
+    done;
+    let cluster_of_macro =
+      assign_macros config g analysis ~ii !macros !macro_of
+    in
+    let assign = Array.map (fun m -> cluster_of_macro.(m)) !macro_of in
+    refine config g ~ii assign
+  end
+
+let is_valid config assign =
+  Array.for_all
+    (fun c -> c >= 0 && c < config.Machine.Config.clusters)
+    assign
+
+let cut_weight g analysis assign =
+  List.fold_left
+    (fun acc e ->
+      if
+        e.Graph.kind = Graph.Reg
+        && assign.(e.Graph.src) <> assign.(e.Graph.dst)
+      then acc + Analysis.edge_weight analysis e
+      else acc)
+    0 (Graph.edges g)

@@ -1,0 +1,47 @@
+(** Multilevel DDG partitioning (Section 2.3.1).
+
+    Assigns every node of the loop DDG to a cluster.  The strategy follows
+    the base scheduler [Aletà et al., MICRO'01 / PACT'02]:
+
+    + {b Coarsening}: edges are weighted by the impact that adding a bus
+      latency to them would have on execution time (slack-based,
+      {!Ddg.Analysis.edge_weight}); a greedy maximum-weight matching groups
+      the endpoints of heavy edges into macro-nodes, repeatedly, until as
+      many macro-nodes as clusters remain.  A pair is only contracted when
+      the merged macro-node still fits a cluster's functional units at the
+      current II, so the induced partition is always schedulable
+      resource-wise.
+    + {b Assignment}: remaining macro-nodes are placed on clusters largest
+      first, each onto the cluster where its connection weight is highest
+      among those with room (falling back to the least-loaded cluster).
+    + {b Refinement}: hill-climbing node moves guided by the
+      pseudo-schedule metric ({!Pseudo.estimate}); the best improving move
+      is applied until a pass yields no improvement.
+
+    A partition is an [int array] mapping node id to cluster number. *)
+
+type t = int array
+
+val initial : Machine.Config.t -> Ddg.Graph.t -> ii:int -> t
+(** Coarsen, assign and refine at the given II.  For a unified machine the
+    result is all zeros. *)
+
+val refine :
+  ?metric:[ `Pseudo | `Cut ] ->
+  Machine.Config.t ->
+  Ddg.Graph.t ->
+  ii:int ->
+  t ->
+  t
+(** Improve an existing partition at a (typically increased) II.  Returns
+    a new array; the input is not mutated.  [`Pseudo] (default) compares
+    candidate partitions with the pseudo-schedule estimate, the paper's
+    refinement metric; [`Cut] is the ablation that only minimizes the
+    communication count and load imbalance. *)
+
+val is_valid : Machine.Config.t -> t -> bool
+(** Every assignment within [0, clusters). *)
+
+val cut_weight : Ddg.Graph.t -> Ddg.Analysis.t -> t -> int
+(** Sum of {!Ddg.Analysis.edge_weight} over register edges whose endpoints
+    sit in different clusters (diagnostic). *)

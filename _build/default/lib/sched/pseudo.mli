@@ -1,0 +1,42 @@
+(** Pseudo-scheduler: a fast estimate of the quality of a partition.
+
+    The base algorithm (Section 2.3.1, [Aletà et al., PACT'02]) compares
+    candidate partitions during refinement with a {e pseudo-schedule}: an
+    inexpensive approximation of the II and schedule length that the real
+    scheduler would achieve, without running it.  Ours estimates:
+
+    - the II the partition induces — the largest of the machine MII, each
+      cluster's local resource bound and the bus bound implied by the
+      communication count;
+    - the schedule length — the critical path after adding one bus latency
+      to every register edge that crosses clusters.
+
+    Estimates are compared lexicographically: induced II first (the
+    dominant term of execution time), then communications (bus slots are
+    scarce), then length, then load imbalance. *)
+
+type estimate = {
+  ii_induced : int;      (** max of resource, recurrence and bus bounds *)
+  n_comms : int;
+  length : int;          (** critical path with bus latencies on cut edges *)
+  imbalance : int;       (** max minus min per-cluster op count *)
+}
+
+val estimate :
+  ?rec_ii:int ->
+  Machine.Config.t ->
+  Ddg.Graph.t ->
+  assign:int array ->
+  ii:int ->
+  estimate
+(** [ii] is the initiation interval the scheduler is currently trying; the
+    loop-carried timing analysis uses [max ii (rec_mii g)] so the analysis
+    is always well defined.  [rec_ii] lets callers in inner loops pass a
+    precomputed {!Ddg.Mii.rec_mii} instead of recomputing it per call. *)
+
+val compare : estimate -> estimate -> int
+(** Lexicographic; negative when the first estimate is better. *)
+
+val cluster_res_ii : Machine.Config.t -> Ddg.Graph.t -> assign:int array -> int
+(** Largest per-cluster resource bound: for every cluster and
+    functional-unit kind, [ceil (ops / units)]. *)

@@ -1,0 +1,39 @@
+(** Register allocation for modulo schedules.
+
+    Turns the MaxLive estimate into an actual assignment: every value in
+    a cluster gets physical registers, with {e modulo variable expansion}
+    — a lifetime longer than the II overlaps itself, so the value from
+    [ceil (lifetime / II)] consecutive iterations is alive at once and
+    needs that many registers (hardware with rotating register files does
+    this renaming implicitly; VLIW compilers unroll the kernel instead;
+    the register demand is the same either way).
+
+    Allocation is greedy interval colouring in modulo space.  The result
+    is checked: two simultaneously-live values never share a register.
+    This substrate is what justifies rejecting schedules whose MaxLive
+    exceeds the cluster's register file in the driver. *)
+
+type interval = {
+  producer : int;        (** routed node id producing the value *)
+  cluster : int;
+  start_cycle : int;     (** definition cycle (flat schedule) *)
+  end_cycle : int;       (** exclusive last-use cycle *)
+  instances : int;       (** ceil (lifetime / II): registers needed *)
+  registers : int list;  (** assigned physical registers, one per instance *)
+}
+
+type t = {
+  intervals : interval list;
+  used_per_cluster : int array;  (** distinct registers used *)
+}
+
+val allocate : Schedule.t -> (t, string) result
+(** [Error] when some cluster needs more registers than the configuration
+    provides — the same condition {!Regpressure.ok} flags, proven here by
+    an explicit failed colouring. *)
+
+val allocate_exn : Schedule.t -> t
+
+val verify : Schedule.t -> t -> (unit, string list) result
+(** Independent check: no register is assigned to two values that are
+    live in the same cluster at the same (modulo) cycle. *)

@@ -1,0 +1,73 @@
+open Ddg
+
+(* Live ranges: a non-copy value lives in its own cluster from issue to
+   the last local use; a copy's value lives in every consuming cluster
+   from its arrival (issue + bus latency) to the last use there.  Stores
+   and copies of nothing produce no range. *)
+let live_ranges sched =
+  let route = sched.Schedule.route in
+  let g = route.Route.graph in
+  let ii = sched.Schedule.ii in
+  let cycles = sched.Schedule.cycles in
+  let ranges = ref [] in
+  let add cluster def last_use =
+    if last_use > def then ranges := (cluster, def, last_use) :: !ranges
+  in
+  List.iter
+    (fun v ->
+      let uses_by_cluster = Hashtbl.create 4 in
+      List.iter
+        (fun e ->
+          if e.Graph.kind = Graph.Reg then begin
+            let w = e.Graph.dst in
+            let use = cycles.(w) + (ii * e.Graph.distance) in
+            let c = route.Route.assign.(w) in
+            let prev =
+              try Hashtbl.find uses_by_cluster c with Not_found -> min_int
+            in
+            Hashtbl.replace uses_by_cluster c (max prev use)
+          end)
+        (Graph.succs g v);
+      if Route.is_copy route v then
+        (* Value materializes in each consuming cluster when the bus
+           transfer completes — the routed graph's edge latency (0 in the
+           Section-5.1 latency-0 mode). *)
+        let transfer =
+          match Graph.succs g v with
+          | e :: _ -> e.Graph.latency
+          | [] -> sched.Schedule.config.Machine.Config.bus_latency
+        in
+        let arrival = cycles.(v) + transfer in
+        Hashtbl.iter (fun c last -> add c arrival (last + 1)) uses_by_cluster
+      else if not (Graph.is_store g v) then begin
+        (* All consumers of a non-copy node are local after routing. *)
+        let def = cycles.(v) in
+        let last =
+          Hashtbl.fold (fun _ l acc -> max l acc) uses_by_cluster def
+        in
+        add route.Route.assign.(v) def (last + 1)
+      end)
+    (Graph.nodes g);
+  !ranges
+
+let per_cluster sched =
+  let config = sched.Schedule.config in
+  let ii = sched.Schedule.ii in
+  let clusters = config.Machine.Config.clusters in
+  let pressure = Array.make_matrix clusters ii 0 in
+  List.iter
+    (fun (c, def, last) ->
+      for cyc = def to last - 1 do
+        let s = cyc mod ii in
+        pressure.(c).(s) <- pressure.(c).(s) + 1
+      done)
+    (live_ranges sched);
+  Array.map (fun slots -> Array.fold_left max 0 slots) pressure
+
+let max_pressure sched = Array.fold_left max 0 (per_cluster sched)
+
+let ok sched =
+  let limit =
+    Machine.Config.registers_per_cluster sched.Schedule.config
+  in
+  Array.for_all (fun p -> p <= limit) (per_cluster sched)

@@ -1,0 +1,37 @@
+(** Routing: materializing inter-cluster communications as copy nodes.
+
+    "At the beginning of the scheduling step, the new instructions needed
+    to carry out the communications in the clustered architecture are added
+    to the DDG" (Section 2.3.2).  For every node whose value crosses
+    clusters, one {!Machine.Opclass.Copy} node is appended; it reads the
+    producer's result and broadcasts it on a register bus, so a single copy
+    serves every consuming cluster.  Register edges that cross clusters are
+    rewired through the copy with the bus latency; intra-cluster edges and
+    memory edges are kept as they are. *)
+
+type t = {
+  graph : Ddg.Graph.t;
+      (** routed graph: original nodes with their original ids, then one
+          copy node per communication *)
+  assign : int array;
+      (** cluster of every routed node; a copy sits in its producer's
+          cluster (it reads the local register file and drives the bus) *)
+  n_original : int;
+  copy_of : int array;
+      (** [copy_of.(v)] is the producer node of copy [v], or [-1] when [v]
+          is an original node *)
+}
+
+val build :
+  ?latency0:bool -> Machine.Config.t -> Ddg.Graph.t -> assign:int array -> t
+(** [latency0] implements the upper-bound experiment of Section 5.1: the
+    consumer sees a communicated value instantly (edge latency 0) while
+    the copy still occupies its bus, so communications affect the II but
+    not the schedule length.  The resulting schedule is "obviously
+    wrong" (the paper's words) but bounds the benefit of length-oriented
+    replication.
+    @raise Invalid_argument if the machine is clustered and has no buses
+    while a communication is needed. *)
+
+val n_copies : t -> int
+val is_copy : t -> int -> bool

@@ -1,0 +1,30 @@
+(** A complete modulo schedule of a routed loop body.
+
+    Every routed node (original instructions plus copies) has an issue
+    cycle in the flat schedule of one iteration; the kernel repeats every
+    II cycles, so the modulo slot of a node is [cycle mod ii] and its
+    stage is [cycle / ii].  Copies also record the bus they use. *)
+
+type t = {
+  config : Machine.Config.t;
+  route : Route.t;
+  ii : int;
+  cycles : int array;      (** issue cycle of each routed node *)
+  buses : int array;       (** bus of each copy node; [-1] otherwise *)
+}
+
+val length : t -> int
+(** Schedule length of one iteration: last issue cycle + 1 (Section 2.2's
+    [length]). *)
+
+val stage_count : t -> int
+(** [SC = ceil (length / ii)]. *)
+
+val stage : t -> int -> int
+val modulo_slot : t -> int -> int
+
+val execution_cycles : t -> iterations:int -> int
+(** [Texec = (N - 1 + SC) * II] (Section 2.2).  [iterations >= 1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Kernel listing: one line per modulo slot, nodes grouped by cluster. *)

@@ -1,0 +1,32 @@
+(** Spill-code insertion for register-pressure failures.
+
+    The paper's scheduler (and our faithful {!Driver}) responds to
+    register-file overflow by increasing the II (the "Registers" share of
+    Figure 1).  A production compiler has another lever: spill a
+    long-lived value to the centralized memory and reload it before its
+    distant consumer, splitting the live range.  This module implements
+    that lever as an optional driver hook
+    ({!Driver.schedule_loop}'s [spiller]) so the two policies can be
+    compared — most interestingly on the 32-register machines of
+    Section 4, where pure II escalation hurts.
+
+    One rewrite round: in the most over-pressured cluster, take the live
+    range with the longest lifetime whose producer is an original
+    instruction, insert [store_spill] right after the producer and a
+    [reload] feeding the latest consumer (both memory operations on the
+    shared cache), and leave every earlier consumer on the original
+    value. *)
+
+val rewrite :
+  Machine.Config.t ->
+  Schedule.t ->
+  graph:Ddg.Graph.t ->
+  assign:int array ->
+  (Ddg.Graph.t * int array) option
+(** [rewrite config schedule ~graph ~assign] — [schedule] must be a
+    schedule of [graph] under [assign] (the one that just failed the
+    register check).  Returns the rewritten graph and partition, or
+    [None] when no profitable spill candidate exists. *)
+
+val spiller : Driver.spiller
+(** The hook, ready to pass to {!Driver.schedule_loop}. *)

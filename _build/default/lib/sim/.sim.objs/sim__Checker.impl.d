@@ -1,0 +1,1 @@
+lib/sim/checker.ml: Array Ddg Graph List Machine Printf Sched String

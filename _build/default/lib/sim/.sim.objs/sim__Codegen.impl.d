@@ -1,0 +1,1 @@
+lib/sim/codegen.ml: Array Buffer Ddg Fun Graph List Machine Printf Sched String

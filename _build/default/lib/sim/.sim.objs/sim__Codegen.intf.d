@@ -1,0 +1,1 @@
+lib/sim/codegen.mli: Sched

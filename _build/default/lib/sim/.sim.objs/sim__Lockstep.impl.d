@@ -1,0 +1,1 @@
+lib/sim/lockstep.ml: Array Ddg Fun Graph List Machine Printf Sched Stdlib

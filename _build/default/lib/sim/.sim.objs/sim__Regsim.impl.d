@@ -1,0 +1,1 @@
+lib/sim/regsim.ml: Array Ddg Fun Graph Hashtbl List Machine Printf Sched

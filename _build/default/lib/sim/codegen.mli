@@ -1,0 +1,22 @@
+(** Code emission for software-pipelined loops.
+
+    Renders a modulo schedule the way a VLIW compiler's assembly listing
+    would: the kernel as II very-long-instruction words (one per modulo
+    slot, one issue group per cluster, bus transfers marked), and the
+    whole pipelined execution — prologue filling the [SC] stages, kernel
+    body, epilogue draining — as a flat cycle-by-cycle trace.
+
+    When a register allocation is supplied, destinations are shown as
+    [rN] (with [+k] suffixes for the modulo-variable-expansion instances
+    of values that outlive one II); otherwise operands are shown
+    symbolically. *)
+
+val kernel : ?alloc:Sched.Regalloc.t -> Sched.Schedule.t -> string
+(** The kernel: II lines, each listing every cluster's issue group and
+    any bus transfer starting that slot. *)
+
+val pipeline : Sched.Schedule.t -> iterations:int -> string
+(** The flat trace for a small iteration count (prologue, steady-state
+    kernel annotated with its repeat count, epilogue).
+    @raise Invalid_argument if [iterations < 1] or the trace would
+    exceed 10000 cycles. *)

@@ -1,0 +1,41 @@
+(** Lockstep execution of a software-pipelined loop.
+
+    Executes the modulo schedule cycle by cycle, the way the clustered
+    VLIW machine would: all clusters advance together; iteration [i]
+    enters the pipeline at cycle [i * II]; the prologue fills the [SC]
+    stages, the kernel repeats, the epilogue drains.  Every dynamic
+    operation is checked as it issues — operands ready (producers of the
+    right earlier iteration have completed), a functional unit of the
+    right kind available in the op's cluster, a bus available for each
+    copy — so a buggy schedule cannot execute to completion.
+
+    Long-running loops are executed explicitly until the pipeline has
+    demonstrably reached its steady state (every modulo slot exercised
+    with all stages overlapping) and the remaining iterations are then
+    accounted analytically with [Texec = (N - 1 + SC) * II], which the
+    explicit prefix is also validated against. *)
+
+type counts = {
+  cycles : int;            (** total execution cycles, [(N-1+SC)*II] *)
+  iterations : int;
+  dynamic_ops : int;       (** all operations issued, copies included *)
+  dynamic_copies : int;    (** bus transfers issued *)
+  useful_ops : int;
+      (** operations excluding copies and replicas — one per original
+          instruction per iteration (what IPC counts) *)
+  explicit_iterations : int;
+      (** how many iterations were executed instruction-by-instruction *)
+}
+
+val run :
+  ?useful_per_iteration:int ->
+  Sched.Schedule.t ->
+  iterations:int ->
+  (counts, string) result
+(** [useful_per_iteration] defaults to the number of non-copy nodes in
+    the routed graph; when the schedule comes from a replicated graph,
+    pass the original instruction count so replicas are not counted as
+    useful work. *)
+
+val run_exn :
+  ?useful_per_iteration:int -> Sched.Schedule.t -> iterations:int -> counts

@@ -1,0 +1,31 @@
+(** Functional register-level simulation.
+
+    The strongest check in the suite: execute the pipelined loop with the
+    {e actual register assignment} and verify dataflow end to end.  Every
+    dynamic instance of a value is written to its modulo-variable-
+    expansion register ([registers.(iteration mod instances)] of its
+    {!Sched.Regalloc.interval}); every consumer reads the register its
+    producer's iteration was renamed to and the simulator checks the
+    value found there is the one expected — catching undercounted MVE
+    instances, clobbered lifetimes and wrong rotation arithmetic that the
+    static interference check cannot see.
+
+    Values are symbolic: the pair (producer node, iteration). *)
+
+type report = {
+  iterations : int;
+  reads_checked : int;   (** register reads verified *)
+  writes : int;          (** register writes performed *)
+}
+
+val run :
+  Sched.Schedule.t ->
+  Sched.Regalloc.t ->
+  iterations:int ->
+  (report, string) result
+(** Executes [iterations] of the loop (bounded: at most 256 explicit
+    iterations are simulated — enough to exercise every rotation phase).
+    [Error] describes the first dataflow violation. *)
+
+val run_exn :
+  Sched.Schedule.t -> Sched.Regalloc.t -> iterations:int -> report

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Benchmark Ddg Graph List Machine Opclass Printf Rng

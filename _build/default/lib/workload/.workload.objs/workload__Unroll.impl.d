@@ -1,0 +1,1 @@
+lib/workload/unroll.ml: Ddg Generator Graph List Printf

@@ -1,0 +1,1 @@
+lib/workload/unroll.mli: Ddg Generator

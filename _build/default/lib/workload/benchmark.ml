@@ -1,0 +1,197 @@
+type shape = Entangled | Separable | Mixed
+
+type t = {
+  name : string;
+  n_loops : int;
+  nodes : int * int;
+  mem_frac : float;
+  fp_frac : float;
+  shape : shape;
+  strands : int * int;
+  addr_sharing : int * int;
+  fp_entangle : float;
+  recurrence_prob : float;
+  recurrence_len : int * int;
+  trip : int * int;
+  visits : int * int;
+  seed : int;
+}
+
+(* Targets (paper Figure 7, 4-cluster configs): tomcatv +65%, swim +50%,
+   su2cor +70% — stencil codes with heavily shared address arithmetic and
+   wide entangled bodies.  mgrid and applu barely gain: mgrid partitions
+   cleanly (Figure 8), applu's hot loops run ~4 iterations (Figure 9
+   discussion).  The rest gain moderately. *)
+let all =
+  [
+    {
+      name = "tomcatv";
+      n_loops = 16;
+      nodes = (30, 44);
+      mem_frac = 0.30;
+      fp_frac = 0.50;
+      shape = Entangled;
+      strands = (2, 2);
+      addr_sharing = (3, 4);
+      fp_entangle = 0.26;
+      recurrence_prob = 0.55;
+      recurrence_len = (2, 3);
+      trip = (120, 500);
+      visits = (40, 120);
+      seed = 0x7061;
+    };
+    {
+      name = "swim";
+      n_loops = 22;
+      nodes = (28, 40);
+      mem_frac = 0.32;
+      fp_frac = 0.48;
+      shape = Entangled;
+      strands = (2, 2);
+      addr_sharing = (3, 4);
+      fp_entangle = 0.22;
+      recurrence_prob = 0.55;
+      recurrence_len = (2, 3);
+      trip = (150, 600);
+      visits = (30, 90);
+      seed = 0x7362;
+    };
+    {
+      name = "su2cor";
+      n_loops = 46;
+      nodes = (26, 42);
+      mem_frac = 0.30;
+      fp_frac = 0.50;
+      shape = Entangled;
+      strands = (2, 2);
+      addr_sharing = (3, 5);
+      fp_entangle = 0.42;
+      recurrence_prob = 0.40;
+      recurrence_len = (2, 3);
+      trip = (80, 400);
+      visits = (50, 200);
+      seed = 0x7363;
+    };
+    {
+      name = "hydro2d";
+      n_loops = 120;
+      nodes = (20, 36);
+      mem_frac = 0.30;
+      fp_frac = 0.45;
+      shape = Mixed;
+      strands = (2, 4);
+      addr_sharing = (2, 3);
+      fp_entangle = 0.07;
+      recurrence_prob = 0.40;
+      recurrence_len = (2, 3);
+      trip = (60, 300);
+      visits = (40, 150);
+      seed = 0x6864;
+    };
+    {
+      name = "mgrid";
+      n_loops = 28;
+      nodes = (24, 38);
+      mem_frac = 0.34;
+      fp_frac = 0.46;
+      shape = Separable;
+      strands = (4, 6);
+      addr_sharing = (1, 2);
+      fp_entangle = 0.02;
+      recurrence_prob = 0.40;
+      recurrence_len = (2, 3);
+      trip = (100, 400);
+      visits = (60, 150);
+      seed = 0x6D65;
+    };
+    {
+      name = "applu";
+      n_loops = 66;
+      nodes = (22, 38);
+      mem_frac = 0.30;
+      fp_frac = 0.48;
+      shape = Entangled;
+      strands = (3, 4);
+      addr_sharing = (2, 3);
+      fp_entangle = 0.08;
+      recurrence_prob = 0.45;
+      recurrence_len = (2, 3);
+      trip = (3, 6);
+      visits = (2000, 8000);
+      seed = 0x6166;
+    };
+    {
+      name = "turb3d";
+      n_loops = 90;
+      nodes = (18, 32);
+      mem_frac = 0.28;
+      fp_frac = 0.47;
+      shape = Mixed;
+      strands = (2, 4);
+      addr_sharing = (2, 3);
+      fp_entangle = 0.06;
+      recurrence_prob = 0.40;
+      recurrence_len = (2, 3);
+      trip = (40, 200);
+      visits = (50, 200);
+      seed = 0x7467;
+    };
+    {
+      name = "apsi";
+      n_loops = 120;
+      nodes = (16, 30);
+      mem_frac = 0.28;
+      fp_frac = 0.46;
+      shape = Mixed;
+      strands = (3, 4);
+      addr_sharing = (2, 3);
+      fp_entangle = 0.06;
+      recurrence_prob = 0.45;
+      recurrence_len = (2, 3);
+      trip = (30, 150);
+      visits = (60, 250);
+      seed = 0x6168;
+    };
+    {
+      name = "fpppp";
+      n_loops = 24;
+      nodes = (40, 56);
+      mem_frac = 0.22;
+      fp_frac = 0.60;
+      shape = Mixed;
+      strands = (3, 4);
+      addr_sharing = (1, 3);
+      fp_entangle = 0.05;
+      recurrence_prob = 0.30;
+      recurrence_len = (2, 3);
+      trip = (20, 80);
+      visits = (100, 400);
+      seed = 0x6669;
+    };
+    {
+      name = "wave5";
+      n_loops = 146;
+      nodes = (18, 34);
+      mem_frac = 0.30;
+      fp_frac = 0.44;
+      shape = Mixed;
+      strands = (2, 4);
+      addr_sharing = (2, 3);
+      fp_entangle = 0.07;
+      recurrence_prob = 0.35;
+      recurrence_len = (2, 3);
+      trip = (50, 250);
+      visits = (40, 180);
+      seed = 0x776A;
+    };
+  ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  match List.find_opt (fun b -> b.name = lower) all with
+  | Some b -> b
+  | None -> raise Not_found
+
+let names = List.map (fun b -> b.name) all
+
+let total_loops = List.fold_left (fun acc b -> acc + b.n_loops) 0 all

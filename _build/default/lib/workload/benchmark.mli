@@ -1,0 +1,58 @@
+(** SPECfp95 benchmark profiles for the synthetic loop suite.
+
+    The paper evaluates 678 modulo-schedulable innermost loops from the
+    ten SPECfp95 programs, with profile-derived visit counts and trip
+    counts ("they have been obtained through profiling").  Neither
+    SPECfp95 nor the Ictineo compiler is available, so each benchmark is
+    described here by the loop-body statistics that drive the scheduling
+    and replication behaviour, and {!Generator} draws concrete DDGs from
+    them deterministically.
+
+    The discriminating knobs (see DESIGN.md):
+    - [shape]: [Entangled] bodies share values across the whole
+      expression graph, so any partition communicates a lot — these are
+      the loops replication rescues (tomcatv, swim, su2cor).  [Separable]
+      bodies decompose into nearly independent strands, so a good
+      partitioner already achieves unified-level IPC (mgrid, Figure 8).
+      [Mixed] sits in between.
+    - [addr_sharing]: how many memory operations reuse each integer
+      address chain.  Shared integer address arithmetic at the top of the
+      DDG is precisely what the paper observes gets replicated most
+      (Figure 10: "integer instructions represent the most common type").
+    - [trip]: iteration counts.  applu's dominant loops run ~4 iterations
+      per visit, so II improvements barely move IPC (Section 4 /
+      Figure 9). *)
+
+type shape = Entangled | Separable | Mixed
+
+type t = {
+  name : string;
+  n_loops : int;           (** loops contributed to the 678-loop suite *)
+  nodes : int * int;       (** loop-body size range *)
+  mem_frac : float;        (** fraction of memory operations *)
+  fp_frac : float;         (** fraction of floating-point operations *)
+  shape : shape;
+  strands : int * int;
+      (** independent expression trees per body: many strands partition
+          cleanly across clusters, one strand must be cut somewhere *)
+  addr_sharing : int * int;
+      (** memory ops served by one integer address chain *)
+  fp_entangle : float;
+      (** probability an fp operand comes from a distant strand *)
+  recurrence_prob : float; (** chance a loop carries an fp recurrence *)
+  recurrence_len : int * int;  (** ops in the recurrence cycle *)
+  trip : int * int;        (** iterations per visit *)
+  visits : int * int;      (** profiled visit counts *)
+  seed : int;
+}
+
+val all : t list
+(** The ten SPECfp95 programs; loop counts sum to 678. *)
+
+val find : string -> t
+(** Case-insensitive lookup by name.  @raise Not_found. *)
+
+val names : string list
+
+val total_loops : int
+(** 678. *)

@@ -1,0 +1,32 @@
+(** Synthetic loop-body generation from benchmark profiles.
+
+    Generates innermost-loop DDGs with the structure of compiled
+    scientific code: loop-carried integer induction variables feed shared
+    address arithmetic, addresses feed loads, loads feed a floating-point
+    expression graph, results feed stores; optional floating-point
+    recurrences close dependence cycles across iterations.  The
+    benchmark's {!Benchmark.shape} decides whether the fp graph entangles
+    values across the whole body (expensive to partition) or decomposes
+    into independent strands (partitions cleanly).
+
+    Generation is deterministic: the same profile always yields the same
+    loops ({!Rng} is seeded from the profile). *)
+
+type loop = {
+  id : string;          (** e.g. ["tomcatv.7"] *)
+  benchmark : string;
+  graph : Ddg.Graph.t;
+  trip : int;           (** iterations per visit (profiled N) *)
+  visits : int;         (** times the loop is entered *)
+}
+
+val generate : Benchmark.t -> loop list
+(** All loops of one benchmark. *)
+
+val suite : unit -> loop list
+(** The full 678-loop evaluation suite, every benchmark in
+    {!Benchmark.all} order. *)
+
+val dynamic_weight : loop -> int
+(** [visits * trip]: how many iterations the loop contributes to the
+    program's execution (the profiling weight used for IPC). *)

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The synthetic workload must be bit-reproducible across runs and
+    machines, so we carry our own generator instead of [Random]. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n); [n > 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val split : t -> t
+(** Child generator with an independent stream. *)

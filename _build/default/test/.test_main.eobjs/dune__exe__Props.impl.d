@@ -1,0 +1,1 @@
+test/props.ml: Analysis Array Ddg Graph List Machine Mii Printf QCheck QCheck_alcotest Replication Result Scc Sched Sim Workload

@@ -1,0 +1,1 @@
+test/test_acyclic.ml: Alcotest Ddg List Machine Replication Result Sched String Workload

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Ddg List Machine Sched Sim String

@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Ddg Examples Graph List Machine Sched String

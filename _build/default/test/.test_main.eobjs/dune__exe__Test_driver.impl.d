@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Array Ddg List Machine Printf Result Sched String Workload

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Ddg Filename In_channel Lazy List Machine Metrics Printf Replication Result Sched String Sys Workload

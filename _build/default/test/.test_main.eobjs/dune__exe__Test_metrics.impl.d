@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Lazy List Machine Metrics Option Printf Sched Sim String Workload

@@ -1,0 +1,1 @@
+test/test_mii.ml: Alcotest Analysis Array Ddg Examples Graph List Machine Mii Scc

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Ddg Format List Machine Replication Result Sched Sim String Workload

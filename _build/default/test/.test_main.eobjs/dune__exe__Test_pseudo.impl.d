@@ -1,0 +1,1 @@
+test/test_pseudo.ml: Alcotest Array Ddg Examples Graph Machine Mii Sched

@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Array Ddg List Machine Result Sched Workload

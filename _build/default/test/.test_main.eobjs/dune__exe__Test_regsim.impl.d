@@ -1,0 +1,1 @@
+test/test_regsim.ml: Alcotest Ddg List Machine Replication Result Sched Sim Workload

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Ddg Fun Length_opt List Machine Macro Printf Replicate Replication Result Sched Sim State Subgraph Weight

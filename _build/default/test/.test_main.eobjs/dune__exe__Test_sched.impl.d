@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Ddg Examples Graph List Machine Mii Option Replication Sched Sim Workload

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ddg List Machine Replication Result Sched Sim String

@@ -1,0 +1,1 @@
+test/test_spill.ml: Alcotest Array Ddg List Machine Sched Sim Workload

@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Ddg Examples Graph List Machine Mii Sched Sim String Workload

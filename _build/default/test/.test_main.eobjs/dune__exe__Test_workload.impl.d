@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Ddg List Machine Sched Workload

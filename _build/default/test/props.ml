@@ -1,0 +1,385 @@
+(* Property-based tests (qcheck): random loop bodies and machine
+   configurations drive the core invariants end-to-end — every schedule
+   the system emits must satisfy the machine checker, replication must
+   remove exactly the communication it targets, and the analytic and
+   simulated cycle counts must agree. *)
+
+open Ddg
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A random loop body in the style of compiled code: a DAG of typed ops
+   with optional loop-carried self-recurrences.  Built from a seed so
+   failures are reproducible from the printed counterexample. *)
+let graph_of_seed seed =
+  let rng = Workload.Rng.create seed in
+  let b = Graph.Builder.create ~name:(Printf.sprintf "rand%d" seed) () in
+  let n = Workload.Rng.range rng 3 24 in
+  let producers = ref [] in
+  (* producers: value-producing node ids *)
+  for _ = 0 to n - 1 do
+    let r = Workload.Rng.float rng in
+    let op =
+      if r < 0.18 then Machine.Opclass.Load
+      else if r < 0.28 && !producers <> [] then Machine.Opclass.Store
+      else if r < 0.5 then Machine.Opclass.Int_arith
+      else if r < 0.56 then Machine.Opclass.Int_mul
+      else if r < 0.85 then Machine.Opclass.Fp_arith
+      else if r < 0.97 then Machine.Opclass.Fp_mul
+      else Machine.Opclass.Fp_div
+    in
+    let id = Graph.Builder.add b op in
+    let n_inputs =
+      match op with
+      | Machine.Opclass.Store -> 1 + Workload.Rng.int rng 2
+      | Machine.Opclass.Load -> Workload.Rng.int rng 2
+      | _ -> Workload.Rng.int rng 3
+    in
+    for _ = 1 to n_inputs do
+      if !producers <> [] then
+        let src = Workload.Rng.pick rng !producers in
+        Graph.Builder.depend b ~src ~dst:id
+    done;
+    (* occasional loop-carried self-dependence *)
+    if (not (Machine.Opclass.is_store op)) && Workload.Rng.chance rng 0.15
+    then
+      Graph.Builder.depend b ~distance:(1 + Workload.Rng.int rng 2) ~src:id
+        ~dst:id;
+    if not (Machine.Opclass.is_store op) then producers := id :: !producers
+  done;
+  Graph.Builder.build b
+
+let configs =
+  Machine.Config.unified ~registers:64
+  :: Machine.Config.unified ~registers:32
+  :: Machine.Config.heterogeneous ~buses:1 ~bus_latency:2 ~registers:60
+       ~clusters:[ (2, 0, 2); (1, 2, 1); (1, 2, 1) ]
+  :: Machine.Config.with_copy_int_slot
+       (Machine.Config.make ~clusters:4 ~buses:2 ~bus_latency:2 ~registers:64)
+  :: Machine.Config.paper_configs
+
+let config_of_index i = List.nth configs (i mod List.length configs)
+
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000)
+
+let pair_arb =
+  QCheck.make
+    ~print:(fun (s, c) ->
+      Printf.sprintf "seed=%d config=%s" s
+        (Machine.Config.name (config_of_index c)))
+    QCheck.Gen.(pair (0 -- 100000) (0 -- 20))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_mii_boundary =
+  QCheck.Test.make ~name:"rec_mii is the feasibility boundary" ~count:200
+    seed_arb (fun seed ->
+      let g = graph_of_seed seed in
+      let r = Mii.rec_mii g in
+      Mii.feasible_ii g r && (r = 1 || not (Mii.feasible_ii g (r - 1))))
+
+let prop_analysis_windows =
+  QCheck.Test.make ~name:"asap <= alap and slack >= 0" ~count:200 seed_arb
+    (fun seed ->
+      let g = graph_of_seed seed in
+      let ii = max (Mii.rec_mii g) 1 in
+      let a = Analysis.compute g ~ii in
+      List.for_all (fun v -> Analysis.asap a v <= Analysis.alap a v)
+        (Graph.nodes g)
+      && List.for_all (fun e -> Analysis.slack a e >= 0) (Graph.edges g)
+      && List.for_all
+           (fun v ->
+             Analysis.asap a v + Analysis.height a v
+             <= Analysis.critical_path a)
+           (Graph.nodes g))
+
+let prop_scc_partition =
+  QCheck.Test.make ~name:"SCCs partition the node set" ~count:200 seed_arb
+    (fun seed ->
+      let g = graph_of_seed seed in
+      let members =
+        List.concat_map (fun c -> c.Scc.members) (Scc.compute g)
+      in
+      List.sort_uniq compare members = Graph.nodes g
+      && List.length members = Graph.n_nodes g)
+
+let prop_ordering_is_permutation =
+  QCheck.Test.make ~name:"SMS ordering is a permutation" ~count:200 seed_arb
+    (fun seed ->
+      let g = graph_of_seed seed in
+      let ii = max 2 (Mii.rec_mii g) in
+      let order = Sched.Ordering.order g ~ii in
+      List.sort compare order = Graph.nodes g)
+
+let prop_partition_valid =
+  QCheck.Test.make ~name:"initial partition is valid" ~count:150 pair_arb
+    (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      let ii = Mii.mii config g in
+      Sched.Partition.is_valid config (Sched.Partition.initial config g ~ii))
+
+let prop_schedules_are_legal =
+  QCheck.Test.make ~name:"every emitted schedule passes the checker"
+    ~count:120 pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      match Sched.Driver.schedule_loop config g with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok o -> Result.is_ok (Sim.Checker.check o.Sched.Driver.schedule))
+
+let prop_replicated_schedules_are_legal =
+  QCheck.Test.make
+    ~name:"every replicated schedule passes the checker" ~count:120 pair_arb
+    (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      let tr, _ = Replication.Replicate.transform () in
+      match Sched.Driver.schedule_loop ~transform:tr config g with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok o -> Result.is_ok (Sim.Checker.check o.Sched.Driver.schedule))
+
+let prop_replication_never_raises_ii =
+  QCheck.Test.make ~name:"replication never raises the final II" ~count:100
+    pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      let tr, _ = Replication.Replicate.transform () in
+      match
+        ( Sched.Driver.schedule_loop config g,
+          Sched.Driver.schedule_loop ~transform:tr config g )
+      with
+      | Ok b, Ok r -> r.Sched.Driver.ii <= b.Sched.Driver.ii
+      | _ -> QCheck.assume_fail ())
+
+let prop_subgraph_removes_exactly_one_comm =
+  QCheck.Test.make
+    ~name:"replicating S_com removes exactly that communication" ~count:150
+    pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      if config.Machine.Config.clusters = 1 then QCheck.assume_fail ()
+      else begin
+        let ii = Mii.mii config g in
+        let assign = Sched.Partition.initial config g ~ii in
+        let state = Replication.State.create config g ~assign in
+        match Replication.State.comms state with
+        | [] -> QCheck.assume_fail ()
+        | com :: _ ->
+            let before = Replication.State.comms state in
+            let s = Replication.Subgraph.compute state com in
+            List.iter
+              (fun (v, cs) ->
+                Replication.State.Iset.iter
+                  (fun c ->
+                    Replication.State.add_instance state ~node:v ~cluster:c)
+                  cs)
+              s.Replication.Subgraph.additions;
+            List.iter
+              (fun v ->
+                Replication.State.remove_instance state ~node:v
+                  ~cluster:(Replication.State.home state v))
+              s.Replication.Subgraph.removable;
+            let after = Replication.State.comms state in
+            (not (List.mem com after))
+            && List.sort compare after
+               = List.sort compare (List.filter (fun v -> v <> com) before)
+      end)
+
+let prop_materialized_graph_consistent =
+  QCheck.Test.make ~name:"materialization preserves communication count"
+    ~count:120 pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      if config.Machine.Config.clusters = 1 then QCheck.assume_fail ()
+      else begin
+        let ii = Mii.mii config g in
+        let assign = Sched.Partition.initial config g ~ii in
+        match Replication.Replicate.run config g ~assign ~ii with
+        | None -> QCheck.assume_fail ()
+        | Some o ->
+            let st = o.Replication.Replicate.stats in
+            Sched.Comm.count o.Replication.Replicate.graph
+              ~assign:o.Replication.Replicate.assign
+            = st.Replication.Replicate.comms_before
+              - st.Replication.Replicate.comms_removed
+            && Array.length o.Replication.Replicate.assign
+               = Graph.n_nodes o.Replication.Replicate.graph
+      end)
+
+let prop_lockstep_matches_analytic =
+  QCheck.Test.make ~name:"simulated cycles equal (N-1+SC)*II" ~count:80
+    pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      match Sched.Driver.schedule_loop config g with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok o -> (
+          let s = o.Sched.Driver.schedule in
+          match Sim.Lockstep.run s ~iterations:37 with
+          | Error _ -> false
+          | Ok c ->
+              c.Sim.Lockstep.cycles
+              = Sched.Schedule.execution_cycles s ~iterations:37))
+
+let prop_route_localizes_edges =
+  QCheck.Test.make ~name:"routing leaves no cross-cluster value edge"
+    ~count:150 pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      if config.Machine.Config.clusters = 1 then QCheck.assume_fail ()
+      else begin
+        let ii = Mii.mii config g in
+        let assign = Sched.Partition.initial config g ~ii in
+        let route = Sched.Route.build config g ~assign in
+        let rg = route.Sched.Route.graph in
+        List.for_all
+          (fun e ->
+            e.Graph.kind <> Graph.Reg
+            || route.Sched.Route.assign.(e.Graph.src)
+               = route.Sched.Route.assign.(e.Graph.dst)
+            || Sched.Route.is_copy route e.Graph.src)
+          (Graph.edges rg)
+      end)
+
+let prop_regalloc_verifies =
+  QCheck.Test.make ~name:"allocations pass independent verification"
+    ~count:80 pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      match Sched.Driver.schedule_loop config g with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok o -> (
+          match Sched.Regalloc.allocate o.Sched.Driver.schedule with
+          | Error _ -> QCheck.assume_fail ()
+          | Ok alloc ->
+              Result.is_ok
+                (Sched.Regalloc.verify o.Sched.Driver.schedule alloc)
+              && Result.is_ok
+                   (Sim.Regsim.run o.Sched.Driver.schedule alloc
+                      ~iterations:20)))
+
+let acyclic_of_seed seed =
+  let g = graph_of_seed seed in
+  let b = Graph.Builder.create () in
+  List.iter
+    (fun v -> ignore (Graph.Builder.add b (Graph.op g v)))
+    (Graph.nodes g);
+  List.iter
+    (fun e ->
+      if e.Graph.distance = 0 then
+        match e.Graph.kind with
+        | Graph.Reg ->
+            Graph.Builder.depend b ~latency:e.Graph.latency ~src:e.Graph.src
+              ~dst:e.Graph.dst
+        | Graph.Mem ->
+            Graph.Builder.mem_depend b ~src:e.Graph.src ~dst:e.Graph.dst)
+    (Graph.edges g);
+  Graph.Builder.build b
+
+let prop_listsched_legal =
+  QCheck.Test.make ~name:"acyclic schedules verify" ~count:120 pair_arb
+    (fun (seed, ci) ->
+      let g = acyclic_of_seed seed in
+      let config = config_of_index ci in
+      match Sched.Listsched.schedule_auto config g with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s -> Result.is_ok (Sched.Listsched.verify config s))
+
+let prop_unroll_preserves_work =
+  QCheck.Test.make ~name:"unrolling preserves per-result work" ~count:100
+    seed_arb (fun seed ->
+      let g = graph_of_seed seed in
+      let g2 = Workload.Unroll.unroll g ~factor:3 in
+      Graph.n_nodes g2 = 3 * Graph.n_nodes g
+      && List.length (Graph.edges g2) = 3 * List.length (Graph.edges g))
+
+let prop_spill_rewrite_shape =
+  QCheck.Test.make ~name:"spill rewrites keep graph well-formed" ~count:60
+    pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      match Sched.Driver.schedule_loop config g with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok o -> (
+          (* ask for a spill against a tiny register budget *)
+          let tiny =
+            Machine.Config.custom ~clusters:config.Machine.Config.clusters
+              ~buses:(max 1 config.Machine.Config.buses)
+              ~bus_latency:(max 1 config.Machine.Config.bus_latency)
+              ~registers:config.Machine.Config.clusters
+              ~fus_per_cluster:(4, 4, 4)
+          in
+          let assign =
+            Array.sub
+              o.Sched.Driver.schedule.Sched.Schedule.route.Sched.Route.assign
+              0
+              (Graph.n_nodes o.Sched.Driver.graph)
+          in
+          match
+            Sched.Spill.rewrite tiny o.Sched.Driver.schedule
+              ~graph:o.Sched.Driver.graph ~assign
+          with
+          | None -> QCheck.assume_fail ()
+          | Some (g', assign') ->
+              Graph.n_nodes g' = Graph.n_nodes o.Sched.Driver.graph + 2
+              && Array.length assign' = Graph.n_nodes g'
+              && List.length (Graph.edges g')
+                 = List.length (Graph.edges o.Sched.Driver.graph) + 2))
+
+let prop_spiller_never_raises_ii =
+  QCheck.Test.make ~name:"the spiller never raises the final II" ~count:60
+    pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      match
+        ( Sched.Driver.schedule_loop config g,
+          Sched.Driver.schedule_loop ~spiller:Sched.Spill.spiller config g )
+      with
+      | Ok plain, Ok spilled ->
+          spilled.Sched.Driver.ii <= plain.Sched.Driver.ii
+          && Result.is_ok (Sim.Checker.check spilled.Sched.Driver.schedule)
+      | Error _, Ok spilled ->
+          Result.is_ok (Sim.Checker.check spilled.Sched.Driver.schedule)
+      | _ -> QCheck.assume_fail ())
+
+let prop_generated_suite_schedulable =
+  QCheck.Test.make ~name:"workload loops schedule on all paper configs"
+    ~count:60
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 677))
+    (fun idx ->
+      let loops = Workload.Generator.suite () in
+      let l = List.nth loops idx in
+      List.for_all
+        (fun config ->
+          match Sched.Driver.schedule_loop config l.Workload.Generator.graph with
+          | Ok o -> Result.is_ok (Sim.Checker.check o.Sched.Driver.schedule)
+          | Error _ -> false)
+        Machine.Config.fig1_configs)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_mii_boundary;
+      prop_analysis_windows;
+      prop_scc_partition;
+      prop_ordering_is_permutation;
+      prop_partition_valid;
+      prop_schedules_are_legal;
+      prop_replicated_schedules_are_legal;
+      prop_replication_never_raises_ii;
+      prop_subgraph_removes_exactly_one_comm;
+      prop_materialized_graph_consistent;
+      prop_lockstep_matches_analytic;
+      prop_route_localizes_edges;
+      prop_regalloc_verifies;
+      prop_listsched_legal;
+      prop_unroll_preserves_work;
+      prop_spill_rewrite_shape;
+      prop_spiller_never_raises_ii;
+      prop_generated_suite_schedulable;
+    ]

@@ -1,0 +1,125 @@
+(* DDG construction, accessors, validation, MII, analysis, SCCs. *)
+
+open Ddg
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let mk_simple () =
+  (* ld -> add -> st, plus an induction. *)
+  let b = Graph.Builder.create ~name:"simple" () in
+  let ld = Graph.Builder.add b ~label:"ld" Machine.Opclass.Load in
+  let add = Graph.Builder.add b ~label:"add" Machine.Opclass.Fp_arith in
+  let st = Graph.Builder.add b ~label:"st" Machine.Opclass.Store in
+  let iv = Graph.Builder.add b ~label:"iv" Machine.Opclass.Int_arith in
+  Graph.Builder.depend b ~src:ld ~dst:add;
+  Graph.Builder.depend b ~src:add ~dst:st;
+  Graph.Builder.depend b ~src:iv ~dst:ld;
+  Graph.Builder.depend b ~distance:1 ~src:iv ~dst:iv;
+  (Graph.Builder.build b, ld, add, st, iv)
+
+let test_builder_basics () =
+  let g, ld, add, st, iv = mk_simple () in
+  check int "nodes" 4 (Graph.n_nodes g);
+  check int "edges" 4 (List.length (Graph.edges g));
+  check bool "op" true (Graph.op g ld = Machine.Opclass.Load);
+  check bool "store" true (Graph.is_store g st);
+  check int "find_label" add (Graph.find_label g "add");
+  check bool "missing label" true
+    (try ignore (Graph.find_label g "zzz"); false with Not_found -> true);
+  check (Alcotest.list int) "consumers of ld" [ add ] (Graph.consumers g ld);
+  check (Alcotest.list int) "producers of add" [ ld ]
+    (Graph.value_producers g add);
+  check (Alcotest.list int) "self consumer" (List.sort compare [ iv; ld ])
+    (List.sort compare (Graph.consumers g iv))
+
+let test_edge_latency_from_table1 () =
+  let g, ld, _, _, _ = mk_simple () in
+  let e = List.hd (Graph.reg_succs g ld) in
+  check int "load latency" 2 e.Graph.latency
+
+let test_latency_override () =
+  let b = Graph.Builder.create () in
+  let a = Graph.Builder.add b Machine.Opclass.Int_arith in
+  let c = Graph.Builder.add b Machine.Opclass.Int_arith in
+  Graph.Builder.depend b ~latency:7 ~src:a ~dst:c;
+  let g = Graph.Builder.build b in
+  check int "override" 7 (List.hd (Graph.edges g)).Graph.latency
+
+let test_builder_rejects () =
+  let b = Graph.Builder.create () in
+  let st = Graph.Builder.add b Machine.Opclass.Store in
+  let x = Graph.Builder.add b Machine.Opclass.Int_arith in
+  let bad f = try f (); false with Invalid_argument _ -> true in
+  check bool "store produces no value" true
+    (bad (fun () -> Graph.Builder.depend b ~src:st ~dst:x));
+  check bool "unknown node" true
+    (bad (fun () -> Graph.Builder.depend b ~src:9 ~dst:x));
+  check bool "negative distance" true
+    (bad (fun () -> Graph.Builder.depend b ~distance:(-1) ~src:x ~dst:x));
+  check bool "mem dep needs memory ops" true
+    (bad (fun () -> Graph.Builder.mem_depend b ~src:x ~dst:st))
+
+let test_zero_distance_cycle_rejected () =
+  let b = Graph.Builder.create () in
+  let x = Graph.Builder.add b Machine.Opclass.Int_arith in
+  let y = Graph.Builder.add b Machine.Opclass.Int_arith in
+  Graph.Builder.depend b ~src:x ~dst:y;
+  Graph.Builder.depend b ~src:y ~dst:x;
+  check bool "cycle rejected" true
+    (try ignore (Graph.Builder.build b); false
+     with Invalid_argument _ -> true)
+
+let test_loop_carried_cycle_allowed () =
+  let b = Graph.Builder.create () in
+  let x = Graph.Builder.add b Machine.Opclass.Int_arith in
+  let y = Graph.Builder.add b Machine.Opclass.Int_arith in
+  Graph.Builder.depend b ~src:x ~dst:y;
+  Graph.Builder.depend b ~distance:1 ~src:y ~dst:x;
+  check int "built" 2 (Graph.n_nodes (Graph.Builder.build b))
+
+let test_ops_of_kind () =
+  let g, _, _, _, _ = mk_simple () in
+  check int "mem ops" 2 (Graph.n_ops_of_kind g Machine.Fu.Mem);
+  check int "fp ops" 1 (Graph.n_ops_of_kind g Machine.Fu.Fp);
+  check int "int ops" 1 (Graph.n_ops_of_kind g Machine.Fu.Int)
+
+let test_dot_export () =
+  let g, _, _, _, _ = mk_simple () in
+  let dot = Graph.to_dot g in
+  check bool "digraph" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph");
+  (* dashed loop-carried edge rendered *)
+  let contains sub s =
+    let ls = String.length sub and le = String.length s in
+    let rec go i = i + ls <= le && (String.sub s i ls = sub || go (i + 1)) in
+    go 0
+  in
+  check bool "dashed" true (contains "dashed" dot)
+
+let test_figure3_shape () =
+  let g = Examples.figure3 () in
+  check int "14 nodes" 14 (Graph.n_nodes g);
+  let assign = Examples.figure3_partition g in
+  (* The exact communications of the paper's example. *)
+  let coms =
+    Sched.Comm.producers g ~assign |> List.map (Graph.label g)
+  in
+  check (Alcotest.list Alcotest.string) "comms D E J" [ "D"; "E"; "J" ] coms
+
+let suite =
+  [
+    Alcotest.test_case "builder basics" `Quick test_builder_basics;
+    Alcotest.test_case "edge latency from Table 1" `Quick
+      test_edge_latency_from_table1;
+    Alcotest.test_case "latency override" `Quick test_latency_override;
+    Alcotest.test_case "builder rejects" `Quick test_builder_rejects;
+    Alcotest.test_case "zero-distance cycle rejected" `Quick
+      test_zero_distance_cycle_rejected;
+    Alcotest.test_case "loop-carried cycle allowed" `Quick
+      test_loop_carried_cycle_allowed;
+    Alcotest.test_case "ops of kind" `Quick test_ops_of_kind;
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+    Alcotest.test_case "figure3 shape" `Quick test_figure3_shape;
+  ]

@@ -1,0 +1,105 @@
+(* The Figure-2 driver: escalation, attribution, hooks. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let config4c = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64
+let unified = Machine.Config.unified ~registers:64
+
+let test_max_ii_cap () =
+  let g = Ddg.Examples.figure3 () in
+  (* an impossible cap forces the error path *)
+  match Sched.Driver.schedule_loop ~max_ii:0 config4c g with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error e -> check bool "mentions MII" true (String.length e > 0)
+
+let test_identity_transform_is_baseline () =
+  let g = Ddg.Examples.figure3 () in
+  let identity _config _g ~assign:_ ~ii:_ = None in
+  let a = Result.get_ok (Sched.Driver.schedule_loop config4c g) in
+  let b =
+    Result.get_ok (Sched.Driver.schedule_loop ~transform:identity config4c g)
+  in
+  check int "same ii" a.Sched.Driver.ii b.Sched.Driver.ii;
+  check int "same comms" a.Sched.Driver.n_comms b.Sched.Driver.n_comms
+
+let test_unified_has_no_comms () =
+  List.iter
+    (fun g ->
+      let o = Result.get_ok (Sched.Driver.schedule_loop unified g) in
+      check int "no comms" 0 o.Sched.Driver.n_comms;
+      check int "ii at mii" o.Sched.Driver.mii o.Sched.Driver.ii)
+    [ Ddg.Examples.tiny_chain ~n:8 (); Ddg.Examples.with_recurrence () ]
+
+let test_latency0_never_longer_at_same_ii () =
+  let loops =
+    Workload.Generator.generate (Workload.Benchmark.find "turb3d")
+  in
+  let rec take k = function
+    | [] -> [] | _ when k = 0 -> [] | x :: tl -> x :: take (k - 1) tl
+  in
+  List.iter
+    (fun (l : Workload.Generator.loop) ->
+      match Sched.Driver.schedule_loop config4c l.graph with
+      | Error _ -> ()
+      | Ok o -> (
+          (* reschedule the same graph/partition with zero-latency buses
+             at the same II: the length cannot grow *)
+          let route =
+            Sched.Route.build ~latency0:true config4c o.Sched.Driver.graph
+              ~assign:o.Sched.Driver.assign
+          in
+          match
+            Sched.Place.try_schedule config4c route ~ii:o.Sched.Driver.ii
+          with
+          | Error _ -> () (* placement is heuristic; skipping is fine *)
+          | Ok s ->
+              check bool
+                (Printf.sprintf "%s length" l.id)
+                true
+                (Sched.Schedule.length s
+                <= Sched.Schedule.length o.Sched.Driver.schedule + 1)))
+    (take 8 loops)
+
+let test_transform_sees_current_partition () =
+  let g = Ddg.Examples.figure3 () in
+  let calls = ref [] in
+  let spy config g' ~assign ~ii =
+    ignore config;
+    ignore g';
+    check int "assign covers graph" (Ddg.Graph.n_nodes g)
+      (Array.length assign);
+    calls := ii :: !calls;
+    None
+  in
+  ignore (Sched.Driver.schedule_loop ~transform:spy config4c g);
+  check bool "called at least once" true (!calls <> []);
+  check bool "iis non-decreasing from mii" true
+    (List.for_all (fun ii -> ii >= Ddg.Mii.mii config4c g) !calls)
+
+let test_increments_never_negative () =
+  List.iter
+    (fun (l : Workload.Generator.loop) ->
+      match Sched.Driver.schedule_loop config4c l.graph with
+      | Error _ -> ()
+      | Ok o ->
+          List.iter
+            (fun (_, n) -> check bool "non-negative" true (n >= 0))
+            o.Sched.Driver.increments)
+    (Workload.Generator.generate (Workload.Benchmark.find "mgrid"))
+
+let suite =
+  [
+    Alcotest.test_case "max ii cap" `Quick test_max_ii_cap;
+    Alcotest.test_case "identity transform is baseline" `Quick
+      test_identity_transform_is_baseline;
+    Alcotest.test_case "unified has no comms" `Quick
+      test_unified_has_no_comms;
+    Alcotest.test_case "latency0 never longer at same ii" `Quick
+      test_latency0_never_longer_at_same_ii;
+    Alcotest.test_case "transform sees current partition" `Quick
+      test_transform_sees_current_partition;
+    Alcotest.test_case "increments never negative" `Quick
+      test_increments_never_negative;
+  ]

@@ -1,0 +1,163 @@
+(* Machine model: FU kinds, operation classes (Table 1), configurations. *)
+
+open Machine
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let test_fu_roundtrip () =
+  List.iter
+    (fun k -> check bool "index/of_index" true (Fu.equal k (Fu.of_index (Fu.index k))))
+    Fu.all;
+  check int "count" 3 Fu.count;
+  check bool "of_index raises" true
+    (try ignore (Fu.of_index 3); false with Invalid_argument _ -> true)
+
+let test_table1_latencies () =
+  (* Exact Table 1 values. *)
+  check int "mem" 2 (Opclass.latency Opclass.Load);
+  check int "store" 2 (Opclass.latency Opclass.Store);
+  check int "int arith" 1 (Opclass.latency Opclass.Int_arith);
+  check int "int mul" 2 (Opclass.latency Opclass.Int_mul);
+  check int "int div" 6 (Opclass.latency Opclass.Int_div);
+  check int "fp arith" 3 (Opclass.latency Opclass.Fp_arith);
+  check int "fp mul" 6 (Opclass.latency Opclass.Fp_mul);
+  check int "fp div" 18 (Opclass.latency Opclass.Fp_div);
+  check bool "copy latency undefined" true
+    (try ignore (Opclass.latency Opclass.Copy); false
+     with Invalid_argument _ -> true)
+
+let test_opclass_kinds () =
+  check bool "load on mem" true
+    (Opclass.fu_kind Opclass.Load = Some Fu.Mem);
+  check bool "store on mem" true
+    (Opclass.fu_kind Opclass.Store = Some Fu.Mem);
+  check bool "fp mul on fp" true
+    (Opclass.fu_kind Opclass.Fp_mul = Some Fu.Fp);
+  check bool "int div on int" true
+    (Opclass.fu_kind Opclass.Int_div = Some Fu.Int);
+  check bool "copy has no fu" true (Opclass.fu_kind Opclass.Copy = None)
+
+let test_replicable () =
+  check bool "store not replicable" false (Opclass.replicable Opclass.Store);
+  check bool "copy not replicable" false (Opclass.replicable Opclass.Copy);
+  check bool "load replicable" true (Opclass.replicable Opclass.Load);
+  check bool "fp replicable" true (Opclass.replicable Opclass.Fp_div)
+
+let test_opclass_strings () =
+  List.iter
+    (fun o ->
+      check bool "roundtrip" true
+        (Opclass.of_string (Opclass.to_string o) = Some o))
+    (Opclass.Copy :: Opclass.all);
+  check bool "unknown" true (Opclass.of_string "bogus" = None)
+
+let test_config_make () =
+  let c = Config.make ~clusters:4 ~buses:2 ~bus_latency:4 ~registers:64 in
+  check int "clusters" 4 c.Config.clusters;
+  check int "fus per cluster" 1 (Config.fus c ~cluster:0 Fu.Int);
+  check int "regs per cluster" 16 (Config.registers_per_cluster c);
+  check int "issue width" 12 (Config.issue_width c);
+  check int "copy latency" 4 (Config.copy_latency c);
+  let c2 = Config.make ~clusters:2 ~buses:1 ~bus_latency:2 ~registers:64 in
+  check int "2c fus" 2 (Config.fus c2 ~cluster:1 Fu.Fp);
+  check int "2c regs" 32 (Config.registers_per_cluster c2)
+
+let test_config_invalid () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check bool "3 clusters" true
+    (bad (fun () -> Config.make ~clusters:3 ~buses:1 ~bus_latency:1 ~registers:63));
+  check bool "zero buses clustered" true
+    (bad (fun () -> Config.make ~clusters:2 ~buses:0 ~bus_latency:2 ~registers:64));
+  check bool "negative regs" true
+    (bad (fun () -> Config.make ~clusters:2 ~buses:1 ~bus_latency:2 ~registers:(-4)));
+  check bool "zero bus latency" true
+    (bad (fun () -> Config.make ~clusters:4 ~buses:1 ~bus_latency:0 ~registers:64))
+
+let test_unified () =
+  let u = Config.unified ~registers:64 in
+  check int "one cluster" 1 u.Config.clusters;
+  check int "all fus" 4 (Config.fus u ~cluster:0 Fu.Mem);
+  check int "issue width" 12 (Config.issue_width u);
+  check bool "infinite bus capacity" true
+    (Config.bus_capacity_per_ii u ~ii:1 = max_int);
+  check string "name" "unified64r" (Config.name u)
+
+let test_bus_capacity () =
+  let c = Config.make ~clusters:4 ~buses:2 ~bus_latency:4 ~registers:64 in
+  (* floor(ii / lat) * buses *)
+  check int "ii=4" 2 (Config.bus_capacity_per_ii c ~ii:4);
+  check int "ii=7" 2 (Config.bus_capacity_per_ii c ~ii:7);
+  check int "ii=8" 4 (Config.bus_capacity_per_ii c ~ii:8);
+  check int "ii=3" 0 (Config.bus_capacity_per_ii c ~ii:3);
+  let c1 = Config.make ~clusters:2 ~buses:1 ~bus_latency:1 ~registers:64 in
+  check int "1-cycle bus" 5 (Config.bus_capacity_per_ii c1 ~ii:5)
+
+let test_name_roundtrip () =
+  List.iter
+    (fun c ->
+      match Config.of_name (Config.name c) with
+      | Some c' -> check bool "roundtrip" true (Config.equal c c')
+      | None -> Alcotest.failf "parse failed: %s" (Config.name c))
+    (Config.unified ~registers:32 :: Config.paper_configs);
+  check bool "garbage" true (Config.of_name "4c2b" = None);
+  check bool "garbage2" true (Config.of_name "x4c2b4l64r" = None);
+  check bool "empty" true (Config.of_name "" = None)
+
+let test_paper_configs () =
+  check int "six configs" 6 (List.length Config.paper_configs);
+  check int "three fig1 configs" 3 (List.length Config.fig1_configs);
+  List.iter
+    (fun c ->
+      check int "registers" 64 c.Config.total_registers;
+      check bool "2 or 4 clusters" true
+        (c.Config.clusters = 2 || c.Config.clusters = 4))
+    Config.paper_configs
+
+let test_custom () =
+  let c =
+    Config.custom ~clusters:4 ~buses:1 ~bus_latency:1 ~registers:64
+      ~fus_per_cluster:(4, 0, 0)
+  in
+  check int "custom int fus" 4 (Config.fus c ~cluster:0 Fu.Int);
+  check int "custom fp fus" 0 (Config.fus c ~cluster:3 Fu.Fp)
+
+let test_heterogeneous () =
+  let c =
+    Config.heterogeneous ~buses:1 ~bus_latency:2 ~registers:60
+      ~clusters:[ (2, 0, 1); (1, 2, 1); (1, 2, 2) ]
+  in
+  check int "three clusters" 3 c.Config.clusters;
+  check int "cluster0 int" 2 (Config.fus c ~cluster:0 Fu.Int);
+  check int "cluster1 fp" 2 (Config.fus c ~cluster:1 Fu.Fp);
+  check int "total mem" 4 (Config.total_fus c Fu.Mem);
+  check int "max cluster fp" 2 (Config.max_cluster_fus c Fu.Fp);
+  check bool "not homogeneous" false (Config.is_homogeneous c);
+  check bool "paper configs homogeneous" true
+    (List.for_all Config.is_homogeneous Config.paper_configs);
+  check string "het name" "het[201+121+122]1b2l60r" (Config.name c);
+  check bool "empty rejected" true
+    (try
+       ignore (Config.heterogeneous ~buses:1 ~bus_latency:2 ~registers:60
+                 ~clusters:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "fu roundtrip" `Quick test_fu_roundtrip;
+    Alcotest.test_case "table1 latencies" `Quick test_table1_latencies;
+    Alcotest.test_case "opclass kinds" `Quick test_opclass_kinds;
+    Alcotest.test_case "replicable" `Quick test_replicable;
+    Alcotest.test_case "opclass strings" `Quick test_opclass_strings;
+    Alcotest.test_case "config make" `Quick test_config_make;
+    Alcotest.test_case "config invalid" `Quick test_config_invalid;
+    Alcotest.test_case "unified" `Quick test_unified;
+    Alcotest.test_case "bus capacity" `Quick test_bus_capacity;
+    Alcotest.test_case "name roundtrip" `Quick test_name_roundtrip;
+    Alcotest.test_case "paper configs" `Quick test_paper_configs;
+    Alcotest.test_case "custom config" `Quick test_custom;
+    Alcotest.test_case "heterogeneous config" `Quick test_heterogeneous;
+  ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "cluster_replication"
+    [
+      ("machine", Test_machine.suite);
+      ("ddg", Test_ddg.suite);
+      ("mii+analysis+scc", Test_mii.suite);
+      ("scheduler", Test_sched.suite);
+      ("pseudo", Test_pseudo.suite);
+      ("spill", Test_spill.suite);
+      ("driver", Test_driver.suite);
+      ("regalloc", Test_regalloc.suite);
+      ("replication", Test_replication.suite);
+      ("simulator", Test_sim.suite);
+      ("codegen", Test_codegen.suite);
+      ("regsim", Test_regsim.suite);
+      ("workload", Test_workload.suite);
+      ("unroll", Test_unroll.suite);
+      ("acyclic", Test_acyclic.suite);
+      ("metrics+figures", Test_metrics.suite);
+      ("misc", Test_misc.suite);
+      ("export", Test_export.suite);
+      ("properties", Props.suite);
+    ]

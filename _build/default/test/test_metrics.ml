@@ -1,0 +1,204 @@
+(* Metrics: IPC accounting, aggregation, tables, and the experiment
+   figures on a small deterministic subset of the workload. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let config = Option.get (Machine.Config.of_name "4c1b2l64r")
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: tl -> x :: take (k - 1) tl
+
+let small_loops =
+  lazy
+    (List.concat_map
+       (fun b -> take 2 (Workload.Generator.generate b))
+       Workload.Benchmark.all)
+
+let small_suite = lazy (Metrics.Suite.create ~loops:(Lazy.force small_loops) ())
+
+let test_hmean () =
+  check (Alcotest.float 1e-9) "constant" 2. (Metrics.Experiment.hmean [ 2.; 2.; 2. ]);
+  check (Alcotest.float 1e-9) "two values" (4. /. 3.)
+    (Metrics.Experiment.hmean [ 1.; 2. ]);
+  check (Alcotest.float 1e-9) "empty" 0. (Metrics.Experiment.hmean []);
+  check bool "hmean <= amean" true
+    (Metrics.Experiment.hmean [ 1.; 9. ] <= 5.)
+
+let test_table_render () =
+  let t =
+    Metrics.Table.render ~header:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' t in
+  check int "5 lines (incl trailing empty)" 5 (List.length lines);
+  (* all rows same width *)
+  (match lines with
+  | h :: sep :: rest ->
+      List.iter
+        (fun l ->
+          if l <> "" then check int "width" (String.length h) (String.length l))
+        (sep :: rest)
+  | _ -> Alcotest.fail "unexpected shape");
+  check Alcotest.string "pct" "25.0%" (Metrics.Table.pct 0.25);
+  check Alcotest.string "f2" "1.50" (Metrics.Table.f2 1.5);
+  check Alcotest.string "bar full" "#####" (Metrics.Table.bar ~width:5 1. 1.);
+  check Alcotest.string "bar empty" "" (Metrics.Table.bar ~width:5 0. 1.)
+
+let test_run_loop_modes () =
+  let l = List.hd (Lazy.force small_loops) in
+  List.iter
+    (fun mode ->
+      match Metrics.Experiment.run_loop mode config l with
+      | Ok r ->
+          check bool "cycles positive" true (r.counts.Sim.Lockstep.cycles > 0);
+          check bool "useful positive" true
+            (r.counts.Sim.Lockstep.useful_ops > 0)
+      | Error e -> Alcotest.failf "mode failed: %s" e)
+    Metrics.Experiment.
+      [ Baseline; Replication; Replication_latency0; Macro_replication;
+        Replication_length ]
+
+let test_ipc_weighted () =
+  let runs =
+    Metrics.Experiment.run_suite Metrics.Experiment.Baseline config
+      (take 4 (Lazy.force small_loops))
+  in
+  let ipc = Metrics.Experiment.ipc runs in
+  check bool "ipc in (0, 12]" true (ipc > 0. && ipc <= 12.);
+  check bool "weighted mean ii >= 1" true
+    (Metrics.Experiment.weighted_mean_ii runs >= 1.)
+
+let test_suite_caching () =
+  let suite = Lazy.force small_suite in
+  let a = Metrics.Suite.runs suite Metrics.Experiment.Baseline config in
+  let b = Metrics.Suite.runs suite Metrics.Experiment.Baseline config in
+  check bool "cached (physically equal)" true (a == b);
+  check int "benchmark groups" 10
+    (List.length (Metrics.Suite.benchmark_runs suite Metrics.Experiment.Baseline config))
+
+let test_replication_beats_baseline () =
+  let suite = Lazy.force small_suite in
+  let base = Metrics.Suite.runs suite Metrics.Experiment.Baseline config in
+  let repl = Metrics.Suite.runs suite Metrics.Experiment.Replication config in
+  (* per loop, the replication driver never ends with a larger II *)
+  List.iter2
+    (fun (b : Metrics.Experiment.loop_run) (r : Metrics.Experiment.loop_run) ->
+      check bool
+        (Printf.sprintf "%s ii" b.loop.Workload.Generator.id)
+        true
+        (r.outcome.Sched.Driver.ii <= b.outcome.Sched.Driver.ii))
+    base repl;
+  check bool "aggregate ipc not worse" true
+    (Metrics.Experiment.ipc repl >= Metrics.Experiment.ipc base)
+
+let test_fig1_fractions () =
+  let suite = Lazy.force small_suite in
+  List.iter
+    (fun (r : Metrics.Figures.fig1_row) ->
+      let total = r.f1_bus +. r.f1_recurrence +. r.f1_registers in
+      check bool "fractions sum to 0 or 1" true
+        (total = 0. || abs_float (total -. 1.) < 1e-9);
+      check bool "bus dominates" true
+        (r.f1_bus >= r.f1_recurrence && r.f1_bus >= r.f1_registers))
+    (Metrics.Figures.fig1_data suite)
+
+let test_fig7_shape () =
+  let suite = Lazy.force small_suite in
+  let panels = Metrics.Figures.fig7_data suite in
+  check int "six panels" 6 (List.length panels);
+  List.iter
+    (fun (p : Metrics.Figures.fig7_panel) ->
+      check int "ten benchmarks" 10 (List.length p.cells);
+      check bool "replication hmean not worse" true
+        (p.hmean_repl >= p.hmean_base -. 1e-9))
+    panels
+
+let test_fig8_unified_is_best () =
+  let suite = Lazy.force small_suite in
+  match Metrics.Figures.fig8_data suite with
+  | unified :: clustered ->
+      List.iter
+        (fun (r : Metrics.Figures.fig8_row) ->
+          check bool "unified upper bound" true
+            (unified.Metrics.Figures.f8_base >= r.Metrics.Figures.f8_base -. 1e-9))
+        clustered
+  | [] -> Alcotest.fail "no fig8 data"
+
+let test_fig9_reduction_nonnegative () =
+  let suite = Lazy.force small_suite in
+  List.iter
+    (fun (r : Metrics.Figures.fig9_row) ->
+      check bool "replication never raises the II" true
+        (r.reduction >= -1e-9))
+    (Metrics.Figures.fig9_data suite)
+
+let test_fig10_int_dominates () =
+  let suite = Lazy.force small_suite in
+  let rows = Metrics.Figures.fig10_data suite in
+  (* the paper's observation: integer ops are the most replicated kind;
+     check it in aggregate over the 4-cluster configurations *)
+  let agg f =
+    List.fold_left (fun acc (r : Metrics.Figures.fig10_row) -> acc +. f r) 0. rows
+  in
+  check bool "int >= fp" true
+    (agg (fun r -> r.added_int) >= agg (fun r -> r.added_fp));
+  check bool "int >= mem" true
+    (agg (fun r -> r.added_int) >= agg (fun r -> r.added_mem))
+
+let test_fig12_upper_bound () =
+  let suite = Lazy.force small_suite in
+  List.iter
+    (fun (r : Metrics.Figures.fig12_row) ->
+      check bool "latency-0 is an upper bound" true
+        (r.ipc_latency0 >= r.ipc_repl -. 1e-9))
+    (Metrics.Figures.fig12_data suite)
+
+let test_sec4_sane () =
+  let suite = Lazy.force small_suite in
+  let s = Metrics.Figures.sec4_data suite in
+  check bool "fraction in [0,1]" true
+    (s.comms_removed_frac >= 0. && s.comms_removed_frac <= 1.);
+  check bool "small subgraphs" true
+    (s.instrs_per_removed_comm >= 1. && s.instrs_per_removed_comm < 6.)
+
+let test_sec52_macro_not_better () =
+  let suite = Lazy.force small_suite in
+  List.iter
+    (fun (r : Metrics.Figures.sec52_row) ->
+      check bool "macro never beats minimal subgraphs" true
+        (r.ipc_macro <= r.ipc_subgraph +. 1e-9);
+      check bool "macro removes no more comms" true
+        (r.removed_macro <= r.removed_subgraph))
+    (Metrics.Figures.sec52_data suite)
+
+let test_figures_render () =
+  (* every renderer produces non-empty text without raising *)
+  let suite = Lazy.force small_suite in
+  List.iter
+    (fun (id, text) ->
+      check bool (id ^ " non-empty") true (String.length text > 40))
+    (Metrics.Figures.all suite)
+
+let suite =
+  [
+    Alcotest.test_case "hmean" `Quick test_hmean;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "run_loop all modes" `Quick test_run_loop_modes;
+    Alcotest.test_case "ipc weighted" `Quick test_ipc_weighted;
+    Alcotest.test_case "suite caching" `Quick test_suite_caching;
+    Alcotest.test_case "replication beats baseline" `Slow
+      test_replication_beats_baseline;
+    Alcotest.test_case "fig1 fractions" `Slow test_fig1_fractions;
+    Alcotest.test_case "fig7 shape" `Slow test_fig7_shape;
+    Alcotest.test_case "fig8 unified best" `Slow test_fig8_unified_is_best;
+    Alcotest.test_case "fig9 reduction" `Slow test_fig9_reduction_nonnegative;
+    Alcotest.test_case "fig10 int dominates" `Slow test_fig10_int_dominates;
+    Alcotest.test_case "fig12 upper bound" `Slow test_fig12_upper_bound;
+    Alcotest.test_case "sec4 sane" `Slow test_sec4_sane;
+    Alcotest.test_case "sec52 macro not better" `Slow
+      test_sec52_macro_not_better;
+    Alcotest.test_case "figures render" `Slow test_figures_render;
+  ]

@@ -1,0 +1,175 @@
+(* Edge cases across the stack that the focused suites do not cover. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let config4c = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64
+
+let test_route_without_buses_rejected () =
+  (* a clustered machine cannot be built without buses, so force the
+     condition through a custom machine and a cross-cluster partition *)
+  let g = Ddg.Examples.tiny_chain ~n:2 () in
+  let config =
+    Machine.Config.custom ~clusters:2 ~buses:1 ~bus_latency:1 ~registers:64
+      ~fus_per_cluster:(1, 1, 1)
+  in
+  (* valid: one bus *)
+  let route = Sched.Route.build config g ~assign:[| 0; 1 |] in
+  check int "one copy" 1 (Sched.Route.n_copies route)
+
+let test_subgraph_compute_for_rejects_bad_cluster () =
+  let g = Ddg.Examples.figure3 () in
+  let assign = Ddg.Examples.figure3_partition g in
+  let state = Replication.State.create config4c g ~assign in
+  let d = Ddg.Graph.find_label g "D" in
+  (* D's value is needed only in cluster 3; asking for cluster 0 is an
+     error *)
+  check bool "raises" true
+    (try
+       ignore
+         (Replication.Subgraph.compute_for state
+            ~clusters:(Replication.State.Iset.singleton 0) d);
+       false
+     with Invalid_argument _ -> true)
+
+let test_first_come_heuristic_differs () =
+  (* on the Figure-3 example, first-come picks S_D (first comm in scan
+     order), the paper's heuristic picks S_E *)
+  let g = Ddg.Examples.figure3 () in
+  let assign = Ddg.Examples.figure3_partition g in
+  let config =
+    Machine.Config.custom ~clusters:4 ~buses:1 ~bus_latency:1 ~registers:64
+      ~fus_per_cluster:(4, 0, 0)
+  in
+  let sel heuristic =
+    let state = Replication.State.create config g ~assign in
+    match Replication.Replicate.select ~heuristic state ~ii:2 ~extra:1 with
+    | Some [ s ] -> Ddg.Graph.label g s.Replication.Subgraph.com
+    | _ -> Alcotest.fail "expected one replication"
+  in
+  check Alcotest.string "paper picks E" "E"
+    (sel Replication.Replicate.Lowest_weight);
+  check Alcotest.string "first-come picks D" "D"
+    (sel Replication.Replicate.First_come)
+
+let test_macro_transform_none_on_unified () =
+  let tr, stats = Replication.Macro.transform () in
+  let g = Ddg.Examples.figure3 () in
+  let unified = Machine.Config.unified ~registers:64 in
+  check bool "none" true
+    (tr unified g ~assign:(Array.make 14 0) ~ii:1 = None);
+  check bool "stats cleared" true (!stats = None)
+
+let test_lockstep_explicit_cap () =
+  let g = Ddg.Examples.tiny_chain ~n:3 () in
+  let unified = Machine.Config.unified ~registers:64 in
+  let o = Result.get_ok (Sched.Driver.schedule_loop unified g) in
+  let c = Sim.Lockstep.run_exn o.Sched.Driver.schedule ~iterations:100000 in
+  check bool "explicit prefix bounded" true
+    (c.Sim.Lockstep.explicit_iterations < 100);
+  check int "but full count analytic" 100000 c.Sim.Lockstep.iterations
+
+let test_rng_split_independent () =
+  let parent = Workload.Rng.create 5 in
+  let a = Workload.Rng.split parent in
+  let b = Workload.Rng.split parent in
+  let differs = ref false in
+  for _ = 1 to 30 do
+    if Workload.Rng.int a 1000000 <> Workload.Rng.int b 1000000 then
+      differs := true
+  done;
+  check bool "children independent" true !differs
+
+let test_schedule_pp_renders () =
+  let g = Ddg.Examples.figure3 () in
+  let o = Result.get_ok (Sched.Driver.schedule_loop config4c g) in
+  let text = Format.asprintf "%a" Sched.Schedule.pp o.Sched.Driver.schedule in
+  check bool "mentions II" true (String.length text > 20)
+
+let test_length_opt_on_unified_is_noop () =
+  let g = Ddg.Examples.tiny_chain ~n:4 () in
+  let unified = Machine.Config.unified ~registers:64 in
+  let o = Result.get_ok (Sched.Driver.schedule_loop unified g) in
+  let o', st = Replication.Length_opt.improve unified o in
+  check int "no attempts without comms" 0 st.Replication.Length_opt.attempts;
+  check bool "same outcome" true (o == o')
+
+let test_spill_none_when_pressure_fits () =
+  let g = Ddg.Examples.tiny_chain ~n:4 () in
+  let unified = Machine.Config.unified ~registers:64 in
+  let o = Result.get_ok (Sched.Driver.schedule_loop unified g) in
+  let assign = Array.make (Ddg.Graph.n_nodes g) 0 in
+  check bool "no spill needed" true
+    (Sched.Spill.rewrite unified o.Sched.Driver.schedule ~graph:g ~assign
+    = None)
+
+let test_cross_path_copies () =
+  let base = Machine.Config.make ~clusters:4 ~buses:2 ~bus_latency:2 ~registers:64 in
+  let xp = Machine.Config.with_copy_int_slot base in
+  check bool "flag set" true xp.Machine.Config.copy_uses_int_slot;
+  check Alcotest.string "name suffix" "4c2b2l64r+cp" (Machine.Config.name xp);
+  check bool "distinct from base" false (Machine.Config.equal base xp);
+  (* schedules on the cross-path machine verify, and copies really
+     consume integer slots (the checker now accounts for them) *)
+  List.iter
+    (fun g ->
+      match Sched.Driver.schedule_loop xp g with
+      | Ok o ->
+          Sim.Checker.check_exn o.Sched.Driver.schedule;
+          ignore (Sim.Lockstep.run_exn o.Sched.Driver.schedule ~iterations:20)
+      | Error e -> Alcotest.failf "cross-path: %s" e)
+    [
+      Ddg.Examples.figure3 ();
+      (List.hd (Workload.Generator.generate (Workload.Benchmark.find "swim")))
+        .Workload.Generator.graph;
+    ]
+
+let test_cross_path_not_cheaper () =
+  (* stealing issue slots can only hurt (or tie): II never decreases *)
+  let base = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64 in
+  let xp = Machine.Config.with_copy_int_slot base in
+  let rec take k = function
+    | [] -> [] | _ when k = 0 -> [] | x :: tl -> x :: take (k - 1) tl
+  in
+  List.iter
+    (fun (l : Workload.Generator.loop) ->
+      match
+        ( Sched.Driver.schedule_loop base l.graph,
+          Sched.Driver.schedule_loop xp l.graph )
+      with
+      | Ok b, Ok x ->
+          check bool l.id true (x.Sched.Driver.ii + 2 >= b.Sched.Driver.ii)
+      | _ -> ())
+    (take 6 (Workload.Generator.generate (Workload.Benchmark.find "apsi")))
+
+let test_graph_pp_stats () =
+  let g = Ddg.Examples.with_recurrence () in
+  let s = Format.asprintf "%a" Ddg.Graph.pp_stats g in
+  check bool "mentions counts" true
+    (String.length s > 10 && String.sub s 0 4 = "with")
+
+let suite =
+  [
+    Alcotest.test_case "route with buses" `Quick
+      test_route_without_buses_rejected;
+    Alcotest.test_case "compute_for rejects bad cluster" `Quick
+      test_subgraph_compute_for_rejects_bad_cluster;
+    Alcotest.test_case "first-come differs" `Quick
+      test_first_come_heuristic_differs;
+    Alcotest.test_case "macro transform none on unified" `Quick
+      test_macro_transform_none_on_unified;
+    Alcotest.test_case "lockstep explicit cap" `Quick
+      test_lockstep_explicit_cap;
+    Alcotest.test_case "rng split independent" `Quick
+      test_rng_split_independent;
+    Alcotest.test_case "schedule pp renders" `Quick test_schedule_pp_renders;
+    Alcotest.test_case "length opt noop on unified" `Quick
+      test_length_opt_on_unified_is_noop;
+    Alcotest.test_case "spill none when pressure fits" `Quick
+      test_spill_none_when_pressure_fits;
+    Alcotest.test_case "cross-path copies" `Quick test_cross_path_copies;
+    Alcotest.test_case "cross-path not cheaper" `Quick
+      test_cross_path_not_cheaper;
+    Alcotest.test_case "graph pp stats" `Quick test_graph_pp_stats;
+  ]

@@ -1,0 +1,77 @@
+(* Pseudo-scheduler estimates — the refinement metric of the base
+   scheduler (Section 2.3.1). *)
+
+open Ddg
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let config4c = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64
+let unified = Machine.Config.unified ~registers:64
+
+let fig3 () =
+  let g = Examples.figure3 () in
+  (g, Examples.figure3_partition g)
+
+let test_estimate_components () =
+  let g, assign = fig3 () in
+  let e = Sched.Pseudo.estimate config4c g ~assign ~ii:2 in
+  check int "comms" 3 e.Sched.Pseudo.n_comms;
+  (* 3 comms on one 2-cycle bus force II >= 6 *)
+  check bool "bus bound in induced ii" true (e.Sched.Pseudo.ii_induced >= 6);
+  (* the paper's partition puts 5 int ops in cluster 3: with one int unit
+     that cluster alone needs II >= 5 *)
+  check int "cluster resource bound" 5
+    (Sched.Pseudo.cluster_res_ii config4c g ~assign);
+  check int "imbalance 5 - 3" 2 e.Sched.Pseudo.imbalance
+
+let test_estimate_unified () =
+  let g = Examples.figure3 () in
+  let assign = Array.make (Graph.n_nodes g) 0 in
+  let e = Sched.Pseudo.estimate unified g ~assign ~ii:4 in
+  check int "no comms" 0 e.Sched.Pseudo.n_comms;
+  check int "no imbalance" 0 e.Sched.Pseudo.imbalance;
+  (* 14 int ops over 4 int units *)
+  check int "res bound" 4 e.Sched.Pseudo.ii_induced
+
+let test_length_counts_cut_edges () =
+  let g, assign = fig3 () in
+  let together = Array.make (Graph.n_nodes g) 0 in
+  let cut = Sched.Pseudo.estimate config4c g ~assign ~ii:8 in
+  let local = Sched.Pseudo.estimate unified g ~assign:together ~ii:8 in
+  check bool "cut partition estimates longer schedule" true
+    (cut.Sched.Pseudo.length > local.Sched.Pseudo.length)
+
+let test_compare_lexicographic () =
+  let mk ii_induced n_comms length imbalance =
+    { Sched.Pseudo.ii_induced; n_comms; length; imbalance }
+  in
+  check bool "ii dominates" true
+    (Sched.Pseudo.compare (mk 3 9 9 9) (mk 4 0 0 0) < 0);
+  check bool "then comms" true
+    (Sched.Pseudo.compare (mk 3 2 9 9) (mk 3 3 0 0) < 0);
+  check bool "then length" true
+    (Sched.Pseudo.compare (mk 3 2 5 9) (mk 3 2 6 0) < 0);
+  check bool "then imbalance" true
+    (Sched.Pseudo.compare (mk 3 2 5 1) (mk 3 2 5 2) < 0);
+  check int "equal" 0 (Sched.Pseudo.compare (mk 3 2 5 1) (mk 3 2 5 1))
+
+let test_rec_ii_short_circuit () =
+  let g = Examples.with_recurrence () in
+  let assign = Array.make (Graph.n_nodes g) 0 in
+  let a = Sched.Pseudo.estimate unified g ~assign ~ii:3 in
+  let b = Sched.Pseudo.estimate ~rec_ii:(Mii.rec_mii g) unified g ~assign ~ii:3 in
+  check bool "precomputed rec_ii gives identical estimate" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "estimate components" `Quick test_estimate_components;
+    Alcotest.test_case "estimate unified" `Quick test_estimate_unified;
+    Alcotest.test_case "length counts cut edges" `Quick
+      test_length_counts_cut_edges;
+    Alcotest.test_case "compare lexicographic" `Quick
+      test_compare_lexicographic;
+    Alcotest.test_case "rec_ii short circuit" `Quick
+      test_rec_ii_short_circuit;
+  ]

@@ -1,0 +1,117 @@
+(* Register allocation: modulo-variable-expansion interval colouring. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let unified = Machine.Config.unified ~registers:64
+let config4c = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64
+
+let schedule config g =
+  match Sched.Driver.schedule_loop config g with
+  | Ok o -> o.Sched.Driver.schedule
+  | Error e -> Alcotest.failf "driver: %s" e
+
+let test_allocates_chain () =
+  let s = schedule unified (Ddg.Examples.tiny_chain ~n:5 ()) in
+  let alloc = Sched.Regalloc.allocate_exn s in
+  check bool "verified" true (Result.is_ok (Sched.Regalloc.verify s alloc));
+  (* 5 values: even the last node's (unused) result occupies its
+     definition cycle, matching the Regpressure model *)
+  check int "intervals" 5 (List.length alloc.Sched.Regalloc.intervals);
+  check bool "uses at least maxlive" true
+    (alloc.Sched.Regalloc.used_per_cluster.(0)
+    >= Sched.Regpressure.max_pressure s)
+
+let test_allocates_clustered_with_copies () =
+  let s = schedule config4c (Ddg.Examples.figure3 ()) in
+  let alloc = Sched.Regalloc.allocate_exn s in
+  check bool "verified" true (Result.is_ok (Sched.Regalloc.verify s alloc));
+  List.iter
+    (fun itv ->
+      check bool "instances >= 1" true (itv.Sched.Regalloc.instances >= 1);
+      check int "one register per instance" itv.Sched.Regalloc.instances
+        (List.length itv.Sched.Regalloc.registers);
+      check bool "lifetime positive" true
+        (itv.Sched.Regalloc.end_cycle > itv.Sched.Regalloc.start_cycle))
+    alloc.Sched.Regalloc.intervals
+
+let test_mve_instances () =
+  (* a value consumed two iterations later needs >= 3 overlapping
+     instances at II=1 (lifetime >= 2*II) *)
+  let b = Ddg.Graph.Builder.create () in
+  let x = Ddg.Graph.Builder.add b Machine.Opclass.Int_arith in
+  let y = Ddg.Graph.Builder.add b Machine.Opclass.Int_arith in
+  Ddg.Graph.Builder.depend b ~distance:2 ~src:x ~dst:y;
+  Ddg.Graph.Builder.depend b ~distance:1 ~src:x ~dst:x;
+  let g = Ddg.Graph.Builder.build b in
+  let s = schedule unified g in
+  let alloc = Sched.Regalloc.allocate_exn s in
+  let x_itv =
+    List.find (fun i -> i.Sched.Regalloc.producer = x)
+      alloc.Sched.Regalloc.intervals
+  in
+  check bool "multiple instances" true (x_itv.Sched.Regalloc.instances >= 2)
+
+let test_allocation_failure_on_tiny_file () =
+  (* 2 registers cannot hold a long fp dependence chain's overlapping
+     lifetimes at a small II *)
+  let tiny =
+    Machine.Config.custom ~clusters:1 ~buses:0 ~bus_latency:0 ~registers:2
+      ~fus_per_cluster:(4, 4, 4)
+  in
+  let b = Ddg.Graph.Builder.create () in
+  let prev = ref None in
+  for _ = 1 to 8 do
+    let v = Ddg.Graph.Builder.add b Machine.Opclass.Fp_arith in
+    (match !prev with
+    | Some p -> Ddg.Graph.Builder.depend b ~src:p ~dst:v
+    | None -> ());
+    prev := Some v
+  done;
+  let g = Ddg.Graph.Builder.build b in
+  (* bypass the driver's own register gate by scheduling on a larger
+     machine, then allocating for the tiny file via a fake schedule -
+     simpler: allocate the unified schedule against the tiny config by
+     rebuilding the schedule record. *)
+  let s = schedule unified g in
+  let s_tiny = { s with Sched.Schedule.config = tiny } in
+  check bool "allocation fails" true
+    (Result.is_error (Sched.Regalloc.allocate s_tiny))
+
+let test_driver_accepted_schedules_mostly_allocate () =
+  (* on the real workload, schedules accepted by the MaxLive gate get a
+     concrete allocation (first-fit may need a couple of extra registers
+     on cyclic intervals, but 64 registers leave ample headroom) *)
+  let loops = Workload.Generator.generate (Workload.Benchmark.find "hydro2d") in
+  let rec take k = function
+    | [] -> [] | _ when k = 0 -> [] | x :: tl -> x :: take (k - 1) tl
+  in
+  List.iter
+    (fun (l : Workload.Generator.loop) ->
+      let s = schedule config4c l.graph in
+      match Sched.Regalloc.allocate s with
+      | Ok alloc ->
+          check bool "verified" true
+            (Result.is_ok (Sched.Regalloc.verify s alloc))
+      | Error e ->
+          (* greedy circular-arc colouring may need a couple more
+             registers than MaxLive; only a failure with real headroom
+             would be a bug *)
+          let limit = Machine.Config.registers_per_cluster config4c in
+          if Sched.Regpressure.max_pressure s <= limit - 3 then
+            Alcotest.failf "%s: %s (maxlive %d, limit %d)" l.id e
+              (Sched.Regpressure.max_pressure s) limit)
+    (take 10 loops)
+
+let suite =
+  [
+    Alcotest.test_case "allocates chain" `Quick test_allocates_chain;
+    Alcotest.test_case "allocates clustered with copies" `Quick
+      test_allocates_clustered_with_copies;
+    Alcotest.test_case "mve instances" `Quick test_mve_instances;
+    Alcotest.test_case "fails on tiny register file" `Quick
+      test_allocation_failure_on_tiny_file;
+    Alcotest.test_case "workload schedules allocate" `Quick
+      test_driver_accepted_schedules_mostly_allocate;
+  ]

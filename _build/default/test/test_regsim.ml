@@ -1,0 +1,101 @@
+(* Functional register-level simulation: dataflow through the actual
+   register assignment, including MVE rotation. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let config4c = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64
+let unified = Machine.Config.unified ~registers:64
+
+let scheduled config g =
+  match Sched.Driver.schedule_loop config g with
+  | Ok o -> o.Sched.Driver.schedule
+  | Error e -> Alcotest.failf "driver: %s" e
+
+let test_examples_flow () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun config ->
+          let s = scheduled config g in
+          match Sched.Regalloc.allocate s with
+          | Error _ -> () (* nothing to simulate *)
+          | Ok alloc -> (
+              match Sim.Regsim.run s alloc ~iterations:50 with
+              | Ok r ->
+                  check bool "checked some reads" true
+                    (r.Sim.Regsim.reads_checked > 0);
+                  check bool "performed writes" true (r.Sim.Regsim.writes > 0)
+              | Error e -> Alcotest.failf "regsim: %s" e))
+        [ unified; config4c ])
+    [
+      Ddg.Examples.figure3 ();
+      Ddg.Examples.with_recurrence ();
+      Ddg.Examples.tiny_chain ~n:6 ();
+    ]
+
+let test_replicated_graph_flow () =
+  let g = Ddg.Examples.figure3 () in
+  let tr, _ = Replication.Replicate.transform () in
+  match Sched.Driver.schedule_loop ~transform:tr config4c g with
+  | Error e -> Alcotest.failf "driver: %s" e
+  | Ok o -> (
+      let s = o.Sched.Driver.schedule in
+      match Sched.Regalloc.allocate s with
+      | Error _ -> ()
+      | Ok alloc ->
+          check bool "replicated dataflow ok" true
+            (Result.is_ok (Sim.Regsim.run s alloc ~iterations:30)))
+
+let test_catches_corrupted_allocation () =
+  let s = scheduled config4c (Ddg.Examples.figure3 ()) in
+  let alloc = Sched.Regalloc.allocate_exn s in
+  (* Collapse every interval of cluster 0 onto register 0: values now
+     clobber each other and the simulator must notice. *)
+  let sabotage (itv : Sched.Regalloc.interval) =
+    if itv.Sched.Regalloc.cluster = 0 then
+      { itv with Sched.Regalloc.registers =
+          List.map (fun _ -> 0) itv.Sched.Regalloc.registers }
+    else itv
+  in
+  let bad =
+    { alloc with Sched.Regalloc.intervals =
+        List.map sabotage alloc.Sched.Regalloc.intervals }
+  in
+  let collapsed =
+    List.exists
+      (fun (i : Sched.Regalloc.interval) ->
+        i.Sched.Regalloc.cluster = 0)
+      alloc.Sched.Regalloc.intervals
+  in
+  if collapsed then begin
+    check bool "verify flags it" true
+      (Result.is_error (Sched.Regalloc.verify s bad)
+      || Result.is_error (Sim.Regsim.run s bad ~iterations:30))
+  end
+
+let test_workload_sample_flow () =
+  let rec take k = function
+    | [] -> [] | _ when k = 0 -> [] | x :: tl -> x :: take (k - 1) tl
+  in
+  List.iter
+    (fun (l : Workload.Generator.loop) ->
+      let s = scheduled config4c l.graph in
+      match Sched.Regalloc.allocate s with
+      | Error _ -> ()
+      | Ok alloc -> (
+          match Sim.Regsim.run s alloc ~iterations:25 with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "%s: %s" l.id e))
+    (take 8 (Workload.Generator.generate (Workload.Benchmark.find "apsi")))
+
+let suite =
+  [
+    Alcotest.test_case "examples flow" `Quick test_examples_flow;
+    Alcotest.test_case "replicated graph flow" `Quick
+      test_replicated_graph_flow;
+    Alcotest.test_case "catches corrupted allocation" `Quick
+      test_catches_corrupted_allocation;
+    Alcotest.test_case "workload sample flow" `Quick
+      test_workload_sample_flow;
+  ]

@@ -1,0 +1,25 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all check test bench bench-smoke clean
+
+all:
+	dune build
+
+# Tier-1 gate: full build plus the complete test suite.
+check:
+	dune build
+	dune runtest
+
+test: check
+
+# Full benchmark run (all 678 loops; takes a while).
+bench:
+	dune exec bench/main.exe -- --bench-json BENCH_sched.json
+
+# Quick smoke run on the deterministic small subset; writes the same
+# per-section timing JSON.  Exits non-zero if any section fails.
+bench-smoke:
+	dune exec bench/main.exe -- --quick --jobs 2 --bench-json BENCH_sched.json
+
+clean:
+	dune clean

@@ -8,7 +8,53 @@
      dune exec bench/main.exe -- --only fig7,fig10
      dune exec bench/main.exe -- --ablate
      dune exec bench/main.exe -- --extensions
-     dune exec bench/main.exe -- --micro *)
+     dune exec bench/main.exe -- --micro
+     dune exec bench/main.exe -- --jobs 4 --bench-json BENCH_sched.json
+
+   --jobs N runs independent loops on N domains (default: the
+   recommended domain count).  --bench-json PATH writes the per-section
+   wall times to PATH so successive commits can track the perf
+   trajectory; the process exits non-zero if any section failed. *)
+
+type timing = { t_id : string; t_seconds : float; t_ok : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Perf trajectory output                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json path ~mode ~quick ~jobs ~n_loops ~timings ~total =
+  let oc = open_out path in
+  let entry t =
+    Printf.sprintf "    {\"id\": \"%s\", \"seconds\": %.3f, \"ok\": %b}"
+      (json_escape t.t_id) t.t_seconds t.t_ok
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"bench_sched/v1\",\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"quick\": %b,\n\
+    \  \"jobs\": %d,\n\
+    \  \"loops\": %d,\n\
+    \  \"total_seconds\": %.3f,\n\
+    \  \"sections\": [\n%s\n  ]\n\
+     }\n"
+    (json_escape mode) quick jobs n_loops total
+    (String.concat ",\n" (List.map entry timings));
+  close_out oc
 
 let quick_loops () =
   (* First few loops of each benchmark: enough to exercise every code
@@ -27,54 +73,66 @@ let quick_loops () =
 (* Figures                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_figures ~quick ~only =
-  let t0 = Unix.gettimeofday () in
+let run_figures ~quick ~only ~jobs =
   let loops = if quick then quick_loops () else Workload.Generator.suite () in
-  let suite = Metrics.Suite.create ~loops () in
+  let suite = Metrics.Suite.create ~loops ~jobs () in
   Printf.printf
     "Instruction Replication for Clustered Microarchitectures (MICRO-36'03)\n\
-     reproduction: %d loops, %d benchmarks%s\n\n%!"
+     reproduction: %d loops, %d benchmarks, %d jobs%s\n\n%!"
     (List.length loops)
     (List.length Workload.Benchmark.all)
+    jobs
     (if quick then " [--quick subset]" else "");
   let wanted id =
     match only with None -> true | Some ids -> List.mem id ids
   in
-  List.iter
-    (fun (id, render) ->
-      if wanted id then begin
-        let t = Unix.gettimeofday () in
-        let text = render () in
-        Printf.printf "=== %s ===\n%s   [%.1fs]\n\n%!" id text
-          (Unix.gettimeofday () -. t)
-      end)
-    [
-      ("table1", fun () -> Metrics.Figures.table1 ());
-      ("fig1", fun () -> Metrics.Figures.fig1 suite);
-      ("fig7", fun () -> Metrics.Figures.fig7 suite);
-      ("fig8", fun () -> Metrics.Figures.fig8 suite);
-      ("fig9", fun () -> Metrics.Figures.fig9 suite);
-      ("fig10", fun () -> Metrics.Figures.fig10 suite);
-      ("fig12", fun () -> Metrics.Figures.fig12 suite);
-      ("sec4_stats", fun () -> Metrics.Figures.sec4 suite);
-      ("sec4_regs", fun () -> Metrics.Figures.sec4_regs suite);
-      ("sec51_length", fun () -> Metrics.Figures.sec51 suite);
-      ("sec52_macro", fun () -> Metrics.Figures.sec52 suite);
-    ];
-  Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let timings =
+    List.filter_map
+      (fun (id, render) ->
+        if not (wanted id) then None
+        else begin
+          let t = Unix.gettimeofday () in
+          match render () with
+          | text ->
+              let dt = Unix.gettimeofday () -. t in
+              Printf.printf "=== %s ===\n%s   [%.1fs]\n\n%!" id text dt;
+              Some { t_id = id; t_seconds = dt; t_ok = true }
+          | exception e ->
+              let dt = Unix.gettimeofday () -. t in
+              Printf.printf "=== %s ===\nFAILED: %s\n\n%!" id
+                (Printexc.to_string e);
+              Some { t_id = id; t_seconds = dt; t_ok = false }
+        end)
+      [
+        ("table1", fun () -> Metrics.Figures.table1 ());
+        ("fig1", fun () -> Metrics.Figures.fig1 suite);
+        ("fig7", fun () -> Metrics.Figures.fig7 suite);
+        ("fig8", fun () -> Metrics.Figures.fig8 suite);
+        ("fig9", fun () -> Metrics.Figures.fig9 suite);
+        ("fig10", fun () -> Metrics.Figures.fig10 suite);
+        ("fig12", fun () -> Metrics.Figures.fig12 suite);
+        ("sec4_stats", fun () -> Metrics.Figures.sec4 suite);
+        ("sec4_regs", fun () -> Metrics.Figures.sec4_regs suite);
+        ("sec51_length", fun () -> Metrics.Figures.sec51 suite);
+        ("sec52_macro", fun () -> Metrics.Figures.sec52 suite);
+      ]
+  in
+  (timings, List.length loops)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md section 5)                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run_ablations ~quick =
+let run_ablations ~quick ~jobs =
   let loops = if quick then quick_loops () else Workload.Generator.suite () in
   let config = Option.get (Machine.Config.of_name "4c1b2l64r") in
   let run_variant name transform =
-    let t, stats_ref = transform () in
     let runs =
-      List.map
+      (* one transform instance per loop: its stats ref must not be
+         shared between domains *)
+      Metrics.Pool.map ~jobs
         (fun l ->
+          let t, stats_ref = transform () in
           match
             Metrics.Experiment.run_with ~transform:(Some t) ~stats_ref config l
           with
@@ -133,7 +191,7 @@ let run_ablations ~quick =
 (* Extension: loop unrolling vs replication (related work, Section 6)  *)
 (* ------------------------------------------------------------------ *)
 
-let run_extensions ~quick =
+let run_extensions ~quick ~jobs =
   let loops = if quick then quick_loops () else Workload.Generator.suite () in
   (* unrolling multiplies the body; keep the evaluation affordable *)
   let rec take k = function
@@ -142,9 +200,9 @@ let run_extensions ~quick =
   let loops = if quick then loops else take 200 loops in
   let config = Option.get (Machine.Config.of_name "4c1b2l64r") in
   let evaluate name prepare transform =
-    let runs, kernel_ops =
-      List.fold_left
-        (fun (runs, ops) l ->
+    let per_loop =
+      Metrics.Pool.filter_map ~jobs
+        (fun l ->
           let l = prepare l in
           let tr, stats_ref =
             match transform with
@@ -159,10 +217,12 @@ let run_extensions ~quick =
               let n =
                 Ddg.Graph.n_nodes sched.Sched.Schedule.route.Sched.Route.graph
               in
-              (r :: runs, ops + n)
-          | Error _ -> (runs, ops))
-        ([], 0) loops
+              Some (r, n)
+          | Error _ -> None)
+        loops
     in
+    let runs = List.rev_map fst per_loop in
+    let kernel_ops = List.fold_left (fun acc (_, n) -> acc + n) 0 per_loop in
     let groups = Metrics.Experiment.group_by_benchmark runs in
     let hm =
       Metrics.Experiment.hmean
@@ -217,18 +277,24 @@ let run_extensions ~quick =
     Ddg.Graph.Builder.build b
   in
   let blocks = take 120 loops in
+  let spans =
+    Metrics.Pool.filter_map ~jobs
+      (fun (l : Workload.Generator.loop) ->
+        match Replication.Acyclic.improve config (acyclic_of l.graph) with
+        | Error _ -> None
+        | Ok r ->
+            Some
+              ( r.Replication.Acyclic.baseline.Sched.Listsched.makespan,
+                r.Replication.Acyclic.improved.Sched.Listsched.makespan ))
+      blocks
+  in
   let base_span = ref 0 and repl_span = ref 0 and improved = ref 0 in
   List.iter
-    (fun (l : Workload.Generator.loop) ->
-      match Replication.Acyclic.improve config (acyclic_of l.graph) with
-      | Error _ -> ()
-      | Ok r ->
-          let b = r.Replication.Acyclic.baseline.Sched.Listsched.makespan in
-          let i = r.Replication.Acyclic.improved.Sched.Listsched.makespan in
-          base_span := !base_span + b;
-          repl_span := !repl_span + i;
-          if i < b then incr improved)
-    blocks;
+    (fun (b, i) ->
+      base_span := !base_span + b;
+      repl_span := !repl_span + i;
+      if i < b then incr improved)
+    spans;
   Printf.printf
     "\nAcyclic blocks (loop bodies as straight-line code, %d blocks):\n\
     \  total makespan %d -> %d cycles (%.1f%% shorter), %d blocks improved\n"
@@ -241,7 +307,7 @@ let run_extensions ~quick =
   let sample = take 120 loops in
   let hmean_of cfg transform =
     let runs =
-      List.filter_map
+      Metrics.Pool.filter_map ~jobs
         (fun l ->
           let tr, stats_ref =
             match transform with
@@ -339,16 +405,53 @@ let run_micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let has f = List.mem f args in
-  let only =
+  let value_of flag =
     let rec find = function
-      | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
+      | f :: v :: _ when String.equal f flag -> Some v
       | _ :: tl -> find tl
       | [] -> None
     in
     find args
   in
+  let only = Option.map (String.split_on_char ',') (value_of "--only") in
+  let jobs =
+    match value_of "--jobs" with
+    | None -> Metrics.Pool.default_jobs ()
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> j
+        | _ ->
+            prerr_endline "bench: --jobs expects a positive integer";
+            exit 2)
+  in
+  let bench_json = value_of "--bench-json" in
   let quick = has "--quick" in
-  if has "--micro" then run_micro ()
-  else if has "--ablate" then run_ablations ~quick
-  else if has "--extensions" then run_extensions ~quick
-  else run_figures ~quick ~only
+  let t0 = Unix.gettimeofday () in
+  let timed id f =
+    let t = Unix.gettimeofday () in
+    let ok =
+      match f () with
+      | () -> true
+      | exception e ->
+          Printf.printf "%s FAILED: %s\n%!" id (Printexc.to_string e);
+          false
+    in
+    [ { t_id = id; t_seconds = Unix.gettimeofday () -. t; t_ok = ok } ]
+  in
+  let mode, (timings, n_loops) =
+    if has "--micro" then ("micro", (timed "micro" run_micro, 0))
+    else if has "--ablate" then
+      ("ablate", (timed "ablate" (fun () -> run_ablations ~quick ~jobs), 0))
+    else if has "--extensions" then
+      ( "extensions",
+        (timed "extensions" (fun () -> run_extensions ~quick ~jobs), 0) )
+    else ("figures", run_figures ~quick ~only ~jobs)
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "total: %.1fs\n" total;
+  (match bench_json with
+  | Some path ->
+      write_bench_json path ~mode ~quick ~jobs ~n_loops ~timings ~total;
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if List.exists (fun t -> not t.t_ok) timings then exit 1

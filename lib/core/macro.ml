@@ -55,10 +55,13 @@ let select state ~ii ~extra =
       match feasible with
       | [] -> None
       | _ ->
+          let shares = Weight.shares_of candidates in
           let best =
             List.fold_left
               (fun best s ->
-                let w = Weight.subgraph_weight state ~ii ~all:candidates s in
+                let w =
+                  Weight.subgraph_weight ~shares state ~ii ~all:candidates s
+                in
                 match best with
                 | None -> Some (s, w)
                 | Some (_, bw) when w < bw -> Some (s, w)

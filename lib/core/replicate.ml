@@ -41,28 +41,66 @@ let apply state (s : Subgraph.t) =
 
 type heuristic = Lowest_weight | First_come | Fewest_added
 
+(* The greedy loop's "update subgraphs" step (Section 3.4), incremental:
+   one computed subgraph is kept per pending communication, tagged with
+   the exact set of placements the computation read (State.traced).
+   Applying the chosen subgraph changes only the placements of its added
+   and removed instances, so a cached entry stays valid — and is reused
+   verbatim — unless its read set intersects those nodes. *)
 let select ?(heuristic = Lowest_weight) ?(share_discount = true)
-    ?(removable_credit = true) state ~ii ~extra =
+    ?(removable_credit = true) ?(cache = true) state ~ii ~extra =
+  let tbl : (int, Subgraph.t * Iset.t) Hashtbl.t = Hashtbl.create 64 in
+  let subgraph_of com =
+    if not cache then Subgraph.compute state com
+    else
+      match Hashtbl.find_opt tbl com with
+      | Some (s, _) -> s
+      | None ->
+          let s, reads =
+            State.traced state (fun () -> Subgraph.compute state com)
+          in
+          Hashtbl.replace tbl com (s, reads);
+          s
+  in
+  let invalidate (applied : Subgraph.t) =
+    Hashtbl.remove tbl applied.Subgraph.com;
+    let touched =
+      List.fold_left
+        (fun acc (v, _) -> Iset.add v acc)
+        (Iset.of_list applied.Subgraph.removable)
+        applied.Subgraph.additions
+    in
+    let stale =
+      Hashtbl.fold
+        (fun com (_, reads) acc ->
+          if Iset.disjoint reads touched then acc else com :: acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove tbl) stale
+  in
   let rec go remaining acc =
     if remaining = 0 then Some (List.rev acc)
     else begin
-      let candidates =
-        State.comms state
-        |> List.map (fun com -> Subgraph.compute state com)
-      in
+      let candidates = List.map subgraph_of (State.comms state) in
       let feasible =
         List.filter (Subgraph.feasible state ~ii) candidates
       in
       match feasible with
       | [] -> None
       | first :: _ ->
-          let key (s : Subgraph.t) =
+          let key =
             match heuristic with
             | Lowest_weight ->
-                Weight.subgraph_weight ~share_discount ~removable_credit
-                  state ~ii ~all:candidates s
-            | First_come -> 0. (* keep scan order: the first feasible *)
-            | Fewest_added -> float_of_int (Subgraph.n_added_instances s)
+                let shares =
+                  if share_discount then Some (Weight.shares_of candidates)
+                  else None
+                in
+                fun (s : Subgraph.t) ->
+                  Weight.subgraph_weight ~share_discount ~removable_credit
+                    ?shares state ~ii ~all:candidates s
+            | First_come -> fun _ -> 0. (* keep scan order: the first feasible *)
+            | Fewest_added ->
+                fun s -> float_of_int (Subgraph.n_added_instances s)
           in
           let s =
             match heuristic with
@@ -81,6 +119,7 @@ let select ?(heuristic = Lowest_weight) ?(share_discount = true)
                 fst (Option.get best)
           in
           apply state s;
+          if cache then invalidate s;
           go (remaining - 1) (s :: acc)
     end
   in

@@ -53,13 +53,22 @@ val select :
   ?heuristic:heuristic ->
   ?share_discount:bool ->
   ?removable_credit:bool ->
+  ?cache:bool ->
   State.t ->
   ii:int ->
   extra:int ->
   Subgraph.t list option
 (** The bare selection loop on an explicit state, returning the
     subgraphs replicated in order (the state is mutated).  Exposed for
-    tests and ablation benchmarks. *)
+    tests and ablation benchmarks.
+
+    [cache] (default [true]) keeps one computed subgraph per pending
+    communication across greedy rounds and invalidates exactly the
+    entries whose recorded placement read set ({!State.traced})
+    intersects the instances the applied subgraph added or removed —
+    the paper's "update the remaining subgraphs" step.  [~cache:false]
+    recomputes every candidate from scratch each round; both modes are
+    observably identical (the property suite checks this). *)
 
 val stats_of_subgraphs :
   Ddg.Graph.t -> comms_before:int -> Subgraph.t list -> stats

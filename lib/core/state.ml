@@ -9,7 +9,16 @@ type t = {
   (* usage_.(cluster).(fu index): live instances per unit kind, kept
      incrementally so weight computation is O(1) per lookup *)
   usage_ : int array array;
+  (* When set, every node whose placement is consulted is recorded here.
+     The incremental subgraph cache uses the recorded read set as the
+     exact invalidation footprint of a cached computation: placements are
+     the only mutable inputs, so a cached result stays valid until a
+     placement it read changes. *)
+  mutable trace_ : (int, unit) Hashtbl.t option;
 }
+
+let record t v =
+  match t.trace_ with None -> () | Some h -> Hashtbl.replace h v ()
 
 let kind_index g v =
   match Machine.Opclass.fu_kind (Graph.op g v) with
@@ -31,7 +40,7 @@ let create config_ graph_ ~assign =
     | Some k -> usage_.(home_.(v)).(k) <- usage_.(home_.(v)).(k) + 1
     | None -> ()
   done;
-  { config_; graph_; home_; placement_; usage_ }
+  { config_; graph_; home_; placement_; usage_; trace_ = None }
 
 let copy t =
   {
@@ -43,14 +52,23 @@ let copy t =
 let config t = t.config_
 let graph t = t.graph_
 let home t v = t.home_.(v)
-let placement t v = t.placement_.(v)
-let is_placed t v c = Iset.mem c t.placement_.(v)
+
+let placement t v =
+  record t v;
+  t.placement_.(v)
+
+let is_placed t v c =
+  record t v;
+  Iset.mem c t.placement_.(v)
 
 let needing t v =
+  record t v;
   let consumers = Graph.consumers t.graph_ v in
   let where_consumed =
     List.fold_left
-      (fun acc u -> Iset.union acc t.placement_.(u))
+      (fun acc u ->
+        record t u;
+        Iset.union acc t.placement_.(u))
       Iset.empty consumers
   in
   Iset.diff where_consumed t.placement_.(v)
@@ -86,3 +104,16 @@ let remove_instance t ~node ~cluster =
 
 let n_instances t =
   Array.fold_left (fun acc s -> acc + Iset.cardinal s) 0 t.placement_
+
+let traced t f =
+  let tbl = Hashtbl.create 32 in
+  let saved = t.trace_ in
+  t.trace_ <- Some tbl;
+  let finish () = t.trace_ <- saved in
+  match f () with
+  | v ->
+      finish ();
+      (v, Hashtbl.fold (fun k () acc -> Iset.add k acc) tbl Iset.empty)
+  | exception e ->
+      finish ();
+      raise e

@@ -8,9 +8,10 @@
     instance of the producer (Section 3.1).
 
     The state is mutable — the selection loop applies one replication at a
-    time and recomputes subgraphs, exactly the update process of
-    Section 3.4 (recomputation and incremental update are semantically
-    equivalent; we recompute). *)
+    time and updates the remaining subgraphs, the process of Section 3.4.
+    {!traced} supports the incremental update: it records which
+    placements a computation read, so a cached result can be invalidated
+    exactly when a placement it depends on changes. *)
 
 module Iset : Set.S with type elt = int
 
@@ -54,3 +55,14 @@ val remove_instance : t -> node:int -> cluster:int -> unit
 
 val n_instances : t -> int
 (** Total live instances across all nodes. *)
+
+val traced : t -> (unit -> 'a) -> 'a * Iset.t
+(** [traced t f] runs [f ()] while recording every node whose placement
+    it consults — through {!placement}, {!is_placed}, {!needing},
+    {!has_comm} or {!comms}, including on {!copy}s taken inside the
+    window — and returns the result with the recorded read set.
+    Placements are the only mutable inputs of such computations (graph,
+    homes and configuration are immutable), so the result remains valid
+    until a placement in the read set changes.  Windows do not nest: an
+    inner [traced] call captures the reads for itself and hides them from
+    the outer window. *)

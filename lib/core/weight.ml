@@ -15,13 +15,36 @@ let share ~all ~node ~cluster =
   in
   max 1 count
 
+type shares = (int * int, int) Hashtbl.t
+
+(* A node appears at most once in a subgraph's additions, so counting
+   occurrences equals counting benefiting subgraphs. *)
+let shares_of all : shares =
+  let h = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Subgraph.t) ->
+      List.iter
+        (fun (v, cs) ->
+          Iset.iter
+            (fun c ->
+              let key = (v, c) in
+              let n = Option.value ~default:0 (Hashtbl.find_opt h key) in
+              Hashtbl.replace h key (n + 1))
+            cs)
+        s.Subgraph.additions)
+    all;
+  h
+
+let share_count (h : shares) ~node ~cluster =
+  max 1 (Option.value ~default:0 (Hashtbl.find_opt h (node, cluster)))
+
 let kind_of g v =
   match Machine.Opclass.fu_kind (Graph.op g v) with
   | Some k -> k
   | None -> assert false (* subgraph members are real instructions *)
 
 let subgraph_weight ?(share_discount = true) ?(removable_credit = true)
-    state ~ii ~all (s : Subgraph.t) =
+    ?shares state ~ii ~all (s : Subgraph.t) =
   let config = State.config state in
   let g = State.graph state in
   let avail c kind =
@@ -56,7 +79,11 @@ let subgraph_weight ?(share_discount = true) ?(removable_credit = true)
               (usage +. float_of_int extra.(c).(k)) /. avail c kind
             in
             let sh =
-              if share_discount then share ~all ~node:v ~cluster:c else 1
+              if not share_discount then 1
+              else
+                match shares with
+                | Some h -> share_count h ~node:v ~cluster:c
+                | None -> share ~all ~node:v ~cluster:c
             in
             acc +. (term /. float_of_int sh))
           cs acc)

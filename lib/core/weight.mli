@@ -21,9 +21,21 @@
     evaluate to exactly these values (4/8 for one removed instruction of
     five with 4 units at II 2; 4 * 1/8 for four removed of five). *)
 
+type shares
+(** Precomputed per-(node, cluster) benefiting-subgraph counts: the share
+    denominators of a whole candidate set, built once per greedy round
+    instead of rescanning every candidate per weighted instance. *)
+
+val shares_of : Subgraph.t list -> shares
+(** One pass over the candidates' additions. *)
+
+val share_count : shares -> node:int -> cluster:int -> int
+(** O(1) lookup; at least 1, like {!share}. *)
+
 val subgraph_weight :
   ?share_discount:bool ->
   ?removable_credit:bool ->
+  ?shares:shares ->
   State.t ->
   ii:int ->
   all:Subgraph.t list ->
@@ -32,7 +44,9 @@ val subgraph_weight :
 (** Weight of one subgraph given the full current set (needed for the
     sharing discount).  Lower is better.  The two flags disable the
     sharing division and the removable-instruction credit — the paper's
-    design choices — for the ablation benchmarks. *)
+    design choices — for the ablation benchmarks.  When [shares] (built
+    from the same candidate set by {!shares_of}) is supplied, the sharing
+    denominators come from it in O(1) instead of rescanning [all]. *)
 
 val share : all:Subgraph.t list -> node:int -> cluster:int -> int
 (** Number of subgraphs in [all] that would place (or use) an instance of

@@ -11,15 +11,16 @@ type t = {
    so Bellman-Ford-style relaxation converges within n passes. *)
 let fixpoint n edges weight_of relaxes =
   let dist = Array.make n 0 in
+  let m = Array.length edges in
   let changed = ref true in
   let pass = ref 0 in
   while !changed && !pass <= n + 1 do
     changed := false;
-    List.iter
-      (fun e ->
-        let w = weight_of e in
-        if relaxes dist e w then changed := true)
-      edges;
+    for i = 0 to m - 1 do
+      let e = Array.unsafe_get edges i in
+      let w = weight_of e in
+      if relaxes dist e w then changed := true
+    done;
     incr pass
   done;
   if !changed then
@@ -29,7 +30,7 @@ let fixpoint n edges weight_of relaxes =
 let compute graph ~ii =
   if ii < 1 then invalid_arg "Graph.Analysis.compute: ii < 1";
   let n = Graph.n_nodes graph in
-  let edges = Graph.edges graph in
+  let edges = Graph.edge_array graph in
   let weight e = e.Graph.latency - (ii * e.Graph.distance) in
   let asap_ =
     fixpoint n edges weight (fun dist e w ->

@@ -13,33 +13,40 @@ type t = {
   ops : Machine.Opclass.t array;
   labels : string array;
   all_edges : edge list;
+  edge_arr : edge array;  (* same edges, for allocation-free fixpoints *)
+  nodes_ : int list;      (* [0; ...; n-1], shared by every [nodes] call *)
   succ : edge list array;
   pred : edge list array;
+  (* register-only views and value fan-in/fan-out, precomputed at build
+     time: the replication subgraph BFS, communication counting and
+     routing query these on every node of every round *)
+  reg_succ : edge list array;
+  reg_pred : edge list array;
+  consumer : int list array;
+  producer : int list array;
+  (* successor/predecessor node ids over all edges (duplicates kept, edge
+     order), for traversals that don't need the edge payloads *)
+  succ_id : int list array;
+  pred_id : int list array;
 }
 
 let n_nodes t = Array.length t.ops
 let op t i = t.ops.(i)
 let label t i = t.labels.(i)
 let edges t = t.all_edges
+let edge_array t = t.edge_arr
 let succs t i = t.succ.(i)
 let preds t i = t.pred.(i)
-
-let reg_succs t i = List.filter (fun e -> e.kind = Reg) t.succ.(i)
-let reg_preds t i = List.filter (fun e -> e.kind = Reg) t.pred.(i)
-
-let consumers t i =
-  reg_succs t i
-  |> List.map (fun e -> e.dst)
-  |> List.sort_uniq Stdlib.compare
-
-let value_producers t i =
-  reg_preds t i
-  |> List.map (fun e -> e.src)
-  |> List.sort_uniq Stdlib.compare
+let reg_succs t i = t.reg_succ.(i)
+let reg_preds t i = t.reg_pred.(i)
+let consumers t i = t.consumer.(i)
+let value_producers t i = t.producer.(i)
+let succ_ids t i = t.succ_id.(i)
+let pred_ids t i = t.pred_id.(i)
 
 let is_store t i = Machine.Opclass.is_store t.ops.(i)
 
-let nodes t = List.init (n_nodes t) Fun.id
+let nodes t = t.nodes_
 
 let n_ops_of_kind t kind =
   Array.fold_left
@@ -69,21 +76,32 @@ let default_label i =
   go i ""
 
 module Builder = struct
+  (* Nodes live in a doubling array so [op_of] — consulted by every
+     [depend] call — is O(1); a list would make graph construction
+     quadratic, which the materialized replicated graphs hit hard. *)
   type building = {
     bname : string;
-    mutable rev_ops : (Machine.Opclass.t * string) list;
+    mutable node_arr : (Machine.Opclass.t * string) array;
     mutable count : int;
     mutable rev_edges : edge list;
   }
 
   type t = building
 
-  let create ?(name = "") () = { bname = name; rev_ops = []; count = 0; rev_edges = [] }
+  let dummy = (Machine.Opclass.Int_arith, "")
+
+  let create ?(name = "") () =
+    { bname = name; node_arr = Array.make 16 dummy; count = 0; rev_edges = [] }
 
   let add b ?label opc =
     let id = b.count in
+    if id = Array.length b.node_arr then begin
+      let bigger = Array.make (2 * id) dummy in
+      Array.blit b.node_arr 0 bigger 0 id;
+      b.node_arr <- bigger
+    end;
     let lbl = match label with Some l -> l | None -> default_label id in
-    b.rev_ops <- (opc, lbl) :: b.rev_ops;
+    b.node_arr.(id) <- (opc, lbl);
     b.count <- b.count + 1;
     id
 
@@ -91,8 +109,7 @@ module Builder = struct
     if i < 0 || i >= b.count then
       invalid_arg (Printf.sprintf "Ddg.Builder: unknown %s node %d" what i)
 
-  let op_of b i =
-    fst (List.nth b.rev_ops (b.count - 1 - i))
+  let op_of b i = fst b.node_arr.(i)
 
   let depend ?(distance = 0) ?latency b ~src ~dst =
     check_id b src "src";
@@ -150,7 +167,7 @@ module Builder = struct
     !seen = n
 
   let build b =
-    let pairs = Array.of_list (List.rev b.rev_ops) in
+    let pairs = Array.sub b.node_arr 0 b.count in
     let ops = Array.map fst pairs in
     let labels = Array.map snd pairs in
     let all_edges = List.rev b.rev_edges in
@@ -166,7 +183,38 @@ module Builder = struct
       all_edges;
     Array.iteri (fun i l -> succ.(i) <- List.rev l) succ;
     Array.iteri (fun i l -> pred.(i) <- List.rev l) pred;
-    { graph_name = b.bname; ops; labels; all_edges; succ; pred }
+    let reg_succ =
+      Array.map (List.filter (fun e -> e.kind = Reg)) succ
+    in
+    let reg_pred =
+      Array.map (List.filter (fun e -> e.kind = Reg)) pred
+    in
+    let consumer =
+      Array.map
+        (fun es -> List.map (fun e -> e.dst) es |> List.sort_uniq Stdlib.compare)
+        reg_succ
+    in
+    let producer =
+      Array.map
+        (fun es -> List.map (fun e -> e.src) es |> List.sort_uniq Stdlib.compare)
+        reg_pred
+    in
+    {
+      graph_name = b.bname;
+      ops;
+      labels;
+      all_edges;
+      edge_arr = Array.of_list all_edges;
+      nodes_ = List.init n Fun.id;
+      succ;
+      pred;
+      succ_id = Array.map (List.map (fun e -> e.dst)) succ;
+      pred_id = Array.map (List.map (fun e -> e.src)) pred;
+      reg_succ;
+      reg_pred;
+      consumer;
+      producer;
+    }
 end
 
 let to_dot t =

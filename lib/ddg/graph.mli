@@ -39,21 +39,34 @@ val label : t -> int -> string
 val edges : t -> edge list
 (** All edges, in insertion order. *)
 
+val edge_array : t -> edge array
+(** The same edges as an array — the longest-path fixpoints sweep it
+    thousands of times per schedule.  Callers must not mutate it. *)
+
 val succs : t -> int -> edge list
 val preds : t -> int -> edge list
 
 val reg_succs : t -> int -> edge list
-(** Outgoing register edges only. *)
+(** Outgoing register edges only.  Precomputed at build time; O(1). *)
 
 val reg_preds : t -> int -> edge list
-(** Incoming register edges only. *)
+(** Incoming register edges only.  Precomputed at build time; O(1). *)
 
 val consumers : t -> int -> int list
 (** Distinct nodes that read the register value produced by a node
-    (register successors, deduplicated, sorted). *)
+    (register successors, deduplicated, sorted).  Precomputed at build
+    time; O(1). *)
 
 val value_producers : t -> int -> int list
-(** Distinct nodes whose register value a node reads. *)
+(** Distinct nodes whose register value a node reads.  Precomputed at
+    build time; O(1). *)
+
+val succ_ids : t -> int -> int list
+(** Successor node ids over all edges (duplicates kept, edge order) —
+    {!succs} without the edge payloads.  Precomputed; O(1). *)
+
+val pred_ids : t -> int -> int list
+(** Predecessor node ids over all edges, likewise. *)
 
 val is_store : t -> int -> bool
 

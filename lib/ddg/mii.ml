@@ -13,19 +13,20 @@ let has_positive_cycle g ii =
   if n = 0 then false
   else begin
     let dist = Array.make n 0 in
-    let edges = Graph.edges g in
+    let edges = Graph.edge_array g in
+    let m = Array.length edges in
     let changed = ref true in
     let pass = ref 0 in
     while !changed && !pass <= n do
       changed := false;
-      List.iter
-        (fun e ->
-          let w = e.Graph.latency - (ii * e.Graph.distance) in
-          if dist.(e.Graph.src) + w > dist.(e.Graph.dst) then begin
-            dist.(e.Graph.dst) <- dist.(e.Graph.src) + w;
-            changed := true
-          end)
-        edges;
+      for i = 0 to m - 1 do
+        let e = Array.unsafe_get edges i in
+        let w = e.Graph.latency - (ii * e.Graph.distance) in
+        if dist.(e.Graph.src) + w > dist.(e.Graph.dst) then begin
+          dist.(e.Graph.dst) <- dist.(e.Graph.src) + w;
+          changed := true
+        end
+      done;
       incr pass
     done;
     !changed

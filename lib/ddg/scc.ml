@@ -97,15 +97,16 @@ let is_trivial g = function
            (Graph.succs g v))
   | _ -> false
 
-let compute g =
+let groups g =
   let n = Graph.n_nodes g in
-  let succs_of v = List.map (fun e -> e.Graph.dst) (Graph.succs g v) in
-  let raw = tarjan n succs_of in
-  let make members =
-    let members = List.sort Stdlib.compare members in
-    let rec_mii = if is_trivial g members then 1 else subset_rec_mii g members in
-    { members; rec_mii }
-  in
+  List.map (List.sort Stdlib.compare) (tarjan n (Graph.succ_ids g))
+
+let rec_mii_of g members =
+  if is_trivial g members then 1 else subset_rec_mii g members
+
+let compute g =
+  let raw = groups g in
+  let make members = { members; rec_mii = rec_mii_of g members } in
   let comps = List.map make raw in
   let recs, trivial =
     List.partition (fun c -> not (is_trivial g c.members)) comps

@@ -11,6 +11,16 @@ type component = {
                            component; 1 for trivial components *)
 }
 
+val groups : Graph.t -> int list list
+(** Raw SCCs (Tarjan) in topological order of the condensation, members
+    ascending — no per-component recurrence MII.  The cheap entry point
+    for callers that only need the partition (the MII of a component
+    costs a binary search over Bellman-Ford passes). *)
+
+val rec_mii_of : Graph.t -> int list -> int
+(** Recurrence MII of one component of {!groups}: smallest II satisfying
+    every cycle inside it; 1 for trivial components. *)
+
 val compute : Graph.t -> component list
 (** All SCCs (Tarjan), non-trivial recurrences first in decreasing
     [rec_mii] order, then trivial components in topological order of the

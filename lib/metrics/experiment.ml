@@ -71,8 +71,8 @@ let run_loop mode config loop =
 
 exception Illegal of string
 
-let run_suite mode config loops =
-  List.filter_map
+let run_suite ?(jobs = 1) mode config loops =
+  Pool.filter_map ~jobs
     (fun l ->
       match run_loop mode config l with
       | Ok r -> Some r

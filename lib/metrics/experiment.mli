@@ -51,15 +51,17 @@ val run_with :
 exception Illegal of string
 
 val run_suite :
+  ?jobs:int ->
   mode ->
   Machine.Config.t ->
   Workload.Generator.loop list ->
   loop_run list
-(** Runs every loop.  Loops the scheduler gives up on (possible at very
-    small register files) are skipped — the paper likewise reports only
-    loops it can modulo schedule.  A schedule that fails the legality
-    checker or the simulator raises {!Illegal}: that is a bug, not
-    data. *)
+(** Runs every loop, on up to [jobs] domains (default 1, sequential;
+    loops are independent, so results are identical at any [jobs]).
+    Loops the scheduler gives up on (possible at very small register
+    files) are skipped — the paper likewise reports only loops it can
+    modulo schedule.  A schedule that fails the legality checker or the
+    simulator raises {!Illegal}: that is a bug, not data. *)
 
 (** {1 Aggregation} *)
 

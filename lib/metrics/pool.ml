@@ -1,0 +1,57 @@
+(* Fixed-size domain pool (OCaml 5 stdlib only).
+
+   Work is a chunked queue over an input array: workers claim contiguous
+   index ranges with a single atomic fetch-and-add, so contention is one
+   atomic operation per chunk rather than per item, while chunks small
+   enough (at most [n / (jobs * chunk_divisor)]) keep the tail balanced
+   when item costs vary by orders of magnitude, as loop schedules do.
+
+   Each worker writes only its own claimed cells of the result array, so
+   there are no data races; the caller reads the array after joining
+   every domain. *)
+
+let chunk_divisor = 8
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let map ?jobs f xs =
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  let jobs =
+    match jobs with Some j -> max 1 (min j n) | None -> min (default_jobs ()) n
+  in
+  if n = 0 then []
+  else if jobs <= 1 then List.map f xs
+  else begin
+    let results : ('b, exn) result option array = Array.make n None in
+    let chunk = max 1 (n / (jobs * chunk_divisor)) in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            results.(i) <-
+              Some (match f input.(i) with v -> Ok v | exception e -> Error e)
+          done;
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (* Re-raise the first failure in input order, as sequential List.map
+       would have surfaced it. *)
+    Array.iter
+      (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+         results)
+  end
+
+let filter_map ?jobs f xs = List.filter_map Fun.id (map ?jobs f xs)

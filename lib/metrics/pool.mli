@@ -1,0 +1,21 @@
+(** A fixed-size domain pool with a chunked work queue (OCaml 5 stdlib
+    [Domain]/[Atomic], no external dependencies).
+
+    The experiment suite is embarrassingly parallel — every loop is
+    scheduled and simulated independently — so the pool only offers
+    order-preserving bulk maps.  Worker functions must not share mutable
+    state; everything in the scheduling pipeline is pure per loop. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] computed on up to [jobs] domains
+    ([default_jobs ()] when omitted; clamped to the input size).  Results
+    keep input order.  [jobs <= 1] runs sequentially in the calling
+    domain.  If any application raises, the first exception in input
+    order is re-raised after all domains have joined. *)
+
+val filter_map : ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b list
+(** [filter_map ~jobs f xs] is [List.filter_map f xs] with the
+    applications of [f] distributed like {!map}. *)

@@ -1,13 +1,14 @@
 type t = {
   loops_ : Workload.Generator.loop list;
   cache : (string, Experiment.loop_run list) Hashtbl.t;
+  jobs_ : int;
 }
 
-let create ?loops () =
+let create ?loops ?(jobs = 1) () =
   let loops_ =
     match loops with Some l -> l | None -> Workload.Generator.suite ()
   in
-  { loops_; cache = Hashtbl.create 32 }
+  { loops_; cache = Hashtbl.create 32; jobs_ = jobs }
 
 let loops t = t.loops_
 
@@ -23,7 +24,7 @@ let runs t mode config =
   match Hashtbl.find_opt t.cache key with
   | Some r -> r
   | None ->
-      let r = Experiment.run_suite mode config t.loops_ in
+      let r = Experiment.run_suite ~jobs:t.jobs_ mode config t.loops_ in
       Hashtbl.replace t.cache key r;
       r
 

@@ -6,8 +6,10 @@
 
 type t
 
-val create : ?loops:Workload.Generator.loop list -> unit -> t
-(** Defaults to the full 678-loop suite. *)
+val create : ?loops:Workload.Generator.loop list -> ?jobs:int -> unit -> t
+(** Defaults to the full 678-loop suite.  [jobs] (default 1) is the
+    number of domains each uncached sweep runs on ({!Pool}); the cache
+    itself is only touched by the calling domain. *)
 
 val loops : t -> Workload.Generator.loop list
 

@@ -12,7 +12,18 @@ let producers g ~assign =
   Graph.nodes g
   |> List.filter (fun v -> consumer_clusters g ~assign v <> [])
 
-let count g ~assign = List.length (producers g ~assign)
+(* [count] is the inner loop of the pseudo-schedule estimate (evaluated
+   once per candidate move of the refinement hill-climb): a node
+   communicates iff any consumer lives elsewhere, no need to collect the
+   cluster set. *)
+let count g ~assign =
+  List.fold_left
+    (fun acc v ->
+      let own = assign.(v) in
+      if List.exists (fun u -> assign.(u) <> own) (Graph.consumers g v) then
+        acc + 1
+      else acc)
+    0 (Graph.nodes g)
 
 let extra config g ~assign ~ii =
   let nof_coms = count g ~assign in

@@ -25,7 +25,10 @@ type spiller =
   (Ddg.Graph.t * int array) option
 
 let schedule_loop ?transform ?max_ii ?(latency0 = false) ?spiller config g =
-  let mii = Ddg.Mii.mii config g in
+  (* rec_mii of the original graph is reused by every partition call of
+     the escalation loop; compute the binary search once. *)
+  let rec_mii = Ddg.Mii.rec_mii g in
+  let mii = max (Ddg.Mii.res_mii config g) rec_mii in
   let cap = match max_ii with Some m -> m | None -> (16 * mii) + 64 in
   let bus = ref 0 and recur = ref 0 and regs = ref 0 in
   let bump = function
@@ -102,13 +105,13 @@ let schedule_loop ?transform ?max_ii ?(latency0 = false) ?spiller config g =
              independent second chance before escalating (Figure 2 only
              refines, but without this the escalation may not
              terminate). *)
-          let fresh = Partition.initial config g ~ii in
+          let fresh = Partition.initial ~rec_mii config g ~ii in
           let fresh_differs = fresh <> assign in
           match (if fresh_differs then try_at ii fresh else Error cause) with
           | Ok (schedule, g', assign') -> finish schedule g' assign' ii
           | Error _ ->
               bump cause;
               let ii = ii + 1 in
-              attempt ii (Partition.refine config g ~ii assign))
+              attempt ii (Partition.refine ~rec_mii config g ~ii assign))
   in
-  attempt mii (Partition.initial config g ~ii:mii)
+  attempt mii (Partition.initial ~rec_mii config g ~ii:mii)

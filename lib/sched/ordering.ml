@@ -1,83 +1,139 @@
 open Ddg
 
-module Iset = Set.Make (Int)
-
-(* Reachability over all dependence edges (any distance): desc.(v) holds
-   every node reachable from v.  Plain BFS per node; graphs are small. *)
-let descendants g =
+(* Reachability over all dependence edges (any distance): one bool row
+   per node, computed lazily.  The placement driver re-orders the routed
+   graph at every II attempt, so this runs thousands of times per suite;
+   rows are Bytes, and only recurrence-set members ever need one —
+   graphs with fewer than two recurrences compute none at all. *)
+let reach_rows g step_of =
   let n = Graph.n_nodes g in
-  let from v =
-    let seen = Array.make n false in
-    let queue = Queue.create () in
-    Queue.add v queue;
-    let acc = ref Iset.empty in
-    while not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
-      List.iter
-        (fun e ->
-          let w = e.Graph.dst in
-          if not seen.(w) then begin
-            seen.(w) <- true;
-            acc := Iset.add w !acc;
-            Queue.add w queue
-          end)
-        (Graph.succs g u)
-    done;
-    !acc
-  in
-  Array.init n from
+  let rows = Array.make n None in
+  fun v ->
+    match rows.(v) with
+    | Some row -> row
+    | None ->
+        let seen = Bytes.make n '\000' in
+        let queue = Queue.create () in
+        Queue.add v queue;
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          List.iter
+            (fun w ->
+              if Bytes.unsafe_get seen w = '\000' then begin
+                Bytes.unsafe_set seen w '\001';
+                Queue.add w queue
+              end)
+            (step_of u)
+        done;
+        rows.(v) <- Some seen;
+        seen
 
-let order g ~ii =
+let descendants g = reach_rows g (Graph.succ_ids g)
+let ancestors g = reach_rows g (Graph.pred_ids g)
+
+let union into row =
+  let n = Bytes.length into in
+  for i = 0 to n - 1 do
+    if Bytes.unsafe_get row i = '\001' then Bytes.unsafe_set into i '\001'
+  done
+
+let order ?analysis g ~ii =
   let n = Graph.n_nodes g in
   if n = 0 then []
   else begin
-    let analysis = Analysis.compute g ~ii:(max ii (Mii.rec_mii g)) in
-    let desc = descendants g in
-    let reaches u v = Iset.mem v desc.(u) in
+    (* analysis at max ii (rec_mii g), without the rec_mii binary search:
+       when ii is already feasible the max is ii itself, which is the
+       common case (the driver only places at feasible IIs).  A caller
+       that already holds [Analysis.compute g ~ii] passes it in — its
+       existence proves feasibility. *)
+    let analysis =
+      match analysis with
+      | Some a -> a
+      | None ->
+          let analysis_ii =
+            if Mii.feasible_ii g ii then ii else Mii.rec_mii g
+          in
+          Analysis.compute g ~ii:analysis_ii
+    in
+    let desc_row = descendants g in
+    let anc_row = ancestors g in
     (* Build the SMS node sets: recurrences by decreasing RecMII, each
        extended with the nodes lying on paths from/to the already grouped
-       nodes; one final set with everything else. *)
-    let comps = Scc.compute g in
-    let recurrences, _trivial =
-      List.partition (fun c -> List.length c.Scc.members > 1
-                               || List.exists
-                                    (fun v ->
-                                      List.exists
-                                        (fun e -> e.Graph.dst = v)
-                                        (Graph.succs g v))
-                                    c.Scc.members)
-        comps
+       nodes; one final set with everything else.  RecMII only breaks
+       ties between recurrences, so it is not computed when there are
+       fewer than two. *)
+    let nontrivial = function
+      | [ v ] -> List.exists (fun e -> e.Graph.dst = v) (Graph.succs g v)
+      | _ -> true
+    in
+    let recurrences =
+      match List.filter nontrivial (Scc.groups g) with
+      | ([] | [ _ ]) as recs -> recs
+      | recs ->
+          List.map (fun c -> (Scc.rec_mii_of g c, c)) recs
+          |> List.stable_sort (fun (a, _) (b, _) -> Stdlib.compare b a)
+          |> List.map snd
     in
     let grouped = Array.make n false in
-    let sets = ref [] in
+    let rev_sets = ref [] in
+    (* A node v joins the current recurrence's set when it lies on a path
+       between an earlier set and this one, in either direction:
+
+         exists p in previous, m in members.
+           (p ->* v && v ->* m) || (m ->* v && v ->* p)
+
+       p and m are quantified independently in each disjunct, so the test
+       factors into four reachability bitsets — from/to any previous node
+       (accumulated across sets) and from/to any member — and needs BFS
+       rows only for set members, never for the candidates.  Rows of a
+       finished set are folded in lazily ([pending]): a graph whose last
+       recurrence is reached never pays for them. *)
+    let from_prev = Bytes.make n '\000' in
+    let to_prev = Bytes.make n '\000' in
+    let pending = ref [] in
     List.iter
       (fun c ->
-        let members = List.filter (fun v -> not grouped.(v)) c.Scc.members in
+        let members = List.filter (fun v -> not grouped.(v)) c in
         if members <> [] then begin
-          (* Pull in ungrouped nodes on paths between previous sets and
-             this recurrence (either direction). *)
-          let previous = List.concat !sets in
-          let on_path v =
-            (not grouped.(v))
-            && (not (List.mem v members))
-            && List.exists
-                 (fun p ->
-                   List.exists
-                     (fun m -> (reaches p v && reaches v m)
-                               || (reaches m v && reaches v p))
-                     members)
-                 previous
-          in
           let path_nodes =
-            List.filter on_path (Graph.nodes g)
+            if !rev_sets = [] then []  (* no previous set: nothing to pull *)
+            else begin
+              List.iter
+                (fun p ->
+                  union from_prev (desc_row p);
+                  union to_prev (anc_row p))
+                !pending;
+              pending := [];
+              let in_members = Array.make n false in
+              List.iter (fun v -> in_members.(v) <- true) members;
+              let from_mem = Bytes.make n '\000' in
+              let to_mem = Bytes.make n '\000' in
+              List.iter
+                (fun m ->
+                  union from_mem (desc_row m);
+                  union to_mem (anc_row m))
+                members;
+              let on_path v =
+                (not grouped.(v))
+                && (not in_members.(v))
+                && ((Bytes.get from_prev v = '\001'
+                    && Bytes.get to_mem v = '\001')
+                   || (Bytes.get from_mem v = '\001'
+                      && Bytes.get to_prev v = '\001'))
+              in
+              List.filter on_path (Graph.nodes g)
+            end
           in
           let set = members @ path_nodes in
           List.iter (fun v -> grouped.(v) <- true) set;
-          sets := !sets @ [ set ]
+          pending := set;
+          rev_sets := set :: !rev_sets
         end)
       recurrences;
     let rest = List.filter (fun v -> not grouped.(v)) (Graph.nodes g) in
-    let sets = !sets @ (if rest = [] then [] else [ rest ]) in
+    let sets =
+      List.rev_append !rev_sets (if rest = [] then [] else [ rest ])
+    in
     (* Ordering phase: alternate bottom-up (pick max depth) and top-down
        (pick max height) sweeps, seeding each sweep with the neighbours of
        the nodes ordered so far. *)
@@ -89,29 +145,46 @@ let order g ~ii =
         out := v :: !out
       end
     in
-    let pick_best candidates key =
+    (* Max pick under (primary, -mobility, -v): the [-v] tiebreak makes
+       keys distinct, so any representation of the candidate set selects
+       the same node — compared unboxed here, this is the sweep's inner
+       loop. *)
+    let pick_best candidates primary =
       List.fold_left
         (fun best v ->
           match best with
           | None -> Some v
-          | Some b -> if key v > key b then Some v else Some b)
+          | Some b ->
+              let pv = primary v and pb = primary b in
+              if
+                pv > pb
+                || (pv = pb
+                   &&
+                   let mv = Analysis.mobility analysis v
+                   and mb = Analysis.mobility analysis b in
+                   mv < mb || (mv = mb && v < b))
+              then Some v
+              else Some b)
         None candidates
     in
-    let preds_in set v =
+    let in_set = Array.make n false in
+    let preds_in v =
       List.filter_map
         (fun e ->
           let u = e.Graph.src in
-          if List.mem u set && not ordered.(u) then Some u else None)
+          if in_set.(u) && not ordered.(u) then Some u else None)
         (Graph.preds g v)
     in
-    let succs_in set v =
+    let succs_in v =
       List.filter_map
         (fun e ->
           let w = e.Graph.dst in
-          if List.mem w set && not ordered.(w) then Some w else None)
+          if in_set.(w) && not ordered.(w) then Some w else None)
         (Graph.succs g v)
     in
+    let in_frontier = Array.make n false in
     let handle_set set =
+      List.iter (fun v -> in_set.(v) <- true) set;
       let remaining () = List.filter (fun v -> not ordered.(v)) set in
       (* Seed: predecessors of already-ordered nodes in this set (schedule
          bottom-up towards them), else successors (top-down), else the
@@ -120,51 +193,63 @@ let order g ~ii =
         match remaining () with
         | [] -> ()
         | rem ->
-            let already = List.filter (fun v -> ordered.(v)) (Graph.nodes g) in
-            let pred_seed =
-              List.concat_map (preds_in set) already
-              |> List.sort_uniq Stdlib.compare
-            in
+            let already = !out in
+            let pred_seed = List.concat_map preds_in already in
             let succ_seed =
-              List.concat_map (succs_in set) already
-              |> List.sort_uniq Stdlib.compare
+              if pred_seed <> [] then []
+              else List.concat_map succs_in already
             in
             let mode, seed =
               if pred_seed <> [] then (`Bottom_up, pred_seed)
               else if succ_seed <> [] then (`Top_down, succ_seed)
               else
                 let v =
-                  pick_best rem (fun v ->
-                      (- Analysis.asap analysis v, - v))
+                  List.fold_left
+                    (fun best v ->
+                      match best with
+                      | None -> Some v
+                      | Some b ->
+                          let av = Analysis.asap analysis v
+                          and ab = Analysis.asap analysis b in
+                          if av < ab || (av = ab && v < b) then Some v
+                          else Some b)
+                    None rem
                   |> Option.get
                 in
                 (`Top_down, [ v ])
             in
-            let frontier = ref (List.filter (fun v -> not ordered.(v)) seed) in
+            let primary =
+              match mode with
+              | `Top_down -> Analysis.height analysis
+              | `Bottom_up -> Analysis.depth analysis
+            in
+            (* The frontier is a duplicate-free list of unordered nodes,
+               maintained with a membership flag; picking is by maximal
+               key, so list order is irrelevant. *)
+            let frontier = ref [] in
+            let push v =
+              if not (ordered.(v) || in_frontier.(v)) then begin
+                in_frontier.(v) <- true;
+                frontier := v :: !frontier
+              end
+            in
+            List.iter push seed;
             while !frontier <> [] do
-              let key v =
-                match mode with
-                | `Top_down ->
-                    (Analysis.height analysis v,
-                     - Analysis.mobility analysis v, - v)
-                | `Bottom_up ->
-                    (Analysis.depth analysis v,
-                     - Analysis.mobility analysis v, - v)
-              in
-              let v = Option.get (pick_best !frontier key) in
+              let v = Option.get (pick_best !frontier primary) in
               emit v;
+              in_frontier.(v) <- false;
+              frontier := List.filter (fun u -> u <> v) !frontier;
               let next =
                 match mode with
-                | `Top_down -> succs_in set v
-                | `Bottom_up -> preds_in set v
+                | `Top_down -> succs_in v
+                | `Bottom_up -> preds_in v
               in
-              frontier :=
-                List.filter (fun u -> not ordered.(u)) (!frontier @ next)
-                |> List.sort_uniq Stdlib.compare
+              List.iter push next
             done;
             drive ()
       in
-      drive ()
+      drive ();
+      List.iter (fun v -> in_set.(v) <- false) set
     in
     List.iter handle_set sets;
     (* Safety: any node the sweeps missed (isolated nodes). *)

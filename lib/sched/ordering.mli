@@ -13,5 +13,8 @@
     remaining nodes form the final set — a faithful rendering of the SMS
     grouping. *)
 
-val order : Ddg.Graph.t -> ii:int -> int list
-(** A permutation of the node ids in scheduling order. *)
+val order : ?analysis:Ddg.Analysis.t -> Ddg.Graph.t -> ii:int -> int list
+(** A permutation of the node ids in scheduling order.  [analysis], when
+    supplied, must be [Analysis.compute g ~ii] — passing it spares the
+    ordering its own timing fixpoint (the placement loop computes one
+    anyway). *)

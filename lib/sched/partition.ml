@@ -192,13 +192,15 @@ let assign_macros config g analysis ~ii macros macro_of =
 (* Refinement                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let refine ?(metric = `Pseudo) config g ~ii assign =
+let refine ?(metric = `Pseudo) ?rec_mii config g ~ii assign =
   let clusters = config.Machine.Config.clusters in
   if clusters = 1 then Array.copy assign
   else begin
     let n = Graph.n_nodes g in
     let assign = Array.copy assign in
-    let rec_ii = Mii.rec_mii g in
+    let rec_ii =
+      match rec_mii with Some r -> r | None -> Mii.rec_mii g
+    in
     (* Per-cluster operation counts by unit kind, so capacity at the
        current II stays a hard constraint during hill-climbing. *)
     let counts = Array.make_matrix clusters Machine.Fu.count 0 in
@@ -236,6 +238,9 @@ let refine ?(metric = `Pseudo) config g ~ii assign =
           { e with Pseudo.ii_induced = 0; length = 0 }
     in
     let best_est = ref (estimate assign) in
+    let improves assign =
+      Pseudo.improves ~rec_ii ~metric config g ~assign ~ii ~best:!best_est
+    in
     (* Only nodes on the partition boundary (incident to a cut register
        edge) can reduce communications; restricting moves to them keeps a
        refinement pass cheap, as in KL/FM-style refiners. *)
@@ -258,12 +263,12 @@ let refine ?(metric = `Pseudo) config g ~ii assign =
         for c = 0 to clusters - 1 do
           if c <> home && room_for v c then begin
             assign.(v) <- c;
-            let est = estimate assign in
-            if Pseudo.compare est !best_est < 0 then begin
-              best_est := est;
-              best_c := c;
-              improved := true
-            end
+            match improves assign with
+            | Some est ->
+                best_est := est;
+                best_c := c;
+                improved := true
+            | None -> ()
           end
         done;
         assign.(v) <- home;
@@ -278,12 +283,15 @@ let refine ?(metric = `Pseudo) config g ~ii assign =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let initial config g ~ii =
+let initial ?rec_mii config g ~ii =
   let n = Graph.n_nodes g in
   let clusters = config.Machine.Config.clusters in
   if clusters = 1 || n = 0 then Array.make n 0
   else begin
-    let analysis = Analysis.compute g ~ii:(max ii (Mii.rec_mii g)) in
+    let rec_mii =
+      match rec_mii with Some r -> r | None -> Mii.rec_mii g
+    in
+    let analysis = Analysis.compute g ~ii:(max ii rec_mii) in
     let macros = ref (Array.init n (fun v -> macro_of_node g v)) in
     let macro_of = ref (Array.init n Fun.id) in
     let continue_ = ref true in
@@ -298,7 +306,7 @@ let initial config g ~ii =
       assign_macros config g analysis ~ii !macros !macro_of
     in
     let assign = Array.map (fun m -> cluster_of_macro.(m)) !macro_of in
-    refine config g ~ii assign
+    refine ~rec_mii config g ~ii assign
   end
 
 let is_valid config assign =

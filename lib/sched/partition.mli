@@ -22,12 +22,15 @@
 
 type t = int array
 
-val initial : Machine.Config.t -> Ddg.Graph.t -> ii:int -> t
+val initial : ?rec_mii:int -> Machine.Config.t -> Ddg.Graph.t -> ii:int -> t
 (** Coarsen, assign and refine at the given II.  For a unified machine the
-    result is all zeros. *)
+    result is all zeros.  [rec_mii], when known (the scheduling driver
+    computes it once per loop), spares the binary search of
+    {!Ddg.Mii.rec_mii}. *)
 
 val refine :
   ?metric:[ `Pseudo | `Cut ] ->
+  ?rec_mii:int ->
   Machine.Config.t ->
   Ddg.Graph.t ->
   ii:int ->
@@ -37,7 +40,8 @@ val refine :
     a new array; the input is not mutated.  [`Pseudo] (default) compares
     candidate partitions with the pseudo-schedule estimate, the paper's
     refinement metric; [`Cut] is the ablation that only minimizes the
-    communication count and load imbalance. *)
+    communication count and load imbalance.  [rec_mii] as in
+    {!initial}. *)
 
 val is_valid : Machine.Config.t -> t -> bool
 (** Every assignment within [0, clusters). *)

@@ -8,7 +8,7 @@ let try_schedule config route ~ii =
   let g = route.Route.graph in
   let n = Graph.n_nodes g in
   let analysis = Analysis.compute g ~ii in
-  let order = Ordering.order g ~ii in
+  let order = Ordering.order ~analysis g ~ii in
   let mrt = Mrt.create config ~ii in
   let cycles = Array.make n 0 in
   let buses = Array.make n (-1) in

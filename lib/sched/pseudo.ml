@@ -59,18 +59,20 @@ let length_with_cuts config g ~assign ~ii =
       + (if cut then bus_lat else 0)
       - (ii * e.Graph.distance)
     in
+    let edges = Graph.edge_array g in
+    let m = Array.length edges in
     let changed = ref true in
     let pass = ref 0 in
     while !changed && !pass <= n + 1 do
       changed := false;
-      List.iter
-        (fun e ->
-          let w = weight e in
-          if dist.(e.Graph.src) + w > dist.(e.Graph.dst) then begin
-            dist.(e.Graph.dst) <- dist.(e.Graph.src) + w;
-            changed := true
-          end)
-        (Graph.edges g);
+      for i = 0 to m - 1 do
+        let e = Array.unsafe_get edges i in
+        let w = weight e in
+        if dist.(e.Graph.src) + w > dist.(e.Graph.dst) then begin
+          dist.(e.Graph.dst) <- dist.(e.Graph.src) + w;
+          changed := true
+        end
+      done;
       incr pass
     done;
     (* If ii is below what the cut latencies require the fixpoint may not
@@ -111,3 +113,40 @@ let compare a b =
           | c -> c)
       | c -> c)
   | c -> c
+
+(* Lazy evaluation against an incumbent, for the refinement hill-climb:
+   [compare] orders by (ii_induced, n_comms) before length, so the
+   pseudo-schedule fixpoint — the expensive part — is only run when the
+   cheap prefix does not already lose.  [`Cut] zeroes ii_induced and
+   length, so it never needs the fixpoint at all.  Decisions and the
+   returned estimate are identical to running {!estimate} and
+   {!compare}. *)
+let improves ?rec_ii ?(metric = `Pseudo) config g ~assign ~ii ~best =
+  let n_comms = Comm.count g ~assign in
+  match metric with
+  | `Cut ->
+      let loads = cluster_loads config g ~assign in
+      let imbalance =
+        Array.fold_left max 0 loads - Array.fold_left min max_int loads
+      in
+      let est = { ii_induced = 0; n_comms; length = 0; imbalance } in
+      if compare est best < 0 then Some est else None
+  | `Pseudo ->
+      let bus_ii = Comm.min_ii_for_bus config ~n_comms in
+      let res_ii = cluster_res_ii config g ~assign in
+      let rec_ii = match rec_ii with Some r -> r | None -> Mii.rec_mii g in
+      let ii_induced = max (max bus_ii res_ii) rec_ii in
+      if
+        ii_induced > best.ii_induced
+        || (ii_induced = best.ii_induced && n_comms > best.n_comms)
+      then None
+      else begin
+        let safe_ii = max ii (max ii_induced 1) in
+        let length = length_with_cuts config g ~assign ~ii:safe_ii in
+        let loads = cluster_loads config g ~assign in
+        let imbalance =
+          Array.fold_left max 0 loads - Array.fold_left min max_int loads
+        in
+        let est = { ii_induced; n_comms; length; imbalance } in
+        if compare est best < 0 then Some est else None
+      end

@@ -37,6 +37,22 @@ val estimate :
 val compare : estimate -> estimate -> int
 (** Lexicographic; negative when the first estimate is better. *)
 
+val improves :
+  ?rec_ii:int ->
+  ?metric:[ `Pseudo | `Cut ] ->
+  Machine.Config.t ->
+  Ddg.Graph.t ->
+  assign:int array ->
+  ii:int ->
+  best:estimate ->
+  estimate option
+(** [Some est] exactly when [compare est best < 0] for the estimate of
+    [assign] — but evaluated lazily: the pseudo-schedule fixpoint is
+    skipped when the (induced II, communications) prefix already loses
+    against [best], which is the common case in the refinement
+    hill-climb.  [`Cut] replicates {!Partition.refine}'s ablation metric
+    (ii_induced and length pinned to 0). *)
+
 val cluster_res_ii : Machine.Config.t -> Ddg.Graph.t -> assign:int array -> int
 (** Largest per-cluster resource bound: for every cluster and
     functional-unit kind, [ceil (ops / units)]. *)

@@ -7,46 +7,49 @@ open Ddg
 let live_ranges sched =
   let route = sched.Schedule.route in
   let g = route.Route.graph in
+  let config = sched.Schedule.config in
   let ii = sched.Schedule.ii in
   let cycles = sched.Schedule.cycles in
   let ranges = ref [] in
   let add cluster def last_use =
     if last_use > def then ranges := (cluster, def, last_use) :: !ranges
   in
+  (* Latest use per consuming cluster, kept in a scratch array (clusters
+     are few, this runs once per successful placement). *)
+  let clusters = config.Machine.Config.clusters in
+  let latest = Array.make clusters min_int in
+  let touched = ref [] in
   List.iter
     (fun v ->
-      let uses_by_cluster = Hashtbl.create 4 in
       List.iter
         (fun e ->
-          if e.Graph.kind = Graph.Reg then begin
-            let w = e.Graph.dst in
-            let use = cycles.(w) + (ii * e.Graph.distance) in
-            let c = route.Route.assign.(w) in
-            let prev =
-              try Hashtbl.find uses_by_cluster c with Not_found -> min_int
-            in
-            Hashtbl.replace uses_by_cluster c (max prev use)
-          end)
-        (Graph.succs g v);
-      if Route.is_copy route v then
-        (* Value materializes in each consuming cluster when the bus
-           transfer completes — the routed graph's edge latency (0 in the
-           Section-5.1 latency-0 mode). *)
-        let transfer =
-          match Graph.succs g v with
-          | e :: _ -> e.Graph.latency
-          | [] -> sched.Schedule.config.Machine.Config.bus_latency
-        in
-        let arrival = cycles.(v) + transfer in
-        Hashtbl.iter (fun c last -> add c arrival (last + 1)) uses_by_cluster
-      else if not (Graph.is_store g v) then begin
-        (* All consumers of a non-copy node are local after routing. *)
-        let def = cycles.(v) in
-        let last =
-          Hashtbl.fold (fun _ l acc -> max l acc) uses_by_cluster def
-        in
-        add route.Route.assign.(v) def (last + 1)
-      end)
+          let w = e.Graph.dst in
+          let use = cycles.(w) + (ii * e.Graph.distance) in
+          let c = route.Route.assign.(w) in
+          if latest.(c) = min_int then touched := c :: !touched;
+          if use > latest.(c) then latest.(c) <- use)
+        (Graph.reg_succs g v);
+      (if Route.is_copy route v then
+         (* Value materializes in each consuming cluster when the bus
+            transfer completes — the routed graph's edge latency (0 in the
+            Section-5.1 latency-0 mode). *)
+         let transfer =
+           match Graph.succs g v with
+           | e :: _ -> e.Graph.latency
+           | [] -> config.Machine.Config.bus_latency
+         in
+         let arrival = cycles.(v) + transfer in
+         List.iter (fun c -> add c arrival (latest.(c) + 1)) !touched
+       else if not (Graph.is_store g v) then begin
+         (* All consumers of a non-copy node are local after routing. *)
+         let def = cycles.(v) in
+         let last =
+           List.fold_left (fun acc c -> max acc latest.(c)) def !touched
+         in
+         add route.Route.assign.(v) def (last + 1)
+       end);
+      List.iter (fun c -> latest.(c) <- min_int) !touched;
+      touched := [])
     (Graph.nodes g);
   !ranges
 

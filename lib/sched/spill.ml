@@ -19,12 +19,10 @@ let ranges_of (sched : Schedule.t) =
       if Route.is_copy route v || Graph.is_store g v then None
       else begin
         let uses =
-          List.filter_map
+          List.map
             (fun e ->
-              if e.Graph.kind = Graph.Reg then
-                Some (e.Graph.dst, cycles.(e.Graph.dst) + (ii * e.Graph.distance))
-              else None)
-            (Graph.succs g v)
+              (e.Graph.dst, cycles.(e.Graph.dst) + (ii * e.Graph.distance)))
+            (Graph.reg_succs g v)
         in
         match uses with
         | [] -> None

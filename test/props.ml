@@ -347,6 +347,86 @@ let prop_spiller_never_raises_ii =
           Result.is_ok (Sim.Checker.check spilled.Sched.Driver.schedule)
       | _ -> QCheck.assume_fail ())
 
+(* The incremental subgraph cache must be observably identical to
+   recomputing every candidate from scratch each greedy round: same
+   subgraphs in the same order, same final replication state. *)
+let canonical_subgraph (s : Replication.Subgraph.t) =
+  ( s.Replication.Subgraph.com,
+    s.Replication.Subgraph.members,
+    List.map
+      (fun (v, cs) -> (v, Replication.State.Iset.elements cs))
+      s.Replication.Subgraph.additions,
+    s.Replication.Subgraph.removable )
+
+let prop_cached_select_matches_oracle =
+  QCheck.Test.make
+    ~name:"cached subgraph selection equals the recompute oracle" ~count:100
+    pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      if config.Machine.Config.clusters = 1 then QCheck.assume_fail ()
+      else begin
+        let ii = Mii.mii config g in
+        let assign = Sched.Partition.initial config g ~ii in
+        let outcome heuristic cache =
+          let state = Replication.State.create config g ~assign in
+          let extra = Replication.State.extra_coms state ~ii in
+          if extra = 0 then None
+          else
+            let picked =
+              Replication.Replicate.select ~heuristic ~cache state ~ii ~extra
+            in
+            Some
+              ( Option.map (List.map canonical_subgraph) picked,
+                List.sort compare (Replication.State.comms state) )
+        in
+        let agree heuristic =
+          match (outcome heuristic true, outcome heuristic false) with
+          | None, None -> true
+          | a, b -> a = b
+        in
+        match
+          Replication.State.extra_coms
+            (Replication.State.create config g ~assign)
+            ~ii
+        with
+        | 0 -> QCheck.assume_fail ()
+        | _ ->
+            List.for_all agree
+              [
+                Replication.Replicate.Lowest_weight;
+                Replication.Replicate.First_come;
+                Replication.Replicate.Fewest_added;
+              ]
+      end)
+
+(* The adjacency views precomputed by [Graph.Builder.build] must match
+   their original filter-based definitions. *)
+let prop_precomputed_adjacency =
+  QCheck.Test.make ~name:"precomputed adjacency matches filtered edges"
+    ~count:200 seed_arb (fun seed ->
+      let g = graph_of_seed seed in
+      let is_reg e = e.Graph.kind = Graph.Reg in
+      List.for_all
+        (fun v ->
+          Graph.reg_succs g v = List.filter is_reg (Graph.succs g v)
+          && Graph.reg_preds g v = List.filter is_reg (Graph.preds g v)
+          && Graph.consumers g v
+             = List.sort_uniq compare
+                 (List.filter_map
+                    (fun e -> if is_reg e then Some e.Graph.dst else None)
+                    (Graph.succs g v))
+          && Graph.value_producers g v
+             = List.sort_uniq compare
+                 (List.filter_map
+                    (fun e -> if is_reg e then Some e.Graph.src else None)
+                    (Graph.preds g v))
+          && Graph.succ_ids g v
+             = List.map (fun e -> e.Graph.dst) (Graph.succs g v)
+          && Graph.pred_ids g v
+             = List.map (fun e -> e.Graph.src) (Graph.preds g v))
+        (Graph.nodes g))
+
 let prop_generated_suite_schedulable =
   QCheck.Test.make ~name:"workload loops schedule on all paper configs"
     ~count:60
@@ -381,5 +461,7 @@ let suite =
       prop_unroll_preserves_work;
       prop_spill_rewrite_shape;
       prop_spiller_never_raises_ii;
+      prop_cached_select_matches_oracle;
+      prop_precomputed_adjacency;
       prop_generated_suite_schedulable;
     ]

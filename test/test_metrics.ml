@@ -182,8 +182,63 @@ let test_figures_render () =
       check bool (id ^ " non-empty") true (String.length text > 40))
     (Metrics.Figures.all suite)
 
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  let xs = List.init 100 Fun.id in
+  let f x = (2 * x) + 1 in
+  let expect = List.map f xs in
+  List.iter
+    (fun jobs ->
+      check (Alcotest.list int)
+        (Printf.sprintf "map order at jobs=%d" jobs)
+        expect
+        (Metrics.Pool.map ~jobs f xs))
+    [ 1; 2; 3; 8 ];
+  check (Alcotest.list int) "empty input" []
+    (Metrics.Pool.map ~jobs:4 f []);
+  check (Alcotest.list int) "more jobs than items" [ 1; 3 ]
+    (Metrics.Pool.map ~jobs:16 f [ 0; 1 ])
+
+let test_pool_filter_map () =
+  let xs = List.init 50 Fun.id in
+  let f x = if x mod 3 = 0 then Some (x * x) else None in
+  let expect = List.filter_map f xs in
+  List.iter
+    (fun jobs ->
+      check (Alcotest.list int)
+        (Printf.sprintf "filter_map at jobs=%d" jobs)
+        expect
+        (Metrics.Pool.filter_map ~jobs f xs))
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_pool_exception () =
+  (* the first failure in input order propagates, at any parallelism *)
+  List.iter
+    (fun jobs ->
+      match
+        Metrics.Pool.map ~jobs
+          (fun x -> if x >= 7 then raise (Boom x) else x)
+          (List.init 20 Fun.id)
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+      | exception Boom x ->
+          check int (Printf.sprintf "jobs=%d first failure" jobs) 7 x)
+    [ 1; 2; 4 ]
+
+let test_pool_default_jobs () =
+  check bool "default_jobs positive" true (Metrics.Pool.default_jobs () >= 1)
+
 let suite =
   [
+    Alcotest.test_case "pool map order" `Quick test_pool_map_order;
+    Alcotest.test_case "pool filter_map" `Quick test_pool_filter_map;
+    Alcotest.test_case "pool exception" `Quick test_pool_exception;
+    Alcotest.test_case "pool default jobs" `Quick test_pool_default_jobs;
     Alcotest.test_case "hmean" `Quick test_hmean;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "run_loop all modes" `Quick test_run_loop_modes;

@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-smoke clean
+.PHONY: all check test bench bench-smoke bench-diff clean
 
 all:
 	dune build
@@ -20,6 +20,19 @@ bench:
 # per-section timing JSON.  Exits non-zero if any section fails.
 bench-smoke:
 	dune exec bench/main.exe -- --quick --jobs 2 --bench-json BENCH_sched.json
+
+# Regression gate: re-run the quick benchmark and compare total wall
+# time against the committed BENCH_sched.json; fail if it regressed by
+# more than 25%.
+bench-diff:
+	dune exec bench/main.exe -- --quick --jobs 2 --bench-json /tmp/bench_new.json
+	@old=$$(sed -n 's/.*"total_seconds": \([0-9.]*\).*/\1/p' BENCH_sched.json); \
+	new=$$(sed -n 's/.*"total_seconds": \([0-9.]*\).*/\1/p' /tmp/bench_new.json); \
+	echo "bench-diff: committed $${old}s, current $${new}s"; \
+	awk -v old="$$old" -v new="$$new" 'BEGIN { \
+	  if (old == "" || new == "") { print "bench-diff: missing total_seconds"; exit 1 } \
+	  if (new > old * 1.25) { printf "bench-diff: FAIL (%.3fs > %.3fs * 1.25)\n", new, old; exit 1 } \
+	  printf "bench-diff: OK (within 25%% of committed)\n" }'
 
 clean:
 	dune clean

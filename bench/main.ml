@@ -18,6 +18,11 @@
 
 type timing = { t_id : string; t_seconds : float; t_ok : bool }
 
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: tl -> x :: take (k - 1) tl
+
 (* ------------------------------------------------------------------ *)
 (* Perf trajectory output                                              *)
 (* ------------------------------------------------------------------ *)
@@ -60,13 +65,7 @@ let quick_loops () =
   (* First few loops of each benchmark: enough to exercise every code
      path while keeping a smoke run under a couple of seconds. *)
   List.concat_map
-    (fun (b : Workload.Benchmark.t) ->
-      let rec take k = function
-        | [] -> []
-        | _ when k = 0 -> []
-        | x :: tl -> x :: take (k - 1) tl
-      in
-      take 2 (Workload.Generator.generate b))
+    (fun (b : Workload.Benchmark.t) -> take 2 (Workload.Generator.generate b))
     Workload.Benchmark.all
 
 (* ------------------------------------------------------------------ *)
@@ -194,9 +193,6 @@ let run_ablations ~quick ~jobs =
 let run_extensions ~quick ~jobs =
   let loops = if quick then quick_loops () else Workload.Generator.suite () in
   (* unrolling multiplies the body; keep the evaluation affordable *)
-  let rec take k = function
-    | [] -> [] | _ when k = 0 -> [] | x :: tl -> x :: take (k - 1) tl
-  in
   let loops = if quick then loops else take 200 loops in
   let config = Option.get (Machine.Config.of_name "4c1b2l64r") in
   let evaluate name prepare transform =

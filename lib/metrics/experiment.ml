@@ -13,6 +13,41 @@ type loop_run = {
   counts : Sim.Lockstep.counts;
 }
 
+(* Substring search shared by the error classification below and the
+   test/tooling layers (the stdlib has no [String.contains_s]). *)
+let contains s ~sub =
+  let ls = String.length sub and n = String.length s in
+  if ls = 0 then true
+  else begin
+    let c0 = sub.[0] in
+    let rec from i =
+      if i + ls > n then false
+      else
+        match String.index_from_opt s i c0 with
+        | None -> false
+        | Some j ->
+            (j + ls <= n && String.sub s j ls = sub) || from (j + 1)
+    in
+    from 0
+  end
+
+(* Schedule -> check -> simulate; everything after the driver returns. *)
+let finish_run ~mode ~latency0 ~stats (loop : Workload.Generator.loop)
+    (outcome : Sched.Driver.outcome) =
+  match Sim.Checker.check ~registers:(not latency0) outcome.schedule with
+  | Error es ->
+      Error
+        (Printf.sprintf "%s: illegal schedule: %s" loop.id
+           (String.concat "; " es))
+  | Ok () -> (
+      let useful = Ddg.Graph.n_nodes loop.graph in
+      match
+        Sim.Lockstep.run ~useful_per_iteration:useful outcome.schedule
+          ~iterations:loop.trip
+      with
+      | Error e -> Error (Printf.sprintf "%s: simulation: %s" loop.id e)
+      | Ok counts -> Ok { loop; mode; outcome; repl_stats = stats; counts })
+
 let run_with ?(mode = Baseline) ?(latency0 = false) ?(length_pass = false)
     ?spiller ~transform ~stats_ref config (loop : Workload.Generator.loop) =
   let scheduled =
@@ -31,69 +66,90 @@ let run_with ?(mode = Baseline) ?(latency0 = false) ?(length_pass = false)
   in
   match scheduled with
   | Error e -> Error (Printf.sprintf "%s: %s" loop.id e)
-  | Ok outcome -> (
-      match Sim.Checker.check ~registers:(not latency0) outcome.schedule with
-      | Error es ->
-          Error
-            (Printf.sprintf "%s: illegal schedule: %s" loop.id
-               (String.concat "; " es))
-      | Ok () -> (
-          let useful = Ddg.Graph.n_nodes loop.graph in
-          match
-            Sim.Lockstep.run ~useful_per_iteration:useful outcome.schedule
-              ~iterations:loop.trip
-          with
-          | Error e -> Error (Printf.sprintf "%s: simulation: %s" loop.id e)
-          | Ok counts ->
-              Ok
-                {
-                  loop;
-                  mode;
-                  outcome;
-                  repl_stats = !stats_ref;
-                  counts;
-                }))
+  | Ok outcome -> finish_run ~mode ~latency0 ~stats:!stats_ref loop outcome
+
+let transform_of_mode = function
+  | Baseline -> (None, ref None)
+  | Replication | Replication_latency0 | Replication_length ->
+      let t, r = Replication.Replicate.transform () in
+      (Some t, r)
+  | Macro_replication ->
+      let t, r = Replication.Macro.transform () in
+      (Some t, r)
 
 let run_loop mode config loop =
-  let transform, stats_ref =
-    match mode with
-    | Baseline -> (None, ref None)
-    | Replication | Replication_latency0 | Replication_length ->
-        let t, r = Replication.Replicate.transform () in
-        (Some t, r)
-    | Macro_replication ->
-        let t, r = Replication.Macro.transform () in
-        (Some t, r)
-  in
+  let transform, stats_ref = transform_of_mode mode in
   run_with ~mode ~latency0:(mode = Replication_latency0)
     ~length_pass:(mode = Replication_length) ~transform ~stats_ref config
     loop
 
 exception Illegal of string
 
+(* A schedule that exists but breaks the machine rules is a bug and must
+   explode; a loop the scheduler gives up on (e.g. at 8 registers per
+   cluster) is data and is skipped, as the paper skips loops that cannot
+   be modulo scheduled. *)
+let error_is_bug e =
+  contains e ~sub:"illegal schedule" || contains e ~sub:"simulation:"
+
+let keep_or_raise = function
+  | Ok r -> Some r
+  | Error e -> if error_is_bug e then raise (Illegal e) else None
+
 let run_suite ?(jobs = 1) mode config loops =
-  Pool.filter_map ~jobs
-    (fun l ->
-      match run_loop mode config l with
-      | Ok r -> Some r
-      | Error e ->
-          (* A schedule that exists but breaks the machine rules is a bug
-             and must explode; a loop the scheduler gives up on (e.g. at 8
-             registers per cluster) is data and is skipped, as the paper
-             skips loops that cannot be modulo scheduled. *)
-          if
-            String.length e > 0
-            && (let has sub =
-                  let ls = String.length sub and le = String.length e in
-                  let rec go i =
-                    i + ls <= le && (String.sub e i ls = sub || go (i + 1))
-                  in
-                  go 0
-                in
-                has "illegal schedule" || has "simulation:")
-          then raise (Illegal e)
-          else None)
-    loops
+  Pool.filter_map ~jobs (fun l -> keep_or_raise (run_loop mode config l)) loops
+
+(* ------------------------------------------------------------------ *)
+(* Register-family sweeps over an escalation trace                      *)
+(* ------------------------------------------------------------------ *)
+
+type traced = {
+  tr_loop : Workload.Generator.loop;
+  tr_mode : mode;
+  tr_trace : Sched.Driver.Trace.t;
+  tr_transform : Sched.Driver.transform option;
+  tr_stats0 : Replication.Replicate.stats option;
+      (* stats of the recording run's final attempt: also the stats of
+         any replay answered purely from the trace *)
+  tr_stats_ref : Replication.Replicate.stats option ref;
+}
+
+let record_trace mode config loop =
+  (match mode with
+  | Baseline | Replication | Macro_replication -> ()
+  | Replication_latency0 | Replication_length ->
+      invalid_arg "Experiment.record_trace: mode is not register-sweepable");
+  let transform, stats_ref = transform_of_mode mode in
+  let trace =
+    match transform with
+    | None -> Sched.Driver.Trace.record config loop.Workload.Generator.graph
+    | Some t ->
+        Sched.Driver.Trace.record ~transform:t config
+          loop.Workload.Generator.graph
+  in
+  {
+    tr_loop = loop;
+    tr_mode = mode;
+    tr_trace = trace;
+    tr_transform = transform;
+    tr_stats0 = !stats_ref;
+    tr_stats_ref = stats_ref;
+  }
+
+let replay_traced ?spiller tr config =
+  let result, live =
+    match tr.tr_transform with
+    | None -> Sched.Driver.Trace.replay ?spiller tr.tr_trace config
+    | Some t -> Sched.Driver.Trace.replay ~transform:t ?spiller tr.tr_trace config
+  in
+  (* A live fallback re-ran the transform; a pure replay reuses the
+     recording's final attempt, whose stats were captured at record
+     time. *)
+  let stats = if live then !(tr.tr_stats_ref) else tr.tr_stats0 in
+  match result with
+  | Error e -> Error (Printf.sprintf "%s: %s" tr.tr_loop.Workload.Generator.id e)
+  | Ok outcome ->
+      finish_run ~mode:tr.tr_mode ~latency0:false ~stats tr.tr_loop outcome
 
 let ipc runs =
   let num, den =

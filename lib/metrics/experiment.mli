@@ -50,6 +50,15 @@ val run_with :
 
 exception Illegal of string
 
+val contains : string -> sub:string -> bool
+(** Plain substring search (the stdlib has none); shared by the error
+    classification here, the suite's sweep replays, and tooling. *)
+
+val error_is_bug : string -> bool
+(** Classify a runner error: true for legality-checker and simulator
+    failures (which must {!Illegal}-explode), false for loops the
+    scheduler merely gives up on (skippable data). *)
+
 val run_suite :
   ?jobs:int ->
   mode ->
@@ -62,6 +71,35 @@ val run_suite :
     files) are skipped — the paper likewise reports only loops it can
     modulo schedule.  A schedule that fails the legality checker or the
     simulator raises {!Illegal}: that is a bug, not data. *)
+
+(** {1 Register-family sweeps}
+
+    The Section-4 register-sensitivity experiment runs the same loops on
+    machines that differ only in register-file size.  Since only the
+    driver's terminal register check reads that size, one recorded
+    escalation trace ({!Sched.Driver.Trace}) answers the whole family:
+    record once at the most permissive member, replay per member. *)
+
+type traced
+(** A loop's escalation trace plus the transform instance and replication
+    stats needed to replay it faithfully. *)
+
+val record_trace : mode -> Machine.Config.t -> Workload.Generator.loop -> traced
+(** Record the escalation trace of a loop at [config] (the most
+    permissive member of the register family).  Only [Baseline],
+    [Replication] and [Macro_replication] are register-sweepable.
+    @raise Invalid_argument on the latency-0 and length-pass modes. *)
+
+val replay_traced :
+  ?spiller:Sched.Driver.spiller ->
+  traced ->
+  Machine.Config.t ->
+  (loop_run, string) result
+(** Answer one family member from the trace — checker and simulator
+    included, exactly as {!run_loop} would have produced (the test suite
+    pins the equality).  With [spiller], replays fall back to live
+    scheduling at the first register overflow (see
+    {!Sched.Driver.Trace.replay}). *)
 
 (** {1 Aggregation} *)
 

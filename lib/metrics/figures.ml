@@ -422,19 +422,27 @@ type sec4_regs_row = {
   r_hmean_repl : float;
 }
 
-let sec4_regs_data suite =
+(* The machines of the register-sensitivity study: identical but for the
+   register-file size, so the suite can answer all three from one
+   escalation trace per loop (Suite.sweep_runs). *)
+let sec4_regs_family =
   List.map
     (fun regs ->
-      let config =
-        Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2
-          ~registers:regs
-      in
+      Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:regs)
+    [ 32; 64; 128 ]
+
+let sec4_regs_data suite =
+  List.iter
+    (fun mode -> ignore (Suite.sweep_runs suite mode sec4_regs_family))
+    [ Experiment.Baseline; Experiment.Replication ];
+  List.map
+    (fun (config : Machine.Config.t) ->
       {
-        registers = regs;
+        registers = config.Machine.Config.total_registers;
         r_hmean_base = hmean_ipc suite Experiment.Baseline config;
         r_hmean_repl = hmean_ipc suite Experiment.Replication config;
       })
-    [ 32; 64; 128 ]
+    sec4_regs_family
 
 (* extension row: the 32-register machine again, but with spill code
    instead of pure II escalation on register overflow *)
@@ -442,27 +450,17 @@ let sec4_regs_spill_row suite =
   let config =
     Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:32
   in
-  let run transform =
-    let runs =
-      List.filter_map
-        (fun l ->
-          let tr, stats_ref =
-            match transform with
-            | Some mk -> (let t, r = mk () in (Some t, r))
-            | None -> (None, ref None)
-          in
-          Result.to_option
-            (Experiment.run_with ~spiller:Sched.Spill.spiller ~transform:tr
-               ~stats_ref config l))
-        (Suite.loops suite)
-    in
+  (* Answered from the same traces as the 32-register rows above: a
+     replay only goes live (and pays for rescheduling) on loops where
+     the spiller actually has registers to spill. *)
+  let run mode =
     Experiment.hmean
       (List.filter_map
          (fun (_, rs) -> if rs = [] then None else Some (Experiment.ipc rs))
-         (Experiment.group_by_benchmark runs))
+         (Experiment.group_by_benchmark (Suite.spill_runs suite mode config)))
   in
-  let base = run None in
-  let repl = run (Some (fun () -> Replication.Replicate.transform ())) in
+  let base = run Experiment.Baseline in
+  let repl = run Experiment.Replication in
   [
     "4c1b2l32r+spill";
     Table.f2 base;
@@ -471,7 +469,9 @@ let sec4_regs_spill_row suite =
   ]
 
 let sec4_regs suite =
-  let rows =
+  (* data rows first: they record the family traces at 128 registers,
+     which the spill row then replays at 32 *)
+  let data_rows =
     List.map
       (fun r ->
         [
@@ -482,8 +482,8 @@ let sec4_regs suite =
             (100. *. (r.r_hmean_repl /. r.r_hmean_base -. 1.));
         ])
       (sec4_regs_data suite)
-    @ [ sec4_regs_spill_row suite ]
   in
+  let rows = data_rows @ [ sec4_regs_spill_row suite ] in
   "Section 4, register sensitivity: 32/64/128 registers give similar\n\
    results (paper's claim).  The +spill row is our extension: splitting\n\
    over-long live ranges through the shared memory instead of raising\n\

@@ -17,8 +17,13 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
 let map ?jobs f xs =
   let input = Array.of_list xs in
   let n = Array.length input in
+  (* More domains than the machine has cores buys nothing for this
+     CPU-bound work and costs real time in minor-GC synchronization, so
+     an explicit [jobs] is capped at the recommended domain count. *)
   let jobs =
-    match jobs with Some j -> max 1 (min j n) | None -> min (default_jobs ()) n
+    match jobs with
+    | Some j -> max 1 (min (min j (default_jobs ())) n)
+    | None -> min (default_jobs ()) n
   in
   if n = 0 then []
   else if jobs <= 1 then List.map f xs

@@ -11,10 +11,12 @@ val default_jobs : unit -> int
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs] computed on up to [jobs] domains
-    ([default_jobs ()] when omitted; clamped to the input size).  Results
-    keep input order.  [jobs <= 1] runs sequentially in the calling
-    domain.  If any application raises, the first exception in input
-    order is re-raised after all domains have joined. *)
+    ([default_jobs ()] when omitted; clamped to the input size and to
+    {!default_jobs} — domains beyond the core count only add minor-GC
+    synchronization overhead).  Results keep input order.  An effective
+    job count of 1 runs sequentially in the calling domain.  If any
+    application raises, the first exception in input order is re-raised
+    after all domains have joined. *)
 
 val filter_map : ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b list
 (** [filter_map ~jobs f xs] is [List.filter_map f xs] with the

@@ -1,6 +1,10 @@
 type t = {
   loops_ : Workload.Generator.loop list;
   cache : (string, Experiment.loop_run list) Hashtbl.t;
+  family : (string, Machine.Config.t * Experiment.traced list) Hashtbl.t;
+      (* recording config + one trace per loop; the config remembers how
+         permissive the recording was, so a later request for a bigger
+         register file knows to re-record *)
   jobs_ : int;
 }
 
@@ -8,7 +12,12 @@ let create ?loops ?(jobs = 1) () =
   let loops_ =
     match loops with Some l -> l | None -> Workload.Generator.suite ()
   in
-  { loops_; cache = Hashtbl.create 32; jobs_ = jobs }
+  {
+    loops_;
+    cache = Hashtbl.create 32;
+    family = Hashtbl.create 8;
+    jobs_ = jobs;
+  }
 
 let loops t = t.loops_
 
@@ -19,14 +28,92 @@ let mode_tag = function
   | Experiment.Macro_replication -> "macro"
   | Experiment.Replication_length -> "repllen"
 
+let runs_key mode config = mode_tag mode ^ "/" ^ Machine.Config.name config
+
+(* Register-blind identity of a configuration: everything the
+   escalation attempts depend on (clusters via the unit matrix, buses,
+   latency, copy slot), so machines differing only in register count
+   share one trace set. *)
+let family_key mode (c : Machine.Config.t) =
+  let cluster_units r =
+    String.concat "." (List.map string_of_int (Array.to_list r))
+  in
+  Printf.sprintf "%s/%db%dl[%s]%s" (mode_tag mode) c.Machine.Config.buses
+    c.Machine.Config.bus_latency
+    (String.concat "+"
+       (Array.to_list (Array.map cluster_units c.Machine.Config.fu_matrix)))
+    (if c.Machine.Config.copy_uses_int_slot then "+cp" else "")
+
 let runs t mode config =
-  let key = mode_tag mode ^ "/" ^ Machine.Config.name config in
+  let key = runs_key mode config in
   match Hashtbl.find_opt t.cache key with
   | Some r -> r
   | None ->
       let r = Experiment.run_suite ~jobs:t.jobs_ mode config t.loops_ in
       Hashtbl.replace t.cache key r;
       r
+
+(* One trace per loop, recorded at [at] on the pool and memoized per
+   (mode, register-blind family).  A later call with [at] no more
+   permissive than the recording reuses the cached traces; a bigger
+   register file forces a fresh, more permissive recording. *)
+let family_traces t mode ~at =
+  let key = family_key mode at in
+  match Hashtbl.find_opt t.family key with
+  | Some (recorded_at, trs)
+    when (at : Machine.Config.t).Machine.Config.total_registers
+         <= recorded_at.Machine.Config.total_registers ->
+      trs
+  | _ ->
+      let trs =
+        Pool.map ~jobs:t.jobs_ (Experiment.record_trace mode at) t.loops_
+      in
+      Hashtbl.replace t.family key (at, trs);
+      trs
+
+let replay_all t ?spiller trs config =
+  Pool.filter_map ~jobs:t.jobs_
+    (fun tr ->
+      match Experiment.replay_traced ?spiller tr config with
+      | Ok r -> Some r
+      | Error e ->
+          if Experiment.error_is_bug e then raise (Experiment.Illegal e)
+          else None)
+    trs
+
+let sweep_runs t mode configs =
+  (match configs with
+  | [] -> ()
+  | c0 :: _ ->
+      let permissive =
+        List.fold_left
+          (fun best (c : Machine.Config.t) ->
+            if
+              c.Machine.Config.total_registers
+              > best.Machine.Config.total_registers
+            then c
+            else best)
+          c0 configs
+      in
+      let uncached =
+        List.filter
+          (fun c -> not (Hashtbl.mem t.cache (runs_key mode c)))
+          configs
+      in
+      if uncached <> [] then begin
+        let trs = family_traces t mode ~at:permissive in
+        List.iter
+          (fun config ->
+            Hashtbl.replace t.cache (runs_key mode config)
+              (replay_all t trs config))
+          uncached
+      end);
+  List.map (fun c -> (c, runs t mode c)) configs
+
+let spill_runs t mode config =
+  replay_all t ~spiller:Sched.Spill.spiller
+    (family_traces t mode ~at:config)
+    config
 
 let benchmark_runs t mode config =
   Experiment.group_by_benchmark (runs t mode config)

@@ -17,6 +17,31 @@ val runs :
   t -> Experiment.mode -> Machine.Config.t -> Experiment.loop_run list
 (** Cached sweep of every loop under the mode and configuration. *)
 
+val sweep_runs :
+  t ->
+  Experiment.mode ->
+  Machine.Config.t list ->
+  (Machine.Config.t * Experiment.loop_run list) list
+(** Sweep a register family: configurations that differ only in
+    register-file size.  Records one escalation trace per loop at the
+    most permissive member ({!Experiment.record_trace}) and answers every
+    member by replay, so the family costs one scheduling pass instead of
+    one per member.  Traces are cached per (mode, register-blind config),
+    replayed runs land in the same cache {!runs} reads — members already
+    swept directly keep their cached results (replay is pinned equal to a
+    direct run by the test suite).  Result list is in input order. *)
+
+val spill_runs :
+  t ->
+  Experiment.mode ->
+  Machine.Config.t ->
+  Experiment.loop_run list
+(** Like a {!runs} sweep with {!Sched.Spill.spiller} installed, answered
+    from the family's cached traces: replays go live at the first
+    register overflow (the spiller rewrites the graph, invalidating the
+    recorded attempts), so only loops that actually overflow pay for
+    rescheduling.  Not stored in the plain-runs cache. *)
+
 val benchmark_runs :
   t ->
   Experiment.mode ->

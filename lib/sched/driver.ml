@@ -24,94 +24,381 @@ type spiller =
   assign:int array ->
   (Ddg.Graph.t * int array) option
 
-let schedule_loop ?transform ?max_ii ?(latency0 = false) ?spiller config g =
-  (* rec_mii of the original graph is reused by every partition call of
-     the escalation loop; compute the binary search once. *)
-  let rec_mii = Ddg.Mii.rec_mii g in
-  let mii = max (Ddg.Mii.res_mii config g) rec_mii in
-  let cap = match max_ii with Some m -> m | None -> (16 * mii) + 64 in
-  let bus = ref 0 and recur = ref 0 and regs = ref 0 in
-  let bump = function
-    | Bus -> incr bus
-    | Recurrence -> incr recur
-    | Registers -> incr regs
+(* ------------------------------------------------------------------ *)
+(* The escalation engine                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A successful placement carries everything [finish] needs plus the
+   MaxLive vector, so a trace replay can re-judge the same schedule
+   against a smaller register file without rescheduling. *)
+type placed = {
+  p_schedule : Schedule.t;
+  p_graph : Ddg.Graph.t;
+  p_assign : int array;
+  p_pressure : int array;  (* MaxLive per cluster; [||] in latency0 mode *)
+}
+
+type attempt_result = Placed of placed | Failed of cause
+
+type counters = {
+  mutable c_bus : int;
+  mutable c_recur : int;
+  mutable c_regs : int;
+}
+
+let bump cs = function
+  | Bus -> cs.c_bus <- cs.c_bus + 1
+  | Recurrence -> cs.c_recur <- cs.c_recur + 1
+  | Registers -> cs.c_regs <- cs.c_regs + 1
+
+let finish ~mii ~counters p ii =
+  Ok
+    {
+      schedule = p.p_schedule;
+      graph = p.p_graph;
+      assign = p.p_assign;
+      mii;
+      ii;
+      increments =
+        [
+          (Bus, counters.c_bus);
+          (Recurrence, counters.c_recur);
+          (Registers, counters.c_regs);
+        ];
+      n_comms = Route.n_copies p.p_schedule.Schedule.route;
+    }
+
+(* Signature of a register-caused failure: the placement the register
+   check finally rejected (cycles and MaxLive), and how many spill
+   rounds ran.  When two consecutive II levels produce equal signatures
+   for equal partitions, the escalation has stopped responding to the II
+   — see [stationary_limit] below. *)
+type reg_sig = {
+  rs_pressure : int array;
+  rs_cycles : int array;
+  rs_rounds : int;
+}
+
+(* One full attempt — transform hook, bus check, routing, placement,
+   register check (with optional spill-and-retry) — at a fixed II and
+   partition.  Also returns the register-failure signature when the
+   attempt died on the register check. *)
+let try_once_sig ?transform ?(latency0 = false) ?spiller config g ~ii ~assign =
+  let g0', assign0' =
+    match transform with
+    | None -> (g, assign)
+    | Some f -> (
+        match f config g ~assign ~ii with
+        | Some (g', a') -> (g', a')
+        | None -> (g, assign))
   in
-  let finish schedule graph assign ii =
-    Ok
-      {
-        schedule;
-        graph;
-        assign;
-        mii;
-        ii;
-        increments =
-          [ (Bus, !bus); (Recurrence, !recur); (Registers, !regs) ];
-        n_comms = Route.n_copies schedule.Schedule.route;
-      }
+  let limit = Machine.Config.registers_per_cluster config in
+  let rec route_and_place g' assign' spills_left =
+    if Comm.extra config g' ~assign:assign' ~ii > 0 then (Failed Bus, None)
+    else begin
+      let route = Route.build ~latency0 config g' ~assign:assign' in
+      if not (Ddg.Mii.feasible_ii route.Route.graph ii) then
+        (* Copies stretched a recurrence beyond the current II: the bus
+           latency is to blame (the plain graph is feasible at
+           ii >= mii). *)
+        (Failed Bus, None)
+      else
+        match Place.try_schedule config route ~ii with
+        | Error f ->
+            (Failed (if f.Place.copy_involved then Bus else Recurrence), None)
+        | Ok schedule ->
+            (* The latency-0 upper-bound schedule is knowingly wrong
+               (Section 5.1); register feasibility is not enforced on
+               it. *)
+            let pressure =
+              if latency0 then [||] else Regpressure.max_per_cluster schedule
+            in
+            if latency0 || Array.for_all (fun p -> p <= limit) pressure then
+              ( Placed
+                  {
+                    p_schedule = schedule;
+                    p_graph = g';
+                    p_assign = assign';
+                    p_pressure = pressure;
+                  },
+                None )
+            else begin
+              let fail () =
+                ( Failed Registers,
+                  Some
+                    {
+                      rs_pressure = pressure;
+                      rs_cycles = schedule.Schedule.cycles;
+                      rs_rounds = 4 - spills_left;
+                    } )
+              in
+              match spiller with
+              | Some f when spills_left > 0 -> (
+                  match f config schedule ~graph:g' ~assign:assign' with
+                  | Some (g'', a'') -> route_and_place g'' a'' (spills_left - 1)
+                  | None -> fail ())
+              | _ -> fail ()
+            end
+    end
   in
-  (* One full attempt — transform hook, bus check, routing, placement,
-     register check (with optional spill-and-retry) — at a fixed II and
-     partition. *)
-  let try_at ii assign =
-    let g0', assign0' =
-      match transform with
-      | None -> (g, assign)
-      | Some f -> (
-          match f config g ~assign ~ii with
-          | Some (g', a') -> (g', a')
-          | None -> (g, assign))
-    in
-    let rec route_and_place g' assign' spills_left =
-      if Comm.extra config g' ~assign:assign' ~ii > 0 then Error Bus
-      else begin
-        let route = Route.build ~latency0 config g' ~assign:assign' in
-        if not (Ddg.Mii.feasible_ii route.Route.graph ii) then
-          (* Copies stretched a recurrence beyond the current II: the bus
-             latency is to blame (the plain graph is feasible at
-             ii >= mii). *)
-          Error Bus
-        else
-          match Place.try_schedule config route ~ii with
-          | Error f ->
-              Error (if f.Place.copy_involved then Bus else Recurrence)
-          | Ok schedule ->
-              (* The latency-0 upper-bound schedule is knowingly wrong
-                 (Section 5.1); register feasibility is not enforced on
-                 it. *)
-              if latency0 || Regpressure.ok schedule then
-                Ok (schedule, g', assign')
-              else begin
-                match spiller with
-                | Some f when spills_left > 0 -> (
-                    match f config schedule ~graph:g' ~assign:assign' with
-                    | Some (g'', a'') ->
-                        route_and_place g'' a'' (spills_left - 1)
-                    | None -> Error Registers)
-                | _ -> Error Registers
-              end
-      end
-    in
-    route_and_place g0' assign0' 4
+  route_and_place g0' assign0' 4
+
+(* The escalation loop visits every II from the MII up, but a loop the
+   register file simply cannot hold keeps producing the exact same
+   failure: the partitioner has settled, placement no longer wraps
+   around the (now huge) II, MaxLive is constant, and nothing in the
+   remaining walk to the cap can change.  After this many consecutive
+   levels with identical partitions and identical register-failure
+   signatures (both for the refined lineage and the from-scratch second
+   chance), the escalation concludes the cap failure immediately instead
+   of re-scheduling the same loop a hundred more times.  Any difference
+   at all — a bus or recurrence failure, a changed partition, a changed
+   placement or pressure vector — resets the count. *)
+let stationary_limit = 12
+
+(* Level signature for the stationarity check: only register-caused
+   failures qualify (bus and recurrence failures genuinely depend on the
+   II and do resolve as it grows). *)
+let level_sig ~assign ~lsig ~fresh_result =
+  match (lsig : reg_sig option) with
+  | None -> None
+  | Some ls -> (
+      match fresh_result with
+      | None -> Some (assign, ls, None)
+      | Some (_, (None : reg_sig option)) -> None
+      | Some (fresh, Some fs) -> Some (assign, ls, Some (fresh, fs)))
+
+(* One II level of the escalation as the recorder sees it: the refined
+   lineage attempt and, when the lineage failed and a from-scratch
+   partition differed, the second-chance attempt. *)
+type level = {
+  l_ii : int;
+  l_assign : int array;  (* lineage partition the level started from *)
+  l_lineage : attempt_result;
+  l_fresh : attempt_result option;
+      (* [None] when the lineage attempt succeeded, or when the fresh
+         partition was identical to the lineage one (no second try) *)
+}
+
+(* The Figure-2 escalation loop from an arbitrary (ii, assign) state.
+   [on_level] observes every II level tried, for trace recording. *)
+let escalate ?transform ?(latency0 = false) ?spiller ?on_level config g
+    ~rec_mii ~mii ~cap ~counters ii0 assign0 =
+  let observe l = match on_level with Some f -> f l | None -> () in
+  let give_up () =
+    Error (Printf.sprintf "no schedule found up to II=%d (MII=%d)" cap mii)
   in
-  let rec attempt ii assign =
-    if ii > cap then
-      Error (Printf.sprintf "no schedule found up to II=%d (MII=%d)" cap mii)
+  let rec attempt ~streak ~prev_sig ii assign =
+    if ii > cap then give_up ()
     else
-      match try_at ii assign with
-      | Ok (schedule, g', assign') -> finish schedule g' assign' ii
-      | Error cause -> (
+      match
+        try_once_sig ?transform ~latency0 ?spiller config g ~ii ~assign
+      with
+      | Placed p, _ ->
+          observe { l_ii = ii; l_assign = assign; l_lineage = Placed p;
+                    l_fresh = None };
+          finish ~mii ~counters p ii
+      | Failed cause, lsig ->
           (* The refined lineage can sit in a local optimum that never
              schedules; a from-scratch partition at this II is an
              independent second chance before escalating (Figure 2 only
              refines, but without this the escalation may not
              terminate). *)
           let fresh = Partition.initial ~rec_mii config g ~ii in
-          let fresh_differs = fresh <> assign in
-          match (if fresh_differs then try_at ii fresh else Error cause) with
-          | Ok (schedule, g', assign') -> finish schedule g' assign' ii
-          | Error _ ->
-              bump cause;
-              let ii = ii + 1 in
-              attempt ii (Partition.refine ~rec_mii config g ~ii assign))
+          let fresh_try =
+            if fresh <> assign then
+              Some
+                (try_once_sig ?transform ~latency0 ?spiller config g ~ii
+                   ~assign:fresh)
+            else None
+          in
+          observe { l_ii = ii; l_assign = assign; l_lineage = Failed cause;
+                    l_fresh = Option.map fst fresh_try };
+          (match fresh_try with
+          | Some (Placed p, _) -> finish ~mii ~counters p ii
+          | Some (Failed _, _) | None ->
+              bump counters cause;
+              let here =
+                level_sig ~assign ~lsig
+                  ~fresh_result:
+                    (Option.map (fun (_, fs) -> (fresh, fs)) fresh_try)
+              in
+              let streak =
+                if here <> None && here = prev_sig then streak + 1 else 0
+              in
+              if streak >= stationary_limit then give_up ()
+              else begin
+                let ii = ii + 1 in
+                attempt ~streak ~prev_sig:here ii
+                  (Partition.refine ~rec_mii config g ~ii assign)
+              end)
   in
-  attempt mii (Partition.initial ~rec_mii config g ~ii:mii)
+  attempt ~streak:0 ~prev_sig:None ii0 assign0
+
+let default_cap mii = (16 * mii) + 64
+
+let schedule_loop ?transform ?max_ii ?(latency0 = false) ?spiller config g =
+  (* rec_mii of the original graph is reused by every partition call of
+     the escalation loop; compute the binary search once. *)
+  let rec_mii = Ddg.Mii.rec_mii g in
+  let mii = max (Ddg.Mii.res_mii config g) rec_mii in
+  let cap = match max_ii with Some m -> m | None -> default_cap mii in
+  let counters = { c_bus = 0; c_recur = 0; c_regs = 0 } in
+  escalate ?transform ~latency0 ?spiller config g ~rec_mii ~mii ~cap ~counters
+    mii
+    (Partition.initial ~rec_mii config g ~ii:mii)
+
+(* ------------------------------------------------------------------ *)
+(* Escalation traces: schedule once, answer a register family           *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  type t = {
+    t_config : Machine.Config.t;
+    t_graph : Ddg.Graph.t;
+    t_rec_mii : int;
+    t_mii : int;
+    t_cap : int;
+    t_levels : level list;  (* in escalation order, MII upward *)
+    t_result : (outcome, string) result;
+  }
+
+  let config t = t.t_config
+  let result t = t.t_result
+
+  let record ?transform ?max_ii config g =
+    let rec_mii = Ddg.Mii.rec_mii g in
+    let mii = max (Ddg.Mii.res_mii config g) rec_mii in
+    let cap = match max_ii with Some m -> m | None -> default_cap mii in
+    let counters = { c_bus = 0; c_recur = 0; c_regs = 0 } in
+    let levels = ref [] in
+    let result =
+      escalate ?transform
+        ~on_level:(fun l -> levels := l :: !levels)
+        config g ~rec_mii ~mii ~cap ~counters mii
+        (Partition.initial ~rec_mii config g ~ii:mii)
+    in
+    {
+      t_config = config;
+      t_graph = g;
+      t_rec_mii = rec_mii;
+      t_mii = mii;
+      t_cap = cap;
+      t_levels = List.rev !levels;
+      t_result = result;
+    }
+
+  (* Everything except the register-file size must match: partitioning,
+     routing and placement only look at the structural fields, which is
+     what makes the recorded attempts valid for the whole family. *)
+  let same_family (a : Machine.Config.t) (b : Machine.Config.t) =
+    a.Machine.Config.clusters = b.Machine.Config.clusters
+    && a.Machine.Config.buses = b.Machine.Config.buses
+    && a.Machine.Config.bus_latency = b.Machine.Config.bus_latency
+    && a.Machine.Config.fu_matrix = b.Machine.Config.fu_matrix
+    && a.Machine.Config.copy_uses_int_slot = b.Machine.Config.copy_uses_int_slot
+
+  let replay ?transform ?spiller t config =
+    if not (same_family t.t_config config) then
+      invalid_arg "Driver.Trace.replay: config outside the recorded family";
+    let limit = Machine.Config.registers_per_cluster config in
+    if limit > Machine.Config.registers_per_cluster t.t_config then
+      invalid_arg "Driver.Trace.replay: config more permissive than the trace";
+    let g = t.t_graph in
+    let counters = { c_bus = 0; c_recur = 0; c_regs = 0 } in
+    let live = ref false in
+    let go_live ii assign =
+      live := true;
+      escalate ?transform ?spiller config g ~rec_mii:t.t_rec_mii ~mii:t.t_mii
+        ~cap:t.t_cap ~counters ii assign
+    in
+    (* Judge a recorded attempt under this register file.  [`Fits]: the
+       recorded schedule is within the limit (it then equals what a live
+       run would have produced, since placement never reads the register
+       count).  [`Fail c]: the attempt fails here too, with the same
+       cause — recorded bus/recurrence failures are register-invariant,
+       and a recorded register failure exceeded the recording limit,
+       hence also any tighter one.  [`Live]: a live run would diverge
+       from the trace — with a spiller, any register overflow rewrites
+       the graph, so the recorded continuation no longer applies. *)
+    let judge = function
+      | Placed p ->
+          if Array.for_all (fun x -> x <= limit) p.p_pressure then `Fits p
+          else if spiller <> None then `Live
+          else `Fail Registers
+      | Failed Registers when spiller <> None -> `Live
+      | Failed c -> `Fail c
+    in
+    let refit p =
+      { p with p_schedule = { p.p_schedule with Schedule.config } }
+    in
+    let rec walk = function
+      | [] ->
+          (* No level was ever attempted: the cap sat below the MII. *)
+          Error
+            (Printf.sprintf "no schedule found up to II=%d (MII=%d)" t.t_cap
+               t.t_mii)
+      | level :: rest -> (
+          let continue_failed cause =
+            bump counters cause;
+            match rest with
+            | _ :: _ -> walk rest
+            | [] ->
+                (* Trace dry: the recording stopped at this II (either it
+                   succeeded where we could not fit, or it hit the cap).
+                   Resume the live loop exactly where a from-scratch run
+                   would stand: next II, refined lineage partition. *)
+                let ii = level.l_ii + 1 in
+                go_live ii
+                  (Partition.refine ~rec_mii:t.t_rec_mii config g ~ii
+                     level.l_assign)
+          in
+          match judge level.l_lineage with
+          | `Fits p -> finish ~mii:t.t_mii ~counters (refit p) level.l_ii
+          | `Live -> go_live level.l_ii level.l_assign
+          | `Fail cause -> (
+              match level.l_fresh with
+              | Some fr -> (
+                  match judge fr with
+                  | `Fits p ->
+                      finish ~mii:t.t_mii ~counters (refit p) level.l_ii
+                  | `Live -> go_live level.l_ii level.l_assign
+                  | `Fail _ -> continue_failed cause)
+              | None ->
+                  (* The recording never tried a fresh partition here:
+                     either its lineage attempt succeeded (so the oracle's
+                     behaviour past the register check is unrecorded —
+                     explore it live), or the fresh partition was
+                     identical to the lineage one (then a live run skips
+                     it too). *)
+                  (match level.l_lineage with
+                  | Placed _ -> go_live level.l_ii level.l_assign
+                  | Failed _ -> continue_failed cause)))
+    in
+    let result = walk t.t_levels in
+    (result, !live)
+end
+
+let schedule_sweep ?transform ?max_ii ?spiller_for configs g =
+  match configs with
+  | [] -> []
+  | c0 :: _ ->
+      let permissive =
+        List.fold_left
+          (fun best c ->
+            if
+              c.Machine.Config.total_registers
+              > best.Machine.Config.total_registers
+            then c
+            else best)
+          c0 configs
+      in
+      let trace = Trace.record ?transform ?max_ii permissive g in
+      List.map
+        (fun c ->
+          let spiller =
+            match spiller_for with None -> None | Some f -> f c
+          in
+          let result, _live = Trace.replay ?transform ?spiller trace c in
+          (c, result))
+        configs

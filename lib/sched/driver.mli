@@ -61,3 +61,71 @@ val schedule_loop :
     returns [Error] — in practice only pathological inputs do.
     [latency0] routes communications with zero consumer latency (the
     Section-5.1 upper bound; see {!Route.build}). *)
+
+(** {1 Escalation traces}
+
+    Of the whole pipeline, only the register check at the end of a
+    successful placement reads the register-file size: partitioning,
+    replication, routing and placement depend on clusters, units, buses
+    and latencies alone.  Sweeping register configurations (the Section-4
+    sensitivity experiment) therefore repeats identical escalation work
+    per register count.  A {!Trace} records every attempt of one
+    escalation run at the family's most permissive register count; any
+    machine with the same structure and at most that many registers can
+    then be answered by re-judging the recorded attempts against its
+    register file, falling back to live escalation — resumed mid-trace,
+    not from MII — only where a live run would genuinely diverge. *)
+
+module Trace : sig
+  type t
+
+  val record :
+    ?transform:transform ->
+    ?max_ii:int ->
+    Machine.Config.t ->
+    Ddg.Graph.t ->
+    t
+  (** Run the escalation loop at [config] — the most permissive member
+      of the register family — recording every attempt: the II, the
+      partition it started from, and the outcome (a placed schedule with
+      its MaxLive per cluster, or the failure cause). *)
+
+  val result : t -> (outcome, string) result
+  (** The recording run's own outcome (what {!schedule_loop} would have
+      returned at the recording configuration). *)
+
+  val config : t -> Machine.Config.t
+
+  val replay :
+    ?transform:transform ->
+    ?spiller:spiller ->
+    t ->
+    Machine.Config.t ->
+    (outcome, string) result * bool
+  (** [replay t config] answers [config] from the trace; the result is
+      exactly what [schedule_loop] with the same hooks would return (the
+      property suite checks outcome equality).  The boolean is true when
+      the replay had to fall back to live scheduling: when the trace ran
+      dry (the recording succeeded at an II whose schedule exceeds this
+      register file), or — with a [spiller] — at the first register
+      overflow, since spilling rewrites the graph per configuration.
+      [transform] must be the hook the trace was recorded with.
+      @raise Invalid_argument if [config] differs from the recording
+      configuration in anything but the register count, or has more
+      registers than it. *)
+end
+
+val schedule_sweep :
+  ?transform:transform ->
+  ?max_ii:int ->
+  ?spiller_for:(Machine.Config.t -> spiller option) ->
+  Machine.Config.t list ->
+  Ddg.Graph.t ->
+  (Machine.Config.t * (outcome, string) result) list
+(** [schedule_sweep configs g] schedules [g] for every member of a
+    register family — configurations identical up to the register count —
+    by recording one {!Trace} at the most permissive member and replaying
+    it for each.  Results (in input order) are the ones the independent
+    [schedule_loop] calls would produce.  [spiller_for] selects a spiller
+    per member (a spiller forces live fallback past the first register
+    overflow). *)

@@ -85,9 +85,11 @@ let slots_overlap ii a b =
   match (footprint ii a, footprint ii b) with
   | `All, _ | _, `All -> true
   | `Range (s1, e1), `Range (s2, e2) ->
+      (* Two non-empty arcs shorter than the circle intersect iff one
+         contains the other's start — O(1) instead of scanning the II
+         slots. *)
       let covers (s, e) x = if s < e then x >= s && x < e else x >= s || x < e in
-      let rec any x = x < ii && (covers (s1, e1) x && covers (s2, e2) x || any (x + 1)) in
-      any 0
+      covers (s1, e1) s2 || covers (s2, e2) s1
 
 (* Two values interfere when their modulo footprints overlap — with MVE
    each occupies [instances] registers, so interference is at the level

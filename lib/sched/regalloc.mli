@@ -27,6 +27,13 @@ type t = {
   used_per_cluster : int array;  (** distinct registers used *)
 }
 
+val slots_overlap : int -> interval -> interval -> bool
+(** Do the modulo-II footprints of two intervals share a slot?  A
+    lifetime of length >= II covers every slot; otherwise the footprint
+    is the cyclic half-open range [start mod II, end mod II).  Computed
+    with two O(1) circular-interval containment checks (the property
+    suite pins it to the definitional slot-by-slot scan). *)
+
 val allocate : Schedule.t -> (t, string) result
 (** [Error] when some cluster needs more registers than the configuration
     provides — the same condition {!Regpressure.ok} flags, proven here by

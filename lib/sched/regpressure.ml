@@ -67,10 +67,14 @@ let per_cluster sched =
     (live_ranges sched);
   Array.map (fun slots -> Array.fold_left max 0 slots) pressure
 
+let max_per_cluster = per_cluster
+
 let max_pressure sched = Array.fold_left max 0 (per_cluster sched)
+
+let fits ~limit pressure = Array.for_all (fun p -> p <= limit) pressure
 
 let ok sched =
   let limit =
     Machine.Config.registers_per_cluster sched.Schedule.config
   in
-  Array.for_all (fun p -> p <= limit) (per_cluster sched)
+  fits ~limit (per_cluster sched)

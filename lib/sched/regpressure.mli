@@ -12,6 +12,14 @@
 val per_cluster : Schedule.t -> int array
 (** MaxLive of every cluster. *)
 
+val max_per_cluster : Schedule.t -> int array
+(** Alias of {!per_cluster}, named for its role in the driver's
+    escalation traces: the vector is recorded once per placed schedule
+    and re-judged against each register file of a sweep. *)
+
+val fits : limit:int -> int array -> bool
+(** [fits ~limit pressure]: every cluster within [limit] registers. *)
+
 val max_pressure : Schedule.t -> int
 
 val ok : Schedule.t -> bool

@@ -441,6 +441,128 @@ let prop_generated_suite_schedulable =
           | Error _ -> false)
         Machine.Config.fig1_configs)
 
+(* The O(1) circular-interval overlap test must agree with the
+   definitional slot-by-slot scan over the II modulo slots. *)
+let interval ~start_cycle ~end_cycle =
+  {
+    Sched.Regalloc.producer = 0;
+    cluster = 0;
+    start_cycle;
+    end_cycle;
+    instances = 1;
+    registers = [];
+  }
+
+let slots_overlap_scan ii (a : Sched.Regalloc.interval)
+    (b : Sched.Regalloc.interval) =
+  let covered (itv : Sched.Regalloc.interval) =
+    let s = Array.make ii false in
+    for c = itv.Sched.Regalloc.start_cycle
+        to itv.Sched.Regalloc.end_cycle - 1 do
+      s.(c mod ii) <- true
+    done;
+    s
+  in
+  let sa = covered a and sb = covered b in
+  let hit = ref false in
+  for i = 0 to ii - 1 do
+    if sa.(i) && sb.(i) then hit := true
+  done;
+  !hit
+
+let prop_slots_overlap =
+  QCheck.Test.make ~name:"O(1) slot overlap equals the slot scan" ~count:1000
+    seed_arb (fun seed ->
+      let rng = Workload.Rng.create seed in
+      let ii = Workload.Rng.range rng 1 12 in
+      let mk () =
+        let s = Workload.Rng.int rng 50 in
+        let len = 1 + Workload.Rng.int rng 40 in
+        interval ~start_cycle:s ~end_cycle:(s + len)
+      in
+      let a = mk () in
+      let b = mk () in
+      Sched.Regalloc.slots_overlap ii a b = slots_overlap_scan ii a b)
+
+(* ------------------------------------------------------------------ *)
+(* Escalation-trace sweeps                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* schedule_sweep answers a register family from one recorded trace; it
+   must be observably identical to scheduling every member from scratch
+   — same II, same cause attribution, same placement, same error text. *)
+let canon_result = function
+  | Ok (o : Sched.Driver.outcome) ->
+      Ok
+        ( o.Sched.Driver.mii,
+          o.Sched.Driver.ii,
+          List.sort compare o.Sched.Driver.increments,
+          o.Sched.Driver.n_comms,
+          Array.to_list o.Sched.Driver.assign,
+          Array.to_list o.Sched.Driver.schedule.Sched.Schedule.cycles,
+          Array.to_list o.Sched.Driver.schedule.Sched.Schedule.buses,
+          Machine.Config.name o.Sched.Driver.schedule.Sched.Schedule.config )
+  | Error e -> Error e
+
+let reg_family ci =
+  let clusters, buses, bus_latency =
+    match ci mod 4 with
+    | 0 -> (2, 1, 1)
+    | 1 -> (4, 1, 2)
+    | 2 -> (4, 2, 2)
+    | _ -> (2, 1, 3)
+  in
+  List.map
+    (fun registers ->
+      Machine.Config.make ~clusters ~buses ~bus_latency ~registers)
+    [ 16; 32; 64; 128 ]
+
+let prop_sweep_matches_oracle =
+  QCheck.Test.make
+    ~name:"schedule_sweep equals independent schedule_loop calls" ~count:60
+    pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let configs = reg_family ci in
+      let swept = Sched.Driver.schedule_sweep configs g in
+      List.for_all2
+        (fun c (c', r) ->
+          c == c'
+          && canon_result r = canon_result (Sched.Driver.schedule_loop c g))
+        configs swept)
+
+let prop_sweep_replication_matches_oracle =
+  QCheck.Test.make
+    ~name:"replication sweeps equal independent replication runs" ~count:40
+    pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let configs = reg_family ci in
+      let tr, _ = Replication.Replicate.transform () in
+      let swept = Sched.Driver.schedule_sweep ~transform:tr configs g in
+      List.for_all2
+        (fun c (_, r) ->
+          let tr', _ = Replication.Replicate.transform () in
+          canon_result r
+          = canon_result (Sched.Driver.schedule_loop ~transform:tr' c g))
+        configs swept)
+
+let prop_sweep_spiller_matches_oracle =
+  QCheck.Test.make
+    ~name:"spiller sweeps equal independent spiller runs" ~count:40 pair_arb
+    (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let configs = reg_family ci in
+      let swept =
+        Sched.Driver.schedule_sweep
+          ~spiller_for:(fun _ -> Some Sched.Spill.spiller)
+          configs g
+      in
+      List.for_all2
+        (fun c (_, r) ->
+          canon_result r
+          = canon_result
+              (Sched.Driver.schedule_loop ~spiller:Sched.Spill.spiller c g))
+        configs swept)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -464,4 +586,8 @@ let suite =
       prop_cached_select_matches_oracle;
       prop_precomputed_adjacency;
       prop_generated_suite_schedulable;
+      prop_slots_overlap;
+      prop_sweep_matches_oracle;
+      prop_sweep_replication_matches_oracle;
+      prop_sweep_spiller_matches_oracle;
     ]

@@ -183,6 +183,98 @@ let test_figures_render () =
     (Metrics.Figures.all suite)
 
 (* ------------------------------------------------------------------ *)
+(* Register-family sweeps                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sec4_family =
+  List.map
+    (fun registers ->
+      Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers)
+    [ 32; 64; 128 ]
+
+(* Everything a figure can observe about a run. *)
+let canon_run (r : Metrics.Experiment.loop_run) =
+  ( r.loop.Workload.Generator.id,
+    r.outcome.Sched.Driver.mii,
+    r.outcome.Sched.Driver.ii,
+    List.sort compare r.outcome.Sched.Driver.increments,
+    r.outcome.Sched.Driver.n_comms,
+    Array.to_list r.outcome.Sched.Driver.schedule.Sched.Schedule.cycles,
+    Machine.Config.name
+      r.outcome.Sched.Driver.schedule.Sched.Schedule.config,
+    r.counts.Sim.Lockstep.cycles,
+    r.counts.Sim.Lockstep.useful_ops )
+
+(* Trace-replayed sweeps must be observably identical to running every
+   family member from scratch, at any pool size. *)
+let test_sweep_runs_match_direct () =
+  let loops = take 10 (Lazy.force small_loops) in
+  List.iter
+    (fun jobs ->
+      let suite = Metrics.Suite.create ~loops ~jobs () in
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun (config, runs) ->
+              let direct = Metrics.Experiment.run_suite mode config loops in
+              check int
+                (Printf.sprintf "jobs=%d %s run count" jobs
+                   (Machine.Config.name config))
+                (List.length direct) (List.length runs);
+              List.iter2
+                (fun a b ->
+                  check bool
+                    (Printf.sprintf "jobs=%d %s run equal" jobs
+                       (Machine.Config.name config))
+                    true
+                    (canon_run a = canon_run b))
+                direct runs)
+            (Metrics.Suite.sweep_runs suite mode sec4_family))
+        [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ])
+    [ 1; 2 ]
+
+let test_spill_runs_match_direct () =
+  let loops = take 10 (Lazy.force small_loops) in
+  let config = List.hd sec4_family in
+  List.iter
+    (fun jobs ->
+      let suite = Metrics.Suite.create ~loops ~jobs () in
+      List.iter
+        (fun mode ->
+          let swept = Metrics.Suite.spill_runs suite mode config in
+          let direct =
+            List.filter_map
+              (fun l ->
+                let transform, stats_ref =
+                  match mode with
+                  | Metrics.Experiment.Baseline -> (None, ref None)
+                  | _ ->
+                      let t, r = Replication.Replicate.transform () in
+                      (Some t, r)
+                in
+                match
+                  Metrics.Experiment.run_with ~mode
+                    ~spiller:Sched.Spill.spiller ~transform ~stats_ref
+                    config l
+                with
+                | Ok r -> Some r
+                | Error _ -> None)
+              loops
+          in
+          check int
+            (Printf.sprintf "jobs=%d spill run count" jobs)
+            (List.length direct) (List.length swept);
+          List.iter2
+            (fun a b ->
+              check bool
+                (Printf.sprintf "jobs=%d spill run equal" jobs)
+                true
+                (canon_run a = canon_run b))
+            direct swept)
+        [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ])
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
 (* Domain pool                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -256,4 +348,8 @@ let suite =
     Alcotest.test_case "sec52 macro not better" `Slow
       test_sec52_macro_not_better;
     Alcotest.test_case "figures render" `Slow test_figures_render;
+    Alcotest.test_case "sweep runs match direct" `Slow
+      test_sweep_runs_match_direct;
+    Alcotest.test_case "spill runs match direct" `Slow
+      test_spill_runs_match_direct;
   ]

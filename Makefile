@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-smoke bench-diff clean
+.PHONY: all check test check-faults bench bench-smoke bench-diff clean
 
 all:
 	dune build
@@ -11,6 +11,12 @@ check:
 	dune runtest
 
 test: check
+
+# Fault-injection gate: corrupt checker-clean schedules with every
+# catalog entry and require the legality checker to name each one
+# (docs/ROBUSTNESS.md).  Exits non-zero on any miss.
+check-faults:
+	dune exec bin/repro.exe -- faults --quick
 
 # Full benchmark run (all 678 loops; takes a while).
 bench:

@@ -136,7 +136,7 @@ let run_ablations ~quick ~jobs =
             Metrics.Experiment.run_with ~transform:(Some t) ~stats_ref config l
           with
           | Ok r -> r
-          | Error e -> failwith e)
+          | Error e -> failwith (Sched.Sched_error.to_string e))
         loops
     in
     let groups = Metrics.Experiment.group_by_benchmark runs in

@@ -2,11 +2,26 @@
 
    repro figures   - regenerate the paper's tables and figures
    repro loop      - schedule one workload loop and show everything
-   repro suite     - per-benchmark IPC table for one configuration
+   repro suite     - fault-isolated per-benchmark IPC table (checkpointable)
+   repro faults    - run the fault-injection catalog against the checker
    repro workload  - describe the synthetic 678-loop suite
-   repro example   - walk through the paper's Figure-3 worked example *)
+   repro example   - walk through the paper's Figure-3 worked example
+
+   Scheduling failures exit with the stable per-class codes of
+   Sched.Sched_error.exit_code and print one structured line on stderr:
+   "repro: error class=<tag> <message>". *)
 
 open Cmdliner
+
+let report_error ?ctx (e : Sched.Sched_error.t) =
+  Printf.eprintf "repro: error class=%s%s %s\n%!"
+    (Sched.Sched_error.class_name e)
+    (match ctx with None -> "" | Some c -> " " ^ c)
+    (Sched.Sched_error.to_string e)
+
+let die ?ctx (e : Sched.Sched_error.t) =
+  report_error ?ctx e;
+  exit (Sched.Sched_error.exit_code e)
 
 let config_conv =
   let parse s =
@@ -101,7 +116,7 @@ let show_loop config benchmark index replicate dot kernel asm trace =
     else Metrics.Experiment.Baseline
   in
   match Metrics.Experiment.run_loop mode config loop with
-  | Error e -> failwith e
+  | Error e -> die ~ctx:("loop=" ^ loop.Workload.Generator.id) e
   | Ok r ->
       let o = r.Metrics.Experiment.outcome in
       Printf.printf "scheduled: ii=%d (mii %d), length=%d, SC=%d, comms=%d\n"
@@ -136,7 +151,8 @@ let show_loop config benchmark index replicate dot kernel asm trace =
                          a.Sched.Regalloc.used_per_cluster)));
               Some a
           | Error e ->
-              Printf.printf "; register allocation failed: %s\n" e;
+              Printf.printf "; register allocation failed: %s\n"
+                (Sched.Sched_error.to_string e);
               None
         in
         print_string (Sim.Codegen.kernel ?alloc o.Sched.Driver.schedule)
@@ -188,34 +204,196 @@ let loop_cmd =
 (* suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let suite_run config quick =
-  let suite = Metrics.Suite.create ~loops:(loops_of ~quick) () in
-  let base = Metrics.Suite.benchmark_runs suite Metrics.Experiment.Baseline config in
-  let repl =
-    Metrics.Suite.benchmark_runs suite Metrics.Experiment.Replication config
+let suite_run config quick jobs strict retry checkpoint poison budget =
+  let loops = loops_of ~quick in
+  let resume =
+    match checkpoint with
+    | Some path when Sys.file_exists path -> (
+        match Metrics.Checkpoint.load ~path with
+        | Ok cp when String.equal cp.Metrics.Checkpoint.config
+                       (Machine.Config.name config) ->
+            Printf.printf "resuming from %s\n" path;
+            Some cp
+        | Ok cp ->
+            Printf.eprintf
+              "repro: checkpoint %s is for configuration %s, ignoring\n" path
+              cp.Metrics.Checkpoint.config;
+            None
+        | Error msg ->
+            Printf.eprintf "repro: cannot load checkpoint %s: %s\n" path msg;
+            None)
+    | _ -> None
   in
-  let rows =
-    List.map2
-      (fun (name, b) (_, r) ->
-        let bi = Metrics.Experiment.ipc b and ri = Metrics.Experiment.ipc r in
-        [
-          name;
-          Metrics.Table.f2 bi;
-          Metrics.Table.f2 ri;
-          Printf.sprintf "%+.0f%%" (100. *. (ri /. bi -. 1.));
-        ])
-      base repl
+  let outcome =
+    Metrics.Robust.run ~jobs ~retry ~poison ?budget_s:budget ?resume
+      ~modes:[ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ]
+      config loops
   in
-  Printf.printf "%s\n%s"
-    (Machine.Config.name config)
-    (Metrics.Table.render
-       ~header:[ "benchmark"; "baseline"; "replication"; "gain" ]
-       rows)
+  (match checkpoint with
+  | Some path ->
+      Metrics.Checkpoint.save outcome.Metrics.Robust.o_checkpoint ~path;
+      Printf.printf "checkpoint: %s (%d loop runs computed, %d reused)\n" path
+        outcome.Metrics.Robust.o_computed outcome.Metrics.Robust.o_reused
+  | None -> ());
+  print_string
+    (Metrics.Robust.ipc_table config
+       ~base:(Metrics.Robust.summaries outcome ~mode:"base")
+       ~repl:(Metrics.Robust.summaries outcome ~mode:"repl"));
+  let quarantined = outcome.Metrics.Robust.o_quarantined in
+  List.iter
+    (fun (tag, (q : Metrics.Experiment.quarantined)) ->
+      report_error
+        ~ctx:
+          (Printf.sprintf "mode=%s loop=%s%s" tag
+             q.Metrics.Experiment.q_loop.Workload.Generator.id
+             (if q.Metrics.Experiment.q_retried then " retried=yes" else ""))
+        q.Metrics.Experiment.q_error)
+    quarantined;
+  if quarantined <> [] then begin
+    Printf.printf "quarantined %d loop run%s — partial results above\n"
+      (List.length quarantined)
+      (if List.length quarantined = 1 then "" else "s");
+    if strict then
+      exit
+        (Sched.Sched_error.exit_code
+           (snd (List.hd quarantined)).Metrics.Experiment.q_error)
+  end
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains (default 1).")
 
 let suite_cmd =
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit nonzero if any loop was quarantined.")
+  in
+  let retry =
+    Arg.(
+      value & flag
+      & info [ "retry" ]
+          ~doc:"Re-run quarantined loops once, sequentially.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Save the run manifest to $(docv); if $(docv) exists, resume \
+             from it (finished loops are not recomputed).")
+  in
+  let poison =
+    Arg.(
+      value & opt (list string) []
+      & info [ "poison" ] ~docv:"IDS"
+          ~doc:
+            "Inject a fault into the named loops (testing the quarantine \
+             machinery).")
+  in
+  let budget =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget per loop escalation; expiry quarantines the \
+             loop as a timeout.")
+  in
   Cmd.v
-    (Cmd.info "suite" ~doc:"Per-benchmark IPC for one configuration.")
-    Term.(const suite_run $ config_arg $ quick_arg)
+    (Cmd.info "suite"
+       ~doc:
+         "Fault-isolated per-benchmark IPC for one configuration, with \
+          optional checkpoint/resume.")
+    Term.(
+      const suite_run $ config_arg $ quick_arg $ jobs_arg $ strict $ retry
+      $ checkpoint $ poison $ budget)
+
+(* ------------------------------------------------------------------ *)
+(* faults: the fault-injection catalog against the checker             *)
+(* ------------------------------------------------------------------ *)
+
+let faults_run config quick =
+  let loops = loops_of ~quick in
+  let best = Hashtbl.create 16 in
+  let rank = function
+    | Sim.Faults.Detected _ -> 3
+    | Sim.Faults.Misnamed _ -> 2
+    | Sim.Faults.Missed -> 1
+    | Sim.Faults.Not_applicable -> 0
+  in
+  let note inj loop verdict =
+    match Hashtbl.find_opt best inj.Sim.Faults.name with
+    | Some (old, _, _) when rank old >= rank verdict -> ()
+    | _ -> Hashtbl.replace best inj.Sim.Faults.name (verdict, inj, loop)
+  in
+  let all_detected () =
+    List.for_all
+      (fun inj ->
+        match Hashtbl.find_opt best inj.Sim.Faults.name with
+        | Some (Sim.Faults.Detected _, _, _) -> true
+        | _ -> false)
+      Sim.Faults.catalog
+  in
+  (* Walk loops in both modes until every corruption has been caught red-
+     handed at least once; replication adds the copy-rich schedules the
+     bus faults need. *)
+  let modes = [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ] in
+  (try
+     List.iter
+       (fun (l : Workload.Generator.loop) ->
+         List.iter
+           (fun mode ->
+             match Metrics.Experiment.run_loop mode config l with
+             | Error _ -> ()
+             | Ok r ->
+                 let sched = r.Metrics.Experiment.outcome.Sched.Driver.schedule in
+                 List.iter
+                   (fun inj -> note inj l.id (Sim.Faults.verify sched inj))
+                   Sim.Faults.catalog)
+           modes;
+         if all_detected () then raise Exit)
+       loops
+   with Exit -> ());
+  let ok = ref true in
+  List.iter
+    (fun inj ->
+      let name = inj.Sim.Faults.name in
+      match Hashtbl.find_opt best name with
+      | Some (Sim.Faults.Detected es, _, loop) ->
+          let named =
+            List.find (fun e -> Metrics.Experiment.contains e ~sub:inj.Sim.Faults.expect) es
+          in
+          Printf.printf "detected   %-18s on %-12s -> %s\n" name loop named
+      | Some (Sim.Faults.Misnamed es, _, loop) ->
+          ok := false;
+          Printf.printf "MISNAMED   %-18s on %-12s -> %s\n" name loop
+            (String.concat "; " es)
+      | Some (Sim.Faults.Missed, _, loop) ->
+          ok := false;
+          Printf.printf "MISSED     %-18s on %-12s -> checker said Ok\n" name
+            loop
+      | Some (Sim.Faults.Not_applicable, _, _) | None ->
+          ok := false;
+          Printf.printf "UNTESTED   %-18s -> no schedule had the ingredient\n"
+            name)
+    Sim.Faults.catalog;
+  if !ok then
+    Printf.printf "all %d corruptions detected and named\n"
+      (List.length Sim.Faults.catalog)
+  else begin
+    Printf.eprintf "repro: error class=checker-violation fault catalog not fully detected\n";
+    exit 20
+  end
+
+let faults_cmd =
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Corrupt checker-clean schedules with the fault-injection catalog \
+          and verify the legality checker names every corruption.")
+    Term.(const faults_run $ config_arg $ quick_arg)
 
 (* ------------------------------------------------------------------ *)
 (* benchmark: per-loop detail                                          *)
@@ -376,7 +554,7 @@ let example () =
         o.Sched.Driver.ii o.Sched.Driver.mii
         (Sched.Schedule.length o.Sched.Driver.schedule)
         o.Sched.Driver.n_comms
-  | Error e -> Printf.printf "  failed: %s\n" e
+  | Error e -> Printf.printf "  failed: %s\n" (Sched.Sched_error.to_string e)
 
 let example_cmd =
   Cmd.v
@@ -394,6 +572,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            figures_cmd; loop_cmd; suite_cmd; benchmark_cmd; workload_cmd;
-            example_cmd;
+            figures_cmd; loop_cmd; suite_cmd; faults_cmd; benchmark_cmd;
+            workload_cmd; example_cmd;
           ]))

@@ -29,6 +29,13 @@ let create config_ graph_ ~assign =
   let n = Graph.n_nodes graph_ in
   if Array.length assign <> n then
     invalid_arg "State.create: assign length mismatch";
+  Array.iteri
+    (fun v c ->
+      if c < 0 || c >= config_.Machine.Config.clusters then
+        invalid_arg
+          (Printf.sprintf "State.create: node %d assigned to bogus cluster %d"
+             v c))
+    assign;
   let home_ = Array.copy assign in
   let placement_ = Array.map Iset.singleton home_ in
   let usage_ =

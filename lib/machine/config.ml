@@ -79,6 +79,12 @@ let heterogeneous ~buses ~bus_latency ~registers ~clusters =
 
 let with_copy_int_slot t = { t with copy_uses_int_slot = true }
 
+let with_registers t ~registers =
+  if registers <= 0 then invalid_arg "Config.with_registers: registers <= 0";
+  if registers mod t.clusters <> 0 then
+    invalid_arg "Config.with_registers: clusters must divide the register count";
+  { t with total_registers = registers }
+
 let fus t ~cluster kind = t.fu_matrix.(cluster).(Fu.index kind)
 
 let total_fus t kind =

@@ -70,6 +70,13 @@ val with_copy_int_slot : t -> t
 (** The same machine, but copies steal an integer issue slot in the
     producer's cluster (design-space variant; see the field above). *)
 
+val with_registers : t -> registers:int -> t
+(** The same machine with a different total register count — the
+    register-family constructor behind sweeps and the fault-injection
+    harness's MaxLive corruption.
+    @raise Invalid_argument unless positive and divisible by the cluster
+    count. *)
+
 val fus : t -> cluster:int -> Fu.kind -> int
 (** Functional units of a kind in one cluster. *)
 

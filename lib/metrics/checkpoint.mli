@@ -1,0 +1,54 @@
+(** Suite-run checkpoints: a JSON manifest of per-(mode, loop) outcomes.
+
+    A checkpoint stores, for every (mode tag, loop id) pair the runner
+    has dealt with, either the small numeric summary the IPC tables are
+    rendered from ([Done]), the error class of a loop the scheduler gave
+    up on ([Skipped]), or the class and message of a quarantined fault
+    ([Quarantined]).  {!Robust.run} resumes from a manifest: [Done] and
+    [Skipped] entries are answered from disk without recomputation,
+    [Quarantined] entries are retried.
+
+    The JSON is written and parsed in-repo — the build intentionally has
+    no JSON library dependency. *)
+
+type summary = {
+  s_id : string;
+  s_benchmark : string;
+  s_visits : int;
+  s_trip : int;
+  s_ii : int;
+  s_mii : int;
+  s_n_comms : int;
+  s_cycles : int;
+  s_useful : int;
+}
+(** Everything the per-benchmark IPC table needs about one finished
+    loop run. *)
+
+type status =
+  | Done of summary
+  | Skipped of string  (** give-up error class, e.g. ["escalation-cap"] *)
+  | Quarantined of string * string  (** error class, one-line message *)
+
+type entry = { e_mode : string; e_loop : string; e_status : status }
+type t = { config : string; entries : entry list }
+
+val create : config:string -> entry list -> t
+val find : t -> mode:string -> loop:string -> status option
+
+val summary_of_run : Experiment.loop_run -> summary
+
+val ipc : summary list -> float
+(** The same weighted-IPC arithmetic as {!Experiment.ipc}, term for
+    term, so tables rendered from summaries are byte-identical to tables
+    rendered from live runs. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val save : t -> path:string -> unit
+(** Atomic: writes [path ^ ".tmp"], then renames over [path]. *)
+
+val load : path:string -> (t, string) result
+(** [Error] on I/O failure, malformed JSON, or a version mismatch —
+    never an exception. *)

@@ -5,6 +5,13 @@ type mode =
   | Macro_replication
   | Replication_length
 
+let mode_tag = function
+  | Baseline -> "base"
+  | Replication -> "repl"
+  | Replication_latency0 -> "repl0"
+  | Macro_replication -> "macro"
+  | Replication_length -> "repllen"
+
 type loop_run = {
   loop : Workload.Generator.loop;
   mode : mode;
@@ -13,7 +20,7 @@ type loop_run = {
   counts : Sim.Lockstep.counts;
 }
 
-(* Substring search shared by the error classification below and the
+(* Substring search shared by the fault-injection assertions and the
    test/tooling layers (the stdlib has no [String.contains_s]). *)
 let contains s ~sub =
   let ls = String.length sub and n = String.length s in
@@ -31,31 +38,34 @@ let contains s ~sub =
     from 0
   end
 
-(* Schedule -> check -> simulate; everything after the driver returns. *)
+(* Schedule -> check -> simulate; everything after the driver returns.
+   Failures are classified: a checker rejection is a
+   [Checker_violation], a simulator rejection an [Internal] — both bug
+   classes, never data. *)
 let finish_run ~mode ~latency0 ~stats (loop : Workload.Generator.loop)
     (outcome : Sched.Driver.outcome) =
   match Sim.Checker.check ~registers:(not latency0) outcome.schedule with
-  | Error es ->
-      Error
-        (Printf.sprintf "%s: illegal schedule: %s" loop.id
-           (String.concat "; " es))
+  | Error es -> Error (Sched.Sched_error.Checker_violation es)
   | Ok () -> (
       let useful = Ddg.Graph.n_nodes loop.graph in
       match
         Sim.Lockstep.run ~useful_per_iteration:useful outcome.schedule
           ~iterations:loop.trip
       with
-      | Error e -> Error (Printf.sprintf "%s: simulation: %s" loop.id e)
+      | Error e -> Error (Sched.Sched_error.Internal ("simulation: " ^ e))
       | Ok counts -> Ok { loop; mode; outcome; repl_stats = stats; counts })
 
 let run_with ?(mode = Baseline) ?(latency0 = false) ?(length_pass = false)
-    ?spiller ~transform ~stats_ref config (loop : Workload.Generator.loop) =
+    ?spiller ?budget ~transform ~stats_ref config
+    (loop : Workload.Generator.loop) =
   let scheduled =
     match transform with
-    | None -> Sched.Driver.schedule_loop ~latency0 ?spiller config loop.graph
-    | Some t ->
-        Sched.Driver.schedule_loop ~latency0 ?spiller ~transform:t config
+    | None ->
+        Sched.Driver.schedule_loop ~latency0 ?spiller ?budget config
           loop.graph
+    | Some t ->
+        Sched.Driver.schedule_loop ~latency0 ?spiller ?budget ~transform:t
+          config loop.graph
   in
   let scheduled =
     match scheduled with
@@ -65,7 +75,7 @@ let run_with ?(mode = Baseline) ?(latency0 = false) ?(length_pass = false)
     | _ -> scheduled
   in
   match scheduled with
-  | Error e -> Error (Printf.sprintf "%s: %s" loop.id e)
+  | Error e -> Error e
   | Ok outcome -> finish_run ~mode ~latency0 ~stats:!stats_ref loop outcome
 
 let transform_of_mode = function
@@ -77,11 +87,11 @@ let transform_of_mode = function
       let t, r = Replication.Macro.transform () in
       (Some t, r)
 
-let run_loop mode config loop =
+let run_loop ?budget mode config loop =
   let transform, stats_ref = transform_of_mode mode in
   run_with ~mode ~latency0:(mode = Replication_latency0)
-    ~length_pass:(mode = Replication_length) ~transform ~stats_ref config
-    loop
+    ~length_pass:(mode = Replication_length) ?budget ~transform ~stats_ref
+    config loop
 
 exception Illegal of string
 
@@ -89,15 +99,110 @@ exception Illegal of string
    explode; a loop the scheduler gives up on (e.g. at 8 registers per
    cluster) is data and is skipped, as the paper skips loops that cannot
    be modulo scheduled. *)
-let error_is_bug e =
-  contains e ~sub:"illegal schedule" || contains e ~sub:"simulation:"
+let error_is_bug = Sched.Sched_error.is_bug
 
-let keep_or_raise = function
+let illegal ~id e = Illegal (id ^ ": " ^ Sched.Sched_error.to_string e)
+
+let keep_or_raise ~id = function
   | Ok r -> Some r
-  | Error e -> if error_is_bug e then raise (Illegal e) else None
+  | Error e -> if error_is_bug e then raise (illegal ~id e) else None
 
 let run_suite ?(jobs = 1) mode config loops =
-  Pool.filter_map ~jobs (fun l -> keep_or_raise (run_loop mode config l)) loops
+  Pool.filter_map ~jobs
+    (fun (l : Workload.Generator.loop) ->
+      keep_or_raise ~id:l.id (run_loop mode config l))
+    loops
+
+(* ------------------------------------------------------------------ *)
+(* Fault-isolated suite runs: quarantine instead of crash               *)
+(* ------------------------------------------------------------------ *)
+
+type quarantined = {
+  q_loop : Workload.Generator.loop;
+  q_error : Sched.Sched_error.t;
+  q_backtrace : string;  (* "" unless an exception was captured *)
+  q_retried : bool;
+}
+
+type isolated = {
+  iso_runs : loop_run list;
+  iso_quarantined : quarantined list;
+  iso_skipped : (Workload.Generator.loop * Sched.Sched_error.t) list;
+}
+
+exception Injected_fault of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected_fault id -> Some ("injected fault on loop " ^ id)
+    | _ -> None)
+
+let run_suite_isolated ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s
+    mode config loops =
+  let budget () =
+    Option.map (fun s -> Sched.Budget.make ~wall_seconds:s ()) budget_s
+  in
+  let attempt (l : Workload.Generator.loop) =
+    if List.mem l.id poison then raise (Injected_fault l.id);
+    run_loop ?budget:(budget ()) mode config l
+  in
+  let classify ~retried l outcome =
+    match outcome with
+    | Ok (Ok r) -> `Run r
+    | Ok (Error e) ->
+        if Sched.Sched_error.is_give_up e then `Skip (l, e)
+        else
+          `Quarantine
+            { q_loop = l; q_error = e; q_backtrace = ""; q_retried = retried }
+    | Error (f : Pool.fault) ->
+        `Quarantine
+          {
+            q_loop = l;
+            q_error = Sched.Sched_error.Internal (Printexc.to_string f.Pool.exn);
+            q_backtrace = f.Pool.backtrace;
+            q_retried = retried;
+          }
+  in
+  let first_pass =
+    List.map2
+      (fun l r -> classify ~retried:false l r)
+      loops
+      (Pool.map_result ~jobs attempt loops)
+  in
+  (* Optionally re-run quarantined loops sequentially once: a failure
+     that does not reproduce in isolation (e.g. a resource blip on a
+     loaded machine) is promoted back to a result; a deterministic one
+     stays quarantined, now marked as retried. *)
+  let entries =
+    if not retry then first_pass
+    else
+      List.map
+        (function
+          | `Quarantine q ->
+              let l = q.q_loop in
+              let outcome =
+                match attempt l with
+                | r -> Ok r
+                | exception e ->
+                    Error
+                      {
+                        Pool.index = 0;
+                        exn = e;
+                        backtrace = Printexc.get_backtrace ();
+                      }
+              in
+              classify ~retried:true l outcome
+          | other -> other)
+        first_pass
+  in
+  {
+    iso_runs =
+      List.filter_map (function `Run r -> Some r | _ -> None) entries;
+    iso_quarantined =
+      List.filter_map (function `Quarantine q -> Some q | _ -> None) entries;
+    iso_skipped =
+      List.filter_map (function `Skip s -> Some s | _ -> None) entries;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Register-family sweeps over an escalation trace                      *)
@@ -113,6 +218,8 @@ type traced = {
          any replay answered purely from the trace *)
   tr_stats_ref : Replication.Replicate.stats option ref;
 }
+
+let traced_loop tr = tr.tr_loop
 
 let record_trace mode config loop =
   (match mode with
@@ -147,7 +254,7 @@ let replay_traced ?spiller tr config =
      time. *)
   let stats = if live then !(tr.tr_stats_ref) else tr.tr_stats0 in
   match result with
-  | Error e -> Error (Printf.sprintf "%s: %s" tr.tr_loop.Workload.Generator.id e)
+  | Error e -> Error e
   | Ok outcome ->
       finish_run ~mode:tr.tr_mode ~latency0:false ~stats tr.tr_loop outcome
 

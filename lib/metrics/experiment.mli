@@ -5,7 +5,13 @@
     iteration is its original instruction count — copies and replicas
     execute but do not count as progress — and each loop contributes with
     its profiled weight, [visits * Texec] cycles for [visits * trip *
-    useful] instructions. *)
+    useful] instructions.
+
+    Every runner reports failures as {!Sched.Sched_error.t}: give-up
+    classes (infeasible partition, escalation cap, register pressure, bus
+    saturation) are data and may be skipped; bug classes (checker
+    violation, internal) must explode.  See {!Sched.Sched_error.is_bug}
+    and docs/ROBUSTNESS.md. *)
 
 type mode =
   | Baseline           (** the state-of-the-art scheduler alone *)
@@ -17,6 +23,10 @@ type mode =
   | Replication_length
       (** replication plus the Section-5.1 schedule-length post-pass *)
 
+val mode_tag : mode -> string
+(** Stable short tag ("base", "repl", "repl0", "macro", "repllen") used
+    in cache keys and checkpoint manifests. *)
+
 type loop_run = {
   loop : Workload.Generator.loop;
   mode : mode;
@@ -27,37 +37,50 @@ type loop_run = {
 }
 
 val run_loop :
+  ?budget:Sched.Budget.t ->
   mode ->
   Machine.Config.t ->
   Workload.Generator.loop ->
-  (loop_run, string) result
+  (loop_run, Sched.Sched_error.t) result
 (** Schedule, verify with {!Sim.Checker}, execute with {!Sim.Lockstep}.
-    Any legality violation is an [Error] — the harness treats it as a
-    bug, not data. *)
+    A legality violation is [Error (Checker_violation _)], a simulator
+    rejection [Error (Internal _)] — the harness treats both as bugs,
+    not data.  [budget] bounds the escalation (see
+    {!Sched.Driver.schedule_loop}). *)
 
 val run_with :
   ?mode:mode ->
   ?latency0:bool ->
   ?length_pass:bool ->
   ?spiller:Sched.Driver.spiller ->
+  ?budget:Sched.Budget.t ->
   transform:Sched.Driver.transform option ->
   stats_ref:Replication.Replicate.stats option ref ->
   Machine.Config.t ->
   Workload.Generator.loop ->
-  (loop_run, string) result
+  (loop_run, Sched.Sched_error.t) result
 (** Generalized runner for custom transforms — the ablation benchmarks
     plug replication variants in here.  [mode] only tags the result. *)
 
 exception Illegal of string
 
 val contains : string -> sub:string -> bool
-(** Plain substring search (the stdlib has none); shared by the error
-    classification here, the suite's sweep replays, and tooling. *)
+(** Plain substring search (the stdlib has none); shared by the
+    fault-injection assertions, the suite's sweep replays, and tooling. *)
 
-val error_is_bug : string -> bool
-(** Classify a runner error: true for legality-checker and simulator
-    failures (which must {!Illegal}-explode), false for loops the
-    scheduler merely gives up on (skippable data). *)
+val error_is_bug : Sched.Sched_error.t -> bool
+(** Alias of {!Sched.Sched_error.is_bug}: true for classes that must
+    {!Illegal}-explode, false for loops the scheduler merely gives up on
+    (skippable data). *)
+
+val illegal : id:string -> Sched.Sched_error.t -> exn
+(** The {!Illegal} exception for a bug-class error on loop [id]. *)
+
+val keep_or_raise :
+  id:string -> (loop_run, Sched.Sched_error.t) result -> loop_run option
+(** [Some run] on success, [None] on a give-up class, raises {!Illegal}
+    on a bug class — the skip policy shared by {!run_suite} and the
+    sweep replays. *)
 
 val run_suite :
   ?jobs:int ->
@@ -72,6 +95,52 @@ val run_suite :
     modulo schedule.  A schedule that fails the legality checker or the
     simulator raises {!Illegal}: that is a bug, not data. *)
 
+(** {1 Fault-isolated suite runs}
+
+    {!run_suite} is fail-fast: one bug takes the whole run down.  The
+    isolated variant quarantines instead — each loop's failure is
+    captured where it happens (see {!Pool.map_result}) and reported with
+    the partial results, so one poisoned loop cannot destroy an
+    hour-long sweep. *)
+
+type quarantined = {
+  q_loop : Workload.Generator.loop;
+  q_error : Sched.Sched_error.t;
+  q_backtrace : string;
+      (** backtrace of the captured exception; [""] when the failure was
+          a classified [Error], not a raise *)
+  q_retried : bool;  (** the failure survived a sequential retry *)
+}
+
+type isolated = {
+  iso_runs : loop_run list;
+  iso_quarantined : quarantined list;
+  iso_skipped : (Workload.Generator.loop * Sched.Sched_error.t) list;
+}
+
+exception Injected_fault of string
+(** Raised inside the worker for loops named in [poison] — the
+    fault-injection hook used by tests and [repro suite --poison]. *)
+
+val run_suite_isolated :
+  ?jobs:int ->
+  ?retry:bool ->
+  ?poison:string list ->
+  ?budget_s:float ->
+  mode ->
+  Machine.Config.t ->
+  Workload.Generator.loop list ->
+  isolated
+(** Like {!run_suite}, but faults are quarantined, not raised: bug-class
+    errors and worker exceptions land in [iso_quarantined] (with the
+    captured backtrace when there is one), give-up classes in
+    [iso_skipped], successes in [iso_runs] — all in input order within
+    each bucket.  [retry] re-runs each quarantined loop once,
+    sequentially, and promotes it back on success.  [poison] injects a
+    deliberate {!Injected_fault} into the named loops.  [budget_s]
+    bounds each loop's escalation wall-clock; expiry quarantines the
+    loop as [Timeout]. *)
+
 (** {1 Register-family sweeps}
 
     The Section-4 register-sensitivity experiment runs the same loops on
@@ -84,6 +153,8 @@ type traced
 (** A loop's escalation trace plus the transform instance and replication
     stats needed to replay it faithfully. *)
 
+val traced_loop : traced -> Workload.Generator.loop
+
 val record_trace : mode -> Machine.Config.t -> Workload.Generator.loop -> traced
 (** Record the escalation trace of a loop at [config] (the most
     permissive member of the register family).  Only [Baseline],
@@ -94,7 +165,7 @@ val replay_traced :
   ?spiller:Sched.Driver.spiller ->
   traced ->
   Machine.Config.t ->
-  (loop_run, string) result
+  (loop_run, Sched.Sched_error.t) result
 (** Answer one family member from the trace — checker and simulator
     included, exactly as {!run_loop} would have produced (the test suite
     pins the equality).  With [spiller], replays fall back to live

@@ -8,27 +8,61 @@
 
    Each worker writes only its own claimed cells of the result array, so
    there are no data races; the caller reads the array after joining
-   every domain. *)
+   every domain.
+
+   Exceptions are captured per item, with the raw backtrace, where they
+   happen — never re-raised inside a worker.  [map_result] hands the
+   per-item faults to the caller (the suite's quarantine machinery);
+   [map] re-raises the first fault in input order, wrapped in {!Fault}
+   so the failing item's index and backtrace survive the domain join. *)
 
 let chunk_divisor = 8
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
-let map ?jobs f xs =
-  let input = Array.of_list xs in
+type fault = { index : int; exn : exn; backtrace : string }
+
+exception Fault of fault
+
+let () =
+  Printexc.register_printer (function
+    | Fault f ->
+        Some
+          (Printf.sprintf "Pool.Fault(item %d: %s)%s" f.index
+             (Printexc.to_string f.exn)
+             (if f.backtrace = "" then ""
+              else "\nOriginal backtrace:\n" ^ f.backtrace))
+    | _ -> None)
+
+(* Apply [f] to every element, capturing per-item failures with their
+   raw backtraces (kept raw so a re-raise can preserve them). *)
+let run_all ?jobs f input =
   let n = Array.length input in
-  (* More domains than the machine has cores buys nothing for this
-     CPU-bound work and costs real time in minor-GC synchronization, so
-     an explicit [jobs] is capped at the recommended domain count. *)
   let jobs =
     match jobs with
     | Some j -> max 1 (min (min j (default_jobs ())) n)
     | None -> min (default_jobs ()) n
   in
-  if n = 0 then []
-  else if jobs <= 1 then List.map f xs
+  let results :
+      ('b, exn * Printexc.raw_backtrace) result option array =
+    Array.make n None
+  in
+  let eval i =
+    results.(i) <-
+      Some
+        (match f input.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+  in
+  if jobs <= 1 then
+    for i = 0 to n - 1 do
+      eval i
+    done
   else begin
-    let results : ('b, exn) result option array = Array.make n None in
+    (* More domains than the machine has cores buys nothing for this
+       CPU-bound work and costs real time in minor-GC synchronization,
+       so an explicit [jobs] is capped at the recommended domain
+       count. *)
     let chunk = max 1 (n / (jobs * chunk_divisor)) in
     let next = Atomic.make 0 in
     let worker () =
@@ -37,8 +71,7 @@ let map ?jobs f xs =
         if start < n then begin
           let stop = min n (start + chunk) in
           for i = start to stop - 1 do
-            results.(i) <-
-              Some (match f input.(i) with v -> Ok v | exception e -> Error e)
+            eval i
           done;
           go ()
         end
@@ -47,16 +80,40 @@ let map ?jobs f xs =
     in
     let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
-    List.iter Domain.join domains;
-    (* Re-raise the first failure in input order, as sequential List.map
-       would have surfaced it. *)
-    Array.iter
-      (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
-      results;
-    Array.to_list
-      (Array.map
-         (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
-         results)
-  end
+    List.iter Domain.join domains
+  end;
+  results
+
+let fault_of index (e, raw) =
+  { index; exn = e; backtrace = Printexc.raw_backtrace_to_string raw }
+
+let map_result ?jobs f xs =
+  let input = Array.of_list xs in
+  let results = run_all ?jobs f input in
+  List.mapi
+    (fun i _ ->
+      match results.(i) with
+      | Some (Ok v) -> Ok v
+      | Some (Error err) -> Error (fault_of i err)
+      | None -> assert false)
+    xs
+
+let map ?jobs f xs =
+  let input = Array.of_list xs in
+  let results = run_all ?jobs f input in
+  (* Re-raise the first failure in input order, as sequential List.map
+     would have surfaced it — wrapped so the item index and the original
+     backtrace survive the join. *)
+  Array.iteri
+    (fun i cell ->
+      match cell with
+      | Some (Error ((_, raw) as err)) ->
+          Printexc.raise_with_backtrace (Fault (fault_of i err)) raw
+      | Some (Ok _) | None -> ())
+    results;
+  Array.to_list
+    (Array.map
+       (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+       results)
 
 let filter_map ?jobs f xs = List.filter_map Fun.id (map ?jobs f xs)

@@ -4,10 +4,29 @@
     The experiment suite is embarrassingly parallel — every loop is
     scheduled and simulated independently — so the pool only offers
     order-preserving bulk maps.  Worker functions must not share mutable
-    state; everything in the scheduling pipeline is pure per loop. *)
+    state; everything in the scheduling pipeline is pure per loop.
+
+    Failures are isolated per item: an application that raises never
+    takes the other items down.  {!map_result} reports each item's fault
+    to the caller; {!map} re-raises the first fault in input order as
+    {!Fault}, preserving the failing item's index, the original
+    exception and its backtrace (a bare re-raise after the domain join
+    used to lose all three). *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
+
+type fault = {
+  index : int;        (** position of the failing item in the input *)
+  exn : exn;          (** the original exception *)
+  backtrace : string; (** its backtrace, printed ([""] when recording
+                          is off) *)
+}
+
+exception Fault of fault
+(** What {!map} and {!filter_map} re-raise on a worker failure.  A
+    printer is registered, so an uncaught [Fault] still names the item
+    and the original exception. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs] computed on up to [jobs] domains
@@ -15,8 +34,15 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     {!default_jobs} — domains beyond the core count only add minor-GC
     synchronization overhead).  Results keep input order.  An effective
     job count of 1 runs sequentially in the calling domain.  If any
-    application raises, the first exception in input order is re-raised
-    after all domains have joined. *)
+    application raises, the first fault in input order is re-raised as
+    {!Fault} after all domains have joined — identically in the
+    sequential and parallel paths. *)
+
+val map_result :
+  ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, fault) result list
+(** Like {!map}, but no application failure escapes: each item's result
+    is [Ok] or its captured fault, in input order.  The suite runner
+    builds quarantine on this. *)
 
 val filter_map : ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b list
 (** [filter_map ~jobs f xs] is [List.filter_map f xs] with the

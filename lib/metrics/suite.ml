@@ -21,12 +21,7 @@ let create ?loops ?(jobs = 1) () =
 
 let loops t = t.loops_
 
-let mode_tag = function
-  | Experiment.Baseline -> "base"
-  | Experiment.Replication -> "repl"
-  | Experiment.Replication_latency0 -> "repl0"
-  | Experiment.Macro_replication -> "macro"
-  | Experiment.Replication_length -> "repllen"
+let mode_tag = Experiment.mode_tag
 
 let runs_key mode config = mode_tag mode ^ "/" ^ Machine.Config.name config
 
@@ -74,11 +69,9 @@ let family_traces t mode ~at =
 let replay_all t ?spiller trs config =
   Pool.filter_map ~jobs:t.jobs_
     (fun tr ->
-      match Experiment.replay_traced ?spiller tr config with
-      | Ok r -> Some r
-      | Error e ->
-          if Experiment.error_is_bug e then raise (Experiment.Illegal e)
-          else None)
+      Experiment.keep_or_raise
+        ~id:(Experiment.traced_loop tr).Workload.Generator.id
+        (Experiment.replay_traced ?spiller tr config))
     trs
 
 let sweep_runs t mode configs =

@@ -1,0 +1,38 @@
+type t = {
+  clock : unit -> float;
+  started : float;
+  deadline : float option;  (* absolute, on the guarded clock *)
+  max_attempts : int option;
+  mutable last : float;     (* highest timestamp seen: monotonic guard *)
+  mutable spent : int;
+}
+
+let make ?wall_seconds ?max_attempts ?(clock = Unix.gettimeofday) () =
+  let now = clock () in
+  {
+    clock;
+    started = now;
+    deadline = Option.map (fun s -> now +. s) wall_seconds;
+    max_attempts;
+    last = now;
+    spent = 0;
+  }
+
+let now t =
+  let raw = t.clock () in
+  if raw > t.last then t.last <- raw;
+  t.last
+
+let attempts t = t.spent
+let elapsed t = now t -. t.started
+
+let spend t =
+  let time_ok = match t.deadline with None -> true | Some d -> now t < d in
+  let tries_ok =
+    match t.max_attempts with None -> true | Some m -> t.spent < m
+  in
+  if time_ok && tries_ok then begin
+    t.spent <- t.spent + 1;
+    true
+  end
+  else false

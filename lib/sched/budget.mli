@@ -1,0 +1,38 @@
+(** Wall-clock and attempt budgets for the escalation loop.
+
+    The Figure-2 escalation is bounded by the II cap alone, which on a
+    pathological loop can still mean minutes of rescheduling.  A budget
+    adds two independent ceilings — a wall-clock deadline and an attempt
+    count — checked before every II level; when either is exhausted the
+    driver stops and returns a classified {!Sched_error.Timeout} instead
+    of running on.  Because the escalation returns the first feasible
+    schedule it finds (lower IIs are strictly better), any success
+    already in hand {e is} the best schedule found so far: a budget can
+    only cut short walks that have produced nothing yet.
+
+    Time is measured with a monotonic guard over the clock: an observed
+    timestamp below a previous one (wall clocks do step backwards) is
+    clamped, so a deadline can never be extended by a clock adjustment.
+
+    A budget is single-use mutable state; give each [schedule_loop] call
+    its own. *)
+
+type t
+
+val make :
+  ?wall_seconds:float -> ?max_attempts:int -> ?clock:(unit -> float) ->
+  unit -> t
+(** [wall_seconds]: deadline relative to creation time.  [max_attempts]:
+    II levels the escalation may try.  Omitting both yields an unlimited
+    budget.  [clock] (for tests) replaces [Unix.gettimeofday]; it must
+    return seconds as a float. *)
+
+val spend : t -> bool
+(** Register one escalation attempt; [false] when either ceiling was
+    already exhausted (the attempt must then not run). *)
+
+val attempts : t -> int
+(** Attempts spent so far. *)
+
+val elapsed : t -> float
+(** Monotonic seconds since the budget was created. *)

@@ -181,15 +181,29 @@ type level = {
 }
 
 (* The Figure-2 escalation loop from an arbitrary (ii, assign) state.
-   [on_level] observes every II level tried, for trace recording. *)
-let escalate ?transform ?(latency0 = false) ?spiller ?on_level config g
+   [on_level] observes every II level tried, for trace recording.
+   [budget] is checked before every level; both the cap and the
+   stationarity cut report the same {!Sched_error.Escalation_cap} (the
+   cut is an early conclusion of the walk-to-cap failure, so direct runs
+   and trace replays — which may cut at different IIs — stay observably
+   equal). *)
+let escalate ?transform ?(latency0 = false) ?spiller ?on_level ?budget config g
     ~rec_mii ~mii ~cap ~counters ii0 assign0 =
   let observe l = match on_level with Some f -> f l | None -> () in
-  let give_up () =
-    Error (Printf.sprintf "no schedule found up to II=%d (MII=%d)" cap mii)
-  in
+  let give_up () = Error (Sched_error.Escalation_cap { mii; cap }) in
   let rec attempt ~streak ~prev_sig ii assign =
     if ii > cap then give_up ()
+    else if
+      match budget with Some b -> not (Budget.spend b) | None -> false
+    then
+      let b = Option.get budget in
+      Error
+        (Sched_error.Timeout
+           {
+             at_ii = ii;
+             attempts = Budget.attempts b;
+             elapsed_s = Budget.elapsed b;
+           })
     else
       match
         try_once_sig ?transform ~latency0 ?spiller config g ~ii ~assign
@@ -237,16 +251,33 @@ let escalate ?transform ?(latency0 = false) ?spiller ?on_level config g
 
 let default_cap mii = (16 * mii) + 64
 
-let schedule_loop ?transform ?max_ii ?(latency0 = false) ?spiller config g =
+(* Fault isolation around the whole pipeline: a typed {!Sched_error.E}
+   (e.g. routing on a machine without buses) becomes its payload, any
+   other exception — a raising transform hook, a scheduler bug — is
+   captured as a classified [Internal] instead of tearing down the
+   caller.  Out_of_memory is re-raised: nothing sensible can continue
+   after it. *)
+let guard f =
+  try f () with
+  | Sched_error.E err -> Error err
+  | Out_of_memory -> raise Out_of_memory
+  | exn -> Error (Sched_error.Internal (Printexc.to_string exn))
+
+let schedule_loop ?transform ?max_ii ?(latency0 = false) ?spiller ?budget
+    config g =
   (* rec_mii of the original graph is reused by every partition call of
      the escalation loop; compute the binary search once. *)
   let rec_mii = Ddg.Mii.rec_mii g in
   let mii = max (Ddg.Mii.res_mii config g) rec_mii in
   let cap = match max_ii with Some m -> m | None -> default_cap mii in
-  let counters = { c_bus = 0; c_recur = 0; c_regs = 0 } in
-  escalate ?transform ~latency0 ?spiller config g ~rec_mii ~mii ~cap ~counters
-    mii
-    (Partition.initial ~rec_mii config g ~ii:mii)
+  if cap < mii then Error (Sched_error.Infeasible_partition { mii; cap })
+  else begin
+    let counters = { c_bus = 0; c_recur = 0; c_regs = 0 } in
+    guard (fun () ->
+        escalate ?transform ~latency0 ?spiller ?budget config g ~rec_mii ~mii
+          ~cap ~counters mii
+          (Partition.initial ~rec_mii config g ~ii:mii))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Escalation traces: schedule once, answer a register family           *)
@@ -260,23 +291,26 @@ module Trace = struct
     t_mii : int;
     t_cap : int;
     t_levels : level list;  (* in escalation order, MII upward *)
-    t_result : (outcome, string) result;
+    t_result : (outcome, Sched_error.t) result;
   }
 
   let config t = t.t_config
   let result t = t.t_result
 
-  let record ?transform ?max_ii config g =
+  let record ?transform ?max_ii ?budget config g =
     let rec_mii = Ddg.Mii.rec_mii g in
     let mii = max (Ddg.Mii.res_mii config g) rec_mii in
     let cap = match max_ii with Some m -> m | None -> default_cap mii in
     let counters = { c_bus = 0; c_recur = 0; c_regs = 0 } in
     let levels = ref [] in
     let result =
-      escalate ?transform
-        ~on_level:(fun l -> levels := l :: !levels)
-        config g ~rec_mii ~mii ~cap ~counters mii
-        (Partition.initial ~rec_mii config g ~ii:mii)
+      if cap < mii then Error (Sched_error.Infeasible_partition { mii; cap })
+      else
+        guard (fun () ->
+            escalate ?transform
+              ~on_level:(fun l -> levels := l :: !levels)
+              ?budget config g ~rec_mii ~mii ~cap ~counters mii
+              (Partition.initial ~rec_mii config g ~ii:mii))
     in
     {
       t_config = config;
@@ -336,8 +370,7 @@ module Trace = struct
       | [] ->
           (* No level was ever attempted: the cap sat below the MII. *)
           Error
-            (Printf.sprintf "no schedule found up to II=%d (MII=%d)" t.t_cap
-               t.t_mii)
+            (Sched_error.Infeasible_partition { mii = t.t_mii; cap = t.t_cap })
       | level :: rest -> (
           let continue_failed cause =
             bump counters cause;
@@ -375,11 +408,13 @@ module Trace = struct
                   | Placed _ -> go_live level.l_ii level.l_assign
                   | Failed _ -> continue_failed cause)))
     in
-    let result = walk t.t_levels in
+    (* Same fault isolation as a direct run: replays must stay
+       observably equal to [schedule_loop], failures included. *)
+    let result = guard (fun () -> walk t.t_levels) in
     (result, !live)
 end
 
-let schedule_sweep ?transform ?max_ii ?spiller_for configs g =
+let schedule_sweep ?transform ?max_ii ?budget ?spiller_for configs g =
   match configs with
   | [] -> []
   | c0 :: _ ->
@@ -393,7 +428,7 @@ let schedule_sweep ?transform ?max_ii ?spiller_for configs g =
             else best)
           c0 configs
       in
-      let trace = Trace.record ?transform ?max_ii permissive g in
+      let trace = Trace.record ?transform ?max_ii ?budget permissive g in
       List.map
         (fun c ->
           let spiller =

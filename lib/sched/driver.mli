@@ -54,13 +54,23 @@ val schedule_loop :
   ?max_ii:int ->
   ?latency0:bool ->
   ?spiller:spiller ->
+  ?budget:Budget.t ->
   Machine.Config.t ->
   Ddg.Graph.t ->
-  (outcome, string) result
+  (outcome, Sched_error.t) result
 (** [max_ii] caps the escalation (default [16 * mii + 64]); exceeding it
-    returns [Error] — in practice only pathological inputs do.
+    returns [Error Escalation_cap] — in practice only pathological
+    inputs do — and a cap below the MII returns
+    [Error Infeasible_partition] without attempting anything.
     [latency0] routes communications with zero consumer latency (the
-    Section-5.1 upper bound; see {!Route.build}). *)
+    Section-5.1 upper bound; see {!Route.build}).  [budget] bounds the
+    escalation in wall-clock time and attempts; when it expires before
+    any feasible schedule was found the result is a classified
+    [Error Timeout] (a success is returned the moment it is found, so a
+    budget never discards one).  The whole pipeline is fault-isolated: a
+    raising transform hook or an internal scheduler exception surfaces
+    as [Error Internal] rather than an exception (only [Out_of_memory]
+    propagates). *)
 
 (** {1 Escalation traces}
 
@@ -82,6 +92,7 @@ module Trace : sig
   val record :
     ?transform:transform ->
     ?max_ii:int ->
+    ?budget:Budget.t ->
     Machine.Config.t ->
     Ddg.Graph.t ->
     t
@@ -90,7 +101,7 @@ module Trace : sig
       partition it started from, and the outcome (a placed schedule with
       its MaxLive per cluster, or the failure cause). *)
 
-  val result : t -> (outcome, string) result
+  val result : t -> (outcome, Sched_error.t) result
   (** The recording run's own outcome (what {!schedule_loop} would have
       returned at the recording configuration). *)
 
@@ -101,7 +112,7 @@ module Trace : sig
     ?spiller:spiller ->
     t ->
     Machine.Config.t ->
-    (outcome, string) result * bool
+    (outcome, Sched_error.t) result * bool
   (** [replay t config] answers [config] from the trace; the result is
       exactly what [schedule_loop] with the same hooks would return (the
       property suite checks outcome equality).  The boolean is true when
@@ -118,10 +129,11 @@ end
 val schedule_sweep :
   ?transform:transform ->
   ?max_ii:int ->
+  ?budget:Budget.t ->
   ?spiller_for:(Machine.Config.t -> spiller option) ->
   Machine.Config.t list ->
   Ddg.Graph.t ->
-  (Machine.Config.t * (outcome, string) result) list
+  (Machine.Config.t * (outcome, Sched_error.t) result) list
 (** [schedule_sweep configs g] schedules [g] for every member of a
     register family — configurations identical up to the register count —
     by recording one {!Trace} at the most permissive member and replaying

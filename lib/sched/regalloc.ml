@@ -149,9 +149,8 @@ let allocate (sched : Schedule.t) =
               | None ->
                   failure :=
                     Some
-                      (Printf.sprintf
-                         "cluster %d: no %d free registers for node %d within %d"
-                         cluster itv.instances itv.producer limit)
+                      (Sched_error.Register_pressure
+                         { cluster; needed = itv.instances; limit })
               | Some regs ->
                   let itv = { itv with registers = regs } in
                   assigned := itv :: !assigned;
@@ -164,11 +163,13 @@ let allocate (sched : Schedule.t) =
       end)
     by_cluster;
   match !failure with
-  | Some msg -> Error msg
+  | Some err -> Error err
   | None -> Ok { intervals = List.rev !out; used_per_cluster = used }
 
 let allocate_exn sched =
-  match allocate sched with Ok t -> t | Error e -> failwith e
+  match allocate sched with
+  | Ok t -> t
+  | Error e -> failwith (Sched_error.to_string e)
 
 let verify (sched : Schedule.t) t =
   let ii = sched.Schedule.ii in

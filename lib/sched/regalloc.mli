@@ -34,10 +34,10 @@ val slots_overlap : int -> interval -> interval -> bool
     with two O(1) circular-interval containment checks (the property
     suite pins it to the definitional slot-by-slot scan). *)
 
-val allocate : Schedule.t -> (t, string) result
-(** [Error] when some cluster needs more registers than the configuration
-    provides — the same condition {!Regpressure.ok} flags, proven here by
-    an explicit failed colouring. *)
+val allocate : Schedule.t -> (t, Sched_error.t) result
+(** [Error Register_pressure] when some cluster needs more registers than
+    the configuration provides — the same condition {!Regpressure.ok}
+    flags, proven here by an explicit failed colouring. *)
 
 val allocate_exn : Schedule.t -> t
 

@@ -15,7 +15,10 @@ let build ?(latency0 = false) config g ~assign =
   let bus_lat = if latency0 then 0 else Machine.Config.copy_latency config in
   let needs_copy = Comm.producers g ~assign in
   if needs_copy <> [] && config.Machine.Config.buses = 0 then
-    invalid_arg "Route.build: communications on a machine without buses";
+    raise
+      (Sched_error.E
+         (Sched_error.Bus_saturation
+            { communications = List.length needs_copy; buses = 0 }));
   let b = Graph.Builder.create ~name:(Graph.name g ^ "+copies") () in
   (* Original nodes keep their ids because they are added first, in
      order. *)

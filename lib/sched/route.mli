@@ -30,8 +30,9 @@ val build :
     not the schedule length.  The resulting schedule is "obviously
     wrong" (the paper's words) but bounds the benefit of length-oriented
     replication.
-    @raise Invalid_argument if the machine is clustered and has no buses
-    while a communication is needed. *)
+    @raise Sched_error.E with [Bus_saturation] if the machine is
+    clustered and has no buses while a communication is needed (the
+    driver catches it and returns the classified error). *)
 
 val n_copies : t -> int
 val is_copy : t -> int -> bool

@@ -1,0 +1,70 @@
+type t =
+  | Infeasible_partition of { mii : int; cap : int }
+  | Escalation_cap of { mii : int; cap : int }
+  | Register_pressure of { cluster : int; needed : int; limit : int }
+  | Bus_saturation of { communications : int; buses : int }
+  | Checker_violation of string list
+  | Timeout of { at_ii : int; attempts : int; elapsed_s : float }
+  | Internal of string
+
+exception E of t
+
+let class_name = function
+  | Infeasible_partition _ -> "infeasible-partition"
+  | Escalation_cap _ -> "escalation-cap"
+  | Register_pressure _ -> "register-pressure"
+  | Bus_saturation _ -> "bus-saturation"
+  | Checker_violation _ -> "checker-violation"
+  | Timeout _ -> "timeout"
+  | Internal _ -> "internal"
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let to_string = function
+  | Infeasible_partition { mii; cap } ->
+      Printf.sprintf "escalation cap II=%d below MII=%d: no partition attempted"
+        cap mii
+  | Escalation_cap { mii; cap } ->
+      Printf.sprintf "no schedule found up to II=%d (MII=%d)" cap mii
+  | Register_pressure { cluster; needed; limit } ->
+      Printf.sprintf
+        "register allocation failed: cluster %d needs %d registers, has %d"
+        cluster needed limit
+  | Bus_saturation { communications; buses } ->
+      Printf.sprintf
+        "%d inter-cluster communications but %d buses: partition can never fit"
+        communications buses
+  | Checker_violation es ->
+      Printf.sprintf "illegal schedule: %s" (one_line (String.concat "; " es))
+  | Timeout { at_ii; attempts; elapsed_s } ->
+      Printf.sprintf
+        "escalation budget expired at II=%d after %d attempts (%.2fs)" at_ii
+        attempts elapsed_s
+  | Internal msg -> Printf.sprintf "internal: %s" (one_line msg)
+
+let exit_code = function
+  | Infeasible_partition _ -> 10
+  | Escalation_cap _ -> 11
+  | Register_pressure _ -> 12
+  | Bus_saturation _ -> 13
+  | Timeout _ -> 14
+  | Checker_violation _ -> 20
+  | Internal _ -> 21
+
+let is_bug = function
+  | Checker_violation _ | Internal _ -> true
+  | Infeasible_partition _ | Escalation_cap _ | Register_pressure _
+  | Bus_saturation _ | Timeout _ ->
+      false
+
+let is_give_up = function
+  | Infeasible_partition _ | Escalation_cap _ | Register_pressure _
+  | Bus_saturation _ ->
+      true
+  | Checker_violation _ | Timeout _ | Internal _ -> false
+
+let () =
+  Printexc.register_printer (function
+    | E err -> Some (Printf.sprintf "Sched_error.E(%s)" (to_string err))
+    | _ -> None)

@@ -1,0 +1,68 @@
+(** Structured failure taxonomy for the scheduling pipeline.
+
+    Every way the pipeline can fail — the driver giving up, a register
+    file that cannot hold a loop, a machine without the buses its
+    partition needs, a legality violation, an exhausted time budget, or
+    an unexpected exception — is one constructor of {!t}, so callers
+    dispatch on the class of a failure instead of matching substrings of
+    exception text.  The suite runner uses the class to decide whether a
+    failure is skippable data (the paper also skips loops it cannot
+    modulo schedule), a quarantinable operational fault, or a bug that
+    must stop the run; the CLI maps each class to a stable exit code. *)
+
+type t =
+  | Infeasible_partition of { mii : int; cap : int }
+      (** The escalation cap sits below the MII: not a single partition
+          could be attempted. *)
+  | Escalation_cap of { mii : int; cap : int }
+      (** The Figure-2 escalation walked (or provably would walk — the
+          stationarity cut concludes this early) every II up to [cap]
+          without finding a feasible schedule. *)
+  | Register_pressure of { cluster : int; needed : int; limit : int }
+      (** Register allocation failed outright: [cluster] needs [needed]
+          simultaneous registers for one value but only [limit] exist. *)
+  | Bus_saturation of { communications : int; buses : int }
+      (** The partition requires inter-cluster communications on a
+          machine whose bus capacity can never carry them (no buses at
+          all). *)
+  | Checker_violation of string list
+      (** {!Sim.Checker} rejected an emitted schedule — always a bug in
+          the scheduler, never data. *)
+  | Timeout of { at_ii : int; attempts : int; elapsed_s : float }
+      (** An escalation {!Budget} expired before any feasible schedule
+          was found; [at_ii] is the II level the escalation had
+          reached. *)
+  | Internal of string
+      (** An unexpected exception, captured with its printed form; like
+          {!Checker_violation}, treated as a bug. *)
+
+exception E of t
+(** Carrier for the taxonomy across layers that communicate by
+    exception (e.g. {!Route.build} on a machine without buses); the
+    driver catches it and returns the payload as [Error]. *)
+
+val class_name : t -> string
+(** Stable machine-readable tag: ["infeasible-partition"],
+    ["escalation-cap"], ["register-pressure"], ["bus-saturation"],
+    ["checker-violation"], ["timeout"], ["internal"]. *)
+
+val to_string : t -> string
+(** One-line human-readable rendering (no newlines). *)
+
+val exit_code : t -> int
+(** Stable process exit code per class: 10 infeasible-partition,
+    11 escalation-cap, 12 register-pressure, 13 bus-saturation,
+    14 timeout, 20 checker-violation, 21 internal. *)
+
+val is_bug : t -> bool
+(** [Checker_violation] and [Internal]: a schedule or pipeline in a
+    state that should be impossible.  Everything else is an honest
+    "cannot schedule this loop here" and is data. *)
+
+val is_give_up : t -> bool
+(** The scheduler gave up on the loop for capacity reasons
+    ([Infeasible_partition], [Escalation_cap], [Register_pressure],
+    [Bus_saturation]) — skippable data in suite runs, as the paper
+    skips loops it cannot modulo schedule.  [Timeout] is {e not} a
+    give-up: with a bigger budget the loop might schedule, so isolated
+    runs quarantine it for a retry instead of discarding it. *)

@@ -11,13 +11,26 @@ let check ?(registers = true) (sched : Sched.Schedule.t) =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   if ii < 1 then err "II %d < 1" ii;
+  (* Nodes whose placement is already known to be nonsense are excluded
+     from the resource accounting below, so the checker stays total — it
+     reports the placement error instead of crashing on an array index. *)
+  let unsound = ref false in
+  let sound v =
+    cycles.(v) >= 0
+    && route.Sched.Route.assign.(v) >= 0
+    && route.Sched.Route.assign.(v) < config.Machine.Config.clusters
+  in
   (* Placement sanity. *)
   for v = 0 to n - 1 do
-    if cycles.(v) < 0 then
-      err "node %s has no issue cycle" (Graph.label g v);
+    if cycles.(v) < 0 then begin
+      unsound := true;
+      err "node %s has no issue cycle" (Graph.label g v)
+    end;
     let c = route.Sched.Route.assign.(v) in
-    if c < 0 || c >= config.Machine.Config.clusters then
-      err "node %s assigned to bogus cluster %d" (Graph.label g v) c;
+    if c < 0 || c >= config.Machine.Config.clusters then begin
+      unsound := true;
+      err "node %s assigned to bogus cluster %d" (Graph.label g v) c
+    end;
     let is_copy = Sched.Route.is_copy route v in
     if is_copy && (buses.(v) < 0 || buses.(v) >= config.Machine.Config.buses)
     then err "copy %s has bogus bus %d" (Graph.label g v) buses.(v);
@@ -41,7 +54,7 @@ let check ?(registers = true) (sched : Sched.Schedule.t) =
       Array.init Machine.Fu.count (fun _ -> Array.make ii 0))
   in
   for v = 0 to n - 1 do
-    if cycles.(v) >= 0 then
+    if sound v then
       match Machine.Opclass.fu_kind (Graph.op g v) with
       | Some k ->
           let c = route.Sched.Route.assign.(v) in
@@ -75,7 +88,11 @@ let check ?(registers = true) (sched : Sched.Schedule.t) =
       Array.init config.Machine.Config.buses (fun _ -> Array.make ii 0)
     in
     for v = 0 to n - 1 do
-      if Sched.Route.is_copy route v && cycles.(v) >= 0 && buses.(v) >= 0
+      if
+        Sched.Route.is_copy route v
+        && sound v
+        && buses.(v) >= 0
+        && buses.(v) < config.Machine.Config.buses
       then
         for i = 0 to max 1 config.Machine.Config.bus_latency - 1 do
           let s = (cycles.(v) + i) mod ii in
@@ -91,8 +108,11 @@ let check ?(registers = true) (sched : Sched.Schedule.t) =
           slots)
       bus_busy
   end;
-  (* Registers. *)
-  if registers then begin
+  (* Registers.  The live-range analysis indexes by consumer cluster and
+     issue cycle, so it only runs on a structurally sound placement —
+     when [unsound] the placement errors above already condemn the
+     schedule. *)
+  if registers && not !unsound then begin
     let limit = Machine.Config.registers_per_cluster config in
     Array.iteri
       (fun c pressure ->

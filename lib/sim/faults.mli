@@ -1,0 +1,33 @@
+(** Fault injection against the legality checker.
+
+    Each {!injection} corrupts one invariant of a finished schedule and
+    names the substring {!Checker.check} must produce when shown the
+    corrupted schedule.  Running {!catalog} over checker-clean schedules
+    proves the checker guards every rule the scheduler relies on; see
+    docs/ROBUSTNESS.md and [repro faults]. *)
+
+type injection = {
+  name : string;  (** stable kebab-case identifier *)
+  descr : string;
+  expect : string;  (** substring the checker must name *)
+  apply : Sched.Schedule.t -> Sched.Schedule.t option;
+      (** [None] when the schedule lacks the ingredient to corrupt
+          (e.g. no copies to double-book); never mutates its input *)
+}
+
+type verdict =
+  | Not_applicable  (** the schedule lacks the ingredient to corrupt *)
+  | Missed  (** corrupted, but the checker said [Ok] — a checker hole *)
+  | Misnamed of string list
+      (** detected, but no error names the expected substring *)
+  | Detected of string list  (** detected and named as expected *)
+
+val catalog : injection list
+(** One corruption per checker rule: dropped copy bus, phantom bus on a
+    non-copy, out-of-range cluster, violated dependence latency,
+    oversubscribed functional unit, double-booked bus, register file
+    below MaxLive, missing issue cycle. *)
+
+val verify : ?registers:bool -> Sched.Schedule.t -> injection -> verdict
+(** Apply the corruption and judge the checker's answer.  [registers]
+    is forwarded to {!Checker.check} (default true). *)

@@ -14,7 +14,7 @@ let config4c = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~register
 let schedule config g =
   match Sched.Driver.schedule_loop config g with
   | Ok o -> o.Sched.Driver.schedule
-  | Error e -> Alcotest.failf "driver: %s" e
+  | Error e -> Alcotest.failf "driver: %s" (Sched.Sched_error.to_string e)
 
 let test_kernel_symbolic () =
   let s = schedule config4c (Ddg.Examples.figure3 ()) in

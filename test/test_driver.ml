@@ -12,7 +12,11 @@ let test_max_ii_cap () =
   (* an impossible cap forces the error path *)
   match Sched.Driver.schedule_loop ~max_ii:0 config4c g with
   | Ok _ -> Alcotest.fail "expected failure"
-  | Error e -> check bool "mentions MII" true (String.length e > 0)
+  | Error (Sched.Sched_error.Infeasible_partition { mii; cap }) ->
+      check bool "cap below MII" true (cap < mii)
+  | Error e ->
+      Alcotest.failf "unexpected error class: %s"
+        (Sched.Sched_error.class_name e)
 
 let test_identity_transform_is_baseline () =
   let g = Ddg.Examples.figure3 () in

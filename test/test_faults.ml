@@ -1,0 +1,94 @@
+(* Fault-injection properties: the corruption catalog versus the
+   legality checker.
+
+   The catalog exists to prove the checker's coverage, so the contract
+   under test is exactly the acceptance bar of docs/ROBUSTNESS.md: on a
+   checker-clean schedule, every applicable corruption must flip the
+   checker to [Error] with the catalog's expected substring among the
+   violations, a corruption must never crash the checker, and the
+   original schedule must stay clean afterwards (injections copy, they
+   do not mutate). *)
+
+let config4c = Option.get (Machine.Config.of_name "4c1b2l64r")
+
+let clean_schedule_of_seed seed =
+  let g = Props.graph_of_seed seed in
+  let tr, _ = Replication.Replicate.transform () in
+  match Sched.Driver.schedule_loop ~transform:tr config4c g with
+  | Error _ -> None
+  | Ok o -> (
+      let s = o.Sched.Driver.schedule in
+      match Sim.Checker.check s with Ok () -> Some s | Error _ -> None)
+
+let prop_catalog_flips_checker =
+  QCheck.Test.make
+    ~name:"every applicable corruption is detected and named; identity stays clean"
+    ~count:80 Props.seed_arb (fun seed ->
+      match clean_schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some s ->
+          List.iter
+            (fun (inj : Sim.Faults.injection) ->
+              match Sim.Faults.verify s inj with
+              | Sim.Faults.Detected _ | Sim.Faults.Not_applicable -> ()
+              | Sim.Faults.Missed ->
+                  QCheck.Test.fail_reportf "%s: checker said Ok" inj.name
+              | Sim.Faults.Misnamed es ->
+                  QCheck.Test.fail_reportf "%s: expected %S among: %s" inj.name
+                    inj.expect (String.concat "; " es))
+            Sim.Faults.catalog;
+          (* identity: the schedule the injections started from is
+             untouched and still clean *)
+          match Sim.Checker.check s with
+          | Ok () -> true
+          | Error es ->
+              QCheck.Test.fail_reportf "identity corrupted: %s"
+                (String.concat "; " es))
+
+(* Deterministic coverage: over a slice of the real workload, every
+   catalog entry must find at least one schedule it applies to and be
+   detected there — an entry that is Not_applicable everywhere tests
+   nothing. *)
+let test_catalog_coverage () =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  let loops =
+    List.concat_map
+      (fun b -> take 2 (Workload.Generator.generate b))
+      Workload.Benchmark.all
+  in
+  let detected = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Workload.Generator.loop) ->
+      List.iter
+        (fun mode ->
+          match Metrics.Experiment.run_loop mode config4c l with
+          | Error _ -> ()
+          | Ok r ->
+              let s = r.Metrics.Experiment.outcome.Sched.Driver.schedule in
+              List.iter
+                (fun (inj : Sim.Faults.injection) ->
+                  match Sim.Faults.verify s inj with
+                  | Sim.Faults.Detected _ ->
+                      Hashtbl.replace detected inj.name ()
+                  | _ -> ())
+                Sim.Faults.catalog)
+        [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ])
+    loops;
+  List.iter
+    (fun (inj : Sim.Faults.injection) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s detected somewhere" inj.name)
+        true
+        (Hashtbl.mem detected inj.name))
+    Sim.Faults.catalog
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_catalog_flips_checker;
+    Alcotest.test_case "catalog coverage over the workload" `Quick
+      test_catalog_coverage;
+  ]

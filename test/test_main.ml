@@ -17,6 +17,8 @@ let () =
       ("unroll", Test_unroll.suite);
       ("acyclic", Test_acyclic.suite);
       ("metrics+figures", Test_metrics.suite);
+      ("robustness", Test_robustness.suite);
+      ("faults", Test_faults.suite);
       ("misc", Test_misc.suite);
       ("export", Test_export.suite);
       ("properties", Props.suite);

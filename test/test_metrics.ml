@@ -56,7 +56,7 @@ let test_run_loop_modes () =
           check bool "cycles positive" true (r.counts.Sim.Lockstep.cycles > 0);
           check bool "useful positive" true
             (r.counts.Sim.Lockstep.useful_ops > 0)
-      | Error e -> Alcotest.failf "mode failed: %s" e)
+      | Error e -> Alcotest.failf "mode failed: %s" (Sched.Sched_error.to_string e))
     Metrics.Experiment.
       [ Baseline; Replication; Replication_latency0; Macro_replication;
         Replication_length ]
@@ -309,7 +309,8 @@ let test_pool_filter_map () =
 exception Boom of int
 
 let test_pool_exception () =
-  (* the first failure in input order propagates, at any parallelism *)
+  (* the first failure in input order propagates, at any parallelism,
+     wrapped so the item index and original exception survive *)
   List.iter
     (fun jobs ->
       match
@@ -317,9 +318,12 @@ let test_pool_exception () =
           (fun x -> if x >= 7 then raise (Boom x) else x)
           (List.init 20 Fun.id)
       with
-      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
-      | exception Boom x ->
-          check int (Printf.sprintf "jobs=%d first failure" jobs) 7 x)
+      | _ -> Alcotest.failf "jobs=%d: expected Fault" jobs
+      | exception Metrics.Pool.Fault { index; exn = Boom x; _ } ->
+          check int (Printf.sprintf "jobs=%d first failure" jobs) 7 x;
+          check int (Printf.sprintf "jobs=%d fault index" jobs) 7 index
+      | exception e ->
+          Alcotest.failf "jobs=%d: unexpected %s" jobs (Printexc.to_string e))
     [ 1; 2; 4 ]
 
 let test_pool_default_jobs () =

@@ -118,7 +118,7 @@ let test_cross_path_copies () =
       | Ok o ->
           Sim.Checker.check_exn o.Sched.Driver.schedule;
           ignore (Sim.Lockstep.run_exn o.Sched.Driver.schedule ~iterations:20)
-      | Error e -> Alcotest.failf "cross-path: %s" e)
+      | Error e -> Alcotest.failf "cross-path: %s" (Sched.Sched_error.to_string e))
     [
       Ddg.Examples.figure3 ();
       (List.hd (Workload.Generator.generate (Workload.Benchmark.find "swim")))

@@ -10,7 +10,7 @@ let config4c = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~register
 let schedule config g =
   match Sched.Driver.schedule_loop config g with
   | Ok o -> o.Sched.Driver.schedule
-  | Error e -> Alcotest.failf "driver: %s" e
+  | Error e -> Alcotest.failf "driver: %s" (Sched.Sched_error.to_string e)
 
 let test_allocates_chain () =
   let s = schedule unified (Ddg.Examples.tiny_chain ~n:5 ()) in
@@ -100,7 +100,7 @@ let test_driver_accepted_schedules_mostly_allocate () =
              would be a bug *)
           let limit = Machine.Config.registers_per_cluster config4c in
           if Sched.Regpressure.max_pressure s <= limit - 3 then
-            Alcotest.failf "%s: %s (maxlive %d, limit %d)" l.id e
+            Alcotest.failf "%s: %s (maxlive %d, limit %d)" l.id (Sched.Sched_error.to_string e)
               (Sched.Regpressure.max_pressure s) limit)
     (take 10 loops)
 

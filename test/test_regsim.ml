@@ -10,7 +10,7 @@ let unified = Machine.Config.unified ~registers:64
 let scheduled config g =
   match Sched.Driver.schedule_loop config g with
   | Ok o -> o.Sched.Driver.schedule
-  | Error e -> Alcotest.failf "driver: %s" e
+  | Error e -> Alcotest.failf "driver: %s" (Sched.Sched_error.to_string e)
 
 let test_examples_flow () =
   List.iter
@@ -38,7 +38,7 @@ let test_replicated_graph_flow () =
   let g = Ddg.Examples.figure3 () in
   let tr, _ = Replication.Replicate.transform () in
   match Sched.Driver.schedule_loop ~transform:tr config4c g with
-  | Error e -> Alcotest.failf "driver: %s" e
+  | Error e -> Alcotest.failf "driver: %s" (Sched.Sched_error.to_string e)
   | Ok o -> (
       let s = o.Sched.Driver.schedule in
       match Sched.Regalloc.allocate s with

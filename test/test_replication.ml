@@ -233,7 +233,7 @@ let test_run_removes_excess () =
          Sched.Driver.schedule_loop example_config o.Replicate.graph
        with
       | Ok out -> Sim.Checker.check_exn out.Sched.Driver.schedule
-      | Error e -> Alcotest.failf "schedule failed: %s" e);
+      | Error e -> Alcotest.failf "schedule failed: %s" (Sched.Sched_error.to_string e));
       (* replica bookkeeping *)
       let replicas = Array.to_list o.Replicate.is_replica in
       check int "replica count" 4
@@ -279,7 +279,7 @@ let test_length_opt_never_worse () =
       ~fus_per_cluster:(2, 0, 0)
   in
   match Sched.Driver.schedule_loop config g with
-  | Error e -> Alcotest.failf "driver: %s" e
+  | Error e -> Alcotest.failf "driver: %s" (Sched.Sched_error.to_string e)
   | Ok o ->
       let o', st = Length_opt.improve config o in
       check bool "same ii" true (o'.Sched.Driver.ii = o.Sched.Driver.ii);

@@ -1,0 +1,311 @@
+(* The fault-isolation layer: pool fault capture, escalation budgets,
+   error classification, quarantine, and checkpoint/resume. *)
+
+open Alcotest
+
+let config4c = Option.get (Machine.Config.of_name "4c1b2l64r")
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: tl -> x :: take (k - 1) tl
+
+let tomcatv_loops =
+  lazy (take 4 (Workload.Generator.generate (Workload.Benchmark.find "tomcatv")))
+
+(* ------------------------------------------------------------------ *)
+(* Pool fault capture                                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom of int
+
+let test_pool_fault_metadata () =
+  Printexc.record_backtrace true;
+  List.iter
+    (fun jobs ->
+      match
+        Metrics.Pool.map ~jobs
+          (fun x -> if x mod 5 = 3 then raise (Boom x) else x)
+          (List.init 16 Fun.id)
+      with
+      | _ -> failf "jobs=%d: expected Fault" jobs
+      | exception Metrics.Pool.Fault f ->
+          check int (Printf.sprintf "jobs=%d index" jobs) 3 f.Metrics.Pool.index;
+          (match f.Metrics.Pool.exn with
+          | Boom 3 -> ()
+          | e -> failf "jobs=%d: wrong exn %s" jobs (Printexc.to_string e));
+          check bool
+            (Printf.sprintf "jobs=%d backtrace captured" jobs)
+            true
+            (String.length f.Metrics.Pool.backtrace > 0))
+    [ 1; 2 ]
+
+let test_pool_map_result () =
+  List.iter
+    (fun jobs ->
+      let results =
+        Metrics.Pool.map_result ~jobs
+          (fun x -> if x mod 2 = 0 then x * 10 else raise (Boom x))
+          [ 0; 1; 2; 3 ]
+      in
+      match results with
+      | [ Ok 0; Error f1; Ok 20; Error f3 ] ->
+          check int "first fault index" 1 f1.Metrics.Pool.index;
+          check int "second fault index" 3 f3.Metrics.Pool.index
+      | _ -> failf "jobs=%d: unexpected shape" jobs)
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Budgets                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_attempts () =
+  let g = Ddg.Examples.figure3 () in
+  let budget = Sched.Budget.make ~max_attempts:0 () in
+  match Sched.Driver.schedule_loop ~budget config4c g with
+  | Ok _ -> fail "expected timeout"
+  | Error (Sched.Sched_error.Timeout { at_ii; attempts; _ }) ->
+      check int "stopped before the first attempt" 0 attempts;
+      check bool "at the MII level" true (at_ii >= 1)
+  | Error e -> failf "unexpected class %s" (Sched.Sched_error.class_name e)
+
+let test_budget_fake_clock () =
+  (* an injected clock that jumps 10 s per reading trips a 5 s budget at
+     the first level, deterministically *)
+  let t = ref 0. in
+  let clock () =
+    t := !t +. 10.;
+    !t
+  in
+  let budget = Sched.Budget.make ~wall_seconds:5. ~clock () in
+  let g = Ddg.Examples.figure3 () in
+  match Sched.Driver.schedule_loop ~budget config4c g with
+  | Ok _ -> fail "expected timeout"
+  | Error (Sched.Sched_error.Timeout { elapsed_s; _ }) ->
+      check bool "elapsed measured" true (elapsed_s > 5.)
+  | Error e -> failf "unexpected class %s" (Sched.Sched_error.class_name e)
+
+let test_budget_generous_is_ok () =
+  let g = Ddg.Examples.figure3 () in
+  let budget = Sched.Budget.make ~wall_seconds:3600. ~max_attempts:10_000 () in
+  match Sched.Driver.schedule_loop ~budget config4c g with
+  | Ok _ -> ()
+  | Error e -> failf "unexpected failure: %s" (Sched.Sched_error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Error classification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_internal_from_raising_transform () =
+  let g = Ddg.Examples.figure3 () in
+  let bomb _config _g ~assign:_ ~ii:_ = failwith "kaboom" in
+  match Sched.Driver.schedule_loop ~transform:bomb config4c g with
+  | Ok _ -> fail "expected failure"
+  | Error (Sched.Sched_error.Internal msg) ->
+      check bool "carries the message" true
+        (Metrics.Experiment.contains msg ~sub:"kaboom")
+  | Error e -> failf "unexpected class %s" (Sched.Sched_error.class_name e)
+
+let test_exit_codes_stable () =
+  let open Sched.Sched_error in
+  List.iter
+    (fun (e, code, bug, give_up) ->
+      check int (class_name e ^ " exit code") code (exit_code e);
+      check bool (class_name e ^ " is_bug") bug (is_bug e);
+      check bool (class_name e ^ " is_give_up") give_up (is_give_up e))
+    [
+      (Infeasible_partition { mii = 4; cap = 2 }, 10, false, true);
+      (Escalation_cap { mii = 4; cap = 8 }, 11, false, true);
+      (Register_pressure { cluster = 0; needed = 9; limit = 8 }, 12, false, true);
+      (Bus_saturation { communications = 3; buses = 0 }, 13, false, true);
+      (Timeout { at_ii = 5; attempts = 2; elapsed_s = 1.5 }, 14, false, false);
+      (Checker_violation [ "x" ], 20, true, false);
+      (Internal "x", 21, true, false);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_quarantine_poisoned_loop () =
+  let loops = Lazy.force tomcatv_loops in
+  let victim = (List.nth loops 1).Workload.Generator.id in
+  List.iter
+    (fun jobs ->
+      let iso =
+        Metrics.Experiment.run_suite_isolated ~jobs ~poison:[ victim ]
+          Metrics.Experiment.Baseline config4c loops
+      in
+      check int
+        (Printf.sprintf "jobs=%d quarantined" jobs)
+        1
+        (List.length iso.Metrics.Experiment.iso_quarantined);
+      let q = List.hd iso.Metrics.Experiment.iso_quarantined in
+      check string
+        (Printf.sprintf "jobs=%d victim named" jobs)
+        victim q.Metrics.Experiment.q_loop.Workload.Generator.id;
+      check string
+        (Printf.sprintf "jobs=%d class" jobs)
+        "internal"
+        (Sched.Sched_error.class_name q.Metrics.Experiment.q_error);
+      check bool
+        (Printf.sprintf "jobs=%d not retried" jobs)
+        false q.Metrics.Experiment.q_retried;
+      check int
+        (Printf.sprintf "jobs=%d partial results" jobs)
+        (List.length loops - 1)
+        (List.length iso.Metrics.Experiment.iso_runs))
+    [ 1; 2 ]
+
+let test_quarantine_retry_marks () =
+  let loops = Lazy.force tomcatv_loops in
+  let victim = (List.nth loops 0).Workload.Generator.id in
+  let iso =
+    Metrics.Experiment.run_suite_isolated ~retry:true ~poison:[ victim ]
+      Metrics.Experiment.Baseline config4c loops
+  in
+  match iso.Metrics.Experiment.iso_quarantined with
+  | [ q ] ->
+      check bool "survived the retry" true q.Metrics.Experiment.q_retried
+  | qs -> failf "expected one quarantined loop, got %d" (List.length qs)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sample_checkpoint () =
+  Metrics.Checkpoint.create ~config:"4c1b2l64r"
+    [
+      {
+        Metrics.Checkpoint.e_mode = "base";
+        e_loop = "tomcatv.0";
+        e_status =
+          Metrics.Checkpoint.Done
+            {
+              Metrics.Checkpoint.s_id = "tomcatv.0";
+              s_benchmark = "tomcatv";
+              s_visits = 7;
+              s_trip = 30;
+              s_ii = 4;
+              s_mii = 4;
+              s_n_comms = 2;
+              s_cycles = 131;
+              s_useful = 420;
+            };
+      };
+      {
+        Metrics.Checkpoint.e_mode = "base";
+        e_loop = "swim.3";
+        e_status = Metrics.Checkpoint.Skipped "escalation-cap";
+      };
+      {
+        Metrics.Checkpoint.e_mode = "repl";
+        e_loop = "apsi.2";
+        e_status =
+          Metrics.Checkpoint.Quarantined
+            ( "internal",
+              "tricky \"quoted\" text, back\\slash, tab\t, newline\n, \
+               control \001 done" );
+      };
+    ]
+
+let test_checkpoint_roundtrip () =
+  let cp = sample_checkpoint () in
+  match Metrics.Checkpoint.of_string (Metrics.Checkpoint.to_string cp) with
+  | Error msg -> failf "roundtrip failed: %s" msg
+  | Ok cp' ->
+      check bool "roundtrip preserves everything" true (cp = cp')
+
+let test_checkpoint_save_load () =
+  let cp = sample_checkpoint () in
+  let path = Filename.temp_file "checkpoint" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Metrics.Checkpoint.save cp ~path;
+      match Metrics.Checkpoint.load ~path with
+      | Ok cp' -> check bool "disk roundtrip" true (cp = cp')
+      | Error msg -> failf "load failed: %s" msg)
+
+let test_checkpoint_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Metrics.Checkpoint.of_string text with
+      | Error _ -> ()
+      | Ok _ -> failf "accepted %S" text)
+    [ ""; "{"; "[]"; "{\"version\":99,\"config\":\"x\",\"entries\":[]}";
+      "{\"version\":1}"; "{\"version\":1,\"config\":\"x\",\"entries\":[]} x" ]
+
+(* ------------------------------------------------------------------ *)
+(* Resume                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let modes = [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ]
+
+let table_of outcome =
+  Metrics.Robust.ipc_table config4c
+    ~base:(Metrics.Robust.summaries outcome ~mode:"base")
+    ~repl:(Metrics.Robust.summaries outcome ~mode:"repl")
+
+let test_resume_completes_without_recompute () =
+  let loops = Lazy.force tomcatv_loops in
+  let victim = (List.nth loops 2).Workload.Generator.id in
+  let poisoned =
+    Metrics.Robust.run ~poison:[ victim ] ~modes config4c loops
+  in
+  (* the manifest of the poisoned run names the victim in both modes *)
+  List.iter
+    (fun mode ->
+      match
+        Metrics.Checkpoint.find poisoned.Metrics.Robust.o_checkpoint ~mode
+          ~loop:victim
+      with
+      | Some (Metrics.Checkpoint.Quarantined ("internal", msg)) ->
+          check bool
+            (mode ^ " quarantine names the victim")
+            true
+            (Metrics.Experiment.contains msg ~sub:victim)
+      | _ -> failf "%s: victim not quarantined in manifest" mode)
+    [ "base"; "repl" ];
+  check int "poisoned run computed everything" (2 * List.length loops)
+    poisoned.Metrics.Robust.o_computed;
+  (* resume (victim healthy again): only the quarantined entries are
+     recomputed, and the tables come out byte-identical to a fresh
+     healthy run *)
+  let resumed =
+    Metrics.Robust.run ~resume:poisoned.Metrics.Robust.o_checkpoint ~modes
+      config4c loops
+  in
+  check int "resume recomputed only the victim" 2
+    resumed.Metrics.Robust.o_computed;
+  check int "resume reused the rest"
+    (2 * (List.length loops - 1))
+    resumed.Metrics.Robust.o_reused;
+  check int "resume quarantined nothing" 0
+    (List.length resumed.Metrics.Robust.o_quarantined);
+  let fresh = Metrics.Robust.run ~modes config4c loops in
+  check string "byte-identical tables" (table_of fresh) (table_of resumed)
+
+let suite =
+  [
+    test_case "pool fault metadata" `Quick test_pool_fault_metadata;
+    test_case "pool map_result" `Quick test_pool_map_result;
+    test_case "budget: attempt ceiling" `Quick test_budget_attempts;
+    test_case "budget: injected clock" `Quick test_budget_fake_clock;
+    test_case "budget: generous budget is invisible" `Quick
+      test_budget_generous_is_ok;
+    test_case "internal classification from raising transform" `Quick
+      test_internal_from_raising_transform;
+    test_case "exit codes and classes are stable" `Quick
+      test_exit_codes_stable;
+    test_case "poisoned loop is quarantined" `Quick
+      test_quarantine_poisoned_loop;
+    test_case "retry marks surviving quarantine" `Quick
+      test_quarantine_retry_marks;
+    test_case "checkpoint string roundtrip" `Quick test_checkpoint_roundtrip;
+    test_case "checkpoint disk roundtrip" `Quick test_checkpoint_save_load;
+    test_case "checkpoint rejects garbage" `Quick
+      test_checkpoint_rejects_garbage;
+    test_case "resume: no recompute, identical tables" `Quick
+      test_resume_completes_without_recompute;
+  ]

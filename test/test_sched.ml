@@ -239,7 +239,7 @@ let test_ordering_recurrence_first () =
 let schedule_ok config g =
   match Sched.Driver.schedule_loop config g with
   | Ok o -> o
-  | Error e -> Alcotest.failf "driver: %s" e
+  | Error e -> Alcotest.failf "driver: %s" (Sched.Sched_error.to_string e)
 
 let test_schedule_chain_unified () =
   let g = Examples.tiny_chain ~n:4 () in
@@ -293,7 +293,7 @@ let test_heterogeneous_end_to_end () =
       let tr, _ = Replication.Replicate.transform () in
       match Sched.Driver.schedule_loop ~transform:tr config g with
       | Ok o -> Sim.Checker.check_exn o.Sched.Driver.schedule
-      | Error e -> Alcotest.failf "heterogeneous: %s" e)
+      | Error e -> Alcotest.failf "heterogeneous: %s" (Sched.Sched_error.to_string e))
     [
       Examples.figure3 ();
       Examples.with_recurrence ();

@@ -10,7 +10,7 @@ let unified = Machine.Config.unified ~registers:64
 let schedule config g =
   match Sched.Driver.schedule_loop config g with
   | Ok o -> o
-  | Error e -> Alcotest.failf "driver: %s" e
+  | Error e -> Alcotest.failf "driver: %s" (Sched.Sched_error.to_string e)
 
 let test_checker_accepts_good () =
   List.iter
@@ -113,7 +113,7 @@ let test_lockstep_matches_analytic_on_replicated () =
   in
   let tr, _ = Replication.Replicate.transform () in
   match Sched.Driver.schedule_loop ~transform:tr config g with
-  | Error e -> Alcotest.failf "driver: %s" e
+  | Error e -> Alcotest.failf "driver: %s" (Sched.Sched_error.to_string e)
   | Ok o ->
       let s = o.Sched.Driver.schedule in
       let c =

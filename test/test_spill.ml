@@ -16,7 +16,7 @@ let test_rewrite_inserts_pair () =
   let g = l.Workload.Generator.graph in
   let roomy = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:256 in
   match Sched.Driver.schedule_loop roomy g with
-  | Error e -> Alcotest.failf "driver: %s" e
+  | Error e -> Alcotest.failf "driver: %s" (Sched.Sched_error.to_string e)
   | Ok o -> (
       let assign =
         Array.sub o.Sched.Driver.schedule.Sched.Schedule.route.Sched.Route.assign

@@ -46,7 +46,7 @@ let test_unrolled_loop_schedulable () =
   let config = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64 in
   match Sched.Driver.schedule_loop config l2.Workload.Generator.graph with
   | Ok o -> Sim.Checker.check_exn o.Sched.Driver.schedule
-  | Error e -> Alcotest.failf "unrolled loop failed: %s" e
+  | Error e -> Alcotest.failf "unrolled loop failed: %s" (Sched.Sched_error.to_string e)
 
 let test_unroll_reduces_comm_rate () =
   (* the headline claim: per original iteration, the unrolled loop
@@ -57,7 +57,7 @@ let test_unroll_reduces_comm_rate () =
     match Sched.Driver.schedule_loop config g with
     | Ok o ->
         float_of_int o.Sched.Driver.n_comms /. float_of_int factor
-    | Error e -> Alcotest.failf "driver: %s" e
+    | Error e -> Alcotest.failf "driver: %s" (Sched.Sched_error.to_string e)
   in
   let base = comm_rate g 1 in
   let unrolled = comm_rate (Workload.Unroll.unroll g ~factor:4) 4 in

@@ -106,7 +106,7 @@ let test_loops_modulo_schedulable () =
     (fun (l : Workload.Generator.loop) ->
       match Sched.Driver.schedule_loop unified l.graph with
       | Ok _ -> ()
-      | Error e -> Alcotest.failf "%s: %s" l.id e)
+      | Error e -> Alcotest.failf "%s: %s" l.id (Sched.Sched_error.to_string e))
     (Workload.Generator.generate (Workload.Benchmark.find "tomcatv"))
 
 let suite =

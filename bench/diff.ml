@@ -1,0 +1,130 @@
+(* Benchmark regression gate: compare a fresh BENCH_sched.json against
+   the committed one.
+
+   Usage: diff.exe OLD NEW [--tolerance PCT]
+
+   Both files use the bench_sched/v2 schema ({"quick": ..., "full": ...},
+   either payload optional); a bare v1 payload (the pre-v2 format: the
+   payload object at top level) is accepted as a "quick"-only document so
+   the gate keeps working across the schema change.  Every payload
+   present in BOTH files is compared: the total wall time must not
+   exceed the committed one by more than the tolerance (default 25%),
+   and no section that succeeded in the committed run may fail in the
+   new one.  The "full" payload's hard-loop reuse speedup, when present
+   on both sides, must not fall below the committed value by more than
+   the tolerance either — the escalation-reuse machinery is a headline
+   number, so silently losing it is a regression like any other.
+
+   Exits 0 when every comparable payload passes, 1 on any regression or
+   unreadable input.  Payloads present on only one side are reported and
+   skipped: a quick-only refresh must not be failed for lacking full
+   numbers. *)
+
+module Json = Metrics.Json
+
+let tolerance = ref 0.25
+
+let read path =
+  try Json.parse (In_channel.with_open_text path In_channel.input_all)
+  with
+  | Sys_error m -> failwith m
+  | Json.Bad m -> failwith (Printf.sprintf "%s: %s" path m)
+
+(* v2 documents carry payloads under "quick"/"full"; a v1 document is
+   one bare payload, treated as "quick". *)
+let payload name doc =
+  match Json.member_opt name doc with
+  | Some p -> Some p
+  | None ->
+      if name = "quick" && Json.member_opt "schema" doc = None then Some doc
+      else None
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      incr failures;
+      Printf.printf "bench-diff: FAIL %s\n" m)
+    fmt
+
+let section_ok p id =
+  List.exists
+    (fun s ->
+      Json.(to_str (member "id" s)) = id
+      && Json.member "ok" s = Json.Bool true)
+    (Json.to_list (Json.member "sections" p))
+
+let compare_payload name old_p new_p =
+  let old_total = Json.(to_num (member "total_seconds" old_p)) in
+  let new_total = Json.(to_num (member "total_seconds" new_p)) in
+  Printf.printf "bench-diff: %s committed %.3fs, current %.3fs\n" name
+    old_total new_total;
+  if new_total > old_total *. (1. +. !tolerance) then
+    fail "%s: %.3fs > %.3fs * %.2f" name new_total old_total
+      (1. +. !tolerance);
+  List.iter
+    (fun s ->
+      let id = Json.(to_str (member "id" s)) in
+      if Json.member "ok" s = Json.Bool true && not (section_ok new_p id)
+      then fail "%s: section %s regressed from ok to failed" name id)
+    (Json.to_list (Json.member "sections" old_p));
+  match (Json.member_opt "hard" old_p, Json.member_opt "hard" new_p) with
+  | Some oh, Some nh ->
+      let old_s = Json.(to_num (member "speedup" oh)) in
+      let new_s = Json.(to_num (member "speedup" nh)) in
+      Printf.printf
+        "bench-diff: %s hard-loop reuse speedup committed %.2fx, current \
+         %.2fx\n"
+        name old_s new_s;
+      if new_s < old_s *. (1. -. !tolerance) then
+        fail "%s: hard-loop speedup %.2fx < %.2fx * %.2f" name new_s old_s
+          (1. -. !tolerance)
+  | _ -> ()
+
+let () =
+  let positional = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+        tolerance := float_of_string v /. 100.;
+        parse_args rest
+    | a :: rest ->
+        positional := a :: !positional;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  match List.rev !positional with
+  | [ old_path; new_path ] -> (
+      match (read old_path, read new_path) with
+      | exception Failure m ->
+          Printf.printf "bench-diff: FAIL %s\n" m;
+          exit 1
+      | old_doc, new_doc ->
+          let compared = ref 0 in
+          List.iter
+            (fun name ->
+              match (payload name old_doc, payload name new_doc) with
+              | Some o, Some n ->
+                  incr compared;
+                  compare_payload name o n
+              | Some _, None ->
+                  Printf.printf
+                    "bench-diff: %s present only in %s, skipped\n" name
+                    old_path
+              | None, Some _ ->
+                  Printf.printf
+                    "bench-diff: %s present only in %s, skipped\n" name
+                    new_path
+              | None, None -> ())
+            [ "quick"; "full" ];
+          if !compared = 0 then begin
+            Printf.printf "bench-diff: FAIL no comparable payload\n";
+            exit 1
+          end;
+          if !failures > 0 then exit 1;
+          Printf.printf "bench-diff: OK (within %.0f%% of committed)\n"
+            (!tolerance *. 100.))
+  | _ ->
+      prerr_endline "usage: diff.exe OLD NEW [--tolerance PCT]";
+      exit 2

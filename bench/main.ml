@@ -9,12 +9,23 @@
      dune exec bench/main.exe -- --ablate
      dune exec bench/main.exe -- --extensions
      dune exec bench/main.exe -- --micro
+     dune exec bench/main.exe -- --profile
      dune exec bench/main.exe -- --jobs 4 --bench-json BENCH_sched.json
 
    --jobs N runs independent loops on N domains (default: the
-   recommended domain count).  --bench-json PATH writes the per-section
-   wall times to PATH so successive commits can track the perf
-   trajectory; the process exits non-zero if any section failed. *)
+   recommended domain count).  --profile accumulates per-phase wall
+   time inside the scheduler (partition / ordering / placement /
+   regalloc / replication) and reports it, also into the JSON payload.
+
+   --bench-json PATH writes the wall times to PATH so successive
+   commits can track the perf trajectory; the process exits non-zero
+   if any section failed.  The file holds up to two payloads — "quick"
+   (written by --quick runs) and "full" (written by full figure runs,
+   which also measure the hard-loop escalation subset seq vs reuse vs
+   speculative) — and a run only overwrites its own payload, so quick
+   and full numbers can be refreshed independently. *)
+
+module Json = Metrics.Json
 
 type timing = { t_id : string; t_seconds : float; t_ok : bool }
 
@@ -27,39 +38,83 @@ let rec take k = function
 (* Perf trajectory output                                              *)
 (* ------------------------------------------------------------------ *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* Two-space-indented rendering, so the committed BENCH_sched.json stays
+   readable in diffs; [Json.print] is compact. *)
+let rec pretty ?(indent = 0) (j : Json.t) =
+  let pad n = String.make n ' ' in
+  match j with
+  | Json.Obj ((_ :: _) as fields) ->
+      let body =
+        List.map
+          (fun (k, v) ->
+            Printf.sprintf "%s\"%s\": %s"
+              (pad (indent + 2))
+              (Json.escape k)
+              (pretty ~indent:(indent + 2) v))
+          fields
+      in
+      Printf.sprintf "{\n%s\n%s}" (String.concat ",\n" body) (pad indent)
+  | Json.List ((_ :: _) as xs)
+    when List.exists (function Json.Obj _ -> true | _ -> false) xs ->
+      let body =
+        List.map
+          (fun v -> pad (indent + 2) ^ pretty ~indent:(indent + 2) v)
+          xs
+      in
+      Printf.sprintf "[\n%s\n%s]" (String.concat ",\n" body) (pad indent)
+  | j -> Json.print j
 
-let write_bench_json path ~mode ~quick ~jobs ~n_loops ~timings ~total =
-  let oc = open_out path in
+let seconds f = Json.Num (Float.round (f *. 1000.) /. 1000.)
+
+let payload_json ~mode ~jobs ~n_loops ~timings ~total ~profile ~hard =
   let entry t =
-    Printf.sprintf "    {\"id\": \"%s\", \"seconds\": %.3f, \"ok\": %b}"
-      (json_escape t.t_id) t.t_seconds t.t_ok
+    Json.Obj
+      [
+        ("id", Json.Str t.t_id);
+        ("seconds", seconds t.t_seconds);
+        ("ok", Json.Bool t.t_ok);
+      ]
   in
-  Printf.fprintf oc
-    "{\n\
-    \  \"schema\": \"bench_sched/v1\",\n\
-    \  \"mode\": \"%s\",\n\
-    \  \"quick\": %b,\n\
-    \  \"jobs\": %d,\n\
-    \  \"loops\": %d,\n\
-    \  \"total_seconds\": %.3f,\n\
-    \  \"sections\": [\n%s\n  ]\n\
-     }\n"
-    (json_escape mode) quick jobs n_loops total
-    (String.concat ",\n" (List.map entry timings));
-  close_out oc
+  Json.Obj
+    ([
+       ("mode", Json.Str mode);
+       ("jobs", Json.Num (float_of_int jobs));
+       ("loops", Json.Num (float_of_int n_loops));
+       ("total_seconds", seconds total);
+       ("sections", Json.List (List.map entry timings));
+     ]
+    @ (match profile with
+      | [] -> []
+      | ph ->
+          [
+            ( "profile",
+              Json.Obj (List.map (fun (p, s) -> (p, seconds s)) ph) );
+          ])
+    @ match hard with None -> [] | Some h -> [ ("hard", h) ])
+
+(* Refresh this run's payload ("quick" or "full"), keeping the other
+   one from an existing file so the two can be regenerated
+   independently. *)
+let write_bench_json path ~quick payload =
+  let previous =
+    if Sys.file_exists path then
+      try Some (Json.parse (In_channel.with_open_text path In_channel.input_all))
+      with _ -> None
+    else None
+  in
+  let keep name =
+    match Option.bind previous (Json.member_opt name) with
+    | Some j -> [ (name, j) ]
+    | None -> []
+  in
+  let doc =
+    Json.Obj
+      ([ ("schema", Json.Str "bench_sched/v2") ]
+      @ (if quick then [ ("quick", payload) ] else keep "quick")
+      @ if quick then keep "full" else [ ("full", payload) ])
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (pretty doc ^ "\n"))
 
 let quick_loops () =
   (* First few loops of each benchmark: enough to exercise every code
@@ -117,6 +172,102 @@ let run_figures ~quick ~only ~jobs =
       ]
   in
   (timings, List.length loops)
+
+(* ------------------------------------------------------------------ *)
+(* Hard-loop escalation: sequential walk vs reuse vs speculation       *)
+(* ------------------------------------------------------------------ *)
+
+(* The escalation-reuse machinery (partition hierarchy, route cache,
+   speculative windows) only matters on loops whose escalation actually
+   walks: deep II climbs and register-capped give-ups.  This section
+   measures exactly that subset — the loops whose escalation at a tight
+   register file climbs at least [hard_depth] levels or gives up — under
+   three drivers:
+
+     seq    the pre-reuse walk ([reuse:false]): scratch partitions and
+            routes at every level
+     reuse  the default driver (hierarchy + route cache)
+     spec   reuse plus a speculative window of 4 on 2 domains
+
+   The subset is deterministic (the classifying pass is the default
+   deterministic driver), so successive commits measure the same
+   loops. *)
+let hard_config_name = "4c1b2l32r"
+let hard_depth = 16
+
+let run_hard ~jobs () =
+  let loops = Workload.Generator.suite () in
+  let config = Option.get (Machine.Config.of_name hard_config_name) in
+  let is_hard (l : Workload.Generator.loop) =
+    match Sched.Driver.schedule_loop config l.graph with
+    | Ok o -> o.Sched.Driver.ii - o.Sched.Driver.mii >= hard_depth
+    | Error _ -> true
+  in
+  let hard =
+    List.map fst
+      (List.filter snd
+         (List.combine loops (Metrics.Pool.map ~jobs is_hard loops)))
+  in
+  (* Base and replication modes, sequentially per variant: the timing
+     compares drivers, so nothing else may vary.  The reuse variants
+     share one hierarchy across a loop's two runs — partitioning cannot
+     see the transform, so the second walk re-refines from the first
+     walk's memo tables. *)
+  let run_variant schedule_pair =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (l : Workload.Generator.loop) -> schedule_pair l.graph)
+      hard;
+    Unix.gettimeofday () -. t0
+  in
+  let pair schedule g =
+    ignore (schedule None g : (_, _) result);
+    let t, _ = Replication.Replicate.transform () in
+    ignore (schedule (Some t) g : (_, _) result)
+  in
+  let seq =
+    run_variant (fun g ->
+        pair
+          (fun transform g ->
+            Sched.Driver.schedule_loop ?transform ~reuse:false config g)
+          g)
+  in
+  let reuse =
+    run_variant (fun g ->
+        let hier = Sched.Driver.hierarchy config g in
+        pair
+          (fun transform g ->
+            Sched.Driver.schedule_loop ?transform ~hier config g)
+          g)
+  in
+  let spec =
+    let exec = Metrics.Pool.exec ~jobs:2 () in
+    run_variant (fun g ->
+        let hier = Sched.Driver.hierarchy config g in
+        pair
+          (fun transform g ->
+            Sched.Driver.schedule_loop ?transform ~window:4 ~exec ~hier
+              config g)
+          g)
+  in
+  let speedup = if reuse > 0. then seq /. reuse else 0. in
+  Printf.printf
+    "=== hard loops ===\n\
+     %d loops with escalation depth >= %d (or give-up) at %s\n\
+     seq (no reuse): %.2fs   reuse: %.2fs   spec w=4 j=2: %.2fs\n\
+     reuse speedup over seq: %.2fx\n\n\
+     %!"
+    (List.length hard) hard_depth hard_config_name seq reuse spec speedup;
+  Json.Obj
+    [
+      ("config", Json.Str hard_config_name);
+      ("min_depth", Json.Num (float_of_int hard_depth));
+      ("n_loops", Json.Num (float_of_int (List.length hard)));
+      ("seq_seconds", seconds seq);
+      ("reuse_seconds", seconds reuse);
+      ("spec_seconds", seconds spec);
+      ("speedup", Json.Num (Float.round (speedup *. 100.) /. 100.));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md section 5)                                     *)
@@ -422,6 +573,8 @@ let () =
   in
   let bench_json = value_of "--bench-json" in
   let quick = has "--quick" in
+  let profiling = has "--profile" in
+  if profiling then Sched.Profile.set_enabled true;
   let t0 = Unix.gettimeofday () in
   let timed id f =
     let t = Unix.gettimeofday () in
@@ -434,6 +587,16 @@ let () =
     in
     [ { t_id = id; t_seconds = Unix.gettimeofday () -. t; t_ok = ok } ]
   in
+  let figures = not (has "--micro" || has "--ablate" || has "--extensions") in
+  (* The hard-loop driver comparison rides along with full figure runs
+     (the only mode whose payload the regression gate reads for it).  It
+     runs first, on a pristine heap: the figures suite leaves a large
+     heap behind, and the three timed drivers must not pay varying GC
+     tax for it. *)
+  let hard =
+    if figures && (not quick) && only = None then Some (run_hard ~jobs ())
+    else None
+  in
   let mode, (timings, n_loops) =
     if has "--micro" then ("micro", (timed "micro" run_micro, 0))
     else if has "--ablate" then
@@ -444,10 +607,21 @@ let () =
     else ("figures", run_figures ~quick ~only ~jobs)
   in
   let total = Unix.gettimeofday () -. t0 in
+  let profile = if profiling then Sched.Profile.snapshot () else [] in
+  if profile <> [] then begin
+    Printf.printf "scheduler phase profile:\n";
+    List.iter
+      (fun (p, s) -> Printf.printf "  %-12s %.2fs\n" p s)
+      profile;
+    print_newline ()
+  end;
   Printf.printf "total: %.1fs\n" total;
   (match bench_json with
   | Some path ->
-      write_bench_json path ~mode ~quick ~jobs ~n_loops ~timings ~total;
+      let payload =
+        payload_json ~mode ~jobs ~n_loops ~timings ~total ~profile ~hard
+      in
+      write_bench_json path ~quick payload;
       Printf.printf "wrote %s\n" path
   | None -> ());
   if List.exists (fun t -> not t.t_ok) timings then exit 1

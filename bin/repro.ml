@@ -44,6 +44,16 @@ let quick_arg =
   let doc = "Use only two loops per benchmark (fast smoke run)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let window_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "w"; "window" ] ~docv:"W"
+        ~doc:
+          "Speculative II window per escalation: attempt $(docv) \
+           consecutive II levels concurrently (one domain each) and \
+           commit the lowest success.  Results are identical to the \
+           sequential walk at any width (default 1).")
+
 let rec take k = function
   | [] -> []
   | _ when k = 0 -> []
@@ -60,8 +70,12 @@ let loops_of ~quick =
 (* figures                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let figures quick only csv =
-  let suite = Metrics.Suite.create ~loops:(loops_of ~quick) () in
+let figures quick window only csv =
+  let suite =
+    Metrics.Suite.create ~loops:(loops_of ~quick)
+      ?window:(if window > 1 then Some window else None)
+      ()
+  in
   let wanted id = match only with [] -> true | ids -> List.mem id ids in
   List.iter
     (fun (id, text) ->
@@ -88,7 +102,7 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const figures $ quick_arg $ only $ csv)
+    Term.(const figures $ quick_arg $ window_arg $ only $ csv)
 
 (* ------------------------------------------------------------------ *)
 (* loop                                                                *)
@@ -204,7 +218,7 @@ let loop_cmd =
 (* suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let suite_run config quick jobs strict retry checkpoint poison budget =
+let suite_run config quick jobs window strict retry checkpoint poison budget =
   let loops = loops_of ~quick in
   let resume =
     match checkpoint with
@@ -225,7 +239,8 @@ let suite_run config quick jobs strict retry checkpoint poison budget =
     | _ -> None
   in
   let outcome =
-    Metrics.Robust.run ~jobs ~retry ~poison ?budget_s:budget ?resume
+    Metrics.Robust.run ~jobs ~retry ~poison ?budget_s:budget
+      ?window:(if window > 1 then Some window else None) ?resume
       ~modes:[ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ]
       config loops
   in
@@ -307,8 +322,8 @@ let suite_cmd =
          "Fault-isolated per-benchmark IPC for one configuration, with \
           optional checkpoint/resume.")
     Term.(
-      const suite_run $ config_arg $ quick_arg $ jobs_arg $ strict $ retry
-      $ checkpoint $ poison $ budget)
+      const suite_run $ config_arg $ quick_arg $ jobs_arg $ window_arg
+      $ strict $ retry $ checkpoint $ poison $ budget)
 
 (* ------------------------------------------------------------------ *)
 (* faults: the fault-injection catalog against the checker             *)

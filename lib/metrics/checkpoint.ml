@@ -2,9 +2,8 @@
 
    The manifest stores everything the IPC tables read — not the
    schedules themselves — so a resumed run renders byte-identical
-   figures without recomputing finished loops.  JSON is written and
-   parsed by hand: the build deliberately has no JSON dependency, and
-   the grammar needed here is tiny. *)
+   figures without recomputing finished loops.  The wire format is the
+   shared hand-rolled {!Json} layer (no external JSON dependency). *)
 
 let version = 1
 
@@ -69,43 +68,27 @@ let ipc summaries =
 (* JSON writer                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let summary_json s =
   Printf.sprintf
     "{\"id\":\"%s\",\"benchmark\":\"%s\",\"visits\":%d,\"trip\":%d,\"ii\":%d,\"mii\":%d,\"n_comms\":%d,\"cycles\":%d,\"useful\":%d}"
-    (escape s.s_id) (escape s.s_benchmark) s.s_visits s.s_trip s.s_ii s.s_mii
+    (Json.escape s.s_id) (Json.escape s.s_benchmark) s.s_visits s.s_trip s.s_ii s.s_mii
     s.s_n_comms s.s_cycles s.s_useful
 
 let entry_json e =
   let status =
     match e.e_status with
     | Done s -> Printf.sprintf "\"status\":\"done\",\"summary\":%s" (summary_json s)
-    | Skipped cls -> Printf.sprintf "\"status\":\"skipped\",\"class\":\"%s\"" (escape cls)
+    | Skipped cls -> Printf.sprintf "\"status\":\"skipped\",\"class\":\"%s\"" (Json.escape cls)
     | Quarantined (cls, msg) ->
         Printf.sprintf "\"status\":\"quarantined\",\"class\":\"%s\",\"error\":\"%s\""
-          (escape cls) (escape msg)
+          (Json.escape cls) (Json.escape msg)
   in
-  Printf.sprintf "  {\"mode\":\"%s\",\"loop\":\"%s\",%s}" (escape e.e_mode)
-    (escape e.e_loop) status
+  Printf.sprintf "  {\"mode\":\"%s\",\"loop\":\"%s\",%s}" (Json.escape e.e_mode)
+    (Json.escape e.e_loop) status
 
 let to_string t =
   Printf.sprintf "{\"version\":%d,\"config\":\"%s\",\"entries\":[\n%s\n]}\n"
-    version (escape t.config)
+    version (Json.escape t.config)
     (String.concat ",\n" (List.map entry_json t.entries))
 
 (* Write-then-rename, so a crash mid-save cannot leave a truncated
@@ -117,179 +100,12 @@ let save t ~path =
   Sys.rename tmp path
 
 (* ------------------------------------------------------------------ *)
-(* JSON parser (recursive descent over the subset we emit)              *)
-(* ------------------------------------------------------------------ *)
-
-type json =
-  | Jnull
-  | Jbool of bool
-  | Jnum of float
-  | Jstr of string
-  | Jlist of json list
-  | Jobj of (string * json) list
-
-exception Bad of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word value =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      value
-    end
-    else fail ("expected " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
-          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
-          | Some '/' -> Buffer.add_char b '/'; advance (); go ()
-          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
-          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
-          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
-          | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
-          | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
-          | Some 'u' ->
-              advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              let code =
-                try int_of_string ("0x" ^ hex)
-                with _ -> fail "bad \\u escape"
-              in
-              (* The writer only \u-escapes control characters; decode
-                 the Latin-1 range and replace anything wider. *)
-              if code < 0x100 then Buffer.add_char b (Char.chr code)
-              else Buffer.add_char b '?';
-              pos := !pos + 4;
-              go ()
-          | _ -> fail "bad escape")
-      | Some c ->
-          Buffer.add_char b c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let number_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> number_char c | None -> false) do
-      advance ()
-    done;
-    if !pos = start then fail "expected number";
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Jstr (parse_string ())
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Jobj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ((key, v) :: acc)
-            | Some '}' ->
-                advance ();
-                List.rev ((key, v) :: acc)
-            | _ -> fail "expected ',' or '}'"
-          in
-          Jobj (members [])
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          Jlist []
-        end
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elements (v :: acc)
-            | Some ']' ->
-                advance ();
-                List.rev (v :: acc)
-            | _ -> fail "expected ',' or ']'"
-          in
-          Jlist (elements [])
-        end
-    | Some 't' -> literal "true" (Jbool true)
-    | Some 'f' -> literal "false" (Jbool false)
-    | Some 'n' -> literal "null" Jnull
-    | Some _ -> Jnum (parse_number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-(* ------------------------------------------------------------------ *)
 (* Manifest decoding                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let member key = function
-  | Jobj fields -> (
-      match List.assoc_opt key fields with
-      | Some v -> v
-      | None -> raise (Bad ("missing field " ^ key)))
-  | _ -> raise (Bad ("expected an object around field " ^ key))
-
-let to_str = function Jstr s -> s | _ -> raise (Bad "expected a string")
-
-let to_int = function
-  | Jnum f when Float.is_integer f -> int_of_float f
-  | _ -> raise (Bad "expected an integer")
+let member = Json.member
+let to_str = Json.to_str
+let to_int = Json.to_int
 
 let summary_of_json j =
   {
@@ -311,7 +127,7 @@ let entry_of_json j =
     | "skipped" -> Skipped (to_str (member "class" j))
     | "quarantined" ->
         Quarantined (to_str (member "class" j), to_str (member "error" j))
-    | other -> raise (Bad ("unknown status " ^ other))
+    | other -> raise (Json.Bad ("unknown status " ^ other))
   in
   {
     e_mode = to_str (member "mode" j);
@@ -320,8 +136,8 @@ let entry_of_json j =
   }
 
 let of_string text =
-  match parse_json text with
-  | exception Bad msg -> Error ("checkpoint parse error: " ^ msg)
+  match Json.parse text with
+  | exception Json.Bad msg -> Error ("checkpoint parse error: " ^ msg)
   | j -> (
       try
         let v = to_int (member "version" j) in
@@ -329,14 +145,14 @@ let of_string text =
           Error (Printf.sprintf "checkpoint version %d, expected %d" v version)
         else
           match member "entries" j with
-          | Jlist entries ->
+          | Json.List entries ->
               Ok
                 {
                   config = to_str (member "config" j);
                   entries = List.map entry_of_json entries;
                 }
           | _ -> Error "checkpoint parse error: entries is not a list"
-      with Bad msg -> Error ("checkpoint parse error: " ^ msg))
+      with Json.Bad msg -> Error ("checkpoint parse error: " ^ msg))
 
 let load ~path =
   match In_channel.with_open_text path In_channel.input_all with

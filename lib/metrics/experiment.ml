@@ -55,17 +55,25 @@ let finish_run ~mode ~latency0 ~stats (loop : Workload.Generator.loop)
       | Error e -> Error (Sched.Sched_error.Internal ("simulation: " ^ e))
       | Ok counts -> Ok { loop; mode; outcome; repl_stats = stats; counts })
 
+(* The executor backing a speculative window: one domain per in-flight
+   level ({!Pool.exec} is not core-capped).  [window <= 1] stays on the
+   sequential executor — no domains, no overhead. *)
+let spec_exec = function
+  | Some w when w > 1 -> Some (Pool.exec ~jobs:w ())
+  | _ -> None
+
 let run_with ?(mode = Baseline) ?(latency0 = false) ?(length_pass = false)
-    ?spiller ?budget ~transform ~stats_ref config
+    ?spiller ?budget ?window ~transform ~stats_ref config
     (loop : Workload.Generator.loop) =
+  let exec = spec_exec window in
   let scheduled =
     match transform with
     | None ->
-        Sched.Driver.schedule_loop ~latency0 ?spiller ?budget config
-          loop.graph
-    | Some t ->
-        Sched.Driver.schedule_loop ~latency0 ?spiller ?budget ~transform:t
+        Sched.Driver.schedule_loop ~latency0 ?spiller ?budget ?window ?exec
           config loop.graph
+    | Some t ->
+        Sched.Driver.schedule_loop ~latency0 ?spiller ?budget ?window ?exec
+          ~transform:t config loop.graph
   in
   let scheduled =
     match scheduled with
@@ -87,11 +95,11 @@ let transform_of_mode = function
       let t, r = Replication.Macro.transform () in
       (Some t, r)
 
-let run_loop ?budget mode config loop =
+let run_loop ?budget ?window mode config loop =
   let transform, stats_ref = transform_of_mode mode in
   run_with ~mode ~latency0:(mode = Replication_latency0)
-    ~length_pass:(mode = Replication_length) ?budget ~transform ~stats_ref
-    config loop
+    ~length_pass:(mode = Replication_length) ?budget ?window ~transform
+    ~stats_ref config loop
 
 exception Illegal of string
 
@@ -107,10 +115,10 @@ let keep_or_raise ~id = function
   | Ok r -> Some r
   | Error e -> if error_is_bug e then raise (illegal ~id e) else None
 
-let run_suite ?(jobs = 1) mode config loops =
+let run_suite ?(jobs = 1) ?window mode config loops =
   Pool.filter_map ~jobs
     (fun (l : Workload.Generator.loop) ->
-      keep_or_raise ~id:l.id (run_loop mode config l))
+      keep_or_raise ~id:l.id (run_loop ?window mode config l))
     loops
 
 (* ------------------------------------------------------------------ *)
@@ -138,13 +146,13 @@ let () =
     | _ -> None)
 
 let run_suite_isolated ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s
-    mode config loops =
+    ?window mode config loops =
   let budget () =
     Option.map (fun s -> Sched.Budget.make ~wall_seconds:s ()) budget_s
   in
   let attempt (l : Workload.Generator.loop) =
     if List.mem l.id poison then raise (Injected_fault l.id);
-    run_loop ?budget:(budget ()) mode config l
+    run_loop ?budget:(budget ()) ?window mode config l
   in
   let classify ~retried l outcome =
     match outcome with
@@ -221,17 +229,20 @@ type traced = {
 
 let traced_loop tr = tr.tr_loop
 
-let record_trace mode config loop =
+let record_trace ?window mode config loop =
   (match mode with
   | Baseline | Replication | Macro_replication -> ()
   | Replication_latency0 | Replication_length ->
       invalid_arg "Experiment.record_trace: mode is not register-sweepable");
   let transform, stats_ref = transform_of_mode mode in
+  let exec = spec_exec window in
   let trace =
     match transform with
-    | None -> Sched.Driver.Trace.record config loop.Workload.Generator.graph
+    | None ->
+        Sched.Driver.Trace.record ?window ?exec config
+          loop.Workload.Generator.graph
     | Some t ->
-        Sched.Driver.Trace.record ~transform:t config
+        Sched.Driver.Trace.record ?window ?exec ~transform:t config
           loop.Workload.Generator.graph
   in
   {

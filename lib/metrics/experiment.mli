@@ -38,6 +38,7 @@ type loop_run = {
 
 val run_loop :
   ?budget:Sched.Budget.t ->
+  ?window:int ->
   mode ->
   Machine.Config.t ->
   Workload.Generator.loop ->
@@ -45,8 +46,10 @@ val run_loop :
 (** Schedule, verify with {!Sim.Checker}, execute with {!Sim.Lockstep}.
     A legality violation is [Error (Checker_violation _)], a simulator
     rejection [Error (Internal _)] — the harness treats both as bugs,
-    not data.  [budget] bounds the escalation (see
-    {!Sched.Driver.schedule_loop}). *)
+    not data.  [budget] bounds the escalation, [window] speculates that
+    many II levels per escalation step on a domain-backed executor
+    ({!Pool.exec} with one domain per in-flight level) — results are
+    identical at any window (see {!Sched.Driver.schedule_loop}). *)
 
 val run_with :
   ?mode:mode ->
@@ -54,6 +57,7 @@ val run_with :
   ?length_pass:bool ->
   ?spiller:Sched.Driver.spiller ->
   ?budget:Sched.Budget.t ->
+  ?window:int ->
   transform:Sched.Driver.transform option ->
   stats_ref:Replication.Replicate.stats option ref ->
   Machine.Config.t ->
@@ -84,12 +88,15 @@ val keep_or_raise :
 
 val run_suite :
   ?jobs:int ->
+  ?window:int ->
   mode ->
   Machine.Config.t ->
   Workload.Generator.loop list ->
   loop_run list
 (** Runs every loop, on up to [jobs] domains (default 1, sequential;
     loops are independent, so results are identical at any [jobs]).
+    [window] as in {!run_loop} — orthogonal to [jobs]: one parallelizes
+    across loops, the other across II levels within a loop.
     Loops the scheduler gives up on (possible at very small register
     files) are skipped — the paper likewise reports only loops it can
     modulo schedule.  A schedule that fails the legality checker or the
@@ -127,6 +134,7 @@ val run_suite_isolated :
   ?retry:bool ->
   ?poison:string list ->
   ?budget_s:float ->
+  ?window:int ->
   mode ->
   Machine.Config.t ->
   Workload.Generator.loop list ->
@@ -139,7 +147,7 @@ val run_suite_isolated :
     sequentially, and promotes it back on success.  [poison] injects a
     deliberate {!Injected_fault} into the named loops.  [budget_s]
     bounds each loop's escalation wall-clock; expiry quarantines the
-    loop as [Timeout]. *)
+    loop as [Timeout].  [window] as in {!run_loop}. *)
 
 (** {1 Register-family sweeps}
 
@@ -155,10 +163,13 @@ type traced
 
 val traced_loop : traced -> Workload.Generator.loop
 
-val record_trace : mode -> Machine.Config.t -> Workload.Generator.loop -> traced
+val record_trace :
+  ?window:int -> mode -> Machine.Config.t -> Workload.Generator.loop -> traced
 (** Record the escalation trace of a loop at [config] (the most
     permissive member of the register family).  Only [Baseline],
     [Replication] and [Macro_replication] are register-sweepable.
+    [window] speculates the recording escalation; the trace is
+    window-invariant ({!Sched.Driver.Trace.record}).
     @raise Invalid_argument on the latency-0 and length-pass modes. *)
 
 val replay_traced :

@@ -47,3 +47,13 @@ val map_result :
 val filter_map : ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b list
 (** [filter_map ~jobs f xs] is [List.filter_map f xs] with the
     applications of [f] distributed like {!map}. *)
+
+val exec : ?jobs:int -> unit -> Sched.Exec.t
+(** A domain-backed {!Sched.Exec.t} for speculative II windows: elements
+    are claimed one atomic increment at a time by up to [jobs] domains
+    ([default_jobs ()] when omitted).  Unlike {!map}, [jobs] is {e not}
+    capped at the recommended domain count — a window may run one domain
+    per in-flight level — only at the element count.  Order, the
+    exactly-once application guarantee and in-order first-failure
+    re-raising follow the {!Sched.Exec} contract; with [jobs = 1] the
+    executor is {!Sched.Exec.sequential}'s behaviour. *)

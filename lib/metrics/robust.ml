@@ -16,8 +16,8 @@ type outcome = {
   o_reused : int;  (* entries answered from the resume manifest *)
 }
 
-let run ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s ?resume ~modes
-    config (loops : Workload.Generator.loop list) =
+let run ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s ?window ?resume
+    ~modes config (loops : Workload.Generator.loop list) =
   let computed = ref 0 and reused = ref 0 in
   let quarantined = ref [] in
   let entries =
@@ -47,8 +47,8 @@ let run ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s ?resume ~modes
         computed := !computed + List.length fresh;
         if fresh <> [] then begin
           let iso =
-            Experiment.run_suite_isolated ~jobs ~retry ~poison ?budget_s mode
-              config fresh
+            Experiment.run_suite_isolated ~jobs ~retry ~poison ?budget_s
+              ?window mode config fresh
           in
           List.iter
             (fun (r : Experiment.loop_run) ->

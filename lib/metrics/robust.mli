@@ -25,6 +25,7 @@ val run :
   ?retry:bool ->
   ?poison:string list ->
   ?budget_s:float ->
+  ?window:int ->
   ?resume:Checkpoint.t ->
   modes:Experiment.mode list ->
   Machine.Config.t ->

@@ -6,9 +6,10 @@ type t = {
          permissive the recording was, so a later request for a bigger
          register file knows to re-record *)
   jobs_ : int;
+  window_ : int option;  (* speculative II window for every escalation *)
 }
 
-let create ?loops ?(jobs = 1) () =
+let create ?loops ?(jobs = 1) ?window () =
   let loops_ =
     match loops with Some l -> l | None -> Workload.Generator.suite ()
   in
@@ -17,6 +18,7 @@ let create ?loops ?(jobs = 1) () =
     cache = Hashtbl.create 32;
     family = Hashtbl.create 8;
     jobs_ = jobs;
+    window_ = window;
   }
 
 let loops t = t.loops_
@@ -44,7 +46,10 @@ let runs t mode config =
   match Hashtbl.find_opt t.cache key with
   | Some r -> r
   | None ->
-      let r = Experiment.run_suite ~jobs:t.jobs_ mode config t.loops_ in
+      let r =
+        Experiment.run_suite ~jobs:t.jobs_ ?window:t.window_ mode config
+          t.loops_
+      in
       Hashtbl.replace t.cache key r;
       r
 
@@ -61,7 +66,9 @@ let family_traces t mode ~at =
       trs
   | _ ->
       let trs =
-        Pool.map ~jobs:t.jobs_ (Experiment.record_trace mode at) t.loops_
+        Pool.map ~jobs:t.jobs_
+          (Experiment.record_trace ?window:t.window_ mode at)
+          t.loops_
       in
       Hashtbl.replace t.family key (at, trs);
       trs

@@ -6,10 +6,14 @@
 
 type t
 
-val create : ?loops:Workload.Generator.loop list -> ?jobs:int -> unit -> t
+val create :
+  ?loops:Workload.Generator.loop list -> ?jobs:int -> ?window:int -> unit -> t
 (** Defaults to the full 678-loop suite.  [jobs] (default 1) is the
     number of domains each uncached sweep runs on ({!Pool}); the cache
-    itself is only touched by the calling domain. *)
+    itself is only touched by the calling domain.  [window] speculates
+    that many II levels inside every escalation the suite runs or
+    records ({!Experiment.run_suite}/{!Experiment.record_trace});
+    results and figures are identical at any window. *)
 
 val loops : t -> Workload.Generator.loop list
 

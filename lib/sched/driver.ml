@@ -68,6 +68,89 @@ let finish ~mii ~counters p ii =
       n_comms = Route.n_copies p.p_schedule.Schedule.route;
     }
 
+(* ------------------------------------------------------------------ *)
+(* Route reuse across II levels                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Consecutive levels of one escalation frequently retry the same
+   (graph, partition) pair — the partitioner settles long before a
+   register-capped walk gives up — and [Route.build] does not read the
+   II at all, so the routed graph is cached per escalation, keyed by
+   graph identity and partition content.  The recurrence-feasibility
+   check on the routed graph *is* II-dependent, but monotone (a longer
+   period only loosens recurrences), so each entry caches its known
+   feasibility frontier and the Bellman-Ford re-runs only inside the
+   unknown gap.  Everything cached is immutable once built and
+   deterministic, so concurrent speculative workers sharing the cache
+   can at worst duplicate a build — results never change; a mutex
+   protects the entry list and frontiers. *)
+type route_entry = {
+  re_graph : Ddg.Graph.t;  (* physical identity key *)
+  re_assign : int array;
+  re_route : Route.t;
+  mutable re_feas : int;  (* smallest II known feasible *)
+  mutable re_infeas : int;  (* largest II known infeasible *)
+}
+
+type route_cache = {
+  rc_lock : Mutex.t;
+  mutable rc_entries : route_entry list;  (* newest first *)
+}
+
+let route_cache_cap = 8
+
+let new_route_cache () = { rc_lock = Mutex.create (); rc_entries = [] }
+
+let route_for rc ~latency0 config g ~assign =
+  let find () =
+    List.find_opt
+      (fun e -> e.re_graph == g && e.re_assign = assign)
+      rc.rc_entries
+  in
+  match Mutex.protect rc.rc_lock find with
+  | Some e -> e
+  | None ->
+      (* Built outside the lock: a concurrent duplicate build is
+         harmless (the build is deterministic) and cheaper than
+         serializing the expensive part. *)
+      let route = Route.build ~latency0 config g ~assign in
+      let entry =
+        {
+          re_graph = g;
+          re_assign = Array.copy assign;
+          re_route = route;
+          re_feas = max_int;
+          re_infeas = min_int;
+        }
+      in
+      Mutex.protect rc.rc_lock (fun () ->
+          match find () with
+          | Some e -> e
+          | None ->
+              let keep =
+                List.filteri
+                  (fun i _ -> i < route_cache_cap - 1)
+                  rc.rc_entries
+              in
+              rc.rc_entries <- entry :: keep;
+              entry)
+
+let route_feasible rc entry ~ii =
+  let known =
+    Mutex.protect rc.rc_lock (fun () ->
+        if ii >= entry.re_feas then Some true
+        else if ii <= entry.re_infeas then Some false
+        else None)
+  in
+  match known with
+  | Some b -> b
+  | None ->
+      let b = Ddg.Mii.feasible_ii entry.re_route.Route.graph ii in
+      Mutex.protect rc.rc_lock (fun () ->
+          if b then entry.re_feas <- min entry.re_feas ii
+          else entry.re_infeas <- max entry.re_infeas ii);
+      b
+
 (* Signature of a register-caused failure: the placement the register
    check finally rejected (cycles and MaxLive), and how many spill
    rounds ran.  When two consecutive II levels produce equal signatures
@@ -83,12 +166,16 @@ type reg_sig = {
    register check (with optional spill-and-retry) — at a fixed II and
    partition.  Also returns the register-failure signature when the
    attempt died on the register check. *)
-let try_once_sig ?transform ?(latency0 = false) ?spiller config g ~ii ~assign =
+let try_once_sig ?transform ?(latency0 = false) ?spiller ?(reuse = true)
+    ~rcache config g ~ii ~assign =
   let g0', assign0' =
     match transform with
     | None -> (g, assign)
     | Some f -> (
-        match f config g ~assign ~ii with
+        match
+          Profile.time Profile.Replication (fun () ->
+              f config g ~assign ~ii)
+        with
         | Some (g', a') -> (g', a')
         | None -> (g, assign))
   in
@@ -96,8 +183,23 @@ let try_once_sig ?transform ?(latency0 = false) ?spiller config g ~ii ~assign =
   let rec route_and_place g' assign' spills_left =
     if Comm.extra config g' ~assign:assign' ~ii > 0 then (Failed Bus, None)
     else begin
-      let route = Route.build ~latency0 config g' ~assign:assign' in
-      if not (Ddg.Mii.feasible_ii route.Route.graph ii) then
+      (* Only the graph the attempt started from goes through the route
+         cache: consecutive levels retry it with settled partitions, so
+         it hits.  Spill rounds rewrite the graph every time — caching
+         those routes can never hit and only churns the cache (and keeps
+         dead routed graphs alive across the escalation). *)
+      let cached = reuse && spills_left = 4 in
+      let route, feasible =
+        if cached then begin
+          let entry = route_for rcache ~latency0 config g' ~assign:assign' in
+          (entry.re_route, fun () -> route_feasible rcache entry ~ii)
+        end
+        else begin
+          let route = Route.build ~latency0 config g' ~assign:assign' in
+          (route, fun () -> Ddg.Mii.feasible_ii route.Route.graph ii)
+        end
+      in
+      if not (feasible ()) then
         (* Copies stretched a recurrence beyond the current II: the bus
            latency is to blame (the plain graph is feasible at
            ii >= mii). *)
@@ -111,7 +213,10 @@ let try_once_sig ?transform ?(latency0 = false) ?spiller config g ~ii ~assign =
                (Section 5.1); register feasibility is not enforced on
                it. *)
             let pressure =
-              if latency0 then [||] else Regpressure.max_per_cluster schedule
+              if latency0 then [||]
+              else
+                Profile.time Profile.Regalloc (fun () ->
+                    Regpressure.max_per_cluster schedule)
             in
             if latency0 || Array.for_all (fun p -> p <= limit) pressure then
               ( Placed
@@ -134,7 +239,10 @@ let try_once_sig ?transform ?(latency0 = false) ?spiller config g ~ii ~assign =
               in
               match spiller with
               | Some f when spills_left > 0 -> (
-                  match f config schedule ~graph:g' ~assign:assign' with
+                  match
+                    Profile.time Profile.Regalloc (fun () ->
+                        f config schedule ~graph:g' ~assign:assign')
+                  with
                   | Some (g'', a'') -> route_and_place g'' a'' (spills_left - 1)
                   | None -> fail ())
               | _ -> fail ()
@@ -186,68 +294,162 @@ type level = {
    stationarity cut report the same {!Sched_error.Escalation_cap} (the
    cut is an early conclusion of the walk-to-cap failure, so direct runs
    and trace replays — which may cut at different IIs — stay observably
-   equal). *)
-let escalate ?transform ?(latency0 = false) ?spiller ?on_level ?budget config g
-    ~rec_mii ~mii ~cap ~counters ii0 assign0 =
+   equal).
+
+   [window]/[exec] make the walk speculative: levels ii .. ii+w-1 are
+   evaluated concurrently on the executor, then *consumed* strictly in
+   II order, replaying the exact sequential decision sequence — budget
+   spend, level observation, cause counters, stationarity streak — so
+   the committed result (the lowest successful II; higher speculative
+   wins are discarded) and every observable side effect are identical
+   to the [window = 1] walk.  The partition chain feeding a window is
+   precomputed on the orchestrating domain: it is a pure function of
+   the hierarchy and the IIs, independent of attempt outcomes, which is
+   what makes the speculation transparent. *)
+let escalate ?transform ?(latency0 = false) ?spiller ?on_level ?budget
+    ?(window = 1) ?(exec = Exec.sequential) ?(reuse = true) config g ~hier ~mii
+    ~cap ~counters ii0 assign0 =
   let observe l = match on_level with Some f -> f l | None -> () in
   let give_up () = Error (Sched_error.Escalation_cap { mii; cap }) in
-  let rec attempt ~streak ~prev_sig ii assign =
-    if ii > cap then give_up ()
-    else if
-      match budget with Some b -> not (Budget.spend b) | None -> false
-    then
-      let b = Option.get budget in
-      Error
-        (Sched_error.Timeout
-           {
-             at_ii = ii;
-             attempts = Budget.attempts b;
-             elapsed_s = Budget.elapsed b;
-           })
+  let rcache = new_route_cache () in
+  let try_once ~ii ~assign =
+    try_once_sig ?transform ~latency0 ?spiller ~reuse ~rcache config g ~ii
+      ~assign
+  in
+  (* [reuse = false] reproduces the pre-hierarchy walk for A/B
+     benchmarking: every fresh partition re-coarsens from scratch at the
+     level's II and nothing is routed through the cache. *)
+  let fresh_at ii =
+    if reuse then Partition.Hier.initial hier ~ii
     else
-      match
-        try_once_sig ?transform ~latency0 ?spiller config g ~ii ~assign
-      with
-      | Placed p, _ ->
-          observe { l_ii = ii; l_assign = assign; l_lineage = Placed p;
-                    l_fresh = None };
-          finish ~mii ~counters p ii
-      | Failed cause, lsig ->
-          (* The refined lineage can sit in a local optimum that never
-             schedules; a from-scratch partition at this II is an
-             independent second chance before escalating (Figure 2 only
-             refines, but without this the escalation may not
-             terminate). *)
-          let fresh = Partition.initial ~rec_mii config g ~ii in
-          let fresh_try =
-            if fresh <> assign then
-              Some
-                (try_once_sig ?transform ~latency0 ?spiller config g ~ii
-                   ~assign:fresh)
-            else None
-          in
-          observe { l_ii = ii; l_assign = assign; l_lineage = Failed cause;
-                    l_fresh = Option.map fst fresh_try };
-          (match fresh_try with
-          | Some (Placed p, _) -> finish ~mii ~counters p ii
-          | Some (Failed _, _) | None ->
+      Partition.initial ~rec_mii:(Partition.Hier.rec_mii hier) config g ~ii
+  in
+  let refine_to ~ii assign =
+    if reuse then Partition.Hier.refine hier ~ii assign
+    else
+      Partition.refine ~rec_mii:(Partition.Hier.rec_mii hier) config g ~ii
+        assign
+  in
+  (* Evaluate one level: the lineage attempt and, on failure, the
+     from-scratch second chance.  [fresh] is a thunk so the sequential
+     walk only pays for a fresh partition when the lineage failed
+     (speculative windows precompute it — pure, possibly wasted). *)
+  let eval ~ii ~assign ~fresh () =
+    match try_once ~ii ~assign with
+    | (Placed _ as r), _ -> (r, None, None)
+    | (Failed _ as r), lsig ->
+        let f : int array = fresh () in
+        let fresh_try =
+          if f <> assign then Some (f, try_once ~ii ~assign:f) else None
+        in
+        (r, lsig, fresh_try)
+  in
+  (* After a speculative window, the transform hook's internal state
+     (e.g. the replication pass's last-run stats) reflects whichever
+     worker ran last; one deterministic re-invocation on the winning
+     attempt restores the exact sequential final state — the winning
+     attempt's call is the last one a sequential walk makes. *)
+  let commit ~pre p ii =
+    (match transform with
+    | Some f when window > 1 ->
+        ignore
+          (Profile.time Profile.Replication (fun () ->
+               f config g ~assign:pre ~ii))
+    | _ -> ());
+    finish ~mii ~counters p ii
+  in
+  (* Consume one evaluated level in walk order.  [ev] re-raises here —
+     in order — anything the (possibly speculative) evaluation raised,
+     so fault classification cannot depend on the window. *)
+  let consume ~streak ~prev_sig ~ii ~assign ev =
+    if match budget with Some b -> not (Budget.spend b) | None -> false then
+      let b = Option.get budget in
+      `Done
+        (Error
+           (Sched_error.Timeout
+              {
+                at_ii = ii;
+                attempts = Budget.attempts b;
+                elapsed_s = Budget.elapsed b;
+              }))
+    else
+      match ev () with
+      | (Placed p : attempt_result), _, _ ->
+          observe
+            { l_ii = ii; l_assign = assign; l_lineage = Placed p;
+              l_fresh = None };
+          `Done (commit ~pre:assign p ii)
+      | Failed cause, lsig, fresh_try -> (
+          observe
+            { l_ii = ii; l_assign = assign; l_lineage = Failed cause;
+              l_fresh = Option.map (fun (_, (r, _)) -> r) fresh_try };
+          match fresh_try with
+          | Some (f, (Placed p, _)) -> `Done (commit ~pre:f p ii)
+          | Some (_, (Failed _, _)) | None ->
               bump counters cause;
               let here =
                 level_sig ~assign ~lsig
                   ~fresh_result:
-                    (Option.map (fun (_, fs) -> (fresh, fs)) fresh_try)
+                    (Option.map (fun (f, (_, fs)) -> (f, fs)) fresh_try)
               in
               let streak =
                 if here <> None && here = prev_sig then streak + 1 else 0
               in
-              if streak >= stationary_limit then give_up ()
-              else begin
-                let ii = ii + 1 in
-                attempt ~streak ~prev_sig:here ii
-                  (Partition.refine ~rec_mii config g ~ii assign)
-              end)
+              if streak >= stationary_limit then `Done (give_up ())
+              else `Continue (streak, here))
   in
-  attempt ~streak:0 ~prev_sig:None ii0 assign0
+  let rec walk ~streak ~prev_sig ii assign =
+    if ii > cap then give_up ()
+    else if window = 1 then begin
+      let ev =
+        eval ~ii ~assign ~fresh:(fun () -> fresh_at ii)
+      in
+      match consume ~streak ~prev_sig ~ii ~assign ev with
+      | `Done r -> r
+      | `Continue (streak, prev_sig) ->
+          let ii = ii + 1 in
+          walk ~streak ~prev_sig ii (refine_to ~ii assign)
+    end
+    else begin
+      let w = min window (cap - ii + 1) in
+      (* The lineage chain and the fresh partitions for the whole window,
+         precomputed here because the hierarchy is not domain-safe. *)
+      let params = Array.make w (ii, assign, [||]) in
+      let cur = ref assign in
+      for k = 0 to w - 1 do
+        let iik = ii + k in
+        if k > 0 then cur := refine_to ~ii:iik !cur;
+        params.(k) <- (iik, !cur, fresh_at iik)
+      done;
+      let evals =
+        exec.Exec.map
+          (fun (iik, ak, fk) ->
+            match eval ~ii:iik ~assign:ak ~fresh:(fun () -> fk) () with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+          params
+      in
+      let rec consume_from k streak prev_sig =
+        if k >= w then begin
+          let ii = ii + w in
+          walk ~streak ~prev_sig ii (refine_to ~ii !cur)
+        end
+        else begin
+          let iik, ak, _ = params.(k) in
+          let ev () =
+            match evals.(k) with
+            | Ok v -> v
+            | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+          in
+          match consume ~streak ~prev_sig ~ii:iik ~assign:ak ev with
+          | `Done r -> r
+          | `Continue (streak, prev_sig) -> consume_from (k + 1) streak prev_sig
+        end
+      in
+      consume_from 0 streak prev_sig
+    end
+  in
+  walk ~streak:0 ~prev_sig:None ii0 assign0
 
 let default_cap mii = (16 * mii) + 64
 
@@ -263,20 +465,43 @@ let guard f =
   | Out_of_memory -> raise Out_of_memory
   | exn -> Error (Sched_error.Internal (Printexc.to_string exn))
 
+let hierarchy config g =
+  let rec_mii = Ddg.Mii.rec_mii g in
+  let mii = max (Ddg.Mii.res_mii config g) rec_mii in
+  Partition.Hier.create ~rec_mii config g ~base_ii:mii
+
 let schedule_loop ?transform ?max_ii ?(latency0 = false) ?spiller ?budget
-    config g =
+    ?(window = 1) ?exec ?reuse ?hier config g =
+  if window < 1 then invalid_arg "Driver.schedule_loop: window < 1";
   (* rec_mii of the original graph is reused by every partition call of
      the escalation loop; compute the binary search once. *)
-  let rec_mii = Ddg.Mii.rec_mii g in
+  let rec_mii =
+    match hier with
+    | Some h -> Partition.Hier.rec_mii h
+    | None -> Ddg.Mii.rec_mii g
+  in
   let mii = max (Ddg.Mii.res_mii config g) rec_mii in
   let cap = match max_ii with Some m -> m | None -> default_cap mii in
   if cap < mii then Error (Sched_error.Infeasible_partition { mii; cap })
   else begin
+    (* A shared hierarchy must be the one {!hierarchy} builds for this
+       very call: partitions are pure in (config, graph, II), so any
+       mismatch would silently change results instead of reusing them. *)
+    (match hier with
+    | Some h
+      when Partition.Hier.graph h != g || Partition.Hier.base_ii h <> mii ->
+        invalid_arg "Driver.schedule_loop: hierarchy from another loop"
+    | _ -> ());
     let counters = { c_bus = 0; c_recur = 0; c_regs = 0 } in
     guard (fun () ->
-        escalate ?transform ~latency0 ?spiller ?budget config g ~rec_mii ~mii
-          ~cap ~counters mii
-          (Partition.initial ~rec_mii config g ~ii:mii))
+        let hier =
+          match hier with
+          | Some h -> h
+          | None -> Partition.Hier.create ~rec_mii config g ~base_ii:mii
+        in
+        escalate ?transform ~latency0 ?spiller ?budget ~window ?exec ?reuse
+          config g ~hier ~mii ~cap ~counters mii
+          (Partition.Hier.initial hier ~ii:mii))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -297,7 +522,7 @@ module Trace = struct
   let config t = t.t_config
   let result t = t.t_result
 
-  let record ?transform ?max_ii ?budget config g =
+  let record ?transform ?max_ii ?budget ?window ?exec config g =
     let rec_mii = Ddg.Mii.rec_mii g in
     let mii = max (Ddg.Mii.res_mii config g) rec_mii in
     let cap = match max_ii with Some m -> m | None -> default_cap mii in
@@ -307,10 +532,11 @@ module Trace = struct
       if cap < mii then Error (Sched_error.Infeasible_partition { mii; cap })
       else
         guard (fun () ->
+            let hier = Partition.Hier.create ~rec_mii config g ~base_ii:mii in
             escalate ?transform
               ~on_level:(fun l -> levels := l :: !levels)
-              ?budget config g ~rec_mii ~mii ~cap ~counters mii
-              (Partition.initial ~rec_mii config g ~ii:mii))
+              ?budget ?window ?exec config g ~hier ~mii ~cap ~counters mii
+              (Partition.Hier.initial hier ~ii:mii))
     in
     {
       t_config = config;
@@ -341,10 +567,18 @@ module Trace = struct
     let g = t.t_graph in
     let counters = { c_bus = 0; c_recur = 0; c_regs = 0 } in
     let live = ref false in
+    (* A live continuation must stand exactly where a from-scratch run
+       would: its hierarchy is seeded at the trace's MII, so the fresh
+       partitions it derives match a direct [schedule_loop]'s.  Creation
+       is cheap (the hierarchy computes itself on first use), so pure
+       replays pay nothing. *)
+    let hier =
+      Partition.Hier.create ~rec_mii:t.t_rec_mii config g ~base_ii:t.t_mii
+    in
     let go_live ii assign =
       live := true;
-      escalate ?transform ?spiller config g ~rec_mii:t.t_rec_mii ~mii:t.t_mii
-        ~cap:t.t_cap ~counters ii assign
+      escalate ?transform ?spiller config g ~hier ~mii:t.t_mii ~cap:t.t_cap
+        ~counters ii assign
     in
     (* Judge a recorded attempt under this register file.  [`Fits]: the
        recorded schedule is within the limit (it then equals what a live
@@ -414,7 +648,8 @@ module Trace = struct
     (result, !live)
 end
 
-let schedule_sweep ?transform ?max_ii ?budget ?spiller_for configs g =
+let schedule_sweep ?transform ?max_ii ?budget ?spiller_for ?window ?exec
+    configs g =
   match configs with
   | [] -> []
   | c0 :: _ ->
@@ -428,7 +663,9 @@ let schedule_sweep ?transform ?max_ii ?budget ?spiller_for configs g =
             else best)
           c0 configs
       in
-      let trace = Trace.record ?transform ?max_ii ?budget permissive g in
+      let trace = Trace.record ?transform ?max_ii ?budget ?window ?exec
+          permissive g
+      in
       List.map
         (fun c ->
           let spiller =

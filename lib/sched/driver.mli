@@ -49,12 +49,30 @@ type spiller =
     return the rewritten graph for a same-II retry (bounded at 4 rounds
     per II). *)
 
+val hierarchy : Machine.Config.t -> Ddg.Graph.t -> Partition.Hier.t
+(** The partition hierarchy {!schedule_loop} would build internally for
+    this (config, graph) pair — seeded at the loop's MII with its
+    recurrence MII precomputed.  Build one and pass it as [?hier] to
+    several [schedule_loop] calls over the {e same} graph (e.g. the
+    plain run and the replication run of one loop): partitioning is a
+    pure function of (config, graph, II), so the second walk re-derives
+    its from-scratch partitions and lineage refinements from the
+    hierarchy's memo tables instead of recomputing them, with results
+    identical to unshared calls.  The hierarchy is not domain-safe;
+    share it across sequential calls only (each call's internal
+    speculation may still use any window — the hierarchy is queried
+    from the orchestrating domain alone). *)
+
 val schedule_loop :
   ?transform:transform ->
   ?max_ii:int ->
   ?latency0:bool ->
   ?spiller:spiller ->
   ?budget:Budget.t ->
+  ?window:int ->
+  ?exec:Exec.t ->
+  ?reuse:bool ->
+  ?hier:Partition.Hier.t ->
   Machine.Config.t ->
   Ddg.Graph.t ->
   (outcome, Sched_error.t) result
@@ -70,7 +88,35 @@ val schedule_loop :
     budget never discards one).  The whole pipeline is fault-isolated: a
     raising transform hook or an internal scheduler exception surfaces
     as [Error Internal] rather than an exception (only [Out_of_memory]
-    propagates). *)
+    propagates).
+
+    [window] (default 1) speculates that many consecutive II levels per
+    escalation step, evaluating them through [exec]
+    ({!Exec.sequential} when omitted; {!Metrics.Pool} provides a domain
+    -backed one).  Speculation is transparent: levels are consumed in II
+    order replaying the exact sequential decision sequence, the lowest
+    successful II is committed and higher speculative wins are
+    discarded, so the result, every recorded trace level and every
+    classified error are identical to the [window = 1] walk at any
+    window and executor.  A [budget] is shared by the in-flight
+    speculative attempts and spent in consume order, so attempt-capped
+    budgets time out on exactly the same level as the sequential walk;
+    wall-clock expiry is detected at the same level boundaries.
+
+    [reuse] (default [true]) is an A/B benchmarking knob: [false]
+    disables every cross-level reuse the escalation performs —
+    from-scratch partitions re-coarsen from singletons at each level's
+    II instead of continuing the cached hierarchy, and routed graphs
+    are rebuilt instead of cached — reproducing the pre-hierarchy
+    walk.  Results under [reuse:false] may differ slightly from the
+    default path (the hierarchy analyses slacks once at the base II;
+    a scratch walk re-analyses at every level), so it exists for
+    measuring the reuse speedup, not for production runs.
+
+    [hier] shares a partition hierarchy built by {!hierarchy} across
+    calls over the same graph; omitted, each call builds its own.
+    @raise Invalid_argument when [window < 1], or when [hier] was built
+    for a different graph. *)
 
 (** {1 Escalation traces}
 
@@ -93,13 +139,18 @@ module Trace : sig
     ?transform:transform ->
     ?max_ii:int ->
     ?budget:Budget.t ->
+    ?window:int ->
+    ?exec:Exec.t ->
     Machine.Config.t ->
     Ddg.Graph.t ->
     t
   (** Run the escalation loop at [config] — the most permissive member
       of the register family — recording every attempt: the II, the
       partition it started from, and the outcome (a placed schedule with
-      its MaxLive per cluster, or the failure cause). *)
+      its MaxLive per cluster, or the failure cause).  [window]/[exec]
+      as in {!schedule_loop}: consuming speculative levels in II order
+      forces the observable level order, so the recorded trace is
+      window-invariant. *)
 
   val result : t -> (outcome, Sched_error.t) result
   (** The recording run's own outcome (what {!schedule_loop} would have
@@ -131,6 +182,8 @@ val schedule_sweep :
   ?max_ii:int ->
   ?budget:Budget.t ->
   ?spiller_for:(Machine.Config.t -> spiller option) ->
+  ?window:int ->
+  ?exec:Exec.t ->
   Machine.Config.t list ->
   Ddg.Graph.t ->
   (Machine.Config.t * (outcome, Sched_error.t) result) list
@@ -140,4 +193,5 @@ val schedule_sweep :
     it for each.  Results (in input order) are the ones the independent
     [schedule_loop] calls would produce.  [spiller_for] selects a spiller
     per member (a spiller forces live fallback past the first register
-    overflow). *)
+    overflow).  [window]/[exec] speculate the recording run's escalation
+    ({!schedule_loop}); replays are judged sequentially either way. *)

@@ -1,0 +1,10 @@
+(* A pluggable order-preserving parallel map.
+
+   The escalation driver lives below the metrics layer where the domain
+   pool is implemented, so the pool hands the driver this first-class
+   map instead of the driver depending on the pool.  The sequential
+   executor is the identity wiring: [Array.map]. *)
+
+type t = { map : 'a 'b. ('a -> 'b) -> 'a array -> 'b array }
+
+let sequential = { map = (fun f xs -> Array.map f xs) }

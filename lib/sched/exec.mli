@@ -1,0 +1,20 @@
+(** Pluggable executor for speculative escalation windows.
+
+    {!Driver.schedule_loop} evaluates the II levels of a speculation
+    window through one of these.  The driver lives below the metrics
+    layer, where the domain pool ({!Metrics.Pool}) is implemented, so
+    the pool injects parallelism as a first-class map rather than the
+    driver depending on it.
+
+    Contract for [map f xs]: apply [f] to every element, return results
+    in input order.  [f] must be applied exactly once per element (the
+    driver counts attempts), and an executor may run applications
+    concurrently on separate domains — the driver only hands it
+    thread-safe closures.  If an application raises, the executor must
+    re-raise the first failure in input order with its original
+    backtrace. *)
+
+type t = { map : 'a 'b. ('a -> 'b) -> 'a array -> 'b array }
+
+val sequential : t
+(** [Array.map]: evaluates in order on the calling domain. *)

@@ -2,14 +2,19 @@ type edge = { u : int; v : int; weight : int }
 
 let greedy ~n edges =
   let order a b =
-    (* Heavier first; ties by endpoints for determinism. *)
+    (* Heavier first; ties by endpoints for determinism (the order is
+       total over distinct endpoint pairs, so the unstable array sort
+       below cannot perturb the result). *)
     match Stdlib.compare b.weight a.weight with
     | 0 -> Stdlib.compare (min a.u a.v, max a.u a.v) (min b.u b.v, max b.u b.v)
     | c -> c
   in
-  let sorted = List.sort order edges in
+  (* The matcher runs once per coarsening level; sorting in place on an
+     array avoids the per-element allocation of [List.sort]. *)
+  let sorted = Array.of_list edges in
+  Array.sort order sorted;
   let taken = Array.make n false in
-  List.fold_left
+  Array.fold_left
     (fun acc e ->
       if e.weight <= 0 || e.u = e.v then acc
       else if e.u < 0 || e.u >= n || e.v < 0 || e.v >= n then acc

@@ -192,7 +192,7 @@ let assign_macros config g analysis ~ii macros macro_of =
 (* Refinement                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let refine ?(metric = `Pseudo) ?rec_mii config g ~ii assign =
+let refine_impl ?(metric = `Pseudo) ?rec_mii config g ~ii assign =
   let clusters = config.Machine.Config.clusters in
   if clusters = 1 then Array.copy assign
   else begin
@@ -279,21 +279,46 @@ let refine ?(metric = `Pseudo) ?rec_mii config g ~ii assign =
     assign
   end
 
+let refine ?metric ?rec_mii config g ~ii assign =
+  Profile.time Profile.Partition (fun () ->
+      refine_impl ?metric ?rec_mii config g ~ii assign)
+
 (* ------------------------------------------------------------------ *)
-(* Driver                                                              *)
+(* The coarsening hierarchy as a reusable artifact                     *)
 (* ------------------------------------------------------------------ *)
 
-let initial ?rec_mii config g ~ii =
-  let n = Graph.n_nodes g in
-  let clusters = config.Machine.Config.clusters in
-  if clusters = 1 || n = 0 then Array.make n 0
-  else begin
-    let rec_mii =
-      match rec_mii with Some r -> r | None -> Mii.rec_mii g
-    in
-    let analysis = Analysis.compute g ~ii:(max ii rec_mii) in
-    let macros = ref (Array.init n (fun v -> macro_of_node g v)) in
-    let macro_of = ref (Array.init n Fun.id) in
+module Hier = struct
+  type coarse = { hl_macros : macro array; hl_macro_of : int array }
+
+  type t = {
+    h_config : Machine.Config.t;
+    h_graph : Graph.t;
+    h_rec_mii : int;
+    h_base_ii : int;
+    h_trivial : bool;  (* unified machine or empty graph *)
+    (* Analysis and base coarsening are forced on the first from-scratch
+       partition request: a trace replay's live continuation often
+       succeeds without ever needing one (the lineage attempt schedules
+       with the spiller's help), and must not pay for the whole
+       hierarchy up front. *)
+    h_analysis : Analysis.t Lazy.t;  (* at [max base_ii rec_mii] *)
+    h_base : coarse Lazy.t;  (* coarsest level at [base_ii] *)
+    h_coarse : (int, coarse) Hashtbl.t;  (* continued coarsening per II *)
+    h_init : (int, int array) Hashtbl.t;  (* memoized {!initial} per II *)
+    h_refine : (int * int array, int array) Hashtbl.t;
+        (* memoized {!refine} per (II, input partition).  The escalation's
+           lineage chain is a pure function of the II — the walk refines
+           the previous level's partition regardless of why the attempt
+           failed — so two walks sharing a hierarchy (e.g. the base and
+           the replication run over the same loop) ask for identical
+           refinements level for level. *)
+  }
+
+  (* Contract along heavy edges until as many macro-nodes as clusters
+     remain or no pair fits a cluster at this II. *)
+  let coarsen_to config ~ii g analysis macros0 macro_of0 =
+    let clusters = config.Machine.Config.clusters in
+    let macros = ref macros0 and macro_of = ref macro_of0 in
     let continue_ = ref true in
     while !continue_ && Array.length !macros > clusters do
       match coarsen_level config ~ii g analysis !macros !macro_of with
@@ -302,12 +327,125 @@ let initial ?rec_mii config g ~ii =
           macro_of := mo
       | None -> continue_ := false
     done;
-    let cluster_of_macro =
-      assign_macros config g analysis ~ii !macros !macro_of
+    { hl_macros = !macros; hl_macro_of = !macro_of }
+
+  let create ?rec_mii config g ~base_ii =
+    let n = Graph.n_nodes g in
+    let trivial = config.Machine.Config.clusters = 1 || n = 0 in
+    let rec_mii =
+      match rec_mii with
+      | Some r -> r
+      | None -> if trivial then 0 else Mii.rec_mii g
     in
-    let assign = Array.map (fun m -> cluster_of_macro.(m)) !macro_of in
-    refine ~rec_mii config g ~ii assign
-  end
+    let analysis =
+      lazy
+        (Profile.time Profile.Partition (fun () ->
+             Analysis.compute g ~ii:(max base_ii rec_mii)))
+    in
+    let base =
+      lazy
+        (Profile.time Profile.Partition (fun () ->
+             coarsen_to config ~ii:base_ii g (Lazy.force analysis)
+               (Array.init n (fun v -> macro_of_node g v))
+               (Array.init n Fun.id)))
+    in
+    {
+      h_config = config;
+      h_graph = g;
+      h_rec_mii = rec_mii;
+      h_base_ii = base_ii;
+      h_trivial = trivial;
+      h_analysis = analysis;
+      h_base = base;
+      h_coarse = Hashtbl.create 8;
+      h_init = Hashtbl.create 8;
+      h_refine = Hashtbl.create 8;
+    }
+
+  let base_ii t = t.h_base_ii
+  let rec_mii t = t.h_rec_mii
+  let graph t = t.h_graph
+
+  (* The coarsest level at [ii]: at the base II it is the cached base
+     level; above it, coarsening *continues* from the base level (the
+     capacity test only loosens as the II grows, so every base merge
+     stays legal and further pairs may fit).  Each continuation starts
+     from the base level, never from a neighbouring II's continuation,
+     so the result is a function of the II alone — independent of the
+     order the escalation queries it in (trace replays start
+     mid-walk). *)
+  let coarsest t ~ii =
+    let base = Lazy.force t.h_base in
+    if ii <= t.h_base_ii then base
+    else
+      match Hashtbl.find_opt t.h_coarse ii with
+      | Some l -> l
+      | None ->
+          let l =
+            coarsen_to t.h_config ~ii t.h_graph
+              (Lazy.force t.h_analysis)
+              base.hl_macros base.hl_macro_of
+          in
+          Hashtbl.replace t.h_coarse ii l;
+          l
+
+  let initial t ~ii =
+    Profile.time Profile.Partition (fun () ->
+        if t.h_trivial then Array.make (Graph.n_nodes t.h_graph) 0
+        else
+          let memo =
+            match Hashtbl.find_opt t.h_init ii with
+            | Some a -> a
+            | None ->
+                let analysis = Lazy.force t.h_analysis in
+                let lvl = coarsest t ~ii in
+                let cluster_of_macro =
+                  assign_macros t.h_config t.h_graph analysis ~ii
+                    lvl.hl_macros lvl.hl_macro_of
+                in
+                let assign =
+                  Array.map (fun m -> cluster_of_macro.(m)) lvl.hl_macro_of
+                in
+                let assign =
+                  refine_impl ~rec_mii:t.h_rec_mii t.h_config t.h_graph ~ii
+                    assign
+                in
+                Hashtbl.replace t.h_init ii assign;
+                assign
+          in
+          (* Callers own their copy: the memo must stay pristine. *)
+          Array.copy memo)
+
+  let refine t ~ii assign =
+    Profile.time Profile.Partition (fun () ->
+        if t.h_trivial then Array.copy assign
+        else
+          let memo =
+            match Hashtbl.find_opt t.h_refine (ii, assign) with
+            | Some a -> a
+            | None ->
+                let refined =
+                  refine_impl ~rec_mii:t.h_rec_mii t.h_config t.h_graph ~ii
+                    assign
+                in
+                (* The key is copied: callers own their input array and
+                   may hand it on elsewhere. *)
+                Hashtbl.replace t.h_refine (ii, Array.copy assign) refined;
+                refined
+          in
+          Array.copy memo)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A one-shot hierarchy seeded at the requested II reproduces the
+   original coarsen-assign-refine pipeline exactly (same analysis II,
+   same coarsening walk from singletons, same assignment and
+   refinement). *)
+let initial ?rec_mii config g ~ii =
+  Hier.initial (Hier.create ?rec_mii config g ~base_ii:ii) ~ii
 
 let is_valid config assign =
   Array.for_all

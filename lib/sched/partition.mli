@@ -26,7 +26,64 @@ val initial : ?rec_mii:int -> Machine.Config.t -> Ddg.Graph.t -> ii:int -> t
 (** Coarsen, assign and refine at the given II.  For a unified machine the
     result is all zeros.  [rec_mii], when known (the scheduling driver
     computes it once per loop), spares the binary search of
-    {!Ddg.Mii.rec_mii}. *)
+    {!Ddg.Mii.rec_mii}.  Equivalent to a one-shot {!Hier.initial} on a
+    hierarchy seeded at [ii]. *)
+
+(** The coarsening hierarchy as a reusable artifact.
+
+    The escalation driver asks for a from-scratch partition at every II
+    level it visits; rebuilding the multilevel coarsening from
+    singletons each time repeats the dominant share of the work, because
+    the walk only moves the II upward and the capacity test a merge must
+    pass ({i fits some cluster at this II}) only loosens as the II
+    grows.  A hierarchy captures one escalation's reusable state: the
+    slack analysis and the coarsest level at the base II.  A fresh
+    partition at a higher II then {e continues} coarsening from the
+    cached level (every cached merge is still legal) instead of
+    restarting from singletons, and both per-II continuations and
+    finished partitions are memoized, so the escalation's second-chance
+    partitions — recomputed at every failed level — cost one
+    assign-and-refine after the first visit, and repeated visits are
+    array copies.
+
+    Not domain-safe: the driver queries the hierarchy only from the
+    orchestrating domain, never from speculative workers. *)
+module Hier : sig
+  type partition := t
+
+  type t
+
+  val create :
+    ?rec_mii:int -> Machine.Config.t -> Ddg.Graph.t -> base_ii:int -> t
+  (** Analyse and coarsen at [base_ii] (the escalation's MII).  [rec_mii]
+      as in {!initial}. *)
+
+  val base_ii : t -> int
+
+  val rec_mii : t -> int
+  (** The recurrence-constrained MII the hierarchy was created with (or
+      computed itself). *)
+
+  val graph : t -> Ddg.Graph.t
+  (** The graph the hierarchy was built over (physical identity is the
+      sharing contract: {!Sched.Driver.schedule_loop} accepts an external
+      hierarchy only for the very graph it is scheduling). *)
+
+  val initial : t -> ii:int -> partition
+  (** The from-scratch partition at [ii >= base_ii].  At [ii = base_ii]
+      this is exactly {!val:initial} at the same II; above it, coarsening
+      resumes from the cached base level.  Results are memoized per II
+      and returned as fresh copies; the result for a given II does not
+      depend on the order of queries. *)
+
+  val refine : t -> ii:int -> partition -> partition
+  (** {!val:refine} with the hierarchy's [rec_mii] (lineage refinement
+      along the escalation).  Memoized per [(ii, partition)] and returned
+      as a fresh copy: the escalation's lineage chain is a pure function
+      of the II, so walks sharing a hierarchy — the plain and the
+      transformed run over one loop — re-refine from the cache instead of
+      re-running the hill-climb. *)
+end
 
 val refine :
   ?metric:[ `Pseudo | `Cut ] ->

@@ -7,8 +7,15 @@ type failure = { node : int; reason : reason; copy_involved : bool }
 let try_schedule config route ~ii =
   let g = route.Route.graph in
   let n = Graph.n_nodes g in
-  let analysis = Analysis.compute g ~ii in
-  let order = Ordering.order ~analysis g ~ii in
+  (* The slack analysis and the node ordering are one profiling phase;
+     the placement loop below is another (they nest under no common
+     wrapper, so [bench --profile] reports them exclusively). *)
+  let analysis, order =
+    Profile.time Profile.Ordering (fun () ->
+        let analysis = Analysis.compute g ~ii in
+        (analysis, Ordering.order ~analysis g ~ii))
+  in
+  Profile.time Profile.Placement @@ fun () ->
   let mrt = Mrt.create config ~ii in
   let cycles = Array.make n 0 in
   let buses = Array.make n (-1) in

@@ -1,0 +1,65 @@
+(* Per-phase wall-clock accounting for the scheduling pipeline.
+
+   Counters are global atomics so the per-loop pipeline needs no
+   plumbing and parallel suite runs accumulate into the same totals.
+   Accounting is inclusive per outermost entry: a phase nested inside
+   itself (e.g. the partitioner's refinement calling back into a
+   partition entry point) is not double-counted, which a domain-local
+   current-phase mark detects.  Time spent in a *different* phase
+   nested under an instrumented one is charged to both; the only such
+   nesting in the pipeline is the ordering pass inside placement, which
+   is split at the call site instead. *)
+
+type phase = Partition | Ordering | Placement | Regalloc | Replication
+
+let phases = [ Partition; Ordering; Placement; Regalloc; Replication ]
+
+let index = function
+  | Partition -> 0
+  | Ordering -> 1
+  | Placement -> 2
+  | Regalloc -> 3
+  | Replication -> 4
+
+let name = function
+  | Partition -> "partition"
+  | Ordering -> "ordering"
+  | Placement -> "placement"
+  | Regalloc -> "regalloc"
+  | Replication -> "replication"
+
+let n_phases = List.length phases
+
+(* Nanoseconds per phase. *)
+let acc = Array.init n_phases (fun _ -> Atomic.make 0)
+let enabled = ref false
+let current : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let reset () = Array.iter (fun a -> Atomic.set a 0) acc
+
+let set_enabled on =
+  if on then reset ();
+  enabled := on
+
+let time phase f =
+  if not !enabled then f ()
+  else begin
+    let i = index phase in
+    if Domain.DLS.get current = i then f ()
+    else begin
+      let outer = Domain.DLS.get current in
+      Domain.DLS.set current i;
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Unix.gettimeofday () -. t0 in
+          ignore (Atomic.fetch_and_add acc.(i) (int_of_float (dt *. 1e9)));
+          Domain.DLS.set current outer)
+        f
+    end
+  end
+
+let seconds phase =
+  float_of_int (Atomic.get acc.(index phase)) /. 1e9
+
+let snapshot () = List.map (fun p -> (name p, seconds p)) phases

@@ -1,0 +1,31 @@
+(** Per-phase wall-clock accounting for the scheduling pipeline
+    ([bench --profile]).
+
+    Off by default; {!time} then costs one flag read per call.  When
+    enabled, every outermost entry into an instrumented phase adds its
+    wall-clock time to a global atomic counter — domain-safe, so
+    parallel suite runs accumulate into the same totals.  Re-entering
+    the phase currently running on this domain is not double-counted. *)
+
+type phase = Partition | Ordering | Placement | Regalloc | Replication
+
+val phases : phase list
+(** In reporting order. *)
+
+val name : phase -> string
+
+val set_enabled : bool -> unit
+(** Enabling also {!reset}s the counters. *)
+
+val reset : unit -> unit
+
+val time : phase -> (unit -> 'a) -> 'a
+(** [time p f] runs [f], charging its wall-clock time to [p] when
+    profiling is enabled (and [p] is not already running on this
+    domain). *)
+
+val seconds : phase -> float
+(** Accumulated seconds since the last {!reset}. *)
+
+val snapshot : unit -> (string * float) list
+(** [(name, seconds)] for every phase, in {!phases} order. *)

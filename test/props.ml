@@ -563,6 +563,174 @@ let prop_sweep_spiller_matches_oracle =
               (Sched.Driver.schedule_loop ~spiller:Sched.Spill.spiller c g))
         configs swept)
 
+(* ------------------------------------------------------------------ *)
+(* Speculative escalation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Speculation must be transparent: any window width on any executor
+   returns byte-identical figures to the sequential walk.  Timeout
+   errors carry a wall-clock field that legitimately differs between
+   runs; everything else must match exactly. *)
+let canon_result_no_clock r =
+  match canon_result r with
+  | Error (Sched.Sched_error.Timeout { at_ii; attempts; elapsed_s = _ }) ->
+      Error (Sched.Sched_error.Timeout { at_ii; attempts; elapsed_s = 0. })
+  | r -> r
+
+let windows_and_jobs = [ (1, 1); (2, 1); (2, 2); (4, 1); (4, 2); (8, 2) ]
+
+let prop_speculative_equals_sequential =
+  QCheck.Test.make
+    ~name:"speculative windows equal the sequential walk" ~count:40 pair_arb
+    (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      let baseline = canon_result (Sched.Driver.schedule_loop config g) in
+      List.for_all
+        (fun (window, jobs) ->
+          let exec = Metrics.Pool.exec ~jobs () in
+          canon_result
+            (Sched.Driver.schedule_loop ~window ~exec config g)
+          = baseline)
+        windows_and_jobs)
+
+let prop_speculative_spiller_equals_sequential =
+  QCheck.Test.make
+    ~name:"speculative windows equal the sequential walk (spiller attached)"
+    ~count:25 pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      let baseline =
+        canon_result
+          (Sched.Driver.schedule_loop ~spiller:Sched.Spill.spiller config g)
+      in
+      List.for_all
+        (fun (window, jobs) ->
+          let exec = Metrics.Pool.exec ~jobs () in
+          canon_result
+            (Sched.Driver.schedule_loop ~spiller:Sched.Spill.spiller ~window
+               ~exec config g)
+          = baseline)
+        windows_and_jobs)
+
+let prop_speculative_budget_equals_sequential =
+  QCheck.Test.make
+    ~name:"attempt-capped budgets time out identically at any window"
+    ~count:25 pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      (* A tight attempt cap forces mid-walk expiry on escalating loops;
+         the budget is spent in consume order, so the timeout must land
+         on the same II level at every window. *)
+      let run ?window ?exec () =
+        let budget = Sched.Budget.make ~max_attempts:3 () in
+        canon_result_no_clock
+          (Sched.Driver.schedule_loop ~budget ?window ?exec config g)
+      in
+      let baseline = run () in
+      List.for_all
+        (fun (window, jobs) ->
+          let exec = Metrics.Pool.exec ~jobs () in
+          run ~window ~exec () = baseline)
+        windows_and_jobs)
+
+let prop_shared_hierarchy_equals_fresh =
+  QCheck.Test.make
+    ~name:"a shared partition hierarchy changes nothing but the work"
+    ~count:40 pair_arb (fun (seed, ci) ->
+      let g = graph_of_seed seed in
+      let config = config_of_index ci in
+      let hier = Sched.Driver.hierarchy config g in
+      let tr_shared, _ = Replication.Replicate.transform () in
+      let tr_fresh, _ = Replication.Replicate.transform () in
+      canon_result (Sched.Driver.schedule_loop ~hier config g)
+      = canon_result (Sched.Driver.schedule_loop config g)
+      && canon_result
+           (Sched.Driver.schedule_loop ~transform:tr_shared ~hier config g)
+         = canon_result
+             (Sched.Driver.schedule_loop ~transform:tr_fresh config g))
+
+(* ------------------------------------------------------------------ *)
+(* Modulo reservation table bitset rows                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The MRT answers availability probes from bitset occupancy rows; a
+   shadow model answering the same probes by definitional slot counting
+   must never disagree, across random interleavings of reservations. *)
+let prop_mrt_bitset_matches_scan =
+  QCheck.Test.make ~name:"MRT bitset occupancy equals the slot-count scan"
+    ~count:300 seed_arb (fun seed ->
+      let rng = Workload.Rng.create seed in
+      let config =
+        config_of_index (Workload.Rng.int rng (List.length configs))
+      in
+      let ii = Workload.Rng.range rng 1 9 in
+      let mrt = Sched.Mrt.create config ~ii in
+      let clusters = config.Machine.Config.clusters in
+      let lat = max 1 config.Machine.Config.bus_latency in
+      (* Shadow: per-slot busy counts, definitional arithmetic only. *)
+      let fu_busy =
+        Array.init clusters (fun _ ->
+            Array.init Machine.Fu.count (fun _ -> Array.make ii 0))
+      in
+      let bus_busy =
+        Array.init config.Machine.Config.buses (fun _ -> Array.make ii false)
+      in
+      let slot cycle =
+        let m = cycle mod ii in
+        if m < 0 then m + ii else m
+      in
+      let scan_fu ~cluster ~kind ~cycle =
+        fu_busy.(cluster).(Machine.Fu.index kind).(slot cycle)
+        < Machine.Config.fus config ~cluster kind
+      in
+      let scan_bus ~bus ~cycle =
+        lat <= ii
+        && List.for_all
+             (fun k -> not bus_busy.(bus).(slot (cycle + k)))
+             (List.init lat Fun.id)
+      in
+      let scan_find_bus ~cycle =
+        let rec go b =
+          if b >= config.Machine.Config.buses then None
+          else if scan_bus ~bus:b ~cycle then Some b
+          else go (b + 1)
+        in
+        go 0
+      in
+      let steps = 40 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let cycle = Workload.Rng.int rng 60 - 20 in
+        if Workload.Rng.chance rng 0.7 then begin
+          let cluster = Workload.Rng.int rng clusters in
+          let kind =
+            List.nth Machine.Fu.all
+              (Workload.Rng.int rng (List.length Machine.Fu.all))
+          in
+          let avail = Sched.Mrt.fu_available mrt ~cluster ~kind ~cycle in
+          if avail <> scan_fu ~cluster ~kind ~cycle then ok := false;
+          if avail then begin
+            Sched.Mrt.reserve_fu mrt ~cluster ~kind ~cycle;
+            let s = slot cycle in
+            let k = Machine.Fu.index kind in
+            fu_busy.(cluster).(k).(s) <- fu_busy.(cluster).(k).(s) + 1
+          end
+        end
+        else begin
+          let found = Sched.Mrt.find_bus mrt ~cycle in
+          if found <> scan_find_bus ~cycle then ok := false;
+          match found with
+          | Some bus ->
+              Sched.Mrt.reserve_bus mrt ~bus ~cycle;
+              for k = 0 to lat - 1 do
+                bus_busy.(bus).(slot (cycle + k)) <- true
+              done
+          | None -> ()
+        end
+      done;
+      !ok)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -590,4 +758,9 @@ let suite =
       prop_sweep_matches_oracle;
       prop_sweep_replication_matches_oracle;
       prop_sweep_spiller_matches_oracle;
+      prop_speculative_equals_sequential;
+      prop_speculative_spiller_equals_sequential;
+      prop_speculative_budget_equals_sequential;
+      prop_shared_hierarchy_equals_fresh;
+      prop_mrt_bitset_matches_scan;
     ]

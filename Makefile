@@ -1,6 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test check-faults bench bench-smoke bench-diff clean
+.PHONY: all check check-fast test check-faults fuzz-smoke validate-quick \
+  bench bench-smoke bench-diff clean
 
 all:
 	dune build
@@ -12,11 +13,28 @@ check:
 
 test: check
 
+# Sub-second inner-loop gate: only the fast suites, selected by stable
+# name (docs/TESTING.md).
+check-fast:
+	dune build @check-fast
+
 # Fault-injection gate: corrupt checker-clean schedules with every
-# catalog entry and require the legality checker to name each one
-# (docs/ROBUSTNESS.md).  Exits non-zero on any miss.
+# catalog entry and require both the legality checker and the
+# independent oracle (Check.Validate) to name each one
+# (docs/ROBUSTNESS.md, docs/TESTING.md).  Exits non-zero on any miss.
 check-faults:
 	dune exec bin/repro.exe -- faults --quick
+
+# Fuzz gate: 200 random DDGs through generate -> schedule -> validate
+# -> lockstep-simulate at a fixed seed; deterministic, exits 20 on any
+# failure (docs/TESTING.md).
+fuzz-smoke:
+	dune exec bin/repro.exe -- fuzz --iters 200 --seed 42
+
+# Oracle gate: run the quick suite and re-validate every emitted
+# schedule with the independent oracle.
+validate-quick:
+	dune exec bin/repro.exe -- validate --quick
 
 # Full benchmark run (all 678 loops; takes a while).
 bench:

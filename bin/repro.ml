@@ -338,16 +338,16 @@ let faults_run config quick =
     | Sim.Faults.Missed -> 1
     | Sim.Faults.Not_applicable -> 0
   in
-  let note inj loop verdict =
+  let note inj loop sched verdict =
     match Hashtbl.find_opt best inj.Sim.Faults.name with
-    | Some (old, _, _) when rank old >= rank verdict -> ()
-    | _ -> Hashtbl.replace best inj.Sim.Faults.name (verdict, inj, loop)
+    | Some (old, _, _, _) when rank old >= rank verdict -> ()
+    | _ -> Hashtbl.replace best inj.Sim.Faults.name (verdict, inj, loop, sched)
   in
   let all_detected () =
     List.for_all
       (fun inj ->
         match Hashtbl.find_opt best inj.Sim.Faults.name with
-        | Some (Sim.Faults.Detected _, _, _) -> true
+        | Some (Sim.Faults.Detected _, _, _, _) -> true
         | _ -> false)
       Sim.Faults.catalog
   in
@@ -365,37 +365,59 @@ let faults_run config quick =
              | Ok r ->
                  let sched = r.Metrics.Experiment.outcome.Sched.Driver.schedule in
                  List.iter
-                   (fun inj -> note inj l.id (Sim.Faults.verify sched inj))
+                   (fun inj -> note inj l.id sched (Sim.Faults.verify sched inj))
                    Sim.Faults.catalog)
            modes;
          if all_detected () then raise Exit)
        loops
    with Exit -> ());
   let ok = ref true in
+  (* calibrate the independent oracle on the same corruption: it must
+     reject the schedule and name the rule the catalog declares *)
+  let oracle_verdict inj sched =
+    match inj.Sim.Faults.apply sched with
+    | None -> "oracle: n/a"
+    | Some bad -> (
+        match Check.Validate.run bad with
+        | Ok () ->
+            ok := false;
+            "ORACLE MISSED"
+        | Error issues ->
+            let rules = Check.Validate.distinct_rules issues in
+            if List.mem inj.Sim.Faults.v_rule rules then
+              Printf.sprintf "oracle: %s" inj.Sim.Faults.v_rule
+            else begin
+              ok := false;
+              Printf.sprintf "ORACLE MISNAMED [%s] wanted %s"
+                (String.concat "; " rules) inj.Sim.Faults.v_rule
+            end)
+  in
   List.iter
     (fun inj ->
       let name = inj.Sim.Faults.name in
       match Hashtbl.find_opt best name with
-      | Some (Sim.Faults.Detected es, _, loop) ->
+      | Some (Sim.Faults.Detected es, _, loop, sched) ->
           let named =
             List.find (fun e -> Metrics.Experiment.contains e ~sub:inj.Sim.Faults.expect) es
           in
-          Printf.printf "detected   %-18s on %-12s -> %s\n" name loop named
-      | Some (Sim.Faults.Misnamed es, _, loop) ->
+          Printf.printf "detected   %-18s on %-12s -> %s | %s\n" name loop
+            named (oracle_verdict inj sched)
+      | Some (Sim.Faults.Misnamed es, _, loop, _) ->
           ok := false;
           Printf.printf "MISNAMED   %-18s on %-12s -> %s\n" name loop
             (String.concat "; " es)
-      | Some (Sim.Faults.Missed, _, loop) ->
+      | Some (Sim.Faults.Missed, _, loop, _) ->
           ok := false;
           Printf.printf "MISSED     %-18s on %-12s -> checker said Ok\n" name
             loop
-      | Some (Sim.Faults.Not_applicable, _, _) | None ->
+      | Some (Sim.Faults.Not_applicable, _, _, _) | None ->
           ok := false;
           Printf.printf "UNTESTED   %-18s -> no schedule had the ingredient\n"
             name)
     Sim.Faults.catalog;
   if !ok then
-    Printf.printf "all %d corruptions detected and named\n"
+    Printf.printf
+      "all %d corruptions detected and named by both checker and oracle\n"
       (List.length Sim.Faults.catalog)
   else begin
     Printf.eprintf "repro: error class=checker-violation fault catalog not fully detected\n";
@@ -409,6 +431,133 @@ let faults_cmd =
          "Corrupt checker-clean schedules with the fault-injection catalog \
           and verify the legality checker names every corruption.")
     Term.(const faults_run $ config_arg $ quick_arg)
+
+(* ------------------------------------------------------------------ *)
+(* validate: the independent oracle over real suite schedules          *)
+(* ------------------------------------------------------------------ *)
+
+let validate_run config quick jobs window =
+  let loops = loops_of ~quick in
+  let issues = ref 0 in
+  let checked = ref 0 in
+  List.iter
+    (fun mode ->
+      let runs =
+        Metrics.Experiment.run_suite ~jobs
+          ?window:(if window > 1 then Some window else None)
+          mode config loops
+      in
+      List.iter
+        (fun (r : Metrics.Experiment.loop_run) ->
+          incr checked;
+          match
+            Check.Validate.run ~original:r.loop.Workload.Generator.graph
+              r.outcome.Sched.Driver.schedule
+          with
+          | Ok () -> ()
+          | Error is ->
+              incr issues;
+              List.iter
+                (Printf.printf "INVALID %s %s: %s\n"
+                   (Metrics.Experiment.mode_tag mode)
+                   r.loop.Workload.Generator.id)
+                (Check.Validate.to_strings is))
+        runs)
+    [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ];
+  if !issues = 0 then
+    Printf.printf "validated %d schedules on %s: all clean\n" !checked
+      (Machine.Config.name config)
+  else begin
+    Printf.eprintf
+      "repro: error class=checker-violation %d invalid schedules\n" !issues;
+    exit 20
+  end
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Schedule the workload suite (baseline and replication) and \
+          re-verify every emitted schedule with the independent oracle in \
+          Check.Validate — no code shared with the scheduler or the \
+          simulator's checker.")
+    Term.(const validate_run $ config_arg $ quick_arg $ jobs_arg $ window_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz: random DDGs through the whole pipeline                        *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_run iters seed corpus replay =
+  match replay with
+  | Some path ->
+      let results = Check.Fuzz.replay ~corpus:path in
+      let still = ref 0 in
+      List.iter
+        (fun ((f : Check.Fuzz.failure), verdict) ->
+          match verdict with
+          | Check.Fuzz.Failed f' ->
+              incr still;
+              Printf.printf "still-failing seed=%d nodes=%d rule=%s %s\n"
+                f'.f_seed f'.f_nodes f'.f_rule f'.f_detail
+          | Check.Fuzz.Scheduled ->
+              Printf.printf "fixed         seed=%d nodes=%d (was rule=%s)\n"
+                f.f_seed f.f_nodes f.f_rule
+          | Check.Fuzz.Gave_up cls ->
+              Printf.printf "gave-up       seed=%d nodes=%d class=%s (was rule=%s)\n"
+                f.f_seed f.f_nodes cls f.f_rule)
+        results;
+      if results = [] then Printf.printf "corpus %s is empty\n" path;
+      if !still > 0 then begin
+        Printf.eprintf
+          "repro: error class=checker-violation %d corpus failures still \
+           reproduce\n"
+          !still;
+        exit 20
+      end
+  | None ->
+      let s = Check.Fuzz.run ?corpus ~iters ~seed () in
+      List.iter print_endline (Check.Fuzz.summary_lines s);
+      if s.Check.Fuzz.failures <> [] then begin
+        Printf.eprintf "repro: error class=checker-violation %d fuzz failures\n"
+          (List.length s.Check.Fuzz.failures);
+        exit 20
+      end
+
+let fuzz_cmd =
+  let iters =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "iters" ] ~docv:"N" ~doc:"Random cases to run.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+  in
+  let corpus =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:
+            "Write shrunk failures to $(docv) as JSON lines (atomically; an \
+             empty file means a clean run).")
+  in
+  let replay =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Instead of fuzzing, re-run every failure recorded in $(docv) \
+             at its recorded (seed, nodes) and report which still \
+             reproduce.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the scheduling pipeline with seeded random loop bodies: \
+          generate, schedule, validate with the independent oracle, \
+          execute in lockstep; shrink and record failures.")
+    Term.(const fuzz_run $ iters $ seed $ corpus $ replay)
 
 (* ------------------------------------------------------------------ *)
 (* benchmark: per-loop detail                                          *)
@@ -587,6 +736,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            figures_cmd; loop_cmd; suite_cmd; faults_cmd; benchmark_cmd;
-            workload_cmd; example_cmd;
+            figures_cmd; loop_cmd; suite_cmd; faults_cmd; validate_cmd;
+            fuzz_cmd; benchmark_cmd; workload_cmd; example_cmd;
           ]))

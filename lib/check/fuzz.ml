@@ -1,0 +1,199 @@
+open Workload
+
+type failure = {
+  f_seed : int;
+  f_nodes : int;
+  f_config : string;
+  f_mode : string;
+  f_rule : string;
+  f_detail : string;
+}
+
+type verdict = Scheduled | Gave_up of string | Failed of failure
+
+type summary = {
+  iters : int;
+  scheduled : int;
+  gave_up : (string * int) list;
+  failures : failure list;
+}
+
+(* The machine pool deliberately reaches past the six paper configs:
+   register-starved files exercise the pressure rule and the give-up
+   paths, the unified machine the no-bus degenerate case, the cross-path
+   variant the copy-steals-int-slot accounting, and a heterogeneous
+   machine the per-cluster capacity handling. *)
+let config_pool =
+  Machine.Config.
+    [
+      make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64;
+      make ~clusters:2 ~buses:1 ~bus_latency:2 ~registers:64;
+      make ~clusters:4 ~buses:2 ~bus_latency:4 ~registers:64;
+      make ~clusters:2 ~buses:2 ~bus_latency:4 ~registers:64;
+      make ~clusters:4 ~buses:2 ~bus_latency:2 ~registers:64;
+      make ~clusters:4 ~buses:4 ~bus_latency:4 ~registers:64;
+      unified ~registers:64;
+      make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:32;
+      make ~clusters:2 ~buses:1 ~bus_latency:2 ~registers:16;
+      with_copy_int_slot (make ~clusters:4 ~buses:2 ~bus_latency:2 ~registers:64);
+      heterogeneous ~buses:1 ~bus_latency:2 ~registers:48
+        ~clusters:[ (2, 1, 1); (1, 2, 1); (1, 1, 2) ];
+    ]
+
+let case_of_seed ~seed ~nodes =
+  let loop = Generator.random ~seed ~nodes () in
+  let rng = Rng.create (seed lxor 0x2545f4914f6cdd1d) in
+  let config = Rng.pick rng config_pool in
+  let mode = if Rng.chance rng 0.55 then "repl" else "base" in
+  (loop, config, mode)
+
+let run_case ~seed ~nodes =
+  let loop, config, mode = case_of_seed ~seed ~nodes in
+  let fail rule detail =
+    Failed
+      {
+        f_seed = seed;
+        f_nodes = nodes;
+        f_config = Machine.Config.name config;
+        f_mode = mode;
+        f_rule = rule;
+        f_detail = detail;
+      }
+  in
+  let transform =
+    if mode = "repl" then Some (fst (Replication.Replicate.transform ()))
+    else None
+  in
+  let budget = Sched.Budget.make ~max_attempts:64 () in
+  match Sched.Driver.schedule_loop ?transform ~budget config loop.graph with
+  | Error e when Sched.Sched_error.is_bug e ->
+      fail
+        ("sched-" ^ Sched.Sched_error.class_name e)
+        (Sched.Sched_error.to_string e)
+  | Error e -> Gave_up (Sched.Sched_error.class_name e)
+  | Ok o -> (
+      match Validate.run ~original:loop.graph o.schedule with
+      | Error issues ->
+          let i = List.hd issues in
+          fail i.Validate.rule i.Validate.detail
+      | Ok () -> (
+          let useful = Ddg.Graph.n_nodes loop.graph in
+          match
+            Sim.Lockstep.run ~useful_per_iteration:useful o.schedule
+              ~iterations:(max 2 loop.trip)
+          with
+          | Error msg -> fail "sim" msg
+          | Ok _ -> Scheduled))
+
+let shrink (f : failure) =
+  (* The only shrink dimension is the pinned body size: regenerate the
+     case at each smaller size and keep the smallest that still fails
+     (any rule — the minimal case may trip a different check). *)
+  let best = ref f in
+  for k = f.f_nodes - 1 downto 3 do
+    if k < !best.f_nodes then
+      match run_case ~seed:f.f_seed ~nodes:k with
+      | Failed f' -> best := f'
+      | Scheduled | Gave_up _ -> ()
+  done;
+  !best
+
+let write_corpus ~path failures =
+  let line f =
+    Metrics.Json.print
+      (Obj
+         [
+           ("seed", Num (float_of_int f.f_seed));
+           ("nodes", Num (float_of_int f.f_nodes));
+           ("config", Str f.f_config);
+           ("mode", Str f.f_mode);
+           ("rule", Str f.f_rule);
+           ("detail", Str f.f_detail);
+         ])
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  List.iter (fun f -> output_string oc (line f ^ "\n")) failures;
+  close_out oc;
+  Sys.rename tmp path
+
+let run ?corpus ~iters ~seed () =
+  let master = Rng.create seed in
+  let scheduled = ref 0 in
+  let gave_up = Hashtbl.create 7 in
+  let failures = ref [] in
+  for _ = 1 to iters do
+    let case_seed = Rng.int master 0x40000000 in
+    let nodes = Rng.range master 5 28 in
+    match run_case ~seed:case_seed ~nodes with
+    | Scheduled -> incr scheduled
+    | Gave_up cls ->
+        Hashtbl.replace gave_up cls
+          (1 + Option.value ~default:0 (Hashtbl.find_opt gave_up cls))
+    | Failed f -> failures := shrink f :: !failures
+  done;
+  let gave_up =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) gave_up []
+    |> List.sort compare
+  in
+  let summary =
+    { iters; scheduled = !scheduled; gave_up; failures = List.rev !failures }
+  in
+  Option.iter (fun path -> write_corpus ~path summary.failures) corpus;
+  summary
+
+let read_corpus ~path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec lines acc =
+          match input_line ic with
+          | line -> lines (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        lines [])
+  with
+  | exception Sys_error msg -> Error msg
+  | lines -> (
+      let parse line =
+        let open Metrics.Json in
+        let j = parse line in
+        {
+          f_seed = to_int (member "seed" j);
+          f_nodes = to_int (member "nodes" j);
+          f_config = to_str (member "config" j);
+          f_mode = to_str (member "mode" j);
+          f_rule = to_str (member "rule" j);
+          f_detail = to_str (member "detail" j);
+        }
+      in
+      match
+        List.filter_map
+          (fun l -> if String.trim l = "" then None else Some (parse l))
+          lines
+      with
+      | fs -> Ok fs
+      | exception Metrics.Json.Bad msg -> Error ("corpus: " ^ msg))
+
+let replay ~corpus =
+  match read_corpus ~path:corpus with
+  | Error msg -> failwith ("fuzz corpus " ^ corpus ^ ": " ^ msg)
+  | Ok fs ->
+      List.map (fun f -> (f, run_case ~seed:f.f_seed ~nodes:f.f_nodes)) fs
+
+let summary_lines s =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "fuzz: %d cases, %d scheduled clean, %d gave up, %d failures" s.iters
+    s.scheduled
+    (List.fold_left (fun a (_, n) -> a + n) 0 s.gave_up)
+    (List.length s.failures);
+  List.iter (fun (cls, n) -> line "  gave-up %-20s %d" cls n) s.gave_up;
+  List.iter
+    (fun f ->
+      line "  FAIL seed=%d nodes=%d %s %s rule=%s %s" f.f_seed f.f_nodes
+        f.f_config f.f_mode f.f_rule f.f_detail)
+    s.failures;
+  String.split_on_char '\n' (String.trim (Buffer.contents b))

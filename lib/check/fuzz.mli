@@ -1,0 +1,74 @@
+(** Seeded random-DDG fuzzing of the whole scheduling pipeline.
+
+    Each case is fully determined by [(seed, nodes)]: the seed draws a
+    random loop body ({!Workload.Generator.random}), a machine
+    configuration from a fixed pool (paper configs, a unified machine,
+    register-starved and heterogeneous variants, the cross-path
+    [copy_uses_int_slot] machine) and a mode (baseline or replication);
+    [nodes] pins the body size, which is the single dimension the
+    shrinker descends.  The case is scheduled, the final schedule is
+    re-verified by the independent oracle ({!Validate}) and then
+    executed in lockstep ({!Sim.Lockstep}); any bug-class scheduler
+    error, validator issue or simulator rejection is a {e failure}.
+
+    Failures are shrunk by regenerating the case at successively smaller
+    pinned body sizes (the generator is deterministic, so the minimal
+    failing case is reproducible from its [(seed, nodes)] pair alone)
+    and persisted to a JSON-lines corpus file that [repro fuzz
+    --replay] re-runs.  Everything is deterministic: two runs with the
+    same [--iters]/[--seed] produce byte-identical corpora and
+    summaries. *)
+
+type failure = {
+  f_seed : int;    (** case seed — regenerates graph, config and mode *)
+  f_nodes : int;   (** pinned body size (shrunk to minimal) *)
+  f_config : string;  (** {!Machine.Config.name} of the machine *)
+  f_mode : string;    (** ["base"] or ["repl"] *)
+  f_rule : string;
+      (** what tripped: a {!Validate} rule, ["sched-<class>"] for a
+          bug-class scheduler error, or ["sim"] for a lockstep
+          rejection *)
+  f_detail : string;  (** one-line diagnosis *)
+}
+
+type verdict =
+  | Scheduled       (** scheduled, validated and simulated clean *)
+  | Gave_up of string  (** give-up error class (data, not a bug) *)
+  | Failed of failure
+
+type summary = {
+  iters : int;
+  scheduled : int;
+  gave_up : (string * int) list;
+      (** give-up class -> count, sorted by class *)
+  failures : failure list;  (** shrunk, in discovery order *)
+}
+
+val case_of_seed :
+  seed:int -> nodes:int -> Workload.Generator.loop * Machine.Config.t * string
+(** The case a seed denotes: loop body, machine, mode tag. *)
+
+val run_case : seed:int -> nodes:int -> verdict
+(** Generate, schedule, validate, simulate one case. *)
+
+val shrink : failure -> failure
+(** Re-run the case at descending pinned body sizes and return the
+    smallest size that still fails (any rule); the input failure when
+    none smaller does. *)
+
+val run : ?corpus:string -> iters:int -> seed:int -> unit -> summary
+(** [iters] cases from master seed [seed]; failures are shrunk.  With
+    [corpus], the shrunk failures are written there (atomically,
+    overwriting — an empty file means a clean run). *)
+
+val write_corpus : path:string -> failure list -> unit
+val read_corpus : path:string -> (failure list, string) result
+(** JSON-lines: one failure object per line. *)
+
+val replay : corpus:string -> (failure * verdict) list
+(** Re-run every recorded failure at its recorded [(seed, nodes)].
+    @raise Failure when the corpus cannot be read. *)
+
+val summary_lines : summary -> string list
+(** Deterministic rendering (no wall-clock anywhere) — the [repro fuzz]
+    output and the double-run determinism check print exactly this. *)

@@ -1,0 +1,367 @@
+open Workload
+
+type cmd =
+  | Run_loop of { mode : int; loop : int }
+  | Budget_timeout of { mode : int; loop : int }
+  | Run_suite of { jobs : int }
+  | Poison of { loop : int }
+  | Save
+  | Resume
+  | Schedule_direct of { loop : int; regs : int }
+  | Sweep of { loop : int; regs : int list }
+
+let cmd_to_string = function
+  | Run_loop { mode; loop } -> Printf.sprintf "Run_loop(mode=%d,loop=%d)" mode loop
+  | Budget_timeout { mode; loop } ->
+      Printf.sprintf "Budget_timeout(mode=%d,loop=%d)" mode loop
+  | Run_suite { jobs } -> Printf.sprintf "Run_suite(jobs=%d)" jobs
+  | Poison { loop } -> Printf.sprintf "Poison(loop=%d)" loop
+  | Save -> "Save"
+  | Resume -> "Resume"
+  | Schedule_direct { loop; regs } ->
+      Printf.sprintf "Schedule_direct(loop=%d,regs=%d)" loop regs
+  | Sweep { loop; regs } ->
+      Printf.sprintf "Sweep(loop=%d,regs=[%s])" loop
+        (String.concat ";" (List.map string_of_int regs))
+
+(* ------------------------------------------------------------------ *)
+(* The fixed environment: four tomcatv loops on the paper's reference
+   machine, in baseline and replication modes.                         *)
+(* ------------------------------------------------------------------ *)
+
+let n_loops = 4
+let regs_pool = [ 64; 32; 16; 8 ]
+let modes = [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ]
+let mode_of = [| Metrics.Experiment.Baseline; Metrics.Experiment.Replication |]
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: tl -> x :: take (k - 1) tl
+
+let base_config =
+  Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64
+
+let env_loops =
+  lazy
+    (Array.of_list
+       (take n_loops
+          (Workload.Generator.generate (Workload.Benchmark.find "tomcatv"))))
+
+(* ------------------------------------------------------------------ *)
+(* The fake: everything the system has promised so far, as signatures  *)
+(* ------------------------------------------------------------------ *)
+
+type model = {
+  learned : (string * string, string) Hashtbl.t;
+      (* (mode tag, loop id) -> status signature *)
+  sweeps : (int * int, string) Hashtbl.t;
+      (* (loop index, register count) -> outcome signature, shared by
+         direct schedules and sweep replays *)
+  mutable table : string option;   (* IPC table of a clean full run *)
+  mutable last_cp : (string * string * string) list option;
+  mutable saved : (string * string * string) list option;
+}
+
+type env = {
+  sabotage : string;
+  manifest_path : string;
+  mutable last_cp_real : Metrics.Checkpoint.t option;
+  mutable saved_real : Metrics.Checkpoint.t option;
+}
+
+exception Post of string
+
+let post fmt = Printf.ksprintf (fun s -> raise (Post s)) fmt
+
+let sig_of_status = function
+  | Metrics.Checkpoint.Done s ->
+      Printf.sprintf "done ii=%d mii=%d comms=%d cycles=%d useful=%d"
+        s.Metrics.Checkpoint.s_ii s.s_mii s.s_n_comms s.s_cycles s.s_useful
+  | Metrics.Checkpoint.Skipped cls -> "skipped " ^ cls
+  | Metrics.Checkpoint.Quarantined (cls, _) -> "quarantined " ^ cls
+
+let entry_sigs (cp : Metrics.Checkpoint.t) =
+  List.map
+    (fun (e : Metrics.Checkpoint.entry) ->
+      (e.e_mode, e.e_loop, sig_of_status e.e_status))
+    cp.entries
+
+let quarantined s = String.length s >= 11 && String.sub s 0 11 = "quarantined"
+
+let observe m ~tag ~id sg =
+  match Hashtbl.find_opt m.learned (tag, id) with
+  | Some prev when prev <> sg ->
+      post "%s/%s diverged from earlier observation: %S, now %S" tag id prev sg
+  | _ -> Hashtbl.replace m.learned (tag, id) sg
+
+let observe_sweep m ~loop ~regs sg =
+  match Hashtbl.find_opt m.sweeps (loop, regs) with
+  | Some prev when prev <> sg ->
+      post "loop %d at %d registers diverged: %S, now %S" loop regs prev sg
+  | _ -> Hashtbl.replace m.sweeps (loop, regs) sg
+
+let run_sig = function
+  | Ok r ->
+      sig_of_status
+        (Metrics.Checkpoint.Done (Metrics.Checkpoint.summary_of_run r))
+  | Error e when Sched.Sched_error.is_bug e ->
+      post "bug-class error: %s" (Sched.Sched_error.to_string e)
+  | Error e -> "skipped " ^ Sched.Sched_error.class_name e
+
+let sched_sig = function
+  | Ok (o : Sched.Driver.outcome) ->
+      Printf.sprintf "ok ii=%d comms=%d" o.ii o.n_comms
+  | Error e when Sched.Sched_error.is_bug e ->
+      post "bug-class error: %s" (Sched.Sched_error.to_string e)
+  | Error e -> "error " ^ Sched.Sched_error.class_name e
+
+let table_of (o : Metrics.Robust.outcome) =
+  Metrics.Robust.ipc_table base_config
+    ~base:(Metrics.Robust.summaries o ~mode:"base")
+    ~repl:(Metrics.Robust.summaries o ~mode:"repl")
+
+(* ------------------------------------------------------------------ *)
+(* Command execution: real system on the left, fake on the right       *)
+(* ------------------------------------------------------------------ *)
+
+let exec env m cmd =
+  let loops = Lazy.force env_loops in
+  let loop_list = Array.to_list loops in
+  let check_table o =
+    let t = table_of o in
+    match m.table with
+    | Some t0 when t0 <> t -> post "IPC table not byte-identical to earlier run"
+    | _ -> m.table <- Some t
+  in
+  match cmd with
+  | Run_loop { mode; loop } ->
+      let l = loops.(loop) in
+      let sg =
+        run_sig (Metrics.Experiment.run_loop mode_of.(mode) base_config l)
+      in
+      observe m
+        ~tag:(Metrics.Experiment.mode_tag mode_of.(mode))
+        ~id:l.Workload.Generator.id sg
+  | Budget_timeout { mode; loop } ->
+      let l = loops.(loop) in
+      let budget =
+        if env.sabotage = "ignore-budget" then None
+        else Some (Sched.Budget.make ~max_attempts:0 ())
+      in
+      (match Metrics.Experiment.run_loop ?budget mode_of.(mode) base_config l with
+      | Error e when Sched.Sched_error.class_name e = "timeout" -> ()
+      | Ok _ -> post "zero-attempt budget still produced a schedule"
+      | Error e ->
+          post "zero-attempt budget classified %s, not timeout"
+            (Sched.Sched_error.class_name e))
+  | Run_suite { jobs } ->
+      let o = Metrics.Robust.run ~jobs ~modes base_config loop_list in
+      if o.o_reused <> 0 then post "fresh run reused %d entries" o.o_reused;
+      if o.o_computed <> 2 * n_loops then
+        post "fresh run computed %d of %d" o.o_computed (2 * n_loops);
+      if o.o_quarantined <> [] then
+        post "clean run quarantined %d loops" (List.length o.o_quarantined);
+      let entries = entry_sigs o.o_checkpoint in
+      List.iter (fun (tag, id, sg) -> observe m ~tag ~id sg) entries;
+      check_table o;
+      m.last_cp <- Some entries;
+      env.last_cp_real <- Some o.o_checkpoint
+  | Poison { loop } ->
+      let victim = loops.(loop).Workload.Generator.id in
+      let o =
+        Metrics.Robust.run ~poison:[ victim ] ~modes base_config loop_list
+      in
+      if List.length o.o_quarantined <> 2 then
+        post "poisoned %s: %d quarantines, wanted one per mode" victim
+          (List.length o.o_quarantined);
+      let entries = entry_sigs o.o_checkpoint in
+      List.iter
+        (fun (tag, id, sg) ->
+          if id = victim then begin
+            if sg <> "quarantined internal" then
+              post "victim %s/%s has status %S" tag id sg
+          end
+          else observe m ~tag ~id sg)
+        entries;
+      m.last_cp <- Some entries;
+      env.last_cp_real <- Some o.o_checkpoint
+  | Save -> (
+      match (env.last_cp_real, m.last_cp) with
+      | Some cp, Some abs -> (
+          Metrics.Checkpoint.save cp ~path:env.manifest_path;
+          match Metrics.Checkpoint.load ~path:env.manifest_path with
+          | Error msg -> post "manifest reload failed: %s" msg
+          | Ok cp' ->
+              if entry_sigs cp' <> abs then
+                post "disk round-trip changed the manifest";
+              env.saved_real <- Some cp';
+              m.saved <- Some abs)
+      | _ -> post "Save without a manifest (generator bug)")
+  | Resume -> (
+      match (env.saved_real, m.saved) with
+      | Some cp, Some abs ->
+          let healthy =
+            List.length (List.filter (fun (_, _, sg) -> not (quarantined sg)) abs)
+          in
+          let o = Metrics.Robust.run ~resume:cp ~modes base_config loop_list in
+          if o.o_reused <> healthy then
+            post "resume reused %d entries, manifest held %d healthy" o.o_reused
+              healthy;
+          if o.o_computed <> (2 * n_loops) - healthy then
+            post "resume recomputed %d, wanted %d" o.o_computed
+              ((2 * n_loops) - healthy);
+          if o.o_quarantined <> [] then
+            post "resume quarantined %d loops" (List.length o.o_quarantined);
+          let entries = entry_sigs o.o_checkpoint in
+          List.iter (fun (tag, id, sg) -> observe m ~tag ~id sg) entries;
+          check_table o;
+          m.last_cp <- Some entries;
+          env.last_cp_real <- Some o.o_checkpoint
+      | _ -> post "Resume without a saved manifest (generator bug)")
+  | Schedule_direct { loop; regs } ->
+      let config = Machine.Config.with_registers base_config ~registers:regs in
+      let sg =
+        sched_sig
+          (Sched.Driver.schedule_loop config loops.(loop).Workload.Generator.graph)
+      in
+      observe_sweep m ~loop ~regs sg
+  | Sweep { loop; regs } ->
+      let family =
+        List.map
+          (fun r -> Machine.Config.with_registers base_config ~registers:r)
+          regs
+      in
+      let results =
+        Sched.Driver.schedule_sweep family loops.(loop).Workload.Generator.graph
+      in
+      List.iter2
+        (fun r (_, res) -> observe_sweep m ~loop ~regs:r (sched_sig res))
+        regs results
+
+(* ------------------------------------------------------------------ *)
+(* Generation, preconditions, shrinking                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmds rng ~len =
+  let has_cp = ref false and has_saved = ref false in
+  List.init len (fun _ ->
+      let rec pick () =
+        match Rng.int rng 12 with
+        | 0 | 1 | 2 ->
+            Run_loop { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
+        | 3 -> Budget_timeout { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
+        | 4 ->
+            has_cp := true;
+            Run_suite { jobs = 1 + Rng.int rng 2 }
+        | 5 ->
+            has_cp := true;
+            Poison { loop = Rng.int rng n_loops }
+        | 6 when !has_cp ->
+            has_saved := true;
+            Save
+        | 7 when !has_saved -> Resume
+        | 8 | 9 ->
+            Schedule_direct
+              { loop = Rng.int rng n_loops; regs = Rng.pick rng regs_pool }
+        | 10 | 11 ->
+            let k = 2 + Rng.int rng 3 in
+            Sweep
+              {
+                loop = Rng.int rng n_loops;
+                regs = List.filteri (fun i _ -> i < k) regs_pool;
+              }
+        | _ -> pick ()
+      in
+      pick ())
+
+let valid cmds =
+  let has_cp = ref false and has_saved = ref false in
+  let loop_ok l = l >= 0 && l < n_loops in
+  List.for_all
+    (function
+      | Run_loop { mode; loop } | Budget_timeout { mode; loop } ->
+          (mode = 0 || mode = 1) && loop_ok loop
+      | Run_suite { jobs } ->
+          has_cp := true;
+          jobs >= 1
+      | Poison { loop } ->
+          has_cp := true;
+          loop_ok loop
+      | Save ->
+          let ok = !has_cp in
+          if ok then has_saved := true;
+          ok
+      | Resume -> !has_saved
+      | Schedule_direct { loop; regs } -> loop_ok loop && List.mem regs regs_pool
+      | Sweep { loop; regs } ->
+          loop_ok loop && regs <> []
+          && List.for_all (fun r -> List.mem r regs_pool) regs)
+    cmds
+
+type failure = { x_index : int; x_cmd : cmd; x_msg : string }
+
+let run_cmds ?(sabotage = "") cmds =
+  let manifest_path = Filename.temp_file "model" ".json" in
+  let env =
+    { sabotage; manifest_path; last_cp_real = None; saved_real = None }
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove manifest_path with Sys_error _ -> ())
+    (fun () ->
+      let m =
+        {
+          learned = Hashtbl.create 16;
+          sweeps = Hashtbl.create 16;
+          table = None;
+          last_cp = None;
+          saved = None;
+        }
+      in
+      let rec go i = function
+        | [] -> Ok ()
+        | c :: tl -> (
+            match exec env m c with
+            | () -> go (i + 1) tl
+            | exception Post msg -> Error { x_index = i; x_cmd = c; x_msg = msg })
+      in
+      go 0 cmds)
+
+type counterexample = {
+  c_seed : int;
+  c_cmds : cmd list;
+  c_shrunk : cmd list;
+  c_msg : string;
+}
+
+let minimize ~fails cmds =
+  let rec shrink cmds =
+    let n = List.length cmds in
+    let rec try_at i =
+      if i >= n then cmds
+      else
+        let cand = List.filteri (fun j _ -> j <> i) cmds in
+        if valid cand && fails cand then shrink cand else try_at (i + 1)
+    in
+    try_at 0
+  in
+  shrink cmds
+
+let check ?sabotage ~seeds ~len () =
+  let rec go = function
+    | [] -> None
+    | seed :: rest -> (
+        let cmds = gen_cmds (Rng.create seed) ~len in
+        match run_cmds ?sabotage cmds with
+        | Ok () -> go rest
+        | Error f ->
+            let fails c = Result.is_error (run_cmds ?sabotage c) in
+            let shrunk = minimize ~fails cmds in
+            let msg =
+              match run_cmds ?sabotage shrunk with
+              | Error f' -> f'.x_msg
+              | Ok () -> f.x_msg
+            in
+            Some { c_seed = seed; c_cmds = cmds; c_shrunk = shrunk; c_msg = msg })
+  in
+  go seeds

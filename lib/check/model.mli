@@ -1,0 +1,87 @@
+(** Stateful model-based testing of the driver / suite / checkpoint API.
+
+    A random {e command sequence} — schedule one loop, run the
+    fault-isolated suite, poison a loop, save and reload the manifest,
+    resume from it, sweep a register family, inject an exhausted budget
+    — is executed against the real system while a tiny in-memory fake
+    tracks what the system has {e promised}: the status signature every
+    (mode, loop) pair has ever produced, the outcome signature of every
+    (loop, register-count) pair whether it came from a direct schedule
+    or a trace replay, the rendered IPC table of a clean full run, and
+    the abstract contents of the last / saved checkpoint.  After every
+    command the real response is checked against the fake
+    (postconditions: determinism of re-observations, reuse counts on
+    resume, byte-identical tables, quarantine classes, timeout
+    classification, disk round-trips).
+
+    A failing sequence is shrunk to a locally minimal one by greedy
+    command removal, re-validating the sequence's preconditions on the
+    fake before each re-run — the fakes-and-shrinking structure of
+    model-based PBT harnesses.
+
+    [sabotage] hooks let the test suite prove the harness catches real
+    divergences: a named, deliberate lie on the real side (e.g. dropping
+    the budget from the timeout command) must produce a counterexample
+    that shrinks to the one lying command. *)
+
+type cmd =
+  | Run_loop of { mode : int; loop : int }
+      (** schedule + verify + simulate one loop; [mode] indexes
+          [base; repl] *)
+  | Budget_timeout of { mode : int; loop : int }
+      (** same, under a zero-attempt budget: must classify [Timeout] *)
+  | Run_suite of { jobs : int }  (** fault-isolated full suite run *)
+  | Poison of { loop : int }
+      (** suite run with an injected fault: the victim must be
+          quarantined as ["internal"] in every mode, everyone else
+          unaffected *)
+  | Save  (** persist the last manifest to disk and reload it *)
+  | Resume
+      (** suite run resuming from the saved manifest: healthy entries
+          answered from disk, quarantined ones recomputed, table
+          byte-identical to a clean run *)
+  | Schedule_direct of { loop : int; regs : int }
+      (** bare [Driver.schedule_loop] at a register count *)
+  | Sweep of { loop : int; regs : int list }
+      (** [Driver.schedule_sweep] over the register family: each
+          member's outcome must match whatever a direct schedule of the
+          same (loop, regs) observed, before or after *)
+
+val cmd_to_string : cmd -> string
+
+val valid : cmd list -> bool
+(** Precondition check for a whole sequence ([Save] needs a manifest,
+    [Resume] a saved one, indices in range) — generation always
+    produces valid sequences; shrinking re-validates candidates. *)
+
+val gen_cmds : Workload.Rng.t -> len:int -> cmd list
+(** Random valid sequence of [len] commands. *)
+
+type failure = {
+  x_index : int;  (** position of the failing command *)
+  x_cmd : cmd;
+  x_msg : string;  (** which postcondition broke, and how *)
+}
+
+val run_cmds : ?sabotage:string -> cmd list -> (unit, failure) result
+(** Execute a sequence against the real system and the fake.  Each call
+    builds a fresh environment (loops, config, temp manifest file).
+    [sabotage] (for tests of the harness itself): ["ignore-budget"]
+    silently drops the budget from [Budget_timeout] on the real side. *)
+
+type counterexample = {
+  c_seed : int;
+  c_cmds : cmd list;   (** as generated *)
+  c_shrunk : cmd list; (** locally minimal *)
+  c_msg : string;
+}
+
+val minimize : fails:(cmd list -> bool) -> cmd list -> cmd list
+(** Greedy removal to a locally minimal failing sequence; candidates
+    must stay {!valid}. *)
+
+val check :
+  ?sabotage:string -> seeds:int list -> len:int -> unit ->
+  counterexample option
+(** Run one generated sequence per seed; on the first failure, shrink
+    and report.  [None] means every sequence passed. *)

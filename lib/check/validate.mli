@@ -1,0 +1,66 @@
+(** Independent schedule-validity oracle.
+
+    Re-derives every invariant the paper requires of a final schedule
+    from first principles — the {!Machine} tables, the DDG and the raw
+    placement arrays — sharing no occupancy, routing or allocation code
+    with [lib/sched] ({!Sched.Mrt}'s bitset rows, {!Sched.Route}'s
+    builder and {!Sched.Regalloc}/{!Sched.Regpressure} are never
+    called): occupancy is counted in hand-rolled maps, dependence
+    latencies are re-derived from the Table-1 operation classes and the
+    configuration's bus latency rather than trusted from the graph, and
+    live ranges are recomputed from the edges.  An optimisation bug in
+    the scheduling pipeline therefore cannot hide in the checker that
+    shares its assumptions (cf. the fault catalog of {!Sim.Faults}).
+
+    With [~original], the validator additionally re-checks the
+    replication semantics of Section 3 against the {e untransformed}
+    loop body: every replica subgraph must be closed in its cluster
+    (each consumer instance reads every operand from a cluster-local
+    producer instance or a routed bus copy), removed originals must be
+    genuinely dead, and stores must never be replicated. *)
+
+type issue = {
+  rule : string;  (** stable kebab-case rule identifier, see {!rules} *)
+  detail : string;  (** one-line human diagnosis *)
+}
+
+val rules : string list
+(** Every rule the validator can report, in documentation order.
+    Intrinsic rules (always checked): [ii-range], [issue-cycle],
+    [cluster-range], [bus-slot], [phantom-bus], [copy-producer],
+    [cross-edge], [dependence], [fu-capacity], [bus-conflict],
+    [register-pressure].  Rules requiring [~original]: [instance-map],
+    [replica-cluster], [store-instances], [dead-code], [value-supply],
+    [mem-order]. *)
+
+val run :
+  ?original:Ddg.Graph.t ->
+  ?registers:bool ->
+  ?latency0:bool ->
+  Sched.Schedule.t ->
+  (unit, issue list) result
+(** Validate a final schedule.  Total: corrupt placements (negative
+    cycles, out-of-range clusters or buses) are reported as issues,
+    never raised on.
+
+    [original] is the loop body {e before} routing and replication;
+    supplying it enables the replication-semantics rules (instances are
+    related to their originals through the materialisation's label
+    scheme: a replica of ["X"] in cluster 2 is labelled ["X'2"]).  Only
+    pass it for schedules produced by the baseline or replication
+    pipeline on a graph with distinct node labels — spilled graphs add
+    nodes with no original counterpart.
+
+    [registers] (default true) includes the register-pressure rule.
+    [latency0] validates a Section-5.1 upper-bound schedule, where a
+    copy delivers instantly but still occupies its bus; pass
+    [~registers:false] with it — the pipeline does not enforce register
+    pressure on upper-bound schedules (cf. {!Metrics.Experiment}), so
+    the rule can honestly disagree there. *)
+
+val to_strings : issue list -> string list
+(** ["rule: detail"] rendering, for error reports. *)
+
+val distinct_rules : issue list -> string list
+(** The distinct rule names present, sorted — the fault-calibration
+    harness checks each corruption trips its own rule. *)

@@ -64,6 +64,20 @@ let is_give_up = function
       true
   | Checker_violation _ | Timeout _ | Internal _ -> false
 
+(* One representative value per class, in constructor order.  Kept next
+   to the type so adding a class without extending the table is a
+   one-file change the table-driven CLI-contract test then enforces. *)
+let examples =
+  [
+    Infeasible_partition { mii = 4; cap = 2 };
+    Escalation_cap { mii = 4; cap = 68 };
+    Register_pressure { cluster = 1; needed = 20; limit = 16 };
+    Bus_saturation { communications = 3; buses = 0 };
+    Checker_violation [ "node A has no issue cycle"; "bus 0 oversubscribed" ];
+    Timeout { at_ii = 9; attempts = 12; elapsed_s = 1.5 };
+    Internal "Failure(\"boom\")";
+  ]
+
 let () =
   Printexc.register_printer (function
     | E err -> Some (Printf.sprintf "Sched_error.E(%s)" (to_string err))

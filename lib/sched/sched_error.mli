@@ -59,6 +59,12 @@ val is_bug : t -> bool
     state that should be impossible.  Everything else is an honest
     "cannot schedule this loop here" and is data. *)
 
+val examples : t list
+(** One representative value per class, in constructor order — the
+    table the CLI-contract test iterates, so a class added without a
+    stable exit code, name and rendering fails one test instead of
+    slipping through. *)
+
 val is_give_up : t -> bool
 (** The scheduler gave up on the loop for capacity reasons
     ([Infeasible_partition], [Escalation_cap], [Register_pressure],

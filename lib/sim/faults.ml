@@ -16,6 +16,7 @@ type injection = {
   name : string;
   descr : string;
   expect : string;  (* substring Checker.check must name *)
+  v_rule : string;  (* rule Check.Validate must report *)
   apply : Sched.Schedule.t -> Sched.Schedule.t option;
 }
 
@@ -70,6 +71,7 @@ let drop_bus_slot =
     name = "drop-bus-slot";
     descr = "erase the bus assignment of one copy node";
     expect = "bogus bus";
+    v_rule = "bus-slot";
     apply =
       (fun s ->
         match placed_copies s with
@@ -85,6 +87,7 @@ let phantom_bus =
     name = "phantom-bus";
     descr = "give a non-copy instruction a bus slot";
     expect = "carries bus";
+    v_rule = "phantom-bus";
     apply =
       (fun s ->
         match find_node s (fun v -> not (is_copy s v)) with
@@ -100,6 +103,7 @@ let bogus_cluster =
     name = "bogus-cluster";
     descr = "assign a node to a cluster the machine does not have";
     expect = "bogus cluster";
+    v_rule = "cluster-range";
     apply =
       (fun s ->
         if n_nodes s = 0 then None
@@ -116,6 +120,7 @@ let break_dependence =
     name = "break-dependence";
     descr = "issue a producer too late for one of its dependences";
     expect = "violated";
+    v_rule = "dependence";
     apply =
       (fun s ->
         let g = s.Sched.Schedule.route.Sched.Route.graph in
@@ -152,6 +157,7 @@ let oversubscribe_fu =
     name = "oversubscribe-fu";
     descr = "pile more same-kind ops into one modulo slot than the cluster has units";
     expect = "but only";
+    v_rule = "fu-capacity";
     apply =
       (fun s ->
         let config = s.Sched.Schedule.config in
@@ -204,6 +210,7 @@ let double_book_bus =
     name = "double-book-bus";
     descr = "schedule two transfers on the same bus in the same slot";
     expect = "oversubscribed";
+    v_rule = "bus-conflict";
     apply =
       (fun s ->
         if s.Sched.Schedule.config.Machine.Config.buses = 0 then None
@@ -222,6 +229,7 @@ let starve_registers =
     name = "starve-registers";
     descr = "shrink the register file below the schedule's MaxLive";
     expect = "MaxLive";
+    v_rule = "register-pressure";
     apply =
       (fun s ->
         let config = s.Sched.Schedule.config in
@@ -241,6 +249,7 @@ let lose_issue_cycle =
     name = "lose-issue-cycle";
     descr = "forget the issue cycle of a node";
     expect = "no issue cycle";
+    v_rule = "issue-cycle";
     apply =
       (fun s ->
         if n_nodes s = 0 then None

@@ -10,6 +10,12 @@ type injection = {
   name : string;  (** stable kebab-case identifier *)
   descr : string;
   expect : string;  (** substring the checker must name *)
+  v_rule : string;
+      (** rule the {e independent} oracle ([Check.Validate]) must report
+          for this corruption — every catalog entry names a distinct
+          rule, so the calibration harness proves the oracle tells the
+          eight corruptions apart (the [sim] library itself never calls
+          the oracle; this is pure data) *)
   apply : Sched.Schedule.t -> Sched.Schedule.t option;
       (** [None] when the schedule lacks the ingredient to corrupt
           (e.g. no copies to double-book); never mutates its input *)

@@ -192,6 +192,36 @@ let generate p =
   List.init p.Benchmark.n_loops (fun i ->
       generate_loop p (Rng.split rng) i)
 
+(* A profile randomised from the seed, for the fuzzer: the structural
+   knobs sweep a wider envelope than the ten SPECfp95 profiles (more
+   entanglement, denser recurrences, memory-heavy bodies) while reusing
+   exactly the same loop-body construction. *)
+let random ~seed ?nodes () =
+  let rng = Rng.create (seed lxor 0x5deece66d) in
+  let span lo w = (lo + Rng.int rng w, lo + w + Rng.int rng w) in
+  let shape =
+    Rng.pick rng [ Benchmark.Entangled; Benchmark.Separable; Benchmark.Mixed ]
+  in
+  let p =
+    {
+      Benchmark.name = Printf.sprintf "fuzz%d" seed;
+      n_loops = 1;
+      nodes = (match nodes with Some n -> (n, n) | None -> span 6 11);
+      mem_frac = 0.1 +. (0.3 *. Rng.float rng);
+      fp_frac = 0.15 +. (0.4 *. Rng.float rng);
+      shape;
+      strands = span 1 2;
+      addr_sharing = span 1 2;
+      fp_entangle = 0.7 *. Rng.float rng;
+      recurrence_prob = 0.8 *. Rng.float rng;
+      recurrence_len = span 2 2;
+      trip = span 2 40;
+      visits = span 1 12;
+      seed;
+    }
+  in
+  generate_loop p (Rng.split rng) 0
+
 let suite () = List.concat_map generate Benchmark.all
 
 let dynamic_weight l = l.visits * l.trip

@@ -27,6 +27,15 @@ val suite : unit -> loop list
 (** The full 678-loop evaluation suite, every benchmark in
     {!Benchmark.all} order. *)
 
+val random : seed:int -> ?nodes:int -> unit -> loop
+(** One loop drawn from a profile that is itself randomised from
+    [seed] — the fuzzer's case generator.  The structural knobs sweep a
+    wider envelope than the SPECfp95 profiles while reusing the same
+    body construction.  [nodes] pins the body size exactly (the fuzz
+    shrinker descends it); omitted, the profile picks its own range.
+    Deterministic: equal arguments yield equal loops (id
+    ["fuzz<seed>.0"]). *)
+
 val dynamic_weight : loop -> int
 (** [visits * trip]: how many iterations the loop contributes to the
     program's execution (the profiling weight used for IPC). *)

@@ -1,0 +1,210 @@
+(* The independent oracle (Check.Validate) and the fuzzer (Check.Fuzz).
+
+   Calibration: the oracle must accept every schedule the real pipeline
+   emits and reject all eight catalog corruptions (Sim.Faults), each
+   with its own named rule — two checkers built from disjoint code
+   agreeing on both sides of the line. *)
+
+open Alcotest
+
+let failf fmt = Alcotest.failf fmt
+let config4c = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64
+let config2c = Machine.Config.make ~clusters:2 ~buses:2 ~bus_latency:4 ~registers:64
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: tl -> x :: take (k - 1) tl
+
+let loops =
+  lazy (take 6 (Workload.Generator.generate (Workload.Benchmark.find "tomcatv")))
+
+let schedules_of config mode =
+  List.filter_map
+    (fun l ->
+      match Metrics.Experiment.run_loop mode config l with
+      | Ok r -> Some (l, r.Metrics.Experiment.outcome.Sched.Driver.schedule)
+      | Error e when Metrics.Experiment.error_is_bug e ->
+          failf "bug scheduling %s: %s" l.Workload.Generator.id
+            (Sched.Sched_error.to_string e)
+      | Error _ -> None)
+    (Lazy.force loops)
+
+let test_accepts_real_schedules () =
+  let checked = ref 0 in
+  List.iter
+    (fun config ->
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun ((l : Workload.Generator.loop), sched) ->
+              incr checked;
+              match Check.Validate.run ~original:l.graph sched with
+              | Ok () -> ()
+              | Error issues ->
+                  failf "oracle rejected %s (%s): %s" l.id
+                    (Metrics.Experiment.mode_tag mode)
+                    (String.concat "; " (Check.Validate.to_strings issues)))
+            (schedules_of config mode))
+        [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ])
+    [ config4c; config2c ];
+  check bool "validated a real sample" true (!checked >= 12)
+
+let test_accepts_latency0 () =
+  (* registers:false mirrors the pipeline's own contract: the
+     Section-5.1 upper bound schedules against zero-latency arrival, so
+     register pressure is not enforced on it (Experiment passes
+     ~registers:(not latency0) to the checker for the same reason). *)
+  List.iter
+    (fun ((l : Workload.Generator.loop), sched) ->
+      match
+        Check.Validate.run ~latency0:true ~registers:false ~original:l.graph
+          sched
+      with
+      | Ok () -> ()
+      | Error issues ->
+          failf "oracle rejected latency-0 %s: %s" l.id
+            (String.concat "; " (Check.Validate.to_strings issues)))
+    (schedules_of config4c Metrics.Experiment.Replication_latency0)
+
+(* Every catalog corruption must be rejected, and the diagnosis must
+   include the injection's own rule — eight corruptions, eight distinct
+   rules (the catalog declares the mapping in [v_rule]). *)
+let test_fault_calibration () =
+  let seen = Hashtbl.create 8 in
+  let pool =
+    schedules_of config4c Metrics.Experiment.Replication
+    @ schedules_of config4c Metrics.Experiment.Baseline
+  in
+  List.iter
+    (fun (inj : Sim.Faults.injection) ->
+      List.iter
+        (fun ((l : Workload.Generator.loop), sched) ->
+          if not (Hashtbl.mem seen inj.name) then
+            match inj.apply sched with
+            | None -> ()
+            | Some bad -> (
+                match Check.Validate.run bad with
+                | Ok () ->
+                    failf "oracle missed %s on %s" inj.name l.id
+                | Error issues ->
+                    let rules = Check.Validate.distinct_rules issues in
+                    if not (List.mem inj.v_rule rules) then
+                      failf "%s on %s: oracle reported [%s], wanted rule %s"
+                        inj.name l.id (String.concat "; " rules) inj.v_rule;
+                    Hashtbl.replace seen inj.name inj.v_rule))
+        pool)
+    Sim.Faults.catalog;
+  List.iter
+    (fun (inj : Sim.Faults.injection) ->
+      if not (Hashtbl.mem seen inj.name) then
+        failf "corruption %s never applied — no schedule had the ingredient"
+          inj.name)
+    Sim.Faults.catalog;
+  (* the declared rules are pairwise distinct: distinct diagnoses *)
+  let rules = List.map (fun (i : Sim.Faults.injection) -> i.v_rule) Sim.Faults.catalog in
+  check int "eight distinct diagnoses" (List.length rules)
+    (List.length (List.sort_uniq compare rules));
+  (* and every declared rule is one the oracle documents *)
+  List.iter
+    (fun r ->
+      check bool (r ^ " is a documented rule") true
+        (List.mem r Check.Validate.rules))
+    rules
+
+let test_rejects_handmade_corruption () =
+  match schedules_of config4c Metrics.Experiment.Baseline with
+  | [] -> failf "no baseline schedule"
+  | (_, sched) :: _ -> (
+      let bad =
+        {
+          sched with
+          Sched.Schedule.cycles = Array.copy sched.Sched.Schedule.cycles;
+        }
+      in
+      bad.Sched.Schedule.cycles.(0) <- -7;
+      match Check.Validate.run bad with
+      | Ok () -> failf "oracle accepted a node without an issue cycle"
+      | Error issues ->
+          check bool "issue-cycle named" true
+            (List.mem "issue-cycle" (Check.Validate.distinct_rules issues)))
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_deterministic () =
+  let s1 = Check.Fuzz.run ~iters:25 ~seed:7 () in
+  let s2 = Check.Fuzz.run ~iters:25 ~seed:7 () in
+  check (list string) "identical summaries"
+    (Check.Fuzz.summary_lines s1) (Check.Fuzz.summary_lines s2);
+  check int "all cases accounted" 25
+    (s1.scheduled
+    + List.fold_left (fun a (_, n) -> a + n) 0 s1.gave_up
+    + List.length s1.failures)
+
+let test_fuzz_clean_on_real_pipeline () =
+  let s = Check.Fuzz.run ~iters:40 ~seed:3 () in
+  check (list string) "no failures" []
+    (List.map (fun (f : Check.Fuzz.failure) -> f.f_rule) s.failures)
+
+let test_corpus_roundtrip () =
+  let path = Filename.temp_file "corpus" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let failures =
+    [
+      {
+        Check.Fuzz.f_seed = 123;
+        f_nodes = 9;
+        f_config = "4c1b2l64r";
+        f_mode = "repl";
+        f_rule = "bus-conflict";
+        f_detail = "bus 0 slot 1 carries cp_A+cp_B";
+      };
+      {
+        Check.Fuzz.f_seed = 77;
+        f_nodes = 4;
+        f_config = "unified64r";
+        f_mode = "base";
+        f_rule = "sim";
+        f_detail = "operand of \"X\" not ready";
+      };
+    ]
+  in
+  Check.Fuzz.write_corpus ~path failures;
+  match Check.Fuzz.read_corpus ~path with
+  | Error msg -> failf "read back: %s" msg
+  | Ok fs ->
+      check int "two records" 2 (List.length fs);
+      if fs <> failures then failf "corpus round trip changed the records"
+
+let test_case_regeneration_stable () =
+  (* a recorded (seed, nodes) pair regenerates the identical case:
+     the replay workflow depends on it *)
+  List.iter
+    (fun seed ->
+      let l1, c1, m1 = Check.Fuzz.case_of_seed ~seed ~nodes:10 in
+      let l2, c2, m2 = Check.Fuzz.case_of_seed ~seed ~nodes:10 in
+      check string "same config" (Machine.Config.name c1) (Machine.Config.name c2);
+      check string "same mode" m1 m2;
+      check int "same body size"
+        (Ddg.Graph.n_nodes l1.Workload.Generator.graph)
+        (Ddg.Graph.n_nodes l2.Workload.Generator.graph))
+    [ 1; 42; 999999 ]
+
+let suite =
+  [
+    test_case "oracle accepts real schedules (2 configs x 2 modes)" `Quick
+      test_accepts_real_schedules;
+    test_case "oracle accepts latency-0 schedules" `Quick test_accepts_latency0;
+    test_case "oracle rejects all 8 corruptions, distinct rules" `Quick
+      test_fault_calibration;
+    test_case "oracle rejects handmade corruption" `Quick
+      test_rejects_handmade_corruption;
+    test_case "fuzz is deterministic" `Quick test_fuzz_deterministic;
+    test_case "fuzz finds no failures in the real pipeline" `Quick
+      test_fuzz_clean_on_real_pipeline;
+    test_case "corpus write/read round trip" `Quick test_corpus_roundtrip;
+    test_case "case regeneration is stable" `Quick
+      test_case_regeneration_stable;
+  ]

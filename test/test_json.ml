@@ -1,0 +1,110 @@
+(* Round-trip property for the hand-rolled JSON layer: parse (print v)
+   = v over generated values, including escaping-heavy strings and
+   nested arrays/objects.  The generator only emits numbers the printer
+   represents exactly (integral floats below 1e15, binary fractions
+   with few significant digits), matching the layer's actual use —
+   checkpoint manifests and fuzz corpora carry ints and short
+   decimals. *)
+
+open Metrics.Json
+
+let gen_num =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map float_of_int (QCheck.Gen.int_range (-1_000_000) 1_000_000);
+      QCheck.Gen.map float_of_int
+        (QCheck.Gen.int_range (-1_000_000_000_000) 1_000_000_000_000);
+      (* binary fractions with at most 6 significant digits survive %g *)
+      QCheck.Gen.map
+        (fun (a, k) -> float_of_int a /. float_of_int (1 lsl k))
+        (QCheck.Gen.pair (QCheck.Gen.int_range (-999) 999)
+           (QCheck.Gen.int_range 0 3));
+    ]
+
+let gen_string =
+  let nasty =
+    QCheck.Gen.oneofl
+      [ "\""; "\\"; "\n"; "\r"; "\t"; "\x00"; "\x1f"; "a\"b\\c"; "\xc3\xa9" ]
+  in
+  let any_char_string =
+    QCheck.Gen.string_size ~gen:QCheck.Gen.char (QCheck.Gen.int_range 0 12)
+  in
+  QCheck.Gen.oneof
+    [
+      any_char_string;
+      QCheck.Gen.map (String.concat "") (QCheck.Gen.list_size (QCheck.Gen.int_range 0 4) nasty);
+    ]
+
+let rec gen_value depth =
+  let leaf =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.return Null;
+        QCheck.Gen.map (fun b -> Bool b) QCheck.Gen.bool;
+        QCheck.Gen.map (fun f -> Num f) gen_num;
+        QCheck.Gen.map (fun s -> Str s) gen_string;
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    QCheck.Gen.frequency
+      [
+        (3, leaf);
+        ( 1,
+          QCheck.Gen.map
+            (fun xs -> List xs)
+            (QCheck.Gen.list_size (QCheck.Gen.int_range 0 4)
+               (gen_value (depth - 1))) );
+        ( 1,
+          QCheck.Gen.map
+            (fun fields -> Obj fields)
+            (QCheck.Gen.list_size (QCheck.Gen.int_range 0 4)
+               (QCheck.Gen.pair gen_string (gen_value (depth - 1)))) );
+      ]
+
+let value_arb = QCheck.make ~print (gen_value 3)
+
+let roundtrip =
+  QCheck.Test.make ~name:"parse (print v) = v" ~count:1000 value_arb (fun v ->
+      parse (print v) = v)
+
+let roundtrip_twice =
+  QCheck.Test.make ~name:"print is a fixpoint under reparsing" ~count:300
+    value_arb (fun v -> print (parse (print v)) = print v)
+
+open Alcotest
+
+let test_examples () =
+  (* pin the concrete grammar the manifests rely on *)
+  check string "integral without decimal point" "42" (print (Num 42.));
+  check string "negative fraction" "-0.125" (print (Num (-0.125)));
+  check string "escaping" "\"a\\\"b\\\\c\\n\\u0001\"" (print (Str "a\"b\\c\n\x01"));
+  check string "nested arrays compact" "[[1,2],[],[[3]]]"
+    (print (List [ List [ Num 1.; Num 2. ]; List []; List [ List [ Num 3. ] ] ]));
+  check string "object" "{\"k\":null,\"l\":[true,false]}"
+    (print (Obj [ ("k", Null); ("l", List [ Bool true; Bool false ]) ]))
+
+let test_roundtrip_examples () =
+  List.iter
+    (fun v ->
+      if parse (print v) <> v then
+        Alcotest.failf "round trip broke %s" (print v))
+    [
+      Null;
+      Num 0.;
+      Num (-0.);
+      Num 1e12;
+      Str "";
+      Str "\x00\x01\x1f\"\\ \xff";
+      List [];
+      Obj [];
+      Obj [ ("", Null); ("", Bool true) ];
+      List [ Obj [ ("a", List [ Num 0.5; Str "\n" ]) ] ];
+    ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest [ roundtrip; roundtrip_twice ]
+  @ [
+      test_case "printer grammar examples" `Quick test_examples;
+      test_case "round-trip corner cases" `Quick test_roundtrip_examples;
+    ]

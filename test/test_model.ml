@@ -1,0 +1,109 @@
+(* The stateful model-based harness (Check.Model): random command
+   sequences over the driver / suite / checkpoint API run against the
+   real system and the in-memory fake.  Three angles: the real system
+   passes; the shrinker is correct on a pure predicate; and a deliberate
+   lie on the real side (sabotage) is caught and shrunk to the single
+   lying command. *)
+
+open Check.Model
+open Alcotest
+
+let failf fmt = Alcotest.failf fmt
+
+let pp_cmds cmds = String.concat "; " (List.map cmd_to_string cmds)
+
+let test_generated_sequences_valid () =
+  List.iter
+    (fun seed ->
+      let cmds = gen_cmds (Workload.Rng.create seed) ~len:30 in
+      check int "length" 30 (List.length cmds);
+      if not (valid cmds) then failf "invalid generated sequence: %s" (pp_cmds cmds))
+    [ 1; 2; 3; 4; 5 ]
+
+(* first seed whose generated sequence satisfies [p] — generation is
+   pure, so searching is free and pins coverage deterministically *)
+let seed_where ~len p =
+  let rec go s =
+    if s > 2000 then failf "no seed under 2000 generates the wanted shape"
+    else if p (gen_cmds (Workload.Rng.create s) ~len) then s
+    else go (s + 1)
+  in
+  go 0
+
+let test_real_system_passes () =
+  (* force the deep path: a full suite run, a poison, a save/resume and
+     a register sweep must all appear in the sequences we run *)
+  let has p cmds = List.exists p cmds in
+  let covering =
+    seed_where ~len:10 (fun cmds ->
+        has (function Run_suite _ -> true | _ -> false) cmds
+        && has (function Resume -> true | _ -> false) cmds)
+  in
+  let sweeping =
+    seed_where ~len:10 (fun cmds ->
+        has (function Poison _ -> true | _ -> false) cmds
+        && has (function Sweep _ -> true | _ -> false) cmds
+        && has (function Schedule_direct _ -> true | _ -> false) cmds)
+  in
+  match Check.Model.check ~seeds:[ covering; sweeping; 11 ] ~len:10 () with
+  | None -> ()
+  | Some c ->
+      failf "counterexample (seed %d): %s\nshrunk: %s\n%s" c.c_seed
+        (pp_cmds c.c_cmds) (pp_cmds c.c_shrunk) c.c_msg
+
+let test_minimize_pure_predicate () =
+  (* fails iff the sequence contains both a Poison and a Resume; the
+     minimal valid such sequence is Poison; Save; Resume (Save needs a
+     manifest, Resume a saved one) *)
+  let fails cmds =
+    List.exists (function Poison _ -> true | _ -> false) cmds
+    && List.exists (function Resume -> true | _ -> false) cmds
+  in
+  let cmds =
+    [
+      Run_loop { mode = 0; loop = 1 };
+      Run_suite { jobs = 1 };
+      Poison { loop = 2 };
+      Save;
+      Schedule_direct { loop = 0; regs = 32 };
+      Resume;
+      Run_loop { mode = 1; loop = 0 };
+    ]
+  in
+  if not (valid cmds && fails cmds) then failf "bad fixture";
+  let shrunk = minimize ~fails cmds in
+  check int "minimal length" 3 (List.length shrunk);
+  (match shrunk with
+  | [ Poison _; Save; Resume ] -> ()
+  | other -> failf "unexpected minimum: %s" (pp_cmds other));
+  if not (valid shrunk && fails shrunk) then failf "minimum invalid or passing"
+
+let test_sabotage_caught_and_shrunk () =
+  (* find a seed whose sequence includes a Budget_timeout, then lie on
+     the real side: the harness must fail and shrink to that command *)
+  let rec seed_with_timeout s =
+    if s > 500 then failf "no seed generates Budget_timeout?"
+    else
+      let cmds = gen_cmds (Workload.Rng.create s) ~len:8 in
+      if List.exists (function Budget_timeout _ -> true | _ -> false) cmds
+      then s
+      else seed_with_timeout (s + 1)
+  in
+  let seed = seed_with_timeout 0 in
+  match Check.Model.check ~sabotage:"ignore-budget" ~seeds:[ seed ] ~len:8 () with
+  | None -> failf "sabotaged run passed"
+  | Some c -> (
+      match c.c_shrunk with
+      | [ Budget_timeout _ ] -> ()
+      | other -> failf "did not shrink to the lying command: %s" (pp_cmds other))
+
+let suite =
+  [
+    test_case "generated sequences are valid" `Quick
+      test_generated_sequences_valid;
+    test_case "real system satisfies the model" `Slow test_real_system_passes;
+    test_case "minimize reaches the minimal valid sequence" `Quick
+      test_minimize_pure_predicate;
+    test_case "sabotage is caught and shrunk to one command" `Slow
+      test_sabotage_caught_and_shrunk;
+  ]

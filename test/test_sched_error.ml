@@ -1,0 +1,113 @@
+(* Table-driven contract for the failure taxonomy: stable class names,
+   exit codes, the bug/give-up partition, and the one-line rendering —
+   the CLI surface scripts and CI match on.  Sched_error.examples holds
+   one value per class; a class added without a row here fails the
+   arity check instead of slipping through. *)
+
+open Alcotest
+open Sched.Sched_error
+
+let failf fmt = Alcotest.failf fmt
+
+(* class name, exit code, is_bug, is_give_up — one row per class *)
+let table =
+  [
+    ("infeasible-partition", 10, false, true);
+    ("escalation-cap", 11, false, true);
+    ("register-pressure", 12, false, true);
+    ("bus-saturation", 13, false, true);
+    ("checker-violation", 20, true, false);
+    ("timeout", 14, false, false);
+    ("internal", 21, true, false);
+  ]
+
+let row_of e =
+  match List.assoc_opt (class_name e) (List.map (fun (n, c, b, g) -> (n, (c, b, g))) table) with
+  | Some r -> r
+  | None -> failf "class %s has no table row" (class_name e)
+
+let test_examples_cover_every_class () =
+  check int "one example per table row" (List.length table)
+    (List.length examples);
+  let names = List.map class_name examples in
+  check int "no class repeated" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun (name, _, _, _) ->
+      if not (List.mem name names) then failf "no example for class %s" name)
+    table
+
+let test_exit_codes_stable () =
+  List.iter
+    (fun e ->
+      let code, _, _ = row_of e in
+      check int (class_name e ^ " exit code") code (exit_code e))
+    examples;
+  (* codes are process exit codes: distinct, nonzero, below 126 *)
+  let codes = List.map exit_code examples in
+  check int "codes distinct" (List.length codes)
+    (List.length (List.sort_uniq compare codes));
+  List.iter
+    (fun c -> check bool "code in CLI range" true (c > 0 && c < 126))
+    codes
+
+let test_bug_give_up_partition () =
+  List.iter
+    (fun e ->
+      let _, bug, give_up = row_of e in
+      check bool (class_name e ^ " is_bug") bug (is_bug e);
+      check bool (class_name e ^ " is_give_up") give_up (is_give_up e);
+      (* never both: a bug is not skippable data *)
+      check bool
+        (class_name e ^ " not both bug and give-up")
+        false
+        (is_bug e && is_give_up e))
+    examples;
+  (* timeout is the one class that is neither: retryable, not discardable *)
+  let neither =
+    List.filter (fun e -> (not (is_bug e)) && not (is_give_up e)) examples
+  in
+  check (list string) "only timeout is neither" [ "timeout" ]
+    (List.map class_name neither)
+
+let test_one_line_rendering () =
+  List.iter
+    (fun e ->
+      let s = to_string e in
+      check bool (class_name e ^ " rendering nonempty") true (String.length s > 0);
+      String.iter
+        (fun c ->
+          if c = '\n' || c = '\r' then
+            failf "%s: to_string contains a newline: %S" (class_name e) s)
+        s)
+    examples;
+  (* embedded newlines in carried messages are flattened, not emitted *)
+  List.iter
+    (fun e ->
+      let s = to_string e in
+      check bool "flattened payload" false (String.contains s '\n'))
+    [ Internal "a\nb\r\nc"; Checker_violation [ "x\ny"; "z" ] ]
+
+let test_stderr_format () =
+  (* the repro CLI prints: "repro: error class=<tag> <message>" — pin
+     the pieces the format is assembled from *)
+  List.iter
+    (fun e ->
+      let line =
+        Printf.sprintf "repro: error class=%s %s" (class_name e) (to_string e)
+      in
+      check bool "single line" false (String.contains line '\n');
+      check bool "class tag is kebab-case" true
+        (String.for_all
+           (fun c -> (c >= 'a' && c <= 'z') || c = '-')
+           (class_name e)))
+    examples
+
+let suite =
+  [
+    test_case "examples cover every class" `Quick test_examples_cover_every_class;
+    test_case "exit codes are stable and distinct" `Quick test_exit_codes_stable;
+    test_case "bug/give-up partition" `Quick test_bug_give_up_partition;
+    test_case "one-line rendering" `Quick test_one_line_rendering;
+    test_case "stderr line format" `Quick test_stderr_format;
+  ]

@@ -1,7 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all check check-fast test check-faults fuzz-smoke validate-quick \
-  bench bench-smoke bench-diff clean
+  bench bench-smoke bench-scaling bench-diff clean
 
 all:
 	dune build
@@ -36,9 +36,18 @@ fuzz-smoke:
 validate-quick:
 	dune exec bin/repro.exe -- validate --quick
 
-# Full benchmark run (all 678 loops; takes a while).
+# Full benchmark run (all 678 loops; takes a while).  Requests 8 jobs;
+# the harness clamps to the machine's recommended domain count and
+# records both numbers in the payload.
 bench:
-	dune exec bench/main.exe -- --bench-json BENCH_sched.json
+	dune exec bench/main.exe -- --jobs 8 --bench-json BENCH_sched.json
+
+# Domain-pool scaling: the full figure suite once per job count in
+# {1, 2, 4, 8} (each clamped to the machine), a fresh suite per point so
+# nothing is answered from a previous point's cache.  Refreshes only the
+# "scaling" payload of BENCH_sched.json.
+bench-scaling:
+	dune exec bench/main.exe -- --scaling --bench-json BENCH_sched.json
 
 # Quick smoke run on the deterministic small subset; writes the same
 # per-section timing JSON.  Exits non-zero if any section fails.
@@ -47,10 +56,11 @@ bench-smoke:
 
 # Regression gate: re-run the quick benchmark and compare against the
 # committed BENCH_sched.json with bench/diff.exe — every payload
-# ("quick"/"full") present in both files is checked (total wall time
-# within 25%, no section newly failing, hard-loop reuse speedup kept).
-# A quick re-run only refreshes the "quick" payload, so the committed
-# "full" numbers ride along untouched and uncompared.
+# ("quick"/"full"/"scaling") present in both files is checked (total
+# wall time within 25%, no section newly failing, hard-loop reuse
+# speedup kept, scaling's highest-job point within tolerance).  A quick
+# re-run only refreshes the "quick" payload, so the committed "full"
+# and "scaling" numbers ride along untouched and uncompared.
 bench-diff:
 	rm -f /tmp/bench_new.json
 	dune exec bench/main.exe -- --quick --jobs 2 --bench-json /tmp/bench_new.json

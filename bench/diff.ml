@@ -3,17 +3,21 @@
 
    Usage: diff.exe OLD NEW [--tolerance PCT]
 
-   Both files use the bench_sched/v2 schema ({"quick": ..., "full": ...},
-   either payload optional); a bare v1 payload (the pre-v2 format: the
-   payload object at top level) is accepted as a "quick"-only document so
-   the gate keeps working across the schema change.  Every payload
-   present in BOTH files is compared: the total wall time must not
-   exceed the committed one by more than the tolerance (default 25%),
-   and no section that succeeded in the committed run may fail in the
-   new one.  The "full" payload's hard-loop reuse speedup, when present
-   on both sides, must not fall below the committed value by more than
-   the tolerance either — the escalation-reuse machinery is a headline
-   number, so silently losing it is a regression like any other.
+   Both files use the bench_sched/v2 schema ({"quick": ..., "full": ...,
+   "scaling": ...}, every payload optional); a bare v1 payload (the
+   pre-v2 format: the payload object at top level) is accepted as a
+   "quick"-only document so the gate keeps working across the schema
+   change.  Every payload present in BOTH files is compared: the total
+   wall time must not exceed the committed one by more than the
+   tolerance (default 25%), and no section that succeeded in the
+   committed run may fail in the new one.  The "full" payload's
+   hard-loop reuse speedup, when present on both sides, must not fall
+   below the committed value by more than the tolerance either — the
+   escalation-reuse machinery is a headline number, so silently losing
+   it is a regression like any other.  The "scaling" payload (figure
+   suite wall time per job count) is gated on its highest-job point:
+   its seconds must stay within the tolerance of the committed value,
+   and no point may regress from ok to failed.
 
    Exits 0 when every comparable payload passes, 1 on any regression or
    unreadable input.  Payloads present on only one side are reported and
@@ -55,7 +59,50 @@ let section_ok p id =
       && Json.member "ok" s = Json.Bool true)
     (Json.to_list (Json.member "sections" p))
 
+(* The scaling payload has no "sections"/"total_seconds"; it is a list
+   of {jobs, seconds, ok} points.  Gate the highest-job point — the
+   headline "full bench at N jobs" number — and every point's ok bit. *)
+let compare_scaling old_p new_p =
+  let points p = Json.to_list (Json.member "points" p) in
+  let jobs_of pt = Json.(to_num (member "jobs" pt)) in
+  let top p =
+    match points p with
+    | [] -> None
+    | pt :: tl ->
+        Some
+          (List.fold_left
+             (fun best c -> if jobs_of c > jobs_of best then c else best)
+             pt tl)
+  in
+  (match (top old_p, top new_p) with
+  | Some o, Some n ->
+      let oj = jobs_of o and nj = jobs_of n in
+      let os = Json.(to_num (member "seconds" o)) in
+      let ns = Json.(to_num (member "seconds" n)) in
+      Printf.printf
+        "bench-diff: scaling top point committed %.3fs (%.0f jobs), \
+         current %.3fs (%.0f jobs)\n"
+        os oj ns nj;
+      if ns > os *. (1. +. !tolerance) then
+        fail "scaling: %.3fs > %.3fs * %.2f at %.0f jobs" ns os
+          (1. +. !tolerance) nj
+  | _ -> fail "scaling: payload has no points");
+  List.iter
+    (fun o ->
+      if Json.member "ok" o = Json.Bool true then
+        let j = jobs_of o in
+        let regressed =
+          List.exists
+            (fun n -> jobs_of n = j && Json.member "ok" n <> Json.Bool true)
+            (points new_p)
+        in
+        if regressed then
+          fail "scaling: point at %.0f jobs regressed from ok to failed" j)
+    (points old_p)
+
 let compare_payload name old_p new_p =
+  if String.equal name "scaling" then compare_scaling old_p new_p
+  else begin
   let old_total = Json.(to_num (member "total_seconds" old_p)) in
   let new_total = Json.(to_num (member "total_seconds" new_p)) in
   Printf.printf "bench-diff: %s committed %.3fs, current %.3fs\n" name
@@ -77,10 +124,11 @@ let compare_payload name old_p new_p =
         "bench-diff: %s hard-loop reuse speedup committed %.2fx, current \
          %.2fx\n"
         name old_s new_s;
-      if new_s < old_s *. (1. -. !tolerance) then
-        fail "%s: hard-loop speedup %.2fx < %.2fx * %.2f" name new_s old_s
-          (1. -. !tolerance)
-  | _ -> ()
+        if new_s < old_s *. (1. -. !tolerance) then
+          fail "%s: hard-loop speedup %.2fx < %.2fx * %.2f" name new_s old_s
+            (1. -. !tolerance)
+    | _ -> ()
+  end
 
 let () =
   let positional = ref [] in
@@ -117,7 +165,7 @@ let () =
                     "bench-diff: %s present only in %s, skipped\n" name
                     new_path
               | None, None -> ())
-            [ "quick"; "full" ];
+            [ "quick"; "full"; "scaling" ];
           if !compared = 0 then begin
             Printf.printf "bench-diff: FAIL no comparable payload\n";
             exit 1

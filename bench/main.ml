@@ -10,22 +10,48 @@
      dune exec bench/main.exe -- --extensions
      dune exec bench/main.exe -- --micro
      dune exec bench/main.exe -- --profile
+     dune exec bench/main.exe -- --scaling --bench-json BENCH_sched.json
      dune exec bench/main.exe -- --jobs 4 --bench-json BENCH_sched.json
 
    --jobs N runs independent loops on N domains (default: the
-   recommended domain count).  --profile accumulates per-phase wall
-   time inside the scheduler (partition / ordering / placement /
-   regalloc / replication) and reports it, also into the JSON payload.
+   recommended domain count; requests beyond it are clamped, with a
+   warning, and the payload records the effective count).  --profile
+   accumulates per-phase wall time inside the scheduler (partition /
+   ordering / placement / regalloc / replication) and reports it, also
+   into the JSON payload.
+
+   --scaling runs the full figure suite once per requested job count
+   in {1, 2, 4, 8} — a fresh suite each time, so nothing is answered
+   from a previous run's cache — and records the wall time per point.
 
    --bench-json PATH writes the wall times to PATH so successive
    commits can track the perf trajectory; the process exits non-zero
-   if any section failed.  The file holds up to two payloads — "quick"
-   (written by --quick runs) and "full" (written by full figure runs,
-   which also measure the hard-loop escalation subset seq vs reuse vs
-   speculative) — and a run only overwrites its own payload, so quick
-   and full numbers can be refreshed independently. *)
+   if any section failed.  The file holds up to three payloads —
+   "quick" (written by --quick runs), "full" (written by full figure
+   runs, which also measure the hard-loop escalation subset seq vs
+   reuse vs speculative) and "scaling" (written by --scaling runs) —
+   and a run only overwrites its own payload, so the three can be
+   refreshed independently. *)
 
 module Json = Metrics.Json
+
+(* The suite retains every recorded escalation trace, so the major heap
+   grows to hundreds of MB and the default GC settings spend a fifth of
+   the bench marking it; the orchestrating domain also runs all the
+   scheduling work itself whenever the pool clamps to one job, without
+   the minor-heap bump {!Metrics.Pool} gives spawned workers.  Trade
+   memory for time: a 4M-word minor heap cuts promotion of short-lived
+   scheduling structures, and a higher space overhead cuts mark work
+   (space_overhead is a property of the shared major heap, so it covers
+   pool workers too). *)
+let () =
+  let g = Gc.get () in
+  Gc.set
+    {
+      g with
+      Gc.minor_heap_size = max g.Gc.minor_heap_size (4 * 1024 * 1024);
+      space_overhead = max g.Gc.space_overhead 240;
+    }
 
 type timing = { t_id : string; t_seconds : float; t_ok : bool }
 
@@ -66,7 +92,8 @@ let rec pretty ?(indent = 0) (j : Json.t) =
 
 let seconds f = Json.Num (Float.round (f *. 1000.) /. 1000.)
 
-let payload_json ~mode ~jobs ~n_loops ~timings ~total ~profile ~hard =
+let payload_json ~mode ~jobs ~jobs_requested ~n_loops ~timings ~total
+    ~profile ~hard =
   let entry t =
     Json.Obj
       [
@@ -78,7 +105,13 @@ let payload_json ~mode ~jobs ~n_loops ~timings ~total ~profile ~hard =
   Json.Obj
     ([
        ("mode", Json.Str mode);
+       (* the job count the pool actually ran on, not the request *)
        ("jobs", Json.Num (float_of_int jobs));
+     ]
+    @ (if jobs_requested <> jobs then
+         [ ("jobs_requested", Json.Num (float_of_int jobs_requested)) ]
+       else [])
+    @ [
        ("loops", Json.Num (float_of_int n_loops));
        ("total_seconds", seconds total);
        ("sections", Json.List (List.map entry timings));
@@ -92,26 +125,27 @@ let payload_json ~mode ~jobs ~n_loops ~timings ~total ~profile ~hard =
           ])
     @ match hard with None -> [] | Some h -> [ ("hard", h) ])
 
-(* Refresh this run's payload ("quick" or "full"), keeping the other
-   one from an existing file so the two can be regenerated
+(* Refresh this run's payload ("quick", "full" or "scaling"), keeping
+   the others from an existing file so each can be regenerated
    independently. *)
-let write_bench_json path ~quick payload =
+let write_bench_json path ~slot payload =
   let previous =
     if Sys.file_exists path then
       try Some (Json.parse (In_channel.with_open_text path In_channel.input_all))
       with _ -> None
     else None
   in
-  let keep name =
-    match Option.bind previous (Json.member_opt name) with
-    | Some j -> [ (name, j) ]
-    | None -> []
+  let field name =
+    if String.equal name slot then [ (name, payload) ]
+    else
+      match Option.bind previous (Json.member_opt name) with
+      | Some j -> [ (name, j) ]
+      | None -> []
   in
   let doc =
     Json.Obj
-      ([ ("schema", Json.Str "bench_sched/v2") ]
-      @ (if quick then [ ("quick", payload) ] else keep "quick")
-      @ if quick then keep "full" else [ ("full", payload) ])
+      (("schema", Json.Str "bench_sched/v2")
+      :: List.concat_map field [ "quick"; "full"; "scaling" ])
   in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (pretty doc ^ "\n"))
@@ -171,7 +205,7 @@ let run_figures ~quick ~only ~jobs =
         ("sec52_macro", fun () -> Metrics.Figures.sec52 suite);
       ]
   in
-  (timings, List.length loops)
+  (timings, List.length loops, suite)
 
 (* ------------------------------------------------------------------ *)
 (* Hard-loop escalation: sequential walk vs reuse vs speculation       *)
@@ -189,25 +223,44 @@ let run_figures ~quick ~only ~jobs =
      reuse  the default driver (hierarchy + route cache)
      spec   reuse plus a speculative window of 4 on 2 domains
 
-   The subset is deterministic (the classifying pass is the default
-   deterministic driver), so successive commits measure the same
-   loops. *)
+   The subset is deterministic (the classifying pass reproduces the
+   default deterministic driver), so successive commits measure the
+   same loops; it is capped at [hard_cap] loops — in suite order, so
+   still deterministic — to keep the driver comparison a bounded slice
+   of the full-bench wall time.
+
+   Classification is answered from the figure suite's cached baseline
+   sweep at the same configuration (Section 4 already runs it): a
+   loop's final (II, MII) under the shared-hierarchy driver is pinned
+   byte-identical to the plain driver by the property suite, and loops
+   the sweep dropped are exactly those whose escalation gave up.
+   Scheduling 678 loops at a tight register file just to classify them
+   would repeat several seconds of the suite's work. *)
 let hard_config_name = "4c1b2l32r"
 let hard_depth = 16
+let hard_cap = 48
 
-let run_hard ~jobs () =
-  let loops = Workload.Generator.suite () in
+let run_hard ~suite () =
+  let loops = Metrics.Suite.loops suite in
   let config = Option.get (Machine.Config.of_name hard_config_name) in
-  let is_hard (l : Workload.Generator.loop) =
-    match Sched.Driver.schedule_loop config l.graph with
-    | Ok o -> o.Sched.Driver.ii - o.Sched.Driver.mii >= hard_depth
-    | Error _ -> true
+  let is_hard =
+    let outcomes = Hashtbl.create 1024 in
+    List.iter
+      (fun (r : Metrics.Experiment.loop_run) ->
+        Hashtbl.replace outcomes r.Metrics.Experiment.loop.Workload.Generator.id
+          r.Metrics.Experiment.outcome)
+      (Metrics.Suite.runs suite Metrics.Experiment.Baseline config);
+    fun (l : Workload.Generator.loop) ->
+      match Hashtbl.find_opt outcomes l.id with
+      | Some o -> o.Sched.Driver.ii - o.Sched.Driver.mii >= hard_depth
+      | None -> true
   in
-  let hard =
-    List.map fst
-      (List.filter snd
-         (List.combine loops (Metrics.Pool.map ~jobs is_hard loops)))
-  in
+  let all_hard = List.filter is_hard loops in
+  let hard = take hard_cap all_hard in
+  if List.length all_hard > hard_cap then
+    Printf.printf
+      "hard loops: measuring the first %d of %d qualifying loops\n%!"
+      hard_cap (List.length all_hard);
   (* Base and replication modes, sequentially per variant: the timing
      compares drivers, so nothing else may vary.  The reuse variants
      share one hierarchy across a loop's two runs — partitioning cannot
@@ -268,6 +321,54 @@ let run_hard ~jobs () =
       ("spec_seconds", seconds spec);
       ("speedup", Json.Num (Float.round (speedup *. 100.) /. 100.));
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Domain-pool scaling: the figure suite at 1/2/4/8 jobs              *)
+(* ------------------------------------------------------------------ *)
+
+let scaling_points = [ 1; 2; 4; 8 ]
+
+let run_scaling ~quick () =
+  let points =
+    List.map
+      (fun requested ->
+        let jobs = Metrics.Pool.clamp_jobs requested in
+        let t0 = Unix.gettimeofday () in
+        let timings, n_loops, _suite = run_figures ~quick ~only:None ~jobs in
+        let dt = Unix.gettimeofday () -. t0 in
+        let ok = List.for_all (fun t -> t.t_ok) timings in
+        Printf.printf
+          "--- scaling point: %d jobs requested, %d effective: %.1fs%s ---\n\n\
+           %!"
+          requested jobs dt
+          (if ok then "" else " [sections FAILED]");
+        (requested, jobs, dt, ok, n_loops))
+      scaling_points
+  in
+  let n_loops = match points with (_, _, _, _, n) :: _ -> n | [] -> 0 in
+  let ok = List.for_all (fun (_, _, _, ok, _) -> ok) points in
+  let payload =
+    Json.Obj
+      [
+        ("mode", Json.Str (if quick then "scaling-quick" else "scaling"));
+        ("loops", Json.Num (float_of_int n_loops));
+        ( "points",
+          Json.List
+            (List.map
+               (fun (requested, jobs, dt, ok, _) ->
+                 Json.Obj
+                   (("jobs", Json.Num (float_of_int jobs))
+                   :: ((if requested <> jobs then
+                          [
+                            ( "jobs_requested",
+                              Json.Num (float_of_int requested) );
+                          ]
+                        else [])
+                      @ [ ("seconds", seconds dt); ("ok", Json.Bool ok) ])))
+               points) );
+      ]
+  in
+  (payload, ok)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md section 5)                                     *)
@@ -561,7 +662,7 @@ let () =
     find args
   in
   let only = Option.map (String.split_on_char ',') (value_of "--only") in
-  let jobs =
+  let jobs_requested =
     match value_of "--jobs" with
     | None -> Metrics.Pool.default_jobs ()
     | Some v -> (
@@ -571,6 +672,13 @@ let () =
             prerr_endline "bench: --jobs expects a positive integer";
             exit 2)
   in
+  let jobs = Metrics.Pool.clamp_jobs jobs_requested in
+  if jobs <> jobs_requested then
+    Printf.eprintf
+      "bench: --jobs %d clamped to %d (the recommended domain count of \
+       this machine)\n\
+       %!"
+      jobs_requested jobs;
   let bench_json = value_of "--bench-json" in
   let quick = has "--quick" in
   let profiling = has "--profile" in
@@ -587,24 +695,38 @@ let () =
     in
     [ { t_id = id; t_seconds = Unix.gettimeofday () -. t; t_ok = ok } ]
   in
-  let figures = not (has "--micro" || has "--ablate" || has "--extensions") in
-  (* The hard-loop driver comparison rides along with full figure runs
-     (the only mode whose payload the regression gate reads for it).  It
-     runs first, on a pristine heap: the figures suite leaves a large
-     heap behind, and the three timed drivers must not pay varying GC
-     tax for it. *)
-  let hard =
-    if figures && (not quick) && only = None then Some (run_hard ~jobs ())
-    else None
-  in
-  let mode, (timings, n_loops) =
-    if has "--micro" then ("micro", (timed "micro" run_micro, 0))
+  if has "--scaling" then begin
+    let payload, ok = run_scaling ~quick () in
+    Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. t0);
+    (match bench_json with
+    | Some path ->
+        write_bench_json path ~slot:"scaling" payload;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    exit (if ok then 0 else 1)
+  end;
+  let mode, (timings, n_loops, suite) =
+    if has "--micro" then ("micro", (timed "micro" run_micro, 0, None))
     else if has "--ablate" then
-      ("ablate", (timed "ablate" (fun () -> run_ablations ~quick ~jobs), 0))
+      ( "ablate",
+        (timed "ablate" (fun () -> run_ablations ~quick ~jobs), 0, None) )
     else if has "--extensions" then
       ( "extensions",
-        (timed "extensions" (fun () -> run_extensions ~quick ~jobs), 0) )
-    else ("figures", run_figures ~quick ~only ~jobs)
+        (timed "extensions" (fun () -> run_extensions ~quick ~jobs), 0, None)
+      )
+    else
+      let t, n, s = run_figures ~quick ~only ~jobs in
+      ("figures", (t, n, Some s))
+  in
+  (* The hard-loop driver comparison rides along with full figure runs
+     (the only mode whose payload the regression gate reads for it),
+     classifying its subset from the suite the figures just filled.
+     The three timed drivers all run on the same post-figures heap, so
+     the seq/reuse/spec comparison stays internally fair. *)
+  let hard =
+    match suite with
+    | Some s when (not quick) && only = None -> Some (run_hard ~suite:s ())
+    | _ -> None
   in
   let total = Unix.gettimeofday () -. t0 in
   let profile = if profiling then Sched.Profile.snapshot () else [] in
@@ -619,9 +741,10 @@ let () =
   (match bench_json with
   | Some path ->
       let payload =
-        payload_json ~mode ~jobs ~n_loops ~timings ~total ~profile ~hard
+        payload_json ~mode ~jobs ~jobs_requested ~n_loops ~timings ~total
+          ~profile ~hard
       in
-      write_bench_json path ~quick payload;
+      write_bench_json path ~slot:(if quick then "quick" else "full") payload;
       Printf.printf "wrote %s\n" path
   | None -> ());
   if List.exists (fun t -> not t.t_ok) timings then exit 1

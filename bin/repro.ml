@@ -218,7 +218,21 @@ let loop_cmd =
 (* suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* The pool silently clamps to the recommended domain count; surface the
+   clamp here so a `--jobs 8` on a small machine isn't mistaken for an
+   eight-way run (the bench harness warns and records likewise). *)
+let effective_jobs jobs =
+  let e = Metrics.Pool.clamp_jobs jobs in
+  if e <> jobs then
+    Printf.eprintf
+      "repro: --jobs %d clamped to %d (the recommended domain count of \
+       this machine)\n\
+       %!"
+      jobs e;
+  e
+
 let suite_run config quick jobs window strict retry checkpoint poison budget =
+  let jobs = effective_jobs jobs in
   let loops = loops_of ~quick in
   let resume =
     match checkpoint with
@@ -437,6 +451,7 @@ let faults_cmd =
 (* ------------------------------------------------------------------ *)
 
 let validate_run config quick jobs window =
+  let jobs = effective_jobs jobs in
   let loops = loops_of ~quick in
   let issues = ref 0 in
   let checked = ref 0 in

@@ -67,6 +67,34 @@ let find_label t lbl =
 
 let name t = t.graph_name
 
+(* Canonical digest of the scheduling-relevant structure: operation
+   classes per node id and every edge with its latency, distance and
+   kind, in insertion order.  Names and labels are excluded — two loops
+   that differ only in naming schedule identically, and the digest is
+   the sharing key for cross-loop artifacts (partition skeletons,
+   cross-configuration trace stores). *)
+let digest t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (string_of_int (n_nodes t));
+  Array.iter
+    (fun op ->
+      Buffer.add_char b ';';
+      Buffer.add_string b (Machine.Opclass.to_string op))
+    t.ops;
+  List.iter
+    (fun e ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (string_of_int e.src);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int e.dst);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int e.latency);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int e.distance);
+      Buffer.add_char b (match e.kind with Reg -> 'r' | Mem -> 'm'))
+    t.all_edges;
+  Digest.string (Buffer.contents b)
+
 (* Excel-style base-26 label: 0 -> "A", 25 -> "Z", 26 -> "AA". *)
 let default_label i =
   let rec go i acc =

@@ -115,6 +115,15 @@ end
 val name : t -> string
 (** Name given at {!Builder.create} time (for reports); [""] if none. *)
 
+val digest : t -> string
+(** Canonical digest of the scheduling-relevant structure: node count,
+    operation classes per id, and every edge (endpoints, latency,
+    distance, kind) in insertion order.  Names and labels are excluded:
+    two graphs with equal digests schedule identically under every
+    configuration, which makes the digest the sharing key for
+    cross-loop artifacts (partition skeletons, cross-configuration
+    trace stores). *)
+
 (** {1 Export} *)
 
 val to_dot : t -> string

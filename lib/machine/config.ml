@@ -182,3 +182,9 @@ let equal a b =
   && a.total_registers = b.total_registers
   && a.fu_matrix = b.fu_matrix
   && a.copy_uses_int_slot = b.copy_uses_int_slot
+
+let partition_compatible a b =
+  a.clusters = b.clusters && a.buses = b.buses
+  && a.bus_latency = b.bus_latency
+  && a.fu_matrix = b.fu_matrix
+  && a.copy_uses_int_slot = b.copy_uses_int_slot

@@ -123,3 +123,10 @@ val fig1_configs : t list
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
+
+val partition_compatible : t -> t -> bool
+(** Equality on every field the partitioner reads — cluster/unit
+    structure, buses, bus latency, copy slot — i.e. everything but the
+    register file.  Machines that agree here drive identical
+    partitioning and refinement decisions, so a
+    {!Sched.Partition.Hier} view built for one can serve the other. *)

@@ -63,17 +63,17 @@ let spec_exec = function
   | _ -> None
 
 let run_with ?(mode = Baseline) ?(latency0 = false) ?(length_pass = false)
-    ?spiller ?budget ?window ~transform ~stats_ref config
+    ?spiller ?budget ?window ?hier ~transform ~stats_ref config
     (loop : Workload.Generator.loop) =
   let exec = spec_exec window in
   let scheduled =
     match transform with
     | None ->
         Sched.Driver.schedule_loop ~latency0 ?spiller ?budget ?window ?exec
-          config loop.graph
+          ?hier config loop.graph
     | Some t ->
         Sched.Driver.schedule_loop ~latency0 ?spiller ?budget ?window ?exec
-          ~transform:t config loop.graph
+          ?hier ~transform:t config loop.graph
   in
   let scheduled =
     match scheduled with
@@ -95,10 +95,10 @@ let transform_of_mode = function
       let t, r = Replication.Macro.transform () in
       (Some t, r)
 
-let run_loop ?budget ?window mode config loop =
+let run_loop ?budget ?window ?hier mode config loop =
   let transform, stats_ref = transform_of_mode mode in
   run_with ~mode ~latency0:(mode = Replication_latency0)
-    ~length_pass:(mode = Replication_length) ?budget ?window ~transform
+    ~length_pass:(mode = Replication_length) ?budget ?window ?hier ~transform
     ~stats_ref config loop
 
 exception Illegal of string
@@ -229,7 +229,7 @@ type traced = {
 
 let traced_loop tr = tr.tr_loop
 
-let record_trace ?window mode config loop =
+let record_trace ?window ?hier mode config loop =
   (match mode with
   | Baseline | Replication | Macro_replication -> ()
   | Replication_latency0 | Replication_length ->
@@ -239,10 +239,10 @@ let record_trace ?window mode config loop =
   let trace =
     match transform with
     | None ->
-        Sched.Driver.Trace.record ?window ?exec config
+        Sched.Driver.Trace.record ?window ?exec ?hier config
           loop.Workload.Generator.graph
     | Some t ->
-        Sched.Driver.Trace.record ?window ?exec ~transform:t config
+        Sched.Driver.Trace.record ?window ?exec ?hier ~transform:t config
           loop.Workload.Generator.graph
   in
   {
@@ -254,20 +254,40 @@ let record_trace ?window mode config loop =
     tr_stats_ref = stats_ref;
   }
 
-let replay_traced ?spiller tr config =
-  let result, live =
+let replay_traced ?spiller ?hier tr config =
+  let result, basis =
     match tr.tr_transform with
-    | None -> Sched.Driver.Trace.replay ?spiller tr.tr_trace config
-    | Some t -> Sched.Driver.Trace.replay ~transform:t ?spiller tr.tr_trace config
+    | None -> Sched.Driver.Trace.replay ?spiller ?hier tr.tr_trace config
+    | Some t ->
+        Sched.Driver.Trace.replay ~transform:t ?spiller ?hier tr.tr_trace
+          config
   in
-  (* A live fallback re-ran the transform; a pure replay reuses the
-     recording's final attempt, whose stats were captured at record
-     time. *)
-  let stats = if live then !(tr.tr_stats_ref) else tr.tr_stats0 in
+  (* Whenever the replay invoked the member's transform — live fallback,
+     cross-config verification, a promoted fit — the hook's last-run
+     stats describe this member; a pure replay reuses the recording's
+     final attempt, whose stats were captured at record time. *)
+  let stats =
+    match basis with
+    | `Pure -> tr.tr_stats0
+    | `Hook | `Live -> !(tr.tr_stats_ref)
+  in
   match result with
   | Error e -> Error e
   | Ok outcome ->
       finish_run ~mode:tr.tr_mode ~latency0:false ~stats tr.tr_loop outcome
+
+(* [Replication_length] is [Replication] plus a post-hoc, II-preserving
+   schedule-length pass on the successful outcome ({!run_with}'s
+   [length_pass]); its run over a loop is therefore derivable from an
+   existing replication run of the same configuration without touching
+   the scheduler at all. *)
+let lengthen_run (r : loop_run) =
+  if r.mode <> Replication then
+    invalid_arg "Experiment.lengthen_run: not a replication run";
+  let config = r.outcome.Sched.Driver.schedule.Sched.Schedule.config in
+  let o', _ = Replication.Length_opt.improve config r.outcome in
+  finish_run ~mode:Replication_length ~latency0:false ~stats:r.repl_stats
+    r.loop o'
 
 let ipc runs =
   let num, den =

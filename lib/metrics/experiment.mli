@@ -39,6 +39,7 @@ type loop_run = {
 val run_loop :
   ?budget:Sched.Budget.t ->
   ?window:int ->
+  ?hier:Sched.Partition.Hier.t ->
   mode ->
   Machine.Config.t ->
   Workload.Generator.loop ->
@@ -49,7 +50,10 @@ val run_loop :
     not data.  [budget] bounds the escalation, [window] speculates that
     many II levels per escalation step on a domain-backed executor
     ({!Pool.exec} with one domain per in-flight level) — results are
-    identical at any window (see {!Sched.Driver.schedule_loop}). *)
+    identical at any window (see {!Sched.Driver.schedule_loop}).
+    [hier] shares a partition hierarchy as in
+    {!Sched.Driver.schedule_loop} — it must be a view for this very
+    configuration over this loop's graph. *)
 
 val run_with :
   ?mode:mode ->
@@ -58,6 +62,7 @@ val run_with :
   ?spiller:Sched.Driver.spiller ->
   ?budget:Sched.Budget.t ->
   ?window:int ->
+  ?hier:Sched.Partition.Hier.t ->
   transform:Sched.Driver.transform option ->
   stats_ref:Replication.Replicate.stats option ref ->
   Machine.Config.t ->
@@ -164,24 +169,44 @@ type traced
 val traced_loop : traced -> Workload.Generator.loop
 
 val record_trace :
-  ?window:int -> mode -> Machine.Config.t -> Workload.Generator.loop -> traced
-(** Record the escalation trace of a loop at [config] (the most
-    permissive member of the register family).  Only [Baseline],
+  ?window:int ->
+  ?hier:Sched.Partition.Hier.t ->
+  mode ->
+  Machine.Config.t ->
+  Workload.Generator.loop ->
+  traced
+(** Record the escalation trace of a loop at [config] (typically the
+    most permissive member of the register family).  Only [Baseline],
     [Replication] and [Macro_replication] are register-sweepable.
     [window] speculates the recording escalation; the trace is
-    window-invariant ({!Sched.Driver.Trace.record}).
+    window-invariant ({!Sched.Driver.Trace.record}).  [hier] as in
+    {!run_loop}.
     @raise Invalid_argument on the latency-0 and length-pass modes. *)
 
 val replay_traced :
   ?spiller:Sched.Driver.spiller ->
+  ?hier:Sched.Partition.Hier.t ->
   traced ->
   Machine.Config.t ->
   (loop_run, Sched.Sched_error.t) result
 (** Answer one family member from the trace — checker and simulator
     included, exactly as {!run_loop} would have produced (the test suite
-    pins the equality).  With [spiller], replays fall back to live
-    scheduling at the first register overflow (see
-    {!Sched.Driver.Trace.replay}). *)
+    pins the equality).  The member may differ from the recording in
+    registers, buses and bus latency ({!Sched.Driver.Trace.replay});
+    replication statistics follow the replay's basis, so they describe
+    the member's own run either way.  With [spiller], replays fall back
+    to live scheduling at the first register overflow.  [hier] — the
+    member's hierarchy view — seeds cross-config verification and live
+    fallback. *)
+
+val lengthen_run : loop_run -> (loop_run, Sched.Sched_error.t) result
+(** Derive the [Replication_length] run of a loop from its
+    [Replication] run of the same configuration: the length mode is the
+    replication schedule plus the II-preserving {!Replication.Length_opt}
+    post-pass, so no scheduling happens at all — checker and simulator
+    re-run on the lengthened schedule exactly as a direct
+    [run_loop Replication_length] would.
+    @raise Invalid_argument if the run is not a [Replication] one. *)
 
 (** {1 Aggregation} *)
 

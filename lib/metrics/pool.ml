@@ -18,7 +18,30 @@
 
 let chunk_divisor = 8
 
+(* Chunks are additionally capped so an 8-domain run over a few hundred
+   items still re-balances its tail: with heavy-tailed item costs one
+   oversized chunk can serialize the end of the run.  Picked from the
+   bench --profile scaling runs (docs/ALGORITHMS.md). *)
+let max_chunk = 24
+
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let clamp_jobs j = max 1 (min j (default_jobs ()))
+
+(* Every spawned worker runs under this wrapper: a larger minor heap
+   (minor collections are stop-the-world synchronizations across all
+   domains in OCaml 5, so fewer of them is what makes the 2->8 domain
+   curve scale) and a profile flush on the way out, so per-phase timers
+   accumulated on this domain are merged before the join. *)
+let worker_minor_words = 1 lsl 21
+
+let in_worker f =
+  (try
+     let g = Gc.get () in
+     if g.Gc.minor_heap_size < worker_minor_words then
+       Gc.set { g with Gc.minor_heap_size = worker_minor_words }
+   with _ -> ());
+  Fun.protect ~finally:Sched.Profile.flush f
 
 type fault = { index : int; exn : exn; backtrace : string }
 
@@ -40,7 +63,7 @@ let run_all ?jobs f input =
   let n = Array.length input in
   let jobs =
     match jobs with
-    | Some j -> max 1 (min (min j (default_jobs ())) n)
+    | Some j -> max 1 (min (clamp_jobs j) n)
     | None -> min (default_jobs ()) n
   in
   let results :
@@ -63,9 +86,10 @@ let run_all ?jobs f input =
        CPU-bound work and costs real time in minor-GC synchronization,
        so an explicit [jobs] is capped at the recommended domain
        count. *)
-    let chunk = max 1 (n / (jobs * chunk_divisor)) in
+    let chunk = max 1 (min max_chunk (n / (jobs * chunk_divisor))) in
     let next = Atomic.make 0 in
     let worker () =
+      in_worker @@ fun () ->
       let rec go () =
         let start = Atomic.fetch_and_add next chunk in
         if start < n then begin
@@ -145,6 +169,7 @@ let exec ?jobs () =
       in
       let next = Atomic.make 0 in
       let worker () =
+        in_worker @@ fun () ->
         let rec go () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin

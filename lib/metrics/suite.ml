@@ -2,9 +2,33 @@ type t = {
   loops_ : Workload.Generator.loop list;
   cache : (string, Experiment.loop_run list) Hashtbl.t;
   family : (string, Machine.Config.t * Experiment.traced list) Hashtbl.t;
-      (* recording config + one trace per loop; the config remembers how
-         permissive the recording was, so a later request for a bigger
-         register file knows to re-record *)
+      (* one trace set per (mode, register-blind machine family); any
+         recording answers every register member — tighter files by
+         re-judging, roomier ones by promotion.  The set is re-recorded
+         when a member with a *stricter* register file arrives: its
+         escalations run deeper than the recording, so replaying them
+         live once and keeping the longer trace makes every later pass
+         over the family (notably the spill sweep) a dry replay. *)
+  structure : (string, Machine.Config.t * Experiment.traced list) Hashtbl.t;
+      (* the first trace set recorded per (mode, cluster/unit structure):
+         members differing in buses or latency replay it cross-config
+         (per-level verification) instead of scheduling from scratch *)
+  skels : (string, Sched.Partition.Hier.skel) Hashtbl.t;
+      (* partition skeletons per (machine structure, canonical DDG
+         digest) — mode-blind and config-blind, shared by every loop
+         with a structurally identical graph *)
+  views : (string, Sched.Partition.Hier.t) Hashtbl.t;
+      (* hierarchy views per (loop, buses, latency, structure) — the
+         full configuration signature partition refinement reads, which
+         excludes the register file and the mode.  Reusing the view
+         across the passes over a register family (both modes, every
+         member, the spill sweep) hands each pass the previous passes'
+         memoized refinements: the escalation lineage is a pure function
+         of the II, so later walks re-refine nothing on shared levels.
+         A view is keyed to one loop, every pass item holds exactly one
+         loop, and passes are sequential, so a view still reaches at
+         most one pool worker at a time. *)
+  digests : (string, string) Hashtbl.t;  (* loop id -> DDG digest *)
   jobs_ : int;
   window_ : int option;  (* speculative II window for every escalation *)
 }
@@ -17,6 +41,10 @@ let create ?loops ?(jobs = 1) ?window () =
     loops_;
     cache = Hashtbl.create 32;
     family = Hashtbl.create 8;
+    structure = Hashtbl.create 8;
+    skels = Hashtbl.create 64;
+    views = Hashtbl.create 256;
+    digests = Hashtbl.create 64;
     jobs_ = jobs;
     window_ = window;
   }
@@ -27,88 +55,185 @@ let mode_tag = Experiment.mode_tag
 
 let runs_key mode config = mode_tag mode ^ "/" ^ Machine.Config.name config
 
+let units_of (c : Machine.Config.t) =
+  let cluster_units r =
+    String.concat "." (List.map string_of_int (Array.to_list r))
+  in
+  String.concat "+"
+    (Array.to_list (Array.map cluster_units c.Machine.Config.fu_matrix))
+  ^ if c.Machine.Config.copy_uses_int_slot then "+cp" else ""
+
 (* Register-blind identity of a configuration: everything the
    escalation attempts depend on (clusters via the unit matrix, buses,
    latency, copy slot), so machines differing only in register count
    share one trace set. *)
 let family_key mode (c : Machine.Config.t) =
-  let cluster_units r =
-    String.concat "." (List.map string_of_int (Array.to_list r))
-  in
-  Printf.sprintf "%s/%db%dl[%s]%s" (mode_tag mode) c.Machine.Config.buses
-    c.Machine.Config.bus_latency
-    (String.concat "+"
-       (Array.to_list (Array.map cluster_units c.Machine.Config.fu_matrix)))
-    (if c.Machine.Config.copy_uses_int_slot then "+cp" else "")
+  Printf.sprintf "%s/%db%dl[%s]" (mode_tag mode) c.Machine.Config.buses
+    c.Machine.Config.bus_latency (units_of c)
 
-let runs t mode config =
+(* Bus- and register-blind identity: the cluster/unit structure alone,
+   the widest class {!Sched.Driver.Trace.replay} can re-judge across. *)
+let structure_key mode (c : Machine.Config.t) =
+  Printf.sprintf "%s/[%s]" (mode_tag mode) (units_of c)
+
+(* ------------------------------------------------------------------ *)
+(* Shared partition skeletons                                          *)
+(* ------------------------------------------------------------------ *)
+
+let digest_of t (l : Workload.Generator.loop) =
+  match Hashtbl.find_opt t.digests l.id with
+  | Some d -> d
+  | None ->
+      let d = Ddg.Graph.digest l.graph in
+      Hashtbl.replace t.digests l.id d;
+      d
+
+(* A per-(loop, config) hierarchy view over the shared skeleton store.
+   Skeletons are keyed by (machine structure, canonical DDG digest):
+   coarsening reads neither buses, latency, registers nor the mode, so
+   one skeleton serves every configuration of a structure and every
+   loop whose graph is structurally identical.  The store is touched
+   only on the orchestrating domain — callers build the views *before*
+   handing work to the pool; concurrent views over one skeleton are
+   safe (the skeleton is internally locked). *)
+let view_for t config (l : Workload.Generator.loop) =
+  let vkey =
+    Printf.sprintf "%db%dl[%s]#%s" config.Machine.Config.buses
+      config.Machine.Config.bus_latency (units_of config) l.id
+  in
+  match Hashtbl.find_opt t.views vkey with
+  | Some v -> v
+  | None ->
+      let key = "[" ^ units_of config ^ "]#" ^ digest_of t l in
+      let skel =
+        match Hashtbl.find_opt t.skels key with
+        | Some s -> s
+        | None ->
+            let s =
+              Sched.Partition.Hier.skeleton
+                (Sched.Driver.hierarchy config l.graph)
+            in
+            Hashtbl.replace t.skels key s;
+            s
+      in
+      let v = Sched.Partition.Hier.view skel ~graph:l.graph config in
+      Hashtbl.replace t.views vkey v;
+      v
+
+(* ------------------------------------------------------------------ *)
+(* Pooled passes (views pre-built on the calling domain)               *)
+(* ------------------------------------------------------------------ *)
+
+let direct_runs t mode config =
+  let items = List.map (fun l -> (l, view_for t config l)) t.loops_ in
+  Pool.filter_map ~jobs:t.jobs_
+    (fun ((l : Workload.Generator.loop), hier) ->
+      Experiment.keep_or_raise ~id:l.id
+        (Experiment.run_loop ?window:t.window_ ~hier mode config l))
+    items
+
+(* Record one trace per loop at [config] and register the set for both
+   its register family and its structure.  The structure slot keeps the
+   first family that recorded, except that a family superseding its own
+   earlier recording (stricter register member, see {!family_traces})
+   carries the replacement along. *)
+let record_family t mode config =
+  let items = List.map (fun l -> (l, view_for t config l)) t.loops_ in
+  let trs =
+    Pool.map ~jobs:t.jobs_
+      (fun (l, hier) ->
+        Experiment.record_trace ?window:t.window_ ~hier mode config l)
+      items
+  in
+  let fkey = family_key mode config in
+  Hashtbl.replace t.family fkey (config, trs);
+  let skey = structure_key mode config in
+  (match Hashtbl.find_opt t.structure skey with
+  | None -> Hashtbl.replace t.structure skey (config, trs)
+  | Some (sc, _) when String.equal (family_key mode sc) fkey ->
+      Hashtbl.replace t.structure skey (config, trs)
+  | Some _ -> ());
+  trs
+
+let replay_all t ?spiller trs config =
+  let items =
+    List.map
+      (fun tr -> (tr, view_for t config (Experiment.traced_loop tr)))
+      trs
+  in
+  Pool.filter_map ~jobs:t.jobs_
+    (fun (tr, hier) ->
+      Experiment.keep_or_raise
+        ~id:(Experiment.traced_loop tr).Workload.Generator.id
+        (Experiment.replay_traced ?spiller ~hier tr config))
+    items
+
+(* One trace per loop for [at]'s register family, get-or-record.  A
+   recording at [at]'s register count or below answers [at] dry (equal
+   count replays verbatim, a stricter recording promotes).  A recording
+   with *more* registers would leave [at] a live walk past the trace for
+   every register-bound loop — and later passes (the spill sweep) would
+   re-walk those same levels — so the family re-records at the stricter
+   member instead, replacing the set with the longer trace. *)
+let family_traces t mode ~at =
+  match Hashtbl.find_opt t.family (family_key mode at) with
+  | Some (rc, trs)
+    when rc.Machine.Config.total_registers <= at.Machine.Config.total_registers ->
+      trs
+  | Some _ | None -> record_family t mode at
+
+(* ------------------------------------------------------------------ *)
+(* The caching policy                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every sweep of a schedulable mode runs as a recording: a cache miss
+   first tries the member's register family (verbatim replay), then any
+   same-structure recording under different buses/latency (cross-config
+   replay), and only then schedules — recording while it does, so the
+   work is never repeated.  The latency-0 ablation keeps the direct
+   path (its routing flag is outside the trace contract), and the
+   length mode is derived from the replication runs without scheduling
+   at all. *)
+let rec runs t mode config =
   let key = runs_key mode config in
   match Hashtbl.find_opt t.cache key with
   | Some r -> r
   | None ->
       let r =
-        Experiment.run_suite ~jobs:t.jobs_ ?window:t.window_ mode config
-          t.loops_
+        match mode with
+        | Experiment.Replication_latency0 -> direct_runs t mode config
+        | Experiment.Replication_length ->
+            List.filter_map
+              (fun (r : Experiment.loop_run) ->
+                Experiment.keep_or_raise
+                  ~id:r.Experiment.loop.Workload.Generator.id
+                  (Experiment.lengthen_run r))
+              (runs t Experiment.Replication config)
+        | Experiment.Baseline | Experiment.Replication
+        | Experiment.Macro_replication -> (
+            match Hashtbl.find_opt t.family (family_key mode config) with
+            | Some (rc, trs)
+              when rc.Machine.Config.total_registers
+                   <= config.Machine.Config.total_registers ->
+                replay_all t trs config
+            | Some _ ->
+                (* stricter register member than the recording: replay
+                   would walk live past the trace for every
+                   register-bound loop, and the spill sweep would walk
+                   the same levels again — re-record here instead
+                   (see {!family_traces}) *)
+                replay_all t (record_family t mode config) config
+            | None -> (
+                match
+                  Hashtbl.find_opt t.structure (structure_key mode config)
+                with
+                | Some (_, trs) -> replay_all t trs config
+                | None -> replay_all t (record_family t mode config) config))
       in
       Hashtbl.replace t.cache key r;
       r
 
-(* One trace per loop, recorded at [at] on the pool and memoized per
-   (mode, register-blind family).  A later call with [at] no more
-   permissive than the recording reuses the cached traces; a bigger
-   register file forces a fresh, more permissive recording. *)
-let family_traces t mode ~at =
-  let key = family_key mode at in
-  match Hashtbl.find_opt t.family key with
-  | Some (recorded_at, trs)
-    when (at : Machine.Config.t).Machine.Config.total_registers
-         <= recorded_at.Machine.Config.total_registers ->
-      trs
-  | _ ->
-      let trs =
-        Pool.map ~jobs:t.jobs_
-          (Experiment.record_trace ?window:t.window_ mode at)
-          t.loops_
-      in
-      Hashtbl.replace t.family key (at, trs);
-      trs
-
-let replay_all t ?spiller trs config =
-  Pool.filter_map ~jobs:t.jobs_
-    (fun tr ->
-      Experiment.keep_or_raise
-        ~id:(Experiment.traced_loop tr).Workload.Generator.id
-        (Experiment.replay_traced ?spiller tr config))
-    trs
-
-let sweep_runs t mode configs =
-  (match configs with
-  | [] -> ()
-  | c0 :: _ ->
-      let permissive =
-        List.fold_left
-          (fun best (c : Machine.Config.t) ->
-            if
-              c.Machine.Config.total_registers
-              > best.Machine.Config.total_registers
-            then c
-            else best)
-          c0 configs
-      in
-      let uncached =
-        List.filter
-          (fun c -> not (Hashtbl.mem t.cache (runs_key mode c)))
-          configs
-      in
-      if uncached <> [] then begin
-        let trs = family_traces t mode ~at:permissive in
-        List.iter
-          (fun config ->
-            Hashtbl.replace t.cache (runs_key mode config)
-              (replay_all t trs config))
-          uncached
-      end);
-  List.map (fun c -> (c, runs t mode c)) configs
+let sweep_runs t mode configs = List.map (fun c -> (c, runs t mode c)) configs
 
 let spill_runs t mode config =
   replay_all t ~spiller:Sched.Spill.spiller

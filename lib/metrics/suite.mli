@@ -2,38 +2,74 @@
 
     All figures draw on the same (config, mode) sweeps — Figure 7's runs
     also feed Figure 10 and the Section-4 statistics — so the suite caches
-    every sweep it executes.  One [t] is shared by a whole report run. *)
+    every sweep it executes.  One [t] is shared by a whole report run.
+
+    Beyond result memoization the suite shares work {e across}
+    configurations:
+
+    - Every sweep of a schedulable mode runs as a recording
+      ({!Experiment.record_trace}).  A later sweep of any machine in the
+      same register family replays the recorded escalations verbatim
+      ({!Sched.Driver.Trace.replay}, both register directions); a machine
+      sharing only the cluster/unit structure — different buses or bus
+      latency — replays them cross-config with per-level verification.
+      A member with a {e stricter} register file than its family's
+      recording re-records there instead (its walks run deeper than the
+      trace, and replaying them live would be repaid by every later
+      pass), replacing the set with the longer trace.
+    - Partition coarsening hierarchies are shared through config-blind
+      {e skeletons} keyed by machine structure and canonical DDG digest
+      ({!Ddg.Graph.digest}), so a loop's hierarchy — and that of every
+      structurally identical loop — is built once per suite rather than
+      once per (loop, config, mode).  On top of the skeletons, the
+      per-loop hierarchy {e views} (which memoize partition refinements)
+      are themselves cached per (loop, buses, latency, structure) — the
+      partitioner never reads the register file or the mode
+      ({!Machine.Config.partition_compatible}), so every pass over a
+      register family re-refines only levels no earlier pass visited.
+
+    Both reuses are exact: replayed results, traces and error classes are
+    byte-identical to direct sweeps (pinned by the property suite). *)
 
 type t
 
 val create :
   ?loops:Workload.Generator.loop list -> ?jobs:int -> ?window:int -> unit -> t
 (** Defaults to the full 678-loop suite.  [jobs] (default 1) is the
-    number of domains each uncached sweep runs on ({!Pool}); the cache
-    itself is only touched by the calling domain.  [window] speculates
-    that many II levels inside every escalation the suite runs or
-    records ({!Experiment.run_suite}/{!Experiment.record_trace});
+    number of domains each uncached sweep runs on ({!Pool}); the caches
+    and skeleton store are only touched by the calling domain (per-loop
+    hierarchy views are built before work is handed to the pool, and a
+    view reaches at most one worker per pass).  [window] speculates that
+    many II levels inside every escalation the suite runs or records;
     results and figures are identical at any window. *)
 
 val loops : t -> Workload.Generator.loop list
 
 val runs :
   t -> Experiment.mode -> Machine.Config.t -> Experiment.loop_run list
-(** Cached sweep of every loop under the mode and configuration. *)
+(** Cached sweep of every loop under the mode and configuration.
+
+    On a cache miss: [Replication_length] runs are derived from the
+    cached [Replication] runs of the same configuration without touching
+    the scheduler ({!Experiment.lengthen_run});
+    [Replication_latency0] always schedules directly (its routing flag
+    is outside the trace contract); the remaining modes look for a
+    recorded trace set — first the exact register family (re-recording
+    if this member's register file is stricter than the recording's),
+    then any same-structure recording under different buses/latency —
+    and replay it, recording at this configuration only when neither
+    exists. *)
 
 val sweep_runs :
   t ->
   Experiment.mode ->
   Machine.Config.t list ->
   (Machine.Config.t * Experiment.loop_run list) list
-(** Sweep a register family: configurations that differ only in
-    register-file size.  Records one escalation trace per loop at the
-    most permissive member ({!Experiment.record_trace}) and answers every
-    member by replay, so the family costs one scheduling pass instead of
-    one per member.  Traces are cached per (mode, register-blind config),
-    replayed runs land in the same cache {!runs} reads — members already
-    swept directly keep their cached results (replay is pinned equal to a
-    direct run by the test suite).  Result list is in input order. *)
+(** [List.map] of {!runs} over the members, in input order.  A register
+    family therefore costs one scheduling pass per distinct depth — the
+    first uncached member records, roomier members replay dry, and a
+    stricter member re-records once — and a bus/latency sweep over one
+    structure likewise records only its first member. *)
 
 val spill_runs :
   t ->
@@ -41,9 +77,11 @@ val spill_runs :
   Machine.Config.t ->
   Experiment.loop_run list
 (** Like a {!runs} sweep with {!Sched.Spill.spiller} installed, answered
-    from the family's cached traces: replays go live at the first
-    register overflow (the spiller rewrites the graph, invalidating the
-    recorded attempts), so only loops that actually overflow pay for
+    from the family's recorded traces (get-or-record, re-recording for a
+    stricter register file like {!runs}): spill-and-retry rounds run in
+    place on recorded levels whose placement overflows this member
+    ({!Sched.Driver.Trace.replay}), so only loops that actually overflow
+    — and among those only levels where spilling could help — pay for
     rescheduling.  Not stored in the plain-runs cache. *)
 
 val benchmark_runs :

@@ -40,6 +40,44 @@ type placed = {
 
 type attempt_result = Placed of placed | Failed of cause
 
+(* Where exactly in the pipeline an attempt ended, with the bus-pressure
+   observations ({!Place.stats}) that decide whether the very same
+   placement run would have happened on a family member with a different
+   bus count — buses are assigned first-fit, so a run that never saw a
+   full bus table transfers to any machine with at least as many buses,
+   and one whose highest reserved index fits transfers to any with
+   fewer.  [D_regs] additionally keeps the placement the register check
+   rejected: a member with a larger register file than the recording
+   admits exactly that placement, so the replay can promote it to the
+   member's success without rescheduling. *)
+type detail =
+  | D_bus_check  (** failed the communication-capacity check *)
+  | D_infeasible of { copies : int }
+      (** routed graph infeasible at the II (copy-stretched recurrence) *)
+  | D_place of { max_bus : int; sat : bool; copies : int }
+      (** placement failed; [sat] = some probe found every bus busy *)
+  | D_regs of { max_bus : int; sat : bool; copies : int; rejected : placed }
+      (** placed, but MaxLive exceeded the register file *)
+  | D_ok of { max_bus : int; sat : bool; copies : int }  (** success *)
+
+(* Per-attempt recording payload: the detail above plus a digest of the
+   transform hook's output — [None] when the hook was absent or
+   declined — so a replay under a different bus count or latency can
+   re-run the member's transform and check the structures agree before
+   trusting the recorded mechanics. *)
+type info = { i_detail : detail; i_tf : string option }
+
+(* Canonical digest of a transformed (graph, partition) pair. *)
+let tf_digest g assign =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Ddg.Graph.digest g);
+  Array.iter
+    (fun c ->
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int c))
+    assign;
+  Digest.string (Buffer.contents b)
+
 type counters = {
   mutable c_bus : int;
   mutable c_recur : int;
@@ -165,9 +203,12 @@ type reg_sig = {
 (* One full attempt — transform hook, bus check, routing, placement,
    register check (with optional spill-and-retry) — at a fixed II and
    partition.  Also returns the register-failure signature when the
-   attempt died on the register check. *)
+   attempt died on the register check, and — under [digests], the
+   recording mode — the {!info} payload for cross-configuration
+   re-judging.  Recordings never pass a spiller, so the info always
+   describes the attempt's only route-and-place round. *)
 let try_once_sig ?transform ?(latency0 = false) ?spiller ?(reuse = true)
-    ~rcache config g ~ii ~assign =
+    ?(digests = false) ~rcache config g ~ii ~assign =
   let g0', assign0' =
     match transform with
     | None -> (g, assign)
@@ -179,9 +220,22 @@ let try_once_sig ?transform ?(latency0 = false) ?spiller ?(reuse = true)
         | Some (g', a') -> (g', a')
         | None -> (g, assign))
   in
+  let tf =
+    if digests && (g0' != g || assign0' != assign) then
+      Some (tf_digest g0' assign0')
+    else None
+  in
+  let stats = if digests then Some (Place.fresh_stats ()) else None in
+  let info d = if digests then Some { i_detail = d; i_tf = tf } else None in
+  let pstats () =
+    match stats with
+    | Some s -> (s.Place.max_bus, s.Place.bus_full_probes > 0)
+    | None -> (-1, false)
+  in
   let limit = Machine.Config.registers_per_cluster config in
   let rec route_and_place g' assign' spills_left =
-    if Comm.extra config g' ~assign:assign' ~ii > 0 then (Failed Bus, None)
+    if Comm.extra config g' ~assign:assign' ~ii > 0 then
+      (Failed Bus, None, info D_bus_check)
     else begin
       (* Only the graph the attempt started from goes through the route
          cache: consecutive levels retry it with settled partitions, so
@@ -203,11 +257,14 @@ let try_once_sig ?transform ?(latency0 = false) ?spiller ?(reuse = true)
         (* Copies stretched a recurrence beyond the current II: the bus
            latency is to blame (the plain graph is feasible at
            ii >= mii). *)
-        (Failed Bus, None)
+        (Failed Bus, None, info (D_infeasible { copies = Route.n_copies route }))
       else
-        match Place.try_schedule config route ~ii with
+        match Place.try_schedule ?stats config route ~ii with
         | Error f ->
-            (Failed (if f.Place.copy_involved then Bus else Recurrence), None)
+            let max_bus, sat = pstats () in
+            ( Failed (if f.Place.copy_involved then Bus else Recurrence),
+              None,
+              info (D_place { max_bus; sat; copies = Route.n_copies route }) )
         | Ok schedule ->
             (* The latency-0 upper-bound schedule is knowingly wrong
                (Section 5.1); register feasibility is not enforced on
@@ -218,15 +275,18 @@ let try_once_sig ?transform ?(latency0 = false) ?spiller ?(reuse = true)
                 Profile.time Profile.Regalloc (fun () ->
                     Regpressure.max_per_cluster schedule)
             in
+            let placed =
+              {
+                p_schedule = schedule;
+                p_graph = g';
+                p_assign = assign';
+                p_pressure = pressure;
+              }
+            in
+            let max_bus, sat = pstats () in
+            let copies = Route.n_copies route in
             if latency0 || Array.for_all (fun p -> p <= limit) pressure then
-              ( Placed
-                  {
-                    p_schedule = schedule;
-                    p_graph = g';
-                    p_assign = assign';
-                    p_pressure = pressure;
-                  },
-                None )
+              (Placed placed, None, info (D_ok { max_bus; sat; copies }))
             else begin
               let fail () =
                 ( Failed Registers,
@@ -235,10 +295,22 @@ let try_once_sig ?transform ?(latency0 = false) ?spiller ?(reuse = true)
                       rs_pressure = pressure;
                       rs_cycles = schedule.Schedule.cycles;
                       rs_rounds = 4 - spills_left;
-                    } )
+                    },
+                  info (D_regs { max_bus; sat; copies; rejected = placed }) )
+              in
+              (* One spill round splits one live range: it removes at
+                 most one value from a cluster's peak window, so a
+                 summed per-cluster excess beyond the remaining rounds
+                 cannot be spilled down to the limit — skip the rounds
+                 and escalate (saves 4 rewrite-route-place rounds per
+                 level on hopelessly overflowing loops). *)
+              let excess =
+                Array.fold_left
+                  (fun acc p -> acc + max 0 (p - limit))
+                  0 pressure
               in
               match spiller with
-              | Some f when spills_left > 0 -> (
+              | Some f when spills_left > 0 && excess <= spills_left -> (
                   match
                     Profile.time Profile.Regalloc (fun () ->
                         f config schedule ~graph:g' ~assign:assign')
@@ -286,6 +358,11 @@ type level = {
   l_fresh : attempt_result option;
       (* [None] when the lineage attempt succeeded, or when the fresh
          partition was identical to the lineage one (no second try) *)
+  l_fresh_assign : int array option;
+      (* the from-scratch partition the fresh attempt started from;
+         [None] exactly when [l_fresh] is *)
+  l_info : info option;  (* lineage recording payload (recordings only) *)
+  l_fresh_info : info option;
 }
 
 (* The Figure-2 escalation loop from an arbitrary (ii, assign) state.
@@ -307,14 +384,14 @@ type level = {
    the hierarchy and the IIs, independent of attempt outcomes, which is
    what makes the speculation transparent. *)
 let escalate ?transform ?(latency0 = false) ?spiller ?on_level ?budget
-    ?(window = 1) ?(exec = Exec.sequential) ?(reuse = true) config g ~hier ~mii
-    ~cap ~counters ii0 assign0 =
+    ?(window = 1) ?(exec = Exec.sequential) ?(reuse = true) ?(digests = false)
+    config g ~hier ~mii ~cap ~counters ii0 assign0 =
   let observe l = match on_level with Some f -> f l | None -> () in
   let give_up () = Error (Sched_error.Escalation_cap { mii; cap }) in
   let rcache = new_route_cache () in
   let try_once ~ii ~assign =
-    try_once_sig ?transform ~latency0 ?spiller ~reuse ~rcache config g ~ii
-      ~assign
+    try_once_sig ?transform ~latency0 ?spiller ~reuse ~digests ~rcache config g
+      ~ii ~assign
   in
   (* [reuse = false] reproduces the pre-hierarchy walk for A/B
      benchmarking: every fresh partition re-coarsens from scratch at the
@@ -336,13 +413,13 @@ let escalate ?transform ?(latency0 = false) ?spiller ?on_level ?budget
      (speculative windows precompute it — pure, possibly wasted). *)
   let eval ~ii ~assign ~fresh () =
     match try_once ~ii ~assign with
-    | (Placed _ as r), _ -> (r, None, None)
-    | (Failed _ as r), lsig ->
+    | (Placed _ as r), _, inf -> (r, None, inf, None)
+    | (Failed _ as r), lsig, inf ->
         let f : int array = fresh () in
         let fresh_try =
           if f <> assign then Some (f, try_once ~ii ~assign:f) else None
         in
-        (r, lsig, fresh_try)
+        (r, lsig, inf, fresh_try)
   in
   (* After a speculative window, the transform hook's internal state
      (e.g. the replication pass's last-run stats) reflects whichever
@@ -374,23 +451,28 @@ let escalate ?transform ?(latency0 = false) ?spiller ?on_level ?budget
               }))
     else
       match ev () with
-      | (Placed p : attempt_result), _, _ ->
+      | (Placed p : attempt_result), _, inf, _ ->
           observe
             { l_ii = ii; l_assign = assign; l_lineage = Placed p;
-              l_fresh = None };
+              l_fresh = None; l_fresh_assign = None; l_info = inf;
+              l_fresh_info = None };
           `Done (commit ~pre:assign p ii)
-      | Failed cause, lsig, fresh_try -> (
+      | Failed cause, lsig, inf, fresh_try -> (
           observe
             { l_ii = ii; l_assign = assign; l_lineage = Failed cause;
-              l_fresh = Option.map (fun (_, (r, _)) -> r) fresh_try };
+              l_fresh = Option.map (fun (_, (r, _, _)) -> r) fresh_try;
+              l_fresh_assign = Option.map (fun (f, _) -> f) fresh_try;
+              l_info = inf;
+              l_fresh_info =
+                Option.bind fresh_try (fun (_, (_, _, fi)) -> fi) };
           match fresh_try with
-          | Some (f, (Placed p, _)) -> `Done (commit ~pre:f p ii)
-          | Some (_, (Failed _, _)) | None ->
+          | Some (f, (Placed p, _, _)) -> `Done (commit ~pre:f p ii)
+          | Some (_, (Failed _, _, _)) | None ->
               bump counters cause;
               let here =
                 level_sig ~assign ~lsig
                   ~fresh_result:
-                    (Option.map (fun (f, (_, fs)) -> (f, fs)) fresh_try)
+                    (Option.map (fun (f, (_, fs, _)) -> (f, fs)) fresh_try)
               in
               let streak =
                 if here <> None && here = prev_sig then streak + 1 else 0
@@ -484,12 +566,19 @@ let schedule_loop ?transform ?max_ii ?(latency0 = false) ?spiller ?budget
   let cap = match max_ii with Some m -> m | None -> default_cap mii in
   if cap < mii then Error (Sched_error.Infeasible_partition { mii; cap })
   else begin
-    (* A shared hierarchy must be the one {!hierarchy} builds for this
-       very call: partitions are pure in (config, graph, II), so any
-       mismatch would silently change results instead of reusing them. *)
+    (* A shared hierarchy must match what {!hierarchy} would build for
+       this very call: partitions are pure in (config, graph, II), so
+       any mismatch would silently change results instead of reusing
+       them.  The register file is exempt — the partitioner never reads
+       it, so one view serves a whole register family
+       ({!Machine.Config.partition_compatible}). *)
     (match hier with
     | Some h
-      when Partition.Hier.graph h != g || Partition.Hier.base_ii h <> mii ->
+      when Partition.Hier.graph h != g
+           || Partition.Hier.base_ii h <> mii
+           || not
+                (Machine.Config.partition_compatible
+                   (Partition.Hier.config h) config) ->
         invalid_arg "Driver.schedule_loop: hierarchy from another loop"
     | _ -> ());
     let counters = { c_bus = 0; c_recur = 0; c_regs = 0 } in
@@ -519,12 +608,27 @@ module Trace = struct
     t_result : (outcome, Sched_error.t) result;
   }
 
+  type basis = [ `Pure | `Hook | `Live ]
+
   let config t = t.t_config
   let result t = t.t_result
 
-  let record ?transform ?max_ii ?budget ?window ?exec config g =
-    let rec_mii = Ddg.Mii.rec_mii g in
+  let record ?transform ?max_ii ?budget ?window ?exec ?hier config g =
+    let rec_mii =
+      match hier with
+      | Some h -> Partition.Hier.rec_mii h
+      | None -> Ddg.Mii.rec_mii g
+    in
     let mii = max (Ddg.Mii.res_mii config g) rec_mii in
+    (match hier with
+    | Some h
+      when Partition.Hier.graph h != g
+           || Partition.Hier.base_ii h <> mii
+           || not
+                (Machine.Config.partition_compatible
+                   (Partition.Hier.config h) config) ->
+        invalid_arg "Driver.Trace.record: hierarchy from another loop"
+    | _ -> ());
     let cap = match max_ii with Some m -> m | None -> default_cap mii in
     let counters = { c_bus = 0; c_recur = 0; c_regs = 0 } in
     let levels = ref [] in
@@ -532,10 +636,15 @@ module Trace = struct
       if cap < mii then Error (Sched_error.Infeasible_partition { mii; cap })
       else
         guard (fun () ->
-            let hier = Partition.Hier.create ~rec_mii config g ~base_ii:mii in
+            let hier =
+              match hier with
+              | Some h -> h
+              | None -> Partition.Hier.create ~rec_mii config g ~base_ii:mii
+            in
             escalate ?transform
               ~on_level:(fun l -> levels := l :: !levels)
-              ?budget ?window ?exec config g ~hier ~mii ~cap ~counters mii
+              ?budget ?window ?exec ~digests:true config g ~hier ~mii ~cap
+              ~counters mii
               (Partition.Hier.initial hier ~ii:mii))
     in
     {
@@ -548,58 +657,259 @@ module Trace = struct
       t_result = result;
     }
 
-  (* Everything except the register-file size must match: partitioning,
-     routing and placement only look at the structural fields, which is
-     what makes the recorded attempts valid for the whole family. *)
-  let same_family (a : Machine.Config.t) (b : Machine.Config.t) =
+  (* The cluster/unit structure every reuse depends on: partitioning
+     capacity, functional-unit tables and the copy issue rule.  Members
+     sharing it may still differ in buses, bus latency and registers —
+     the dimensions the replay re-judges. *)
+  let same_structure (a : Machine.Config.t) (b : Machine.Config.t) =
     a.Machine.Config.clusters = b.Machine.Config.clusters
-    && a.Machine.Config.buses = b.Machine.Config.buses
-    && a.Machine.Config.bus_latency = b.Machine.Config.bus_latency
     && a.Machine.Config.fu_matrix = b.Machine.Config.fu_matrix
     && a.Machine.Config.copy_uses_int_slot = b.Machine.Config.copy_uses_int_slot
 
-  let replay ?transform ?spiller t config =
-    if not (same_family t.t_config config) then
-      invalid_arg "Driver.Trace.replay: config outside the recorded family";
-    let limit = Machine.Config.registers_per_cluster config in
-    if limit > Machine.Config.registers_per_cluster t.t_config then
-      invalid_arg "Driver.Trace.replay: config more permissive than the trace";
+  (* Everything except the register-file size matches: partitioning,
+     routing and placement only look at these fields, so every recorded
+     attempt is valid verbatim for the whole family. *)
+  let same_family (a : Machine.Config.t) (b : Machine.Config.t) =
+    same_structure a b
+    && a.Machine.Config.buses = b.Machine.Config.buses
+    && a.Machine.Config.bus_latency = b.Machine.Config.bus_latency
+
+  let replay ?transform ?spiller ?hier t config =
+    if not (same_structure t.t_config config) then
+      invalid_arg "Driver.Trace.replay: config outside the recorded structure";
     let g = t.t_graph in
+    (match hier with
+    | Some h
+      when Partition.Hier.graph h != g
+           || Partition.Hier.base_ii h <> t.t_mii
+           || not
+                (Machine.Config.partition_compatible
+                   (Partition.Hier.config h) config) ->
+        invalid_arg "Driver.Trace.replay: hierarchy from another loop"
+    | _ -> ());
+    (* [cross]: the member differs from the recording in buses or bus
+       latency.  Partitions, transforms and routed graphs are then
+       config-dependent, so every recorded level must be re-verified
+       against member-side recomputation before its mechanics are
+       trusted; matching levels reuse the recorded placement via the
+       first-fit bus compatibility test below. *)
+    let cross = not (same_family t.t_config config) in
+    let lat_eq =
+      config.Machine.Config.bus_latency = t.t_config.Machine.Config.bus_latency
+    in
+    let limit = Machine.Config.registers_per_cluster config in
+    let rec_limit = Machine.Config.registers_per_cluster t.t_config in
     let counters = { c_bus = 0; c_recur = 0; c_regs = 0 } in
     let live = ref false in
+    let hook = ref false in
     (* A live continuation must stand exactly where a from-scratch run
        would: its hierarchy is seeded at the trace's MII, so the fresh
        partitions it derives match a direct [schedule_loop]'s.  Creation
-       is cheap (the hierarchy computes itself on first use), so pure
+       is cheap (the skeleton computes itself on first use), so pure
        replays pay nothing. *)
     let hier =
-      Partition.Hier.create ~rec_mii:t.t_rec_mii config g ~base_ii:t.t_mii
+      match hier with
+      | Some h -> h
+      | None ->
+          Partition.Hier.create ~rec_mii:t.t_rec_mii config g ~base_ii:t.t_mii
     in
     let go_live ii assign =
       live := true;
       escalate ?transform ?spiller config g ~hier ~mii:t.t_mii ~cap:t.t_cap
         ~counters ii assign
     in
-    (* Judge a recorded attempt under this register file.  [`Fits]: the
-       recorded schedule is within the limit (it then equals what a live
-       run would have produced, since placement never reads the register
-       count).  [`Fail c]: the attempt fails here too, with the same
-       cause — recorded bus/recurrence failures are register-invariant,
-       and a recorded register failure exceeded the recording limit,
-       hence also any tighter one.  [`Live]: a live run would diverge
-       from the trace — with a spiller, any register overflow rewrites
-       the graph, so the recorded continuation no longer applies. *)
-    let judge = function
-      | Placed p ->
-          if Array.for_all (fun x -> x <= limit) p.p_pressure then `Fits p
-          else if spiller <> None then `Live
-          else `Fail Registers
-      | Failed Registers when spiller <> None -> `Live
-      | Failed c -> `Fail c
-    in
     let refit p =
       { p with p_schedule = { p.p_schedule with Schedule.config } }
     in
+    (* Restore the transform hook's internal state (e.g. the replication
+       pass's last-run stats) to what a direct member run's final
+       invocation would have left: the member finishes at this level
+       from [pre], while the recording's own final invocation happened
+       at a later level. *)
+    let rehook ~pre ~ii =
+      match transform with
+      | Some f ->
+          ignore
+            (Profile.time Profile.Replication (fun () ->
+                 f config g ~assign:pre ~ii));
+          hook := true
+      | None -> ()
+    in
+    (* Judge a recorded attempt under this register file.  [`Fit]: the
+       member run produces exactly this placement — either the recorded
+       schedule is within the limit, or (promotion, [promoted = true])
+       the recording rejected it only because its own file was smaller
+       and the member's admits it.  [`Fail c]: the attempt fails here
+       too, with the same cause — recorded bus/recurrence failures are
+       register-invariant, and a rejected placement's pressure exceeds
+       the member limit too.  [`Spill p]: the member overflows on
+       placement [p] and a spiller is installed — the member's
+       spill-and-retry rounds run live from [p] ([spill_rounds] below;
+       same-family members only, where [p] is exactly the placement a
+       direct member run reaches).  [`Live]: a live run would
+       diverge. *)
+    let judge_regs result inf =
+      match result with
+      | Placed p ->
+          if Array.for_all (fun x -> x <= limit) p.p_pressure then
+            `Fit (p, false)
+          else if spiller = None then `Fail Registers
+          else if cross then `Live
+          else `Spill p
+      | Failed Registers -> (
+          match inf with
+          | Some { i_detail = D_regs { rejected; _ }; _ }
+            when Array.for_all (fun x -> x <= limit) rejected.p_pressure ->
+              `Fit (rejected, true)
+          | Some { i_detail = D_regs { rejected; _ }; _ } ->
+              if spiller = None then `Fail Registers
+              else if cross then `Live
+              else `Spill rejected
+          | _ ->
+              (* No recorded rejection (pre-digest trace): sound only
+                 for register files no larger than the recording's, and
+                 there is no placement to spill from. *)
+              if limit > rec_limit then `Live
+              else if spiller <> None then `Live
+              else `Fail Registers)
+      | Failed c -> `Fail c
+    in
+    (* The member's spill-and-retry rounds, live, from a recorded
+       placement its file rejects — exactly [try_once_sig]'s rounds: the
+       spiller rewrites, the rewrite is bus-checked, routed (uncached,
+       as in a direct run's spill rounds) and re-placed at the same II,
+       at most 4 rounds.  A fitting round ends the member's walk at this
+       II.  Exhaustion — or a declining spiller — fails the attempt with
+       the final round's cause; spill rewrites never survive an attempt,
+       so the recorded continuation applies again afterwards. *)
+    let spilled = ref false in
+    let spill_rounds ~ii p0 =
+      let f = Option.get spiller in
+      (* same hopelessness gate as [try_once_sig]: a round removes at
+         most one value from a cluster's peak *)
+      let excess (p : placed) =
+        Array.fold_left (fun acc x -> acc + max 0 (x - limit)) 0 p.p_pressure
+      in
+      let rec go (p : placed) spills_left =
+        if spills_left <= 0 || excess p > spills_left then `Fail Registers
+        else begin
+          spilled := true;
+          match
+            Profile.time Profile.Regalloc (fun () ->
+                f config p.p_schedule ~graph:p.p_graph ~assign:p.p_assign)
+          with
+          | None -> `Fail Registers
+          | Some (g'', a'') ->
+              if Comm.extra config g'' ~assign:a'' ~ii > 0 then `Fail Bus
+              else
+                let route = Route.build ~latency0:false config g'' ~assign:a'' in
+                if not (Ddg.Mii.feasible_ii route.Route.graph ii) then
+                  `Fail Bus
+                else (
+                  match Place.try_schedule config route ~ii with
+                  | Error pf ->
+                      `Fail
+                        (if pf.Place.copy_involved then Bus else Recurrence)
+                  | Ok schedule ->
+                      let pressure =
+                        Profile.time Profile.Regalloc (fun () ->
+                            Regpressure.max_per_cluster schedule)
+                      in
+                      let p' =
+                        {
+                          p_schedule = schedule;
+                          p_graph = g'';
+                          p_assign = a'';
+                          p_pressure = pressure;
+                        }
+                      in
+                      if Array.for_all (fun x -> x <= limit) pressure then
+                        `Placed p'
+                      else go p' (spills_left - 1))
+        end
+      in
+      go p0 4
+    in
+    (* Would the recorded placement run have made the identical
+       cycle-for-cycle, bus-for-bus decisions on the member?  Buses are
+       assigned first-fit over identical routed graphs ([lat_eq]), so:
+       with no copies the buses are never consulted; with more buses the
+       run transfers unless some probe saw a full table (extra buses
+       would then have answered it); with fewer, unless it reserved an
+       index the member lacks. *)
+    let bus_compatible ~max_bus ~sat ~copies =
+      copies = 0
+      || (lat_eq
+          &&
+          if config.Machine.Config.buses >= t.t_config.Machine.Config.buses
+          then not sat
+          else max_bus < config.Machine.Config.buses)
+    in
+    (* Cross-config judging of a recorded attempt whose member-side
+       structures (partition, transform output) were verified equal and
+       whose member-side bus check passed. *)
+    let judge_cross result inf =
+      match inf with
+      | None -> `Live  (* pre-digest trace: nothing to re-judge with *)
+      | Some { i_detail; _ } -> (
+          match (i_detail, result) with
+          | D_bus_check, _ ->
+              (* The recording died on its own bus check; the member's
+                 passed — nothing further was recorded. *)
+              `Live
+          | D_infeasible { copies }, _ ->
+              (* Feasibility of the routed graph never reads the bus
+                 count; with copies the copy-edge latencies must
+                 match. *)
+              if copies = 0 || lat_eq then `Fail Bus else `Live
+          | D_place { max_bus; sat; copies }, Failed c ->
+              if bus_compatible ~max_bus ~sat ~copies then `Fail c else `Live
+          | ( (D_regs { max_bus; sat; copies; _ } | D_ok { max_bus; sat; copies }),
+              _ ) ->
+              if bus_compatible ~max_bus ~sat ~copies then
+                judge_regs result inf
+              else `Live
+          | D_place _, Placed _ -> `Live (* impossible; defensive *))
+    in
+    let judge result inf =
+      if cross then judge_cross result inf else judge_regs result inf
+    in
+    (* Judge, then settle any [`Spill] live: a fitting spill round is a
+       success at this II that the recording (spiller-less) walked past —
+       finished like a promoted fit, re-invoking the member transform
+       there; an exhausted sequence is this attempt's failure, with the
+       final round's cause. *)
+    let resolve ~ii result inf =
+      match judge result inf with
+      | `Spill p -> (
+          match spill_rounds ~ii p with
+          | `Placed p' -> `Fit (p', true)
+          | `Fail c -> `Fail c)
+      | (`Fit _ | `Fail _ | `Live) as r -> r
+    in
+    let finish_fit ~pre ~promoted ii p =
+      (* A promoted fit ends the member's walk at an attempt the
+         recording walked past: re-run the member's transform there so
+         hook state matches a direct run.  Cross replays already ran the
+         member transform for this very attempt during verification. *)
+      if promoted && not cross then rehook ~pre ~ii;
+      finish ~mii:t.t_mii ~counters (refit p) ii
+    in
+    (* The member's transform output at (assign, ii), with its digest in
+       the recorded format — [None] when the hook is absent or
+       declined. *)
+    let member_tf ~ii assign =
+      match transform with
+      | None -> (g, assign, None)
+      | Some f -> (
+          hook := true;
+          match
+            Profile.time Profile.Replication (fun () -> f config g ~assign ~ii)
+          with
+          | Some (g', a') -> (g', a', Some (tf_digest g' a'))
+          | None -> (g, assign, None))
+    in
+    (* ---------- same-family walk: recorded attempts apply verbatim ---------- *)
     let rec walk = function
       | [] ->
           (* No level was ever attempted: the cap sat below the MII. *)
@@ -610,25 +920,41 @@ module Trace = struct
             bump counters cause;
             match rest with
             | _ :: _ -> walk rest
-            | [] ->
-                (* Trace dry: the recording stopped at this II (either it
-                   succeeded where we could not fit, or it hit the cap).
-                   Resume the live loop exactly where a from-scratch run
-                   would stand: next II, refined lineage partition. *)
-                let ii = level.l_ii + 1 in
-                go_live ii
-                  (Partition.refine ~rec_mii:t.t_rec_mii config g ~ii
-                     level.l_assign)
+            | [] -> (
+                (* Trace dry: the recording stopped at this II.  If it
+                   concluded the walk-to-cap failure, so does every
+                   family member: attempts are mechanically identical
+                   across register counts, every rejected placement was
+                   already judged against this member's limit, and the
+                   stationarity signatures that cut the recording cut
+                   the member at the same level — unless spill rounds
+                   ran, whose rewrites could rescue levels beyond the
+                   trace.  Otherwise resume the live loop exactly where
+                   a from-scratch run would stand: next II, refined
+                   lineage partition. *)
+                match t.t_result with
+                | Error (Sched_error.Escalation_cap _ as e) when not !spilled
+                  ->
+                    Error e
+                | _ ->
+                    let ii = level.l_ii + 1 in
+                    go_live ii (Partition.Hier.refine hier ~ii level.l_assign))
           in
-          match judge level.l_lineage with
-          | `Fits p -> finish ~mii:t.t_mii ~counters (refit p) level.l_ii
+          match resolve ~ii:level.l_ii level.l_lineage level.l_info with
+          | `Fit (p, promoted) ->
+              finish_fit ~pre:level.l_assign ~promoted level.l_ii p
           | `Live -> go_live level.l_ii level.l_assign
           | `Fail cause -> (
               match level.l_fresh with
               | Some fr -> (
-                  match judge fr with
-                  | `Fits p ->
-                      finish ~mii:t.t_mii ~counters (refit p) level.l_ii
+                  match resolve ~ii:level.l_ii fr level.l_fresh_info with
+                  | `Fit (p, promoted) ->
+                      let pre =
+                        match level.l_fresh_assign with
+                        | Some fa -> fa
+                        | None -> level.l_assign
+                      in
+                      finish_fit ~pre ~promoted level.l_ii p
                   | `Live -> go_live level.l_ii level.l_assign
                   | `Fail _ -> continue_failed cause)
               | None ->
@@ -642,10 +968,92 @@ module Trace = struct
                   | Placed _ -> go_live level.l_ii level.l_assign
                   | Failed _ -> continue_failed cause)))
     in
+    (* ---------- cross walk: verify each level member-side, then judge ---------- *)
+    (* [member_assign] is the member's own lineage partition at this
+       level, derived through the member's hierarchy — the chain is a
+       pure function of the II, independent of attempt outcomes, so it
+       can be walked alongside the recorded one and compared. *)
+    let rec walk_cross member_assign = function
+      | [] ->
+          Error
+            (Sched_error.Infeasible_partition { mii = t.t_mii; cap = t.t_cap })
+      | level :: rest -> (
+          let ii = level.l_ii in
+          if member_assign <> level.l_assign then go_live ii member_assign
+          else
+            let next_level cause =
+              bump counters cause;
+              let nii = ii + 1 in
+              let next_assign = Partition.Hier.refine hier ~ii:nii member_assign in
+              match rest with
+              | _ :: _ -> walk_cross next_assign rest
+              | [] ->
+                  (* Dry: the recording's conclusion does not transfer
+                     across bus/latency members (future partitions may
+                     diverge); continue live. *)
+                  go_live nii next_assign
+            in
+            let g', a', dig = member_tf ~ii member_assign in
+            match level.l_info with
+            | None -> go_live ii member_assign
+            | Some inf when inf.i_tf <> dig -> go_live ii member_assign
+            | Some inf -> (
+                (* Structures verified: the member's bus check is
+                   computed exactly; past it, the recorded mechanics are
+                   re-judged for the member's buses and registers. *)
+                let lineage_j =
+                  if Comm.extra config g' ~assign:a' ~ii > 0 then `Fail Bus
+                  else resolve ~ii level.l_lineage (Some inf)
+                in
+                match lineage_j with
+                | `Fit (p, _) -> finish_fit ~pre:member_assign ~promoted:false ii p
+                | `Live -> go_live ii member_assign
+                | `Fail cause -> (
+                    let member_fresh = Partition.Hier.initial hier ~ii in
+                    if member_fresh = member_assign then next_level cause
+                    else
+                      match
+                        (level.l_fresh, level.l_fresh_assign, level.l_fresh_info)
+                      with
+                      | Some fr, Some fa, Some finf when fa = member_fresh -> (
+                          let gf, af, digf = member_tf ~ii member_fresh in
+                          if finf.i_tf <> digf then go_live ii member_assign
+                          else
+                            let fresh_j =
+                              if Comm.extra config gf ~assign:af ~ii > 0 then
+                                `Fail Bus
+                              else resolve ~ii fr (Some finf)
+                            in
+                            match fresh_j with
+                            | `Fit (p, _) ->
+                                finish_fit ~pre:member_fresh ~promoted:false ii
+                                  p
+                            | `Fail _ -> next_level cause
+                            | `Live -> go_live ii member_assign)
+                      | _ ->
+                          (* The member tries a fresh partition the
+                             recording lacks (or recorded a different
+                             one): unrecorded territory. *)
+                          go_live ii member_assign)))
+    in
     (* Same fault isolation as a direct run: replays must stay
        observably equal to [schedule_loop], failures included. *)
-    let result = guard (fun () -> walk t.t_levels) in
-    (result, !live)
+    let result =
+      guard (fun () ->
+          if not cross then walk t.t_levels
+          else
+            match t.t_levels with
+            | [] ->
+                Error
+                  (Sched_error.Infeasible_partition
+                     { mii = t.t_mii; cap = t.t_cap })
+            | { l_ii; _ } :: _ ->
+                walk_cross (Partition.Hier.initial hier ~ii:l_ii) t.t_levels)
+    in
+    let basis : basis =
+      if !live then `Live else if !hook then `Hook else `Pure
+    in
+    (result, basis)
 end
 
 let schedule_sweep ?transform ?max_ii ?budget ?spiller_for ?window ?exec

@@ -126,14 +126,41 @@ val schedule_loop :
     and latencies alone.  Sweeping register configurations (the Section-4
     sensitivity experiment) therefore repeats identical escalation work
     per register count.  A {!Trace} records every attempt of one
-    escalation run at the family's most permissive register count; any
-    machine with the same structure and at most that many registers can
-    then be answered by re-judging the recorded attempts against its
-    register file, falling back to live escalation — resumed mid-trace,
-    not from MII — only where a live run would genuinely diverge. *)
+    escalation run; any machine with the same cluster/unit structure can
+    then be answered by re-judging the recorded attempts, falling back
+    to live escalation — resumed mid-trace, not from MII — only where a
+    live run would genuinely diverge.
+
+    Register-family members (same buses and latency) reuse recorded
+    attempts verbatim, in both directions: a tighter file re-judges each
+    placement's MaxLive, a roomier one additionally {e promotes} a
+    recorded register rejection whose pressure it admits into the
+    success a direct run would have found (every rejected placement is
+    recorded for this).  Members differing in bus count or bus latency
+    are answered by per-level verification: the member's own lineage
+    partitions and transform outputs are recomputed and compared (by
+    canonical digest) against the recorded ones, its communication
+    check is evaluated exactly, and a matching level transfers the
+    recorded placement run whenever first-fit bus assignment provably
+    makes the identical decisions on the member's buses (no probe ever
+    saw a full bus table when the member has more; the highest reserved
+    index fits when it has fewer; always when the attempt routed no
+    copies). *)
 
 module Trace : sig
   type t
+
+  type basis = [ `Pure | `Hook | `Live ]
+  (** How a replay derived its answer, and whom the [transform] hook's
+      internal state (e.g. the replication pass's last-run statistics)
+      describes afterwards:
+      - [`Pure] — recorded attempts alone; the hook was never invoked,
+        its state still describes the {e recording} run.
+      - [`Hook] — recorded attempts, but the member's transform was
+        (re-)invoked along the way — cross-config verification, or a
+        promoted fit — so the hook state now describes the {e member}'s
+        direct run.
+      - [`Live] — live fallback ran; hook state likewise the member's. *)
 
   val record :
     ?transform:transform ->
@@ -141,16 +168,23 @@ module Trace : sig
     ?budget:Budget.t ->
     ?window:int ->
     ?exec:Exec.t ->
+    ?hier:Partition.Hier.t ->
     Machine.Config.t ->
     Ddg.Graph.t ->
     t
-  (** Run the escalation loop at [config] — the most permissive member
-      of the register family — recording every attempt: the II, the
-      partition it started from, and the outcome (a placed schedule with
-      its MaxLive per cluster, or the failure cause).  [window]/[exec]
-      as in {!schedule_loop}: consuming speculative levels in II order
-      forces the observable level order, so the recorded trace is
-      window-invariant. *)
+  (** Run the escalation loop at [config] — typically the most
+      permissive member of the register family — recording every
+      attempt: the II, the partition it started from, the outcome (a
+      placed schedule with its MaxLive per cluster, a rejected placement
+      with its pressure, or the failure cause), the attempt's
+      bus-pressure observations and a digest of its transform output.
+      [window]/[exec] as in {!schedule_loop}: consuming speculative
+      levels in II order forces the observable level order, so the
+      recorded trace is window-invariant.  [hier] as in
+      {!schedule_loop} — the recording run draws its partitions from
+      the shared hierarchy.
+      @raise Invalid_argument if [hier] was built for another loop or
+      configuration. *)
 
   val result : t -> (outcome, Sched_error.t) result
   (** The recording run's own outcome (what {!schedule_loop} would have
@@ -158,23 +192,40 @@ module Trace : sig
 
   val config : t -> Machine.Config.t
 
+  val same_structure : Machine.Config.t -> Machine.Config.t -> bool
+  (** Same clusters, unit matrix and copy issue rule — the widest class
+      {!replay} accepts; buses, bus latency and registers may differ. *)
+
+  val same_family : Machine.Config.t -> Machine.Config.t -> bool
+  (** {!same_structure} plus equal buses and bus latency: members whose
+      recorded attempts apply verbatim up to the register check. *)
+
   val replay :
     ?transform:transform ->
     ?spiller:spiller ->
+    ?hier:Partition.Hier.t ->
     t ->
     Machine.Config.t ->
-    (outcome, Sched_error.t) result * bool
+    (outcome, Sched_error.t) result * basis
   (** [replay t config] answers [config] from the trace; the result is
       exactly what [schedule_loop] with the same hooks would return (the
-      property suite checks outcome equality).  The boolean is true when
-      the replay had to fall back to live scheduling: when the trace ran
-      dry (the recording succeeded at an II whose schedule exceeds this
-      register file), or — with a [spiller] — at the first register
-      overflow, since spilling rewrites the graph per configuration.
-      [transform] must be the hook the trace was recorded with.
+      property suite checks outcome equality).  A [spiller] is applied
+      in place: a recorded level whose placement overflows the member's
+      register file runs its spill-and-retry rounds right there (the
+      mirror of the direct driver's), and a failed sequence resumes the
+      recorded continuation — spill rewrites never survive an attempt,
+      so the remaining levels still apply.  [`Live] means the replay
+      fell back to live scheduling: the trace ran dry without a
+      transferable conclusion, a level's member-side verification
+      diverged (cross-config members), or a spiller met an overflow on
+      a cross-config member, where the rewrite's equivalence to the
+      member's own is unproven.  [transform] must be the hook the trace was
+      recorded with, applied at the member configuration.  [hier] — the
+      member's own hierarchy (it must be built for [config] over the
+      trace's graph) — seeds both the cross-config partition
+      verification and any live fallback; omitted, one is created.
       @raise Invalid_argument if [config] differs from the recording
-      configuration in anything but the register count, or has more
-      registers than it. *)
+      configuration beyond {!same_structure}, or [hier] mismatches. *)
 end
 
 val schedule_sweep :
@@ -192,6 +243,6 @@ val schedule_sweep :
     by recording one {!Trace} at the most permissive member and replaying
     it for each.  Results (in input order) are the ones the independent
     [schedule_loop] calls would produce.  [spiller_for] selects a spiller
-    per member (a spiller forces live fallback past the first register
-    overflow).  [window]/[exec] speculate the recording run's escalation
+    per member (spill rounds run in place on overflowing recorded
+    levels; see {!Trace.replay}).  [window]/[exec] speculate the recording run's escalation
     ({!schedule_loop}); replays are judged sequentially either way. *)

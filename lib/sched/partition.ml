@@ -290,20 +290,47 @@ let refine ?metric ?rec_mii config g ~ii assign =
 module Hier = struct
   type coarse = { hl_macros : macro array; hl_macro_of : int array }
 
+  (* The config-blind part of a hierarchy: the slack analysis and the
+     coarsening levels.  Contraction capacity ([fits]) reads only the
+     roomiest cluster's unit counts and {!assign_macros} is run per
+     view, so one skeleton serves every machine sharing the
+     cluster/unit structure — bus counts, bus latencies and register
+     files may all differ.  A mutex guards the memo state: loops with
+     identical DDGs may share one skeleton across pool domains within
+     one parallel sweep.  Everything memoized is deterministic, so the
+     lock only prevents torn state, never changes results. *)
+  type skel = {
+    s_config : Machine.Config.t;  (* structure donor: clusters + units *)
+    s_graph : Graph.t;
+    s_rec_mii : int;
+    s_base_ii : int;
+    s_trivial : bool;  (* unified machine or empty graph *)
+    s_lock : Mutex.t;
+    (* Analysis and base coarsening are computed on the first
+       from-scratch partition request: a trace replay's live
+       continuation often succeeds without ever needing one, and must
+       not pay for the whole hierarchy up front.  Options rather than
+       [Lazy.t]: forcing a lazy from two domains is a race. *)
+    mutable s_analysis : Analysis.t option;  (* at [max base_ii rec_mii] *)
+    mutable s_base : coarse option;  (* coarsest level at [base_ii] *)
+    s_coarse : (int, coarse) Hashtbl.t;  (* continued coarsening per II *)
+  }
+
+  (* A per-configuration view of a skeleton.  Assignment and refinement
+     read the configuration up to the register file (the pseudo-schedule
+     estimate depends on buses and latency, never on registers), so
+     their memos live here and a view may serve a whole register family
+     across sequential passes.  A view is used by one domain at a time
+     — the suite hands each loop to a single worker per pass — so the
+     memos are unlocked; only the skeleton underneath is shared. *)
   type t = {
+    h_skel : skel;
     h_config : Machine.Config.t;
     h_graph : Graph.t;
-    h_rec_mii : int;
-    h_base_ii : int;
-    h_trivial : bool;  (* unified machine or empty graph *)
-    (* Analysis and base coarsening are forced on the first from-scratch
-       partition request: a trace replay's live continuation often
-       succeeds without ever needing one (the lineage attempt schedules
-       with the spiller's help), and must not pay for the whole
-       hierarchy up front. *)
-    h_analysis : Analysis.t Lazy.t;  (* at [max base_ii rec_mii] *)
-    h_base : coarse Lazy.t;  (* coarsest level at [base_ii] *)
-    h_coarse : (int, coarse) Hashtbl.t;  (* continued coarsening per II *)
+        (* the graph this view serves: physically the loop's own, and
+           structurally identical to [s_graph] (same canonical digest),
+           so skeleton artifacts — index arrays over node ids — apply
+           verbatim *)
     h_init : (int, int array) Hashtbl.t;  (* memoized {!initial} per II *)
     h_refine : (int * int array, int array) Hashtbl.t;
         (* memoized {!refine} per (II, input partition).  The escalation's
@@ -329,7 +356,7 @@ module Hier = struct
     done;
     { hl_macros = !macros; hl_macro_of = !macro_of }
 
-  let create ?rec_mii config g ~base_ii =
+  let create_skel ?rec_mii config g ~base_ii =
     let n = Graph.n_nodes g in
     let trivial = config.Machine.Config.clusters = 1 || n = 0 in
     let rec_mii =
@@ -337,34 +364,69 @@ module Hier = struct
       | Some r -> r
       | None -> if trivial then 0 else Mii.rec_mii g
     in
-    let analysis =
-      lazy
-        (Profile.time Profile.Partition (fun () ->
-             Analysis.compute g ~ii:(max base_ii rec_mii)))
-    in
-    let base =
-      lazy
-        (Profile.time Profile.Partition (fun () ->
-             coarsen_to config ~ii:base_ii g (Lazy.force analysis)
-               (Array.init n (fun v -> macro_of_node g v))
-               (Array.init n Fun.id)))
-    in
     {
+      s_config = config;
+      s_graph = g;
+      s_rec_mii = rec_mii;
+      s_base_ii = base_ii;
+      s_trivial = trivial;
+      s_lock = Mutex.create ();
+      s_analysis = None;
+      s_base = None;
+      s_coarse = Hashtbl.create 8;
+    }
+
+  (* Callers hold [s_lock]. *)
+  let analysis_unlocked s =
+    match s.s_analysis with
+    | Some a -> a
+    | None ->
+        let a =
+          Analysis.compute s.s_graph ~ii:(max s.s_base_ii s.s_rec_mii)
+        in
+        s.s_analysis <- Some a;
+        a
+
+  let base_unlocked s =
+    match s.s_base with
+    | Some b -> b
+    | None ->
+        let n = Graph.n_nodes s.s_graph in
+        let b =
+          coarsen_to s.s_config ~ii:s.s_base_ii s.s_graph
+            (analysis_unlocked s)
+            (Array.init n (fun v -> macro_of_node s.s_graph v))
+            (Array.init n Fun.id)
+        in
+        s.s_base <- Some b;
+        b
+
+  let same_structure (a : Machine.Config.t) (b : Machine.Config.t) =
+    a.Machine.Config.clusters = b.Machine.Config.clusters
+    && a.Machine.Config.fu_matrix = b.Machine.Config.fu_matrix
+
+  let view skel ?graph config =
+    if not (same_structure skel.s_config config) then
+      invalid_arg "Partition.Hier.view: cluster structure differs";
+    let graph = match graph with Some g -> g | None -> skel.s_graph in
+    if Graph.n_nodes graph <> Graph.n_nodes skel.s_graph then
+      invalid_arg "Partition.Hier.view: graph differs from the skeleton's";
+    {
+      h_skel = skel;
       h_config = config;
-      h_graph = g;
-      h_rec_mii = rec_mii;
-      h_base_ii = base_ii;
-      h_trivial = trivial;
-      h_analysis = analysis;
-      h_base = base;
-      h_coarse = Hashtbl.create 8;
+      h_graph = graph;
       h_init = Hashtbl.create 8;
       h_refine = Hashtbl.create 8;
     }
 
-  let base_ii t = t.h_base_ii
-  let rec_mii t = t.h_rec_mii
+  let create ?rec_mii config g ~base_ii =
+    view (create_skel ?rec_mii config g ~base_ii) config
+
+  let skeleton t = t.h_skel
+  let base_ii t = t.h_skel.s_base_ii
+  let rec_mii t = t.h_skel.s_rec_mii
   let graph t = t.h_graph
+  let config t = t.h_config
 
   (* The coarsest level at [ii]: at the base II it is the cached base
      level; above it, coarsening *continues* from the base level (the
@@ -372,33 +434,36 @@ module Hier = struct
      stays legal and further pairs may fit).  Each continuation starts
      from the base level, never from a neighbouring II's continuation,
      so the result is a function of the II alone — independent of the
-     order the escalation queries it in (trace replays start
-     mid-walk). *)
-  let coarsest t ~ii =
-    let base = Lazy.force t.h_base in
-    if ii <= t.h_base_ii then base
-    else
-      match Hashtbl.find_opt t.h_coarse ii with
-      | Some l -> l
-      | None ->
-          let l =
-            coarsen_to t.h_config ~ii t.h_graph
-              (Lazy.force t.h_analysis)
-              base.hl_macros base.hl_macro_of
-          in
-          Hashtbl.replace t.h_coarse ii l;
-          l
+     order the escalation queries it in (trace replays start mid-walk),
+     and of which view asked first. *)
+  let coarsest_and_analysis s ~ii =
+    Mutex.protect s.s_lock (fun () ->
+        let analysis = analysis_unlocked s in
+        let base = base_unlocked s in
+        let lvl =
+          if ii <= s.s_base_ii then base
+          else
+            match Hashtbl.find_opt s.s_coarse ii with
+            | Some l -> l
+            | None ->
+                let l =
+                  coarsen_to s.s_config ~ii s.s_graph analysis
+                    base.hl_macros base.hl_macro_of
+                in
+                Hashtbl.replace s.s_coarse ii l;
+                l
+        in
+        (lvl, analysis))
 
   let initial t ~ii =
     Profile.time Profile.Partition (fun () ->
-        if t.h_trivial then Array.make (Graph.n_nodes t.h_graph) 0
+        if t.h_skel.s_trivial then Array.make (Graph.n_nodes t.h_graph) 0
         else
           let memo =
             match Hashtbl.find_opt t.h_init ii with
             | Some a -> a
             | None ->
-                let analysis = Lazy.force t.h_analysis in
-                let lvl = coarsest t ~ii in
+                let lvl, analysis = coarsest_and_analysis t.h_skel ~ii in
                 let cluster_of_macro =
                   assign_macros t.h_config t.h_graph analysis ~ii
                     lvl.hl_macros lvl.hl_macro_of
@@ -407,8 +472,8 @@ module Hier = struct
                   Array.map (fun m -> cluster_of_macro.(m)) lvl.hl_macro_of
                 in
                 let assign =
-                  refine_impl ~rec_mii:t.h_rec_mii t.h_config t.h_graph ~ii
-                    assign
+                  refine_impl ~rec_mii:t.h_skel.s_rec_mii t.h_config
+                    t.h_graph ~ii assign
                 in
                 Hashtbl.replace t.h_init ii assign;
                 assign
@@ -418,15 +483,15 @@ module Hier = struct
 
   let refine t ~ii assign =
     Profile.time Profile.Partition (fun () ->
-        if t.h_trivial then Array.copy assign
+        if t.h_skel.s_trivial then Array.copy assign
         else
           let memo =
             match Hashtbl.find_opt t.h_refine (ii, assign) with
             | Some a -> a
             | None ->
                 let refined =
-                  refine_impl ~rec_mii:t.h_rec_mii t.h_config t.h_graph ~ii
-                    assign
+                  refine_impl ~rec_mii:t.h_skel.s_rec_mii t.h_config
+                    t.h_graph ~ii assign
                 in
                 (* The key is copied: callers own their input array and
                    may hand it on elsewhere. *)

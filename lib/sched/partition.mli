@@ -53,10 +53,37 @@ module Hier : sig
 
   type t
 
+  type skel
+  (** The configuration-blind part of a hierarchy: slack analysis and
+      the coarsening levels.  Contraction capacity reads only the
+      cluster/unit structure, so one skeleton serves every machine
+      sharing it — bus counts, bus latencies and register files may all
+      differ — and, keyed by canonical DDG digest, every loop with a
+      structurally identical graph.  Internally mutex-guarded: views
+      over one skeleton may run concurrently on pool domains. *)
+
   val create :
     ?rec_mii:int -> Machine.Config.t -> Ddg.Graph.t -> base_ii:int -> t
   (** Analyse and coarsen at [base_ii] (the escalation's MII).  [rec_mii]
-      as in {!initial}. *)
+      as in {!initial}.  Equivalent to a {!view} over a private fresh
+      skeleton. *)
+
+  val skeleton : t -> skel
+  (** The skeleton underneath this view, shareable via {!view}. *)
+
+  val view : skel -> ?graph:Ddg.Graph.t -> Machine.Config.t -> t
+  (** A view of [skel] for [config], which must have the skeleton's
+      cluster/unit structure (checked; [Invalid_argument] otherwise).
+      [graph], when given, becomes the view's {!graph} — the loop's own
+      graph object, which must be structurally identical to the
+      skeleton's (same canonical digest; only the node count is
+      checked) so that skeleton artifacts, index arrays over node ids,
+      apply verbatim.  Views are cheap: assignment/refinement memos
+      start empty, analysis and coarsening are shared.  A view itself
+      is single-domain; only the skeleton may be shared. *)
+
+  val config : t -> Machine.Config.t
+  (** The configuration this view assigns and refines for. *)
 
   val base_ii : t -> int
 

@@ -1,14 +1,17 @@
 (* Per-phase wall-clock accounting for the scheduling pipeline.
 
-   Counters are global atomics so the per-loop pipeline needs no
-   plumbing and parallel suite runs accumulate into the same totals.
-   Accounting is inclusive per outermost entry: a phase nested inside
-   itself (e.g. the partitioner's refinement calling back into a
-   partition entry point) is not double-counted, which a domain-local
-   current-phase mark detects.  Time spent in a *different* phase
-   nested under an instrumented one is charged to both; the only such
-   nesting in the pipeline is the ordering pass inside placement, which
-   is split at the call site instead. *)
+   Each domain accumulates into its own domain-local counters (no
+   contention in the hot path) and merges them into the global totals
+   when it leaves a pool — {!flush}, called by [Metrics.Pool] workers on
+   exit and by {!seconds}/{!snapshot} for the calling domain — so
+   parallel suite runs report the sum over every domain, not just the
+   reader's share.  Accounting is inclusive per outermost entry: a phase
+   nested inside itself (e.g. the partitioner's refinement calling back
+   into a partition entry point) is not double-counted, which a
+   domain-local current-phase mark detects.  Time spent in a *different*
+   phase nested under an instrumented one is charged to both; the only
+   such nesting in the pipeline is the ordering pass inside placement,
+   which is split at the call site instead. *)
 
 type phase = Partition | Ordering | Placement | Regalloc | Replication
 
@@ -30,36 +33,56 @@ let name = function
 
 let n_phases = List.length phases
 
-(* Nanoseconds per phase. *)
+(* Merged nanoseconds per phase, across every flushed domain. *)
 let acc = Array.init n_phases (fun _ -> Atomic.make 0)
 let enabled = ref false
-let current : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
 
-let reset () = Array.iter (fun a -> Atomic.set a 0) acc
+(* Domain-local state: the phase currently running on this domain (to
+   suppress nested re-entry) and this domain's unflushed nanoseconds. *)
+type local = { mutable cur : int; ns : int array }
+
+let local : local Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { cur = -1; ns = Array.make n_phases 0 })
+
+let reset () =
+  Array.iter (fun a -> Atomic.set a 0) acc;
+  let l = Domain.DLS.get local in
+  Array.fill l.ns 0 n_phases 0
 
 let set_enabled on =
   if on then reset ();
   enabled := on
 
+let flush () =
+  let l = Domain.DLS.get local in
+  for i = 0 to n_phases - 1 do
+    if l.ns.(i) <> 0 then begin
+      ignore (Atomic.fetch_and_add acc.(i) l.ns.(i));
+      l.ns.(i) <- 0
+    end
+  done
+
 let time phase f =
   if not !enabled then f ()
   else begin
     let i = index phase in
-    if Domain.DLS.get current = i then f ()
+    let l = Domain.DLS.get local in
+    if l.cur = i then f ()
     else begin
-      let outer = Domain.DLS.get current in
-      Domain.DLS.set current i;
+      let outer = l.cur in
+      l.cur <- i;
       let t0 = Unix.gettimeofday () in
       Fun.protect
         ~finally:(fun () ->
           let dt = Unix.gettimeofday () -. t0 in
-          ignore (Atomic.fetch_and_add acc.(i) (int_of_float (dt *. 1e9)));
-          Domain.DLS.set current outer)
+          l.ns.(i) <- l.ns.(i) + int_of_float (dt *. 1e9);
+          l.cur <- outer)
         f
     end
   end
 
 let seconds phase =
+  flush ();
   float_of_int (Atomic.get acc.(index phase)) /. 1e9
 
 let snapshot () = List.map (fun p -> (name p, seconds p)) phases

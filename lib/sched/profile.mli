@@ -3,9 +3,12 @@
 
     Off by default; {!time} then costs one flag read per call.  When
     enabled, every outermost entry into an instrumented phase adds its
-    wall-clock time to a global atomic counter — domain-safe, so
-    parallel suite runs accumulate into the same totals.  Re-entering
-    the phase currently running on this domain is not double-counted. *)
+    wall-clock time to a domain-local counter; domains merge their
+    counters into the global totals with {!flush} — [Metrics.Pool]
+    workers flush on exit, and {!seconds}/{!snapshot} flush the calling
+    domain — so parallel runs report the sum over every participating
+    domain.  Re-entering the phase currently running on this domain is
+    not double-counted. *)
 
 type phase = Partition | Ordering | Placement | Regalloc | Replication
 
@@ -18,14 +21,23 @@ val set_enabled : bool -> unit
 (** Enabling also {!reset}s the counters. *)
 
 val reset : unit -> unit
+(** Zero the global totals and the calling domain's local counters.
+    (Other domains' unflushed counters are untouched; reset between,
+    not during, parallel runs.) *)
 
 val time : phase -> (unit -> 'a) -> 'a
 (** [time p f] runs [f], charging its wall-clock time to [p] when
     profiling is enabled (and [p] is not already running on this
     domain). *)
 
+val flush : unit -> unit
+(** Merge the calling domain's local counters into the global totals.
+    Every domain that ran instrumented phases must flush before it is
+    joined, or its share is lost; the {!Metrics.Pool} workers do. *)
+
 val seconds : phase -> float
-(** Accumulated seconds since the last {!reset}. *)
+(** Accumulated seconds since the last {!reset}, over every flushed
+    domain plus the calling one (implies a {!flush}). *)
 
 val snapshot : unit -> (string * float) list
 (** [(name, seconds)] for every phase, in {!phases} order. *)

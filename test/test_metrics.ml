@@ -274,6 +274,102 @@ let test_spill_runs_match_direct () =
         [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ])
     [ 1; 2 ]
 
+(* Cross-family reuse: members sharing only the cluster/unit structure
+   (different buses or bus latency) replay the first member's recording
+   with per-level verification.  Results must be observably identical
+   to direct sweeps, at any pool size — jobs=8 clamps to the machine
+   but must not change a byte either way. *)
+let cross_family =
+  List.map
+    (fun (buses, bus_latency) ->
+      Machine.Config.make ~clusters:4 ~buses ~bus_latency ~registers:64)
+    [ (1, 2); (2, 2); (2, 4) ]
+
+let test_cross_family_matches_direct () =
+  let loops = take 10 (Lazy.force small_loops) in
+  List.iter
+    (fun jobs ->
+      let suite = Metrics.Suite.create ~loops ~jobs () in
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun (config, runs) ->
+              let direct = Metrics.Experiment.run_suite mode config loops in
+              check int
+                (Printf.sprintf "jobs=%d %s cross run count" jobs
+                   (Machine.Config.name config))
+                (List.length direct) (List.length runs);
+              List.iter2
+                (fun a b ->
+                  check bool
+                    (Printf.sprintf "jobs=%d %s cross run equal" jobs
+                       (Machine.Config.name config))
+                    true
+                    (canon_run a = canon_run b))
+                direct runs)
+            (Metrics.Suite.sweep_runs suite mode cross_family))
+        [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ])
+    [ 1; 8 ]
+
+(* The stricter-member re-record: a roomy member recorded first, then a
+   tighter register file arrives — the family re-records there, and
+   every member (including the one answered before the re-record) must
+   still equal its direct run. *)
+let test_rerecord_at_stricter_member () =
+  let loops = take 10 (Lazy.force small_loops) in
+  let family order =
+    List.map
+      (fun registers ->
+        Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers)
+      order
+  in
+  List.iter
+    (fun order ->
+      let suite = Metrics.Suite.create ~loops () in
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun (config, runs) ->
+              let direct = Metrics.Experiment.run_suite mode config loops in
+              List.iter2
+                (fun a b ->
+                  check bool
+                    (Printf.sprintf "%s after re-record equal"
+                       (Machine.Config.name config))
+                    true
+                    (canon_run a = canon_run b))
+                direct runs)
+            (Metrics.Suite.sweep_runs suite mode (family order));
+          (* the spill sweep replays whatever trace the re-record left *)
+          ignore
+            (Metrics.Suite.spill_runs suite mode
+               (List.hd (family [ 32 ]))))
+        [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ])
+    [ [ 64; 32; 128 ]; [ 128; 64; 32 ] ]
+
+(* Every schedule a cross-family replay emits must satisfy the
+   independent oracle, exactly like a direct run's. *)
+let test_validate_cross_family_replays () =
+  let loops = take 10 (Lazy.force small_loops) in
+  let suite = Metrics.Suite.create ~loops () in
+  let recording = Machine.Config.make ~clusters:4 ~buses:1 ~bus_latency:2 ~registers:64 in
+  let member = Machine.Config.make ~clusters:4 ~buses:2 ~bus_latency:4 ~registers:64 in
+  ignore (Metrics.Suite.runs suite Metrics.Experiment.Replication recording);
+  let reused = Metrics.Suite.runs suite Metrics.Experiment.Replication member in
+  check bool "cross-family replay produced runs" true (reused <> []);
+  List.iter
+    (fun (r : Metrics.Experiment.loop_run) ->
+      match
+        Check.Validate.run ~original:r.loop.Workload.Generator.graph
+          r.outcome.Sched.Driver.schedule
+      with
+      | Ok () -> ()
+      | Error issues ->
+          Alcotest.failf "oracle rejects replayed %s: %s"
+            r.loop.Workload.Generator.id
+            (String.concat "; " (Check.Validate.to_strings issues)))
+    reused
+
 (* ------------------------------------------------------------------ *)
 (* Domain pool                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -329,12 +425,41 @@ let test_pool_exception () =
 let test_pool_default_jobs () =
   check bool "default_jobs positive" true (Metrics.Pool.default_jobs () >= 1)
 
+let test_pool_clamp () =
+  let d = Metrics.Pool.default_jobs () in
+  check int "clamp from below" 1 (Metrics.Pool.clamp_jobs 0);
+  check int "clamp from below (negative)" 1 (Metrics.Pool.clamp_jobs (-3));
+  check int "clamp from above" d (Metrics.Pool.clamp_jobs (d + 100));
+  check int "identity inside the range" 1 (Metrics.Pool.clamp_jobs 1)
+
+(* Phase timers under the pool: every worker's local counters must merge
+   into the global totals when the domains join, so the reported time is
+   the sum over all participants — not just the orchestrator's share. *)
+let test_profile_merge_across_domains () =
+  Sched.Profile.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Sched.Profile.set_enabled false)
+    (fun () ->
+      let busy _ =
+        Sched.Profile.time Sched.Profile.Partition (fun () ->
+            let t0 = Unix.gettimeofday () in
+            while Unix.gettimeofday () -. t0 < 0.02 do
+              ignore (Sys.opaque_identity 1)
+            done)
+      in
+      ignore (Metrics.Pool.map ~jobs:2 busy [ 0; 1; 2; 3 ]);
+      let total = Sched.Profile.seconds Sched.Profile.Partition in
+      check bool "worker phase time merged on join" true (total >= 0.06))
+
 let suite =
   [
     Alcotest.test_case "pool map order" `Quick test_pool_map_order;
     Alcotest.test_case "pool filter_map" `Quick test_pool_filter_map;
     Alcotest.test_case "pool exception" `Quick test_pool_exception;
     Alcotest.test_case "pool default jobs" `Quick test_pool_default_jobs;
+    Alcotest.test_case "pool clamp" `Quick test_pool_clamp;
+    Alcotest.test_case "profile merge across domains" `Quick
+      test_profile_merge_across_domains;
     Alcotest.test_case "hmean" `Quick test_hmean;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "run_loop all modes" `Quick test_run_loop_modes;
@@ -356,4 +481,10 @@ let suite =
       test_sweep_runs_match_direct;
     Alcotest.test_case "spill runs match direct" `Slow
       test_spill_runs_match_direct;
+    Alcotest.test_case "cross-family sweeps match direct" `Slow
+      test_cross_family_matches_direct;
+    Alcotest.test_case "re-record at stricter member" `Slow
+      test_rerecord_at_stricter_member;
+    Alcotest.test_case "oracle validates cross-family replays" `Slow
+      test_validate_cross_family_replays;
   ]

@@ -1,7 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all check check-fast test check-faults fuzz-smoke validate-quick \
-  bench bench-smoke bench-scaling bench-diff clean
+  check-cache bench bench-smoke bench-scaling bench-warm bench-diff clean
 
 all:
 	dune build
@@ -36,6 +36,20 @@ fuzz-smoke:
 validate-quick:
 	dune exec bin/repro.exe -- validate --quick
 
+# Cache-equality gate: the quick suite cold (filling a fresh schedule
+# store on disk) and warm (served from it) must print byte-identical
+# stdout, and the warm run must not miss once (the store's hit/miss
+# line goes to stderr, keeping stdout comparable).
+check-cache:
+	rm -rf /tmp/sched_cache_gate
+	dune exec bin/repro.exe -- suite --quick --cache /tmp/sched_cache_gate \
+	  > /tmp/suite_cold.txt 2> /tmp/suite_cold_err.txt
+	dune exec bin/repro.exe -- suite --quick --cache /tmp/sched_cache_gate \
+	  > /tmp/suite_warm.txt 2> /tmp/suite_warm_err.txt
+	diff /tmp/suite_cold.txt /tmp/suite_warm.txt
+	grep -q "misses=0 " /tmp/suite_warm_err.txt
+	rm -rf /tmp/sched_cache_gate
+
 # Full benchmark run (all 678 loops; takes a while).  Requests 8 jobs;
 # the harness clamps to the machine's recommended domain count and
 # records both numbers in the payload.
@@ -49,6 +63,12 @@ bench:
 bench-scaling:
 	dune exec bench/main.exe -- --scaling --bench-json BENCH_sched.json
 
+# Warm-cache benchmark: the full figure suite cold (filling the
+# content-addressed schedule store) then warm (served from it), into
+# the "warm" payload of BENCH_sched.json; ok requires zero warm misses.
+bench-warm:
+	dune exec bench/main.exe -- --warm --bench-json BENCH_sched.json
+
 # Quick smoke run on the deterministic small subset; writes the same
 # per-section timing JSON.  Exits non-zero if any section fails.
 bench-smoke:
@@ -56,11 +76,12 @@ bench-smoke:
 
 # Regression gate: re-run the quick benchmark and compare against the
 # committed BENCH_sched.json with bench/diff.exe — every payload
-# ("quick"/"full"/"scaling") present in both files is checked (total
-# wall time within 25%, no section newly failing, hard-loop reuse
-# speedup kept, scaling's highest-job point within tolerance).  A quick
-# re-run only refreshes the "quick" payload, so the committed "full"
-# and "scaling" numbers ride along untouched and uncompared.
+# ("quick"/"full"/"scaling"/"warm") present in both files is checked
+# (total wall time within 25%, no section newly failing, hard-loop
+# reuse speedup kept, scaling's highest-job point within tolerance,
+# warm speedup and hit rate kept).  A quick re-run only refreshes the
+# "quick" payload, so the committed "full", "scaling" and "warm"
+# numbers ride along untouched and uncompared.
 bench-diff:
 	rm -f /tmp/bench_new.json
 	dune exec bench/main.exe -- --quick --jobs 2 --bench-json /tmp/bench_new.json

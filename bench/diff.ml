@@ -17,7 +17,11 @@
    it is a regression like any other.  The "scaling" payload (figure
    suite wall time per job count) is gated on its highest-job point:
    its seconds must stay within the tolerance of the committed value,
-   and no point may regress from ok to failed.
+   and no point may regress from ok to failed.  The "warm" payload
+   (content-addressed schedule store, cold pass vs warm pass) is gated
+   on its warm-over-cold speedup and its warm hit rate — the store
+   going silently cold (misses creeping back in) is exactly the
+   regression this slot exists to catch — plus its overall ok bit.
 
    Exits 0 when every comparable payload passes, 1 on any regression or
    unreadable input.  Payloads present on only one side are reported and
@@ -100,8 +104,37 @@ let compare_scaling old_p new_p =
           fail "scaling: point at %.0f jobs regressed from ok to failed" j)
     (points old_p)
 
+(* The warm payload has no "sections" either: gate the speedup, the
+   warm-pass hit rate and the ok bit (which encodes "zero warm
+   misses"). *)
+let compare_warm old_p new_p =
+  let old_s = Json.(to_num (member "speedup" old_p)) in
+  let new_s = Json.(to_num (member "speedup" new_p)) in
+  Printf.printf
+    "bench-diff: warm speedup committed %.2fx, current %.2fx\n" old_s new_s;
+  if new_s < old_s *. (1. -. !tolerance) then
+    fail "warm: speedup %.2fx < %.2fx * %.2f" new_s old_s (1. -. !tolerance);
+  (match
+     ( Option.bind (Json.member_opt "cache" old_p) (Json.member_opt "hit_rate"),
+       Option.bind (Json.member_opt "cache" new_p) (Json.member_opt "hit_rate")
+     )
+   with
+  | Some (Json.Num old_r), Some (Json.Num new_r) ->
+      Printf.printf
+        "bench-diff: warm hit rate committed %.3f, current %.3f\n" old_r
+        new_r;
+      if new_r < old_r *. (1. -. !tolerance) then
+        fail "warm: hit rate %.3f < %.3f * %.2f" new_r old_r
+          (1. -. !tolerance)
+  | _ -> ());
+  if
+    Json.member "ok" old_p = Json.Bool true
+    && Json.member "ok" new_p <> Json.Bool true
+  then fail "warm: regressed from ok to failed"
+
 let compare_payload name old_p new_p =
   if String.equal name "scaling" then compare_scaling old_p new_p
+  else if String.equal name "warm" then compare_warm old_p new_p
   else begin
   let old_total = Json.(to_num (member "total_seconds" old_p)) in
   let new_total = Json.(to_num (member "total_seconds" new_p)) in
@@ -165,7 +198,7 @@ let () =
                     "bench-diff: %s present only in %s, skipped\n" name
                     new_path
               | None, None -> ())
-            [ "quick"; "full"; "scaling" ];
+            [ "quick"; "full"; "scaling"; "warm" ];
           if !compared = 0 then begin
             Printf.printf "bench-diff: FAIL no comparable payload\n";
             exit 1

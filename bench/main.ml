@@ -11,27 +11,36 @@
      dune exec bench/main.exe -- --micro
      dune exec bench/main.exe -- --profile
      dune exec bench/main.exe -- --scaling --bench-json BENCH_sched.json
+     dune exec bench/main.exe -- --warm --bench-json BENCH_sched.json
+     dune exec bench/main.exe -- --cache /tmp/sched-cache
      dune exec bench/main.exe -- --jobs 4 --bench-json BENCH_sched.json
 
    --jobs N runs independent loops on N domains (default: the
    recommended domain count; requests beyond it are clamped, with a
    warning, and the payload records the effective count).  --profile
-   accumulates per-phase wall time inside the scheduler (partition /
-   ordering / placement / regalloc / replication) and reports it, also
-   into the JSON payload.
+   accumulates per-phase wall time and allocation (minor/major words)
+   inside the scheduler (partition / ordering / placement / regalloc /
+   replication) and reports both, also into the JSON payload.
 
    --scaling runs the full figure suite once per requested job count
    in {1, 2, 4, 8} — a fresh suite each time, so nothing is answered
    from a previous run's cache — and records the wall time per point.
 
+   --cache DIR backs the figure suite with the content-addressed
+   schedule store ({!Metrics.Store}) persisted in DIR; --warm runs a
+   cold pass then a warm pass over the same store and records the
+   speedup plus the warm pass's hit/miss counters ("ok" requires zero
+   warm misses).  Without --cache, --warm uses a temp directory it
+   removes afterwards.
+
    --bench-json PATH writes the wall times to PATH so successive
    commits can track the perf trajectory; the process exits non-zero
-   if any section failed.  The file holds up to three payloads —
+   if any section failed.  The file holds up to four payloads —
    "quick" (written by --quick runs), "full" (written by full figure
    runs, which also measure the hard-loop escalation subset seq vs
-   reuse vs speculative) and "scaling" (written by --scaling runs) —
-   and a run only overwrites its own payload, so the three can be
-   refreshed independently. *)
+   reuse vs speculative), "scaling" (written by --scaling runs) and
+   "warm" (written by --warm runs) — and a run only overwrites its own
+   payload, so each can be refreshed independently. *)
 
 module Json = Metrics.Json
 
@@ -92,13 +101,34 @@ let rec pretty ?(indent = 0) (j : Json.t) =
 
 let seconds f = Json.Num (Float.round (f *. 1000.) /. 1000.)
 
+(* Sub-10ms sections (table1, fig9, fig10) round to "seconds": 0 — a
+   regression there would hide behind the rounding, so every section
+   also records microsecond-resolution milliseconds. *)
+let millis f = Json.Num (Float.round (f *. 1e6) /. 1000.)
+
+let cache_json (st : Metrics.Store.stats) =
+  let looked = st.Metrics.Store.hits + st.Metrics.Store.misses in
+  let rate =
+    if looked = 0 then 0.
+    else float_of_int st.Metrics.Store.hits /. float_of_int looked
+  in
+  Json.Obj
+    [
+      ("hits", Json.Num (float_of_int st.Metrics.Store.hits));
+      ("misses", Json.Num (float_of_int st.Metrics.Store.misses));
+      ("hit_rate", Json.Num (Float.round (rate *. 1000.) /. 1000.));
+      ("bytes_read", Json.Num (float_of_int st.Metrics.Store.bytes_read));
+      ("bytes_written", Json.Num (float_of_int st.Metrics.Store.bytes_written));
+    ]
+
 let payload_json ~mode ~jobs ~jobs_requested ~n_loops ~timings ~total
-    ~profile ~hard =
+    ~profile ~profile_gc ~cache ~hard =
   let entry t =
     Json.Obj
       [
         ("id", Json.Str t.t_id);
         ("seconds", seconds t.t_seconds);
+        ("ms", millis t.t_seconds);
         ("ok", Json.Bool t.t_ok);
       ]
   in
@@ -123,6 +153,23 @@ let payload_json ~mode ~jobs ~jobs_requested ~n_loops ~timings ~total
             ( "profile",
               Json.Obj (List.map (fun (p, s) -> (p, seconds s)) ph) );
           ])
+    @ (match profile_gc with
+      | [] -> []
+      | ph ->
+          [
+            ( "profile_gc",
+              Json.Obj
+                (List.map
+                   (fun (p, (minor, major)) ->
+                     ( p,
+                       Json.Obj
+                         [
+                           ("minor_words", Json.Num (float_of_int minor));
+                           ("major_words", Json.Num (float_of_int major));
+                         ] ))
+                   ph) );
+          ])
+    @ (match cache with None -> [] | Some c -> [ ("cache", c) ])
     @ match hard with None -> [] | Some h -> [ ("hard", h) ])
 
 (* Refresh this run's payload ("quick", "full" or "scaling"), keeping
@@ -145,7 +192,7 @@ let write_bench_json path ~slot payload =
   let doc =
     Json.Obj
       (("schema", Json.Str "bench_sched/v2")
-      :: List.concat_map field [ "quick"; "full"; "scaling" ])
+      :: List.concat_map field [ "quick"; "full"; "scaling"; "warm" ])
   in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (pretty doc ^ "\n"))
@@ -161,9 +208,9 @@ let quick_loops () =
 (* Figures                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_figures ~quick ~only ~jobs =
+let run_figures ~quick ~only ~jobs ?store () =
   let loops = if quick then quick_loops () else Workload.Generator.suite () in
-  let suite = Metrics.Suite.create ~loops ~jobs () in
+  let suite = Metrics.Suite.create ~loops ~jobs ?store () in
   Printf.printf
     "Instruction Replication for Clustered Microarchitectures (MICRO-36'03)\n\
      reproduction: %d loops, %d benchmarks, %d jobs%s\n\n%!"
@@ -333,8 +380,17 @@ let run_scaling ~quick () =
     List.map
       (fun requested ->
         let jobs = Metrics.Pool.clamp_jobs requested in
+        (* The previous point's suite retains hundreds of MB of traces;
+           left in place, that major-heap carryover taxes the next
+           point's marking and skews the curve (the 2-job point used to
+           read slower than 1 job on a clamped single-core host purely
+           from inherited heap).  Compact so every point starts from the
+           same heap. *)
+        Gc.compact ();
         let t0 = Unix.gettimeofday () in
-        let timings, n_loops, _suite = run_figures ~quick ~only:None ~jobs in
+        let timings, n_loops, _suite =
+          run_figures ~quick ~only:None ~jobs ()
+        in
         let dt = Unix.gettimeofday () -. t0 in
         let ok = List.for_all (fun t -> t.t_ok) timings in
         Printf.printf
@@ -366,6 +422,82 @@ let run_scaling ~quick () =
                         else [])
                       @ [ ("seconds", seconds dt); ("ok", Json.Bool ok) ])))
                points) );
+      ]
+  in
+  (payload, ok)
+
+(* ------------------------------------------------------------------ *)
+(* Warm-cache: cold pass fills the store, warm pass is served from it  *)
+(* ------------------------------------------------------------------ *)
+
+let remove_dir dir =
+  try
+    if Sys.file_exists dir && Sys.is_directory dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  with Sys_error _ -> ()
+
+(* Two figure passes over the same cache directory: a cold pass that
+   fills the content-addressed schedule store and a warm pass that must
+   be served from it entirely (the payload's [ok] requires zero warm
+   misses, so the regression gate catches any scheduling path that
+   stopped consulting the store).  Each pass builds its own
+   {!Metrics.Store} so the warm pass reads through the disk tier — the
+   cross-run path — not the in-memory memo the cold pass populated. *)
+let run_warm ~quick ~jobs ~dir () =
+  let owned, dir =
+    match dir with
+    | Some d -> (false, d)
+    | None ->
+        ( true,
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "bench-cache-%d" (Unix.getpid ())) )
+  in
+  let pass label =
+    let store = Metrics.Store.create ~dir () in
+    let t0 = Unix.gettimeofday () in
+    let timings, n_loops, _suite =
+      run_figures ~quick ~only:None ~jobs ~store ()
+    in
+    Metrics.Store.save store;
+    let dt = Unix.gettimeofday () -. t0 in
+    let ok = List.for_all (fun t -> t.t_ok) timings in
+    let st = Metrics.Store.stats store in
+    Printf.printf
+      "--- %s pass: %.1fs (cache: %d hits, %d misses)%s ---\n\n%!" label dt
+      st.Metrics.Store.hits st.Metrics.Store.misses
+      (if ok then "" else " [sections FAILED]");
+    (dt, ok, n_loops, st)
+  in
+  let cold_dt, cold_ok, n_loops, _ = pass "cold" in
+  (* Same heap-carryover correction as the scaling points: the warm
+     pass should not pay for marking the cold pass's retained traces. *)
+  Gc.compact ();
+  let warm_dt, warm_ok, _, warm_st = pass "warm" in
+  if owned then remove_dir dir;
+  let speedup = if warm_dt > 0. then cold_dt /. warm_dt else 0. in
+  let ok = cold_ok && warm_ok && warm_st.Metrics.Store.misses = 0 in
+  Printf.printf "warm speedup over cold: %.2fx%s\n"
+    speedup
+    (if warm_st.Metrics.Store.misses = 0 then ""
+     else
+       Printf.sprintf "  [%d warm MISSES — store not fully serving]"
+         warm_st.Metrics.Store.misses);
+  let payload =
+    Json.Obj
+      [
+        ("mode", Json.Str (if quick then "warm-quick" else "warm"));
+        ("loops", Json.Num (float_of_int n_loops));
+        ("jobs", Json.Num (float_of_int jobs));
+        ("cold_seconds", seconds cold_dt);
+        ("warm_seconds", seconds warm_dt);
+        ("speedup", Json.Num (Float.round (speedup *. 100.) /. 100.));
+        ("cache", cache_json warm_st);
+        ("ok", Json.Bool ok);
       ]
   in
   (payload, ok)
@@ -695,6 +827,7 @@ let () =
     in
     [ { t_id = id; t_seconds = Unix.gettimeofday () -. t; t_ok = ok } ]
   in
+  let cache_dir = value_of "--cache" in
   if has "--scaling" then begin
     let payload, ok = run_scaling ~quick () in
     Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. t0);
@@ -705,6 +838,17 @@ let () =
     | None -> ());
     exit (if ok then 0 else 1)
   end;
+  if has "--warm" then begin
+    let payload, ok = run_warm ~quick ~jobs ~dir:cache_dir () in
+    Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. t0);
+    (match bench_json with
+    | Some path ->
+        write_bench_json path ~slot:"warm" payload;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    exit (if ok then 0 else 1)
+  end;
+  let store = ref None in
   let mode, (timings, n_loops, suite) =
     if has "--micro" then ("micro", (timed "micro" run_micro, 0, None))
     else if has "--ablate" then
@@ -714,9 +858,12 @@ let () =
       ( "extensions",
         (timed "extensions" (fun () -> run_extensions ~quick ~jobs), 0, None)
       )
-    else
-      let t, n, s = run_figures ~quick ~only ~jobs in
-      ("figures", (t, n, Some s))
+    else begin
+      let s = Option.map (fun dir -> Metrics.Store.create ~dir ()) cache_dir in
+      store := s;
+      let t, n, su = run_figures ~quick ~only ~jobs ?store:s () in
+      ("figures", (t, n, Some su))
+    end
   in
   (* The hard-loop driver comparison rides along with full figure runs
      (the only mode whose payload the regression gate reads for it),
@@ -729,7 +876,19 @@ let () =
     | _ -> None
   in
   let total = Unix.gettimeofday () -. t0 in
+  let cache =
+    match !store with
+    | None -> None
+    | Some s ->
+        Metrics.Store.save s;
+        let st = Metrics.Store.stats s in
+        Printf.printf "cache: %d hits, %d misses, %dB read, %dB written\n"
+          st.Metrics.Store.hits st.Metrics.Store.misses
+          st.Metrics.Store.bytes_read st.Metrics.Store.bytes_written;
+        Some (cache_json st)
+  in
   let profile = if profiling then Sched.Profile.snapshot () else [] in
+  let profile_gc = if profiling then Sched.Profile.alloc_snapshot () else [] in
   if profile <> [] then begin
     Printf.printf "scheduler phase profile:\n";
     List.iter
@@ -737,12 +896,22 @@ let () =
       profile;
     print_newline ()
   end;
+  if profile_gc <> [] then begin
+    Printf.printf "scheduler phase allocation (Mwords minor / major):\n";
+    List.iter
+      (fun (p, (minor, major)) ->
+        Printf.printf "  %-12s %8.1f / %8.1f\n" p
+          (float_of_int minor /. 1e6)
+          (float_of_int major /. 1e6))
+      profile_gc;
+    print_newline ()
+  end;
   Printf.printf "total: %.1fs\n" total;
   (match bench_json with
   | Some path ->
       let payload =
         payload_json ~mode ~jobs ~jobs_requested ~n_loops ~timings ~total
-          ~profile ~hard
+          ~profile ~profile_gc ~cache ~hard
       in
       write_bench_json path ~slot:(if quick then "quick" else "full") payload;
       Printf.printf "wrote %s\n" path

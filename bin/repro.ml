@@ -231,9 +231,13 @@ let effective_jobs jobs =
       jobs e;
   e
 
-let suite_run config quick jobs window strict retry checkpoint poison budget =
+let suite_run config quick jobs window strict retry checkpoint poison budget
+    cache =
   let jobs = effective_jobs jobs in
   let loops = loops_of ~quick in
+  (* The store reports to stderr only: stdout stays byte-identical
+     between cold and warm runs (the CI cache-equality gate diffs it). *)
+  let store = Option.map (fun dir -> Metrics.Store.create ~dir ()) cache in
   let resume =
     match checkpoint with
     | Some path when Sys.file_exists path -> (
@@ -254,10 +258,19 @@ let suite_run config quick jobs window strict retry checkpoint poison budget =
   in
   let outcome =
     Metrics.Robust.run ~jobs ~retry ~poison ?budget_s:budget
-      ?window:(if window > 1 then Some window else None) ?resume
+      ?window:(if window > 1 then Some window else None) ?resume ?store
       ~modes:[ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ]
       config loops
   in
+  (match store with
+  | None -> ()
+  | Some s ->
+      Metrics.Store.save s;
+      let st = Metrics.Store.stats s in
+      Printf.eprintf
+        "repro: cache hits=%d misses=%d read=%dB written=%dB\n%!"
+        st.Metrics.Store.hits st.Metrics.Store.misses
+        st.Metrics.Store.bytes_read st.Metrics.Store.bytes_written);
   (match checkpoint with
   | Some path ->
       Metrics.Checkpoint.save outcome.Metrics.Robust.o_checkpoint ~path;
@@ -330,6 +343,16 @@ let suite_cmd =
             "Wall-clock budget per loop escalation; expiry quarantines the \
              loop as a timeout.")
   in
+  let cache =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed schedule store: answer loops already solved \
+             under this scheduler version from $(docv) (byte-identical to a \
+             cold run) and persist everything this run computes.  Ignored \
+             when --budget is set.  Hit/miss statistics go to stderr.")
+  in
   Cmd.v
     (Cmd.info "suite"
        ~doc:
@@ -337,7 +360,7 @@ let suite_cmd =
           optional checkpoint/resume.")
     Term.(
       const suite_run $ config_arg $ quick_arg $ jobs_arg $ window_arg
-      $ strict $ retry $ checkpoint $ poison $ budget)
+      $ strict $ retry $ checkpoint $ poison $ budget $ cache)
 
 (* ------------------------------------------------------------------ *)
 (* faults: the fault-injection catalog against the checker             *)

@@ -9,6 +9,8 @@ type cmd =
   | Resume
   | Schedule_direct of { loop : int; regs : int }
   | Sweep of { loop : int; regs : int list }
+  | Cache_probe of { mode : int; loop : int }
+  | Cache_evict of { mode : int; loop : int }
 
 let cmd_to_string = function
   | Run_loop { mode; loop } -> Printf.sprintf "Run_loop(mode=%d,loop=%d)" mode loop
@@ -23,6 +25,10 @@ let cmd_to_string = function
   | Sweep { loop; regs } ->
       Printf.sprintf "Sweep(loop=%d,regs=[%s])" loop
         (String.concat ";" (List.map string_of_int regs))
+  | Cache_probe { mode; loop } ->
+      Printf.sprintf "Cache_probe(mode=%d,loop=%d)" mode loop
+  | Cache_evict { mode; loop } ->
+      Printf.sprintf "Cache_evict(mode=%d,loop=%d)" mode loop
 
 (* ------------------------------------------------------------------ *)
 (* The fixed environment: four tomcatv loops on the paper's reference
@@ -66,6 +72,7 @@ type model = {
 type env = {
   sabotage : string;
   manifest_path : string;
+  store : Metrics.Store.t;  (* memory-tier schedule store under test *)
   mutable last_cp_real : Metrics.Checkpoint.t option;
   mutable saved_real : Metrics.Checkpoint.t option;
 }
@@ -238,6 +245,46 @@ let exec env m cmd =
       List.iter2
         (fun r (_, res) -> observe_sweep m ~loop ~regs:r (sched_sig res))
         regs results
+  | Cache_probe { mode; loop } ->
+      (* Round-trip coherence: a result recorded into the schedule
+         store must come back as a hit with an identical signature —
+         and the signature must also agree with everything this
+         (mode, loop) pair ever promised. *)
+      let l = loops.(loop) in
+      let md = mode_of.(mode) in
+      let tag = Metrics.Experiment.mode_tag md in
+      let res = Metrics.Experiment.run_loop md base_config l in
+      let sg = run_sig res in
+      observe m ~tag ~id:l.Workload.Generator.id sg;
+      Metrics.Store.record env.store ~mode:md ~config:base_config l res;
+      (* The "drop-record" sabotage silently evicts what was just
+         recorded — the harness must notice the broken round-trip. *)
+      if env.sabotage = "drop-record" then
+        Metrics.Store.evict env.store ~mode:md ~config:base_config l;
+      (match Metrics.Store.lookup env.store ~mode:md ~config:base_config l with
+      | Metrics.Store.Miss -> post "store missed an entry just recorded"
+      | Metrics.Store.Hit r ->
+          let sg' = run_sig (Ok r) in
+          if sg' <> sg then
+            post "cache hit diverged from direct run: %S, now %S" sg sg'
+      | Metrics.Store.Hit_give_up (cls, _) ->
+          if sg <> "skipped " ^ cls then
+            post "cache served give-up %s but the run said %S" cls sg)
+  | Cache_evict { mode; loop } ->
+      (* Evict coherence: after evicting the key must miss, and the
+         recomputed result must still match the model's history (the
+         store never becomes a source of truth the system cannot
+         rebuild). *)
+      let l = loops.(loop) in
+      let md = mode_of.(mode) in
+      let tag = Metrics.Experiment.mode_tag md in
+      Metrics.Store.evict env.store ~mode:md ~config:base_config l;
+      (match Metrics.Store.lookup env.store ~mode:md ~config:base_config l with
+      | Metrics.Store.Miss -> ()
+      | Metrics.Store.Hit _ | Metrics.Store.Hit_give_up _ ->
+          post "evicted entry still answered");
+      let sg = run_sig (Metrics.Experiment.run_loop md base_config l) in
+      observe m ~tag ~id:l.Workload.Generator.id sg
 
 (* ------------------------------------------------------------------ *)
 (* Generation, preconditions, shrinking                                *)
@@ -247,7 +294,7 @@ let gen_cmds rng ~len =
   let has_cp = ref false and has_saved = ref false in
   List.init len (fun _ ->
       let rec pick () =
-        match Rng.int rng 12 with
+        match Rng.int rng 14 with
         | 0 | 1 | 2 ->
             Run_loop { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
         | 3 -> Budget_timeout { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
@@ -271,6 +318,8 @@ let gen_cmds rng ~len =
                 loop = Rng.int rng n_loops;
                 regs = List.filteri (fun i _ -> i < k) regs_pool;
               }
+        | 12 -> Cache_probe { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
+        | 13 -> Cache_evict { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
         | _ -> pick ()
       in
       pick ())
@@ -280,7 +329,10 @@ let valid cmds =
   let loop_ok l = l >= 0 && l < n_loops in
   List.for_all
     (function
-      | Run_loop { mode; loop } | Budget_timeout { mode; loop } ->
+      | Run_loop { mode; loop }
+      | Budget_timeout { mode; loop }
+      | Cache_probe { mode; loop }
+      | Cache_evict { mode; loop } ->
           (mode = 0 || mode = 1) && loop_ok loop
       | Run_suite { jobs } ->
           has_cp := true;
@@ -304,7 +356,13 @@ type failure = { x_index : int; x_cmd : cmd; x_msg : string }
 let run_cmds ?(sabotage = "") cmds =
   let manifest_path = Filename.temp_file "model" ".json" in
   let env =
-    { sabotage; manifest_path; last_cp_real = None; saved_real = None }
+    {
+      sabotage;
+      manifest_path;
+      store = Metrics.Store.create ();
+      last_cp_real = None;
+      saved_real = None;
+    }
   in
   Fun.protect
     ~finally:(fun () -> try Sys.remove manifest_path with Sys_error _ -> ())

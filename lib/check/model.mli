@@ -46,6 +46,14 @@ type cmd =
       (** [Driver.schedule_sweep] over the register family: each
           member's outcome must match whatever a direct schedule of the
           same (loop, regs) observed, before or after *)
+  | Cache_probe of { mode : int; loop : int }
+      (** run one loop, record it into the content-addressed schedule
+          store ({!Metrics.Store}), and look it straight back up: the
+          hit must carry a signature identical to the direct run (and
+          to every earlier observation of the pair) *)
+  | Cache_evict of { mode : int; loop : int }
+      (** evict the pair's store entry: the next lookup must miss, and
+          recomputing the loop must still match the model's history *)
 
 val cmd_to_string : cmd -> string
 

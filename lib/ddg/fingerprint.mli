@@ -1,0 +1,30 @@
+(** Canonical, renumbering-invariant DDG fingerprints.
+
+    {!Graph.digest} hashes the graph {e as numbered}: it changes when
+    nodes are renumbered even though the scheduler would produce an
+    isomorphic result.  The fingerprint here is invariant under node
+    renumbering (and, like the digest, blind to names and labels): it is
+    a Weisfeiler–Lehman colour refinement seeded from operation classes,
+    absorbing each node's incident edges — direction, latency, distance,
+    kind, neighbour colour — with sorted multisets at every step, then
+    hashing the colour histogram together with the colour-typed edge
+    relation.
+
+    WL refinement is sound but incomplete: isomorphic graphs always
+    collide (good), but so can rare non-isomorphic pairs.  Exact
+    consumers — the content-addressed schedule store — must confirm a
+    fingerprint match with {!equal_structure} (byte equality of
+    {!Graph.structural_encoding}) before reusing a result, which also
+    keeps cached schedules exact: the driver is sensitive to node
+    {e order}, so only identically-numbered graphs may share entries. *)
+
+val canonical : Graph.t -> string
+(** Hex fingerprint, stable across node renumbering: if [g'] is [g]
+    with nodes renumbered by any permutation (edges retargeted
+    accordingly), then [canonical g = canonical g'].  Deterministic
+    across runs and domains. *)
+
+val equal_structure : Graph.t -> Graph.t -> bool
+(** Byte equality of {!Graph.structural_encoding} — the collision-proof
+    deep check behind a fingerprint match.  [equal_structure a b]
+    implies [canonical a = canonical b]. *)

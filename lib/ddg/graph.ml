@@ -73,7 +73,7 @@ let name t = t.graph_name
    that differ only in naming schedule identically, and the digest is
    the sharing key for cross-loop artifacts (partition skeletons,
    cross-configuration trace stores). *)
-let digest t =
+let structural_encoding t =
   let b = Buffer.create 256 in
   Buffer.add_string b (string_of_int (n_nodes t));
   Array.iter
@@ -93,7 +93,9 @@ let digest t =
       Buffer.add_string b (string_of_int e.distance);
       Buffer.add_char b (match e.kind with Reg -> 'r' | Mem -> 'm'))
     t.all_edges;
-  Digest.string (Buffer.contents b)
+  Buffer.contents b
+
+let digest t = Digest.string (structural_encoding t)
 
 (* Excel-style base-26 label: 0 -> "A", 25 -> "Z", 26 -> "AA". *)
 let default_label i =

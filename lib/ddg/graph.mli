@@ -115,12 +115,19 @@ end
 val name : t -> string
 (** Name given at {!Builder.create} time (for reports); [""] if none. *)
 
+val structural_encoding : t -> string
+(** The exact byte string {!digest} hashes: node count, operation
+    classes per id, and every edge (endpoints, latency, distance, kind)
+    in insertion order.  Names and labels are excluded.  Two graphs with
+    equal encodings are indistinguishable to the scheduler — equality of
+    encodings is the deep-equality fallback behind the fingerprints in
+    {!Fingerprint} and the entry check of the content-addressed schedule
+    store. *)
+
 val digest : t -> string
-(** Canonical digest of the scheduling-relevant structure: node count,
-    operation classes per id, and every edge (endpoints, latency,
-    distance, kind) in insertion order.  Names and labels are excluded:
-    two graphs with equal digests schedule identically under every
-    configuration, which makes the digest the sharing key for
+(** [Digest.string (structural_encoding t)].  Names and labels are
+    excluded: two graphs with equal digests schedule identically under
+    every configuration, which makes the digest the sharing key for
     cross-loop artifacts (partition skeletons, cross-configuration
     trace stores). *)
 

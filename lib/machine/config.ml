@@ -176,6 +176,19 @@ let fig1_configs =
 
 let pp ppf t = Format.pp_print_string ppf (name t)
 
+(* Injective serialization of every field, unlike [name]: a custom
+   single-cluster machine with a non-default unit row also prints
+   "unifiedNr", so display names cannot key a cache.  The unit matrix is
+   spelled out per cluster in Fu.index order. *)
+let cache_key t =
+  let cluster_units r =
+    String.concat "." (List.map string_of_int (Array.to_list r))
+  in
+  Printf.sprintf "%dc%db%dl%dr[%s]%s" t.clusters t.buses t.bus_latency
+    t.total_registers
+    (String.concat "+" (List.map cluster_units (Array.to_list t.fu_matrix)))
+    (if t.copy_uses_int_slot then "+cp" else "")
+
 let equal a b =
   a.clusters = b.clusters && a.buses = b.buses
   && a.bus_latency = b.bus_latency

@@ -122,6 +122,15 @@ val fig1_configs : t list
     4c2b2l64r. *)
 
 val pp : Format.formatter -> t -> unit
+val cache_key : t -> string
+(** Injective serialization of every field — clusters, buses, bus
+    latency, registers, the full unit matrix and the copy-slot rule —
+    e.g. ["4c1b2l64r[1.1.1+1.1.1+1.1.1+1.1.1]"].
+    [cache_key a = cache_key b] iff [equal a b], which {!name} does not
+    guarantee (a custom single-cluster machine also prints
+    ["unifiedNr"]).  The machine half of the content-addressed schedule
+    store's key ({!Metrics.Store}). *)
+
 val equal : t -> t -> bool
 
 val partition_compatible : t -> t -> bool

@@ -57,6 +57,41 @@ let () =
               else "\nOriginal backtrace:\n" ^ f.backtrace))
     | _ -> None)
 
+(* The one-domain path: a plain loop on the calling domain.  When
+   [clamp_jobs] clamps a request to 1 (single-core hosts, or a request
+   of 1), the pool must behave exactly like no pool at all — no domain
+   spawns, no chunk queue, no worker Gc resizing, no atomic traffic —
+   so a clamped "parallel" run carries zero orchestration overhead over
+   the sequential one. *)
+let run_sequential eval n =
+  for i = 0 to n - 1 do
+    eval i
+  done
+
+(* More domains than the machine has cores buys nothing for this
+   CPU-bound work and costs real time in minor-GC synchronization, so
+   an explicit [jobs] is capped at the recommended domain count. *)
+let run_domains eval ~jobs n =
+  let chunk = max 1 (min max_chunk (n / (jobs * chunk_divisor))) in
+  let next = Atomic.make 0 in
+  let worker () =
+    in_worker @@ fun () ->
+    let rec go () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n then begin
+        let stop = min n (start + chunk) in
+        for i = start to stop - 1 do
+          eval i
+        done;
+        go ()
+      end
+    in
+    go ()
+  in
+  let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains
+
 (* Apply [f] to every element, capturing per-item failures with their
    raw backtraces (kept raw so a re-raise can preserve them). *)
 let run_all ?jobs f input =
@@ -77,35 +112,7 @@ let run_all ?jobs f input =
         | v -> Ok v
         | exception e -> Error (e, Printexc.get_raw_backtrace ()))
   in
-  if jobs <= 1 then
-    for i = 0 to n - 1 do
-      eval i
-    done
-  else begin
-    (* More domains than the machine has cores buys nothing for this
-       CPU-bound work and costs real time in minor-GC synchronization,
-       so an explicit [jobs] is capped at the recommended domain
-       count. *)
-    let chunk = max 1 (min max_chunk (n / (jobs * chunk_divisor))) in
-    let next = Atomic.make 0 in
-    let worker () =
-      in_worker @@ fun () ->
-      let rec go () =
-        let start = Atomic.fetch_and_add next chunk in
-        if start < n then begin
-          let stop = min n (start + chunk) in
-          for i = start to stop - 1 do
-            eval i
-          done;
-          go ()
-        end
-      in
-      go ()
-    in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains
-  end;
+  if jobs <= 1 then run_sequential eval n else run_domains eval ~jobs n;
   results
 
 let fault_of index (e, raw) =

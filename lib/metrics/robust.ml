@@ -14,11 +14,15 @@ type outcome = {
       (* mode tag, live quarantine record (backtrace included) *)
   o_computed : int;  (* loops actually attempted this run *)
   o_reused : int;  (* entries answered from the resume manifest *)
+  o_cache_hits : int;  (* entries answered from the schedule store *)
 }
 
 let run ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s ?window ?resume
-    ~modes config (loops : Workload.Generator.loop list) =
-  let computed = ref 0 and reused = ref 0 in
+    ?store ~modes config (loops : Workload.Generator.loop list) =
+  (* A wall-clock budget makes results time-dependent: such runs neither
+     consult nor feed the store, so cached entries stay budget-free. *)
+  let store = if budget_s <> None then None else store in
+  let computed = ref 0 and reused = ref 0 and cache_hits = ref 0 in
   let quarantined = ref [] in
   let entries =
     List.concat_map
@@ -38,6 +42,29 @@ let run ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s ?window ?resume
                     Hashtbl.replace statuses l.id st
                 | Some (Checkpoint.Quarantined _) | None -> ()))
           loops;
+        (* The schedule store answers like a resume manifest, except it
+           carries the full run (so the summary is recomputed, not
+           trusted).  Poisoned loops bypass it: the injected fault must
+           actually fire. *)
+        (match store with
+        | None -> ()
+        | Some s ->
+            List.iter
+              (fun (l : Workload.Generator.loop) ->
+                if
+                  (not (Hashtbl.mem statuses l.id))
+                  && not (List.mem l.id poison)
+                then
+                  match Store.lookup s ~mode ~config l with
+                  | Store.Miss -> ()
+                  | Store.Hit r ->
+                      incr cache_hits;
+                      Hashtbl.replace statuses l.id
+                        (Checkpoint.Done (Checkpoint.summary_of_run r))
+                  | Store.Hit_give_up (cls, _) ->
+                      incr cache_hits;
+                      Hashtbl.replace statuses l.id (Checkpoint.Skipped cls))
+              loops);
         let fresh =
           List.filter
             (fun (l : Workload.Generator.loop) ->
@@ -52,11 +79,21 @@ let run ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s ?window ?resume
           in
           List.iter
             (fun (r : Experiment.loop_run) ->
+              (match store with
+              | Some s
+                when not (List.mem r.Experiment.loop.Workload.Generator.id poison)
+                ->
+                  Store.record s ~mode ~config r.Experiment.loop (Ok r)
+              | _ -> ());
               Hashtbl.replace statuses r.loop.Workload.Generator.id
                 (Checkpoint.Done (Checkpoint.summary_of_run r)))
             iso.Experiment.iso_runs;
           List.iter
             (fun ((l : Workload.Generator.loop), e) ->
+              (match store with
+              | Some s when not (List.mem l.id poison) ->
+                  Store.record s ~mode ~config l (Error e)
+              | _ -> ());
               Hashtbl.replace statuses l.id
                 (Checkpoint.Skipped (Sched.Sched_error.class_name e)))
             iso.Experiment.iso_skipped;
@@ -83,6 +120,7 @@ let run ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s ?window ?resume
     o_quarantined = List.rev !quarantined;
     o_computed = !computed;
     o_reused = !reused;
+    o_cache_hits = !cache_hits;
   }
 
 let summaries outcome ~mode =

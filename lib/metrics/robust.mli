@@ -18,6 +18,8 @@ type outcome = {
           quarantine in the checkpoint only *)
   o_computed : int;  (** loops actually attempted this run *)
   o_reused : int;  (** entries answered from the resume manifest *)
+  o_cache_hits : int;
+      (** entries answered from the schedule store ([?store]) *)
 }
 
 val run :
@@ -27,6 +29,7 @@ val run :
   ?budget_s:float ->
   ?window:int ->
   ?resume:Checkpoint.t ->
+  ?store:Store.t ->
   modes:Experiment.mode list ->
   Machine.Config.t ->
   Workload.Generator.loop list ->
@@ -34,7 +37,15 @@ val run :
 (** All optional knobs are forwarded to
     {!Experiment.run_suite_isolated}.  [resume] supplies a previously
     saved manifest; its [Done] and [Skipped] entries are trusted,
-    [Quarantined] entries are retried. *)
+    [Quarantined] entries are retried.  [store] answers unresumed loops
+    from the content-addressed schedule store ahead of any scheduling —
+    a cached success becomes a recomputed [Done] summary, a cached
+    give-up becomes [Skipped] — and absorbs every fresh success and
+    give-up this run computes (quarantines are never cached).  Poisoned
+    loops bypass the store so injected faults actually fire, and a
+    [budget_s] run ignores [store] entirely: budgeted results are
+    wall-clock-dependent, cached entries must not be.  Callers own the
+    {!Store.save}. *)
 
 val summaries : outcome -> mode:string -> Checkpoint.summary list
 (** [Done] summaries for one mode tag, in canonical loop order. *)

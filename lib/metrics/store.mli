@@ -1,0 +1,95 @@
+(** Content-addressed schedule store — cross-section and cross-run
+    memoization of finished {!Experiment.loop_run}s.
+
+    A store maps (canonical DDG fingerprint × injective machine-config
+    key × trip count), per (mode, variant) table, to either a finished
+    run or a recorded give-up classification.  The fingerprint is
+    {!Ddg.Fingerprint.canonical}; every fingerprint match is confirmed
+    against the full {!Ddg.Graph.structural_encoding} before it is
+    served, so a {!Hit} guarantees the scheduler would have seen
+    byte-identical input and the returned payload is exactly what the
+    cold run produced.  The config half is {!Machine.Config.cache_key}.
+
+    Two tiers: the in-memory tables (always), plus an optional on-disk
+    tier under [dir] — one JSON file per (mode/variant, config) table,
+    loaded lazily on the table's first lookup and written atomically by
+    {!save}.  Files are versioned with a format number and
+    {!Sched.Driver.version}; entries written by a different scheduler
+    version (or a corrupt/foreign file) are ignored wholesale, so stale
+    caches self-invalidate instead of serving outdated schedules.
+
+    Caching policy: successful runs and give-up errors
+    ({!Sched.Sched_error.is_give_up}) are recorded; [Timeout] results
+    are wall-clock-dependent and bug-class errors must surface, so
+    {!record} silently drops both.  Consumers ({!Suite}, {!Robust})
+    fall through to the normal scheduling path on {!Miss} — hits must
+    be byte-identical to cold runs, which the equality tests and the CI
+    cache-equality gate pin.
+
+    A store instance is not domain-safe: consult it from the
+    orchestrating domain only (the {!Suite}/{!Robust} integration does;
+    pool workers never see it).  All traffic is mirrored into the
+    always-on counters of {!Sched.Profile}. *)
+
+type t
+
+type answer =
+  | Hit of Experiment.loop_run
+      (** Cached success, with the [loop] field rebound to the querying
+          loop (id/benchmark/visits are outside the key). *)
+  | Hit_give_up of string * string
+      (** Cached give-up: {!Sched.Sched_error.class_name} and the
+          rendered message of the original error. *)
+  | Miss
+
+type stats = {
+  hits : int;
+  misses : int;
+  bytes_read : int;    (** disk-tier bytes loaded *)
+  bytes_written : int; (** disk-tier bytes saved *)
+}
+
+val create : ?dir:string -> unit -> t
+(** Memory-only when [dir] is omitted.  [dir] need not exist yet; it is
+    created by the first {!save}. *)
+
+val lookup :
+  t ->
+  mode:Experiment.mode ->
+  ?variant:string ->
+  config:Machine.Config.t ->
+  Workload.Generator.loop ->
+  answer
+(** [variant] separates result families computed under the same mode
+    but different hooks — {!Suite.spill_runs} uses ["spill"]; the
+    default [""] is the plain run table. *)
+
+val record :
+  t ->
+  mode:Experiment.mode ->
+  ?variant:string ->
+  config:Machine.Config.t ->
+  Workload.Generator.loop ->
+  (Experiment.loop_run, Sched.Sched_error.t) result ->
+  unit
+(** First write wins (determinism makes re-writes identical); timeouts
+    and bug-class errors are never recorded. *)
+
+val evict :
+  t ->
+  mode:Experiment.mode ->
+  ?variant:string ->
+  config:Machine.Config.t ->
+  Workload.Generator.loop ->
+  unit
+(** Drop the entry for this key if present (both tiers: the table is
+    marked dirty, so the next {!save} rewrites the file without it). *)
+
+val save : t -> unit
+(** Write every dirty table of the disk tier (atomic per file:
+    temp-file + rename, like {!Checkpoint.save}).  No-op for
+    memory-only stores. *)
+
+val stats : t -> stats
+(** Counters since {!create}, for this store instance.  The global
+    cross-store view lives in {!Sched.Profile.cache_counters}. *)

@@ -29,11 +29,15 @@ type t = {
          loop, and passes are sequential, so a view still reaches at
          most one pool worker at a time. *)
   digests : (string, string) Hashtbl.t;  (* loop id -> DDG digest *)
+  store : Store.t option;
+      (* content-addressed schedule store, consulted before any
+         scheduling (direct, replay or recording) and fed by every pass;
+         only touched on the orchestrating domain *)
   jobs_ : int;
   window_ : int option;  (* speculative II window for every escalation *)
 }
 
-let create ?loops ?(jobs = 1) ?window () =
+let create ?loops ?(jobs = 1) ?window ?store () =
   let loops_ =
     match loops with Some l -> l | None -> Workload.Generator.suite ()
   in
@@ -45,6 +49,7 @@ let create ?loops ?(jobs = 1) ?window () =
     skels = Hashtbl.create 64;
     views = Hashtbl.create 256;
     digests = Hashtbl.create 64;
+    store;
     jobs_ = jobs;
     window_ = window;
   }
@@ -124,13 +129,54 @@ let view_for t config (l : Workload.Generator.loop) =
 (* Pooled passes (views pre-built on the calling domain)               *)
 (* ------------------------------------------------------------------ *)
 
+(* Classify a pass's per-loop results on the orchestrating domain:
+   record everything into the schedule store (it drops timeouts and
+   bugs itself), then keep the successes and raise on bugs exactly as
+   {!Experiment.keep_or_raise} always did.  Running the classification
+   here rather than inside the pool workers is what lets give-up errors
+   reach the store instead of dying in the worker's [filter_map]. *)
+let classify_record t mode ?(variant = "") config pairs =
+  (match t.store with
+  | None -> ()
+  | Some s ->
+      List.iter
+        (fun (l, res) -> Store.record s ~mode ~variant ~config l res)
+        pairs);
+  List.filter_map
+    (fun ((l : Workload.Generator.loop), res) ->
+      Experiment.keep_or_raise ~id:l.id res)
+    pairs
+
+(* Serve a whole (mode, config) sweep from the schedule store, or
+   nothing: partial hits would leave the trace machinery below with a
+   partial view of the sweep, so either every loop answers (a success
+   or a recorded give-up) or the sweep computes cold.  Length runs are
+   always derived from the replication runs (cheap, deterministic), so
+   they bypass the store entirely. *)
+let store_served t mode ?(variant = "") config =
+  match t.store with
+  | None -> None
+  | Some _ when mode = Experiment.Replication_length -> None
+  | Some s ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | l :: rest -> (
+            match Store.lookup s ~mode ~variant ~config l with
+            | Store.Miss -> None
+            | Store.Hit r -> go (r :: acc) rest
+            | Store.Hit_give_up _ -> go acc rest)
+      in
+      go [] t.loops_
+
 let direct_runs t mode config =
   let items = List.map (fun l -> (l, view_for t config l)) t.loops_ in
-  Pool.filter_map ~jobs:t.jobs_
-    (fun ((l : Workload.Generator.loop), hier) ->
-      Experiment.keep_or_raise ~id:l.id
-        (Experiment.run_loop ?window:t.window_ ~hier mode config l))
-    items
+  let pairs =
+    Pool.map ~jobs:t.jobs_
+      (fun ((l : Workload.Generator.loop), hier) ->
+        (l, Experiment.run_loop ?window:t.window_ ~hier mode config l))
+      items
+  in
+  classify_record t mode config pairs
 
 (* Record one trace per loop at [config] and register the set for both
    its register family and its structure.  The structure slot keeps the
@@ -155,18 +201,19 @@ let record_family t mode config =
   | Some _ -> ());
   trs
 
-let replay_all t ?spiller trs config =
+let replay_all t ?(variant = "") ?spiller mode trs config =
   let items =
     List.map
       (fun tr -> (tr, view_for t config (Experiment.traced_loop tr)))
       trs
   in
-  Pool.filter_map ~jobs:t.jobs_
-    (fun (tr, hier) ->
-      Experiment.keep_or_raise
-        ~id:(Experiment.traced_loop tr).Workload.Generator.id
-        (Experiment.replay_traced ?spiller ~hier tr config))
-    items
+  let pairs =
+    Pool.map ~jobs:t.jobs_
+      (fun (tr, hier) ->
+        (Experiment.traced_loop tr, Experiment.replay_traced ?spiller ~hier tr config))
+      items
+  in
+  classify_record t mode ~variant config pairs
 
 (* One trace per loop for [at]'s register family, get-or-record.  A
    recording at [at]'s register count or below answers [at] dry (equal
@@ -200,35 +247,39 @@ let rec runs t mode config =
   | Some r -> r
   | None ->
       let r =
-        match mode with
-        | Experiment.Replication_latency0 -> direct_runs t mode config
-        | Experiment.Replication_length ->
-            List.filter_map
-              (fun (r : Experiment.loop_run) ->
-                Experiment.keep_or_raise
-                  ~id:r.Experiment.loop.Workload.Generator.id
-                  (Experiment.lengthen_run r))
-              (runs t Experiment.Replication config)
-        | Experiment.Baseline | Experiment.Replication
-        | Experiment.Macro_replication -> (
-            match Hashtbl.find_opt t.family (family_key mode config) with
-            | Some (rc, trs)
-              when rc.Machine.Config.total_registers
-                   <= config.Machine.Config.total_registers ->
-                replay_all t trs config
-            | Some _ ->
-                (* stricter register member than the recording: replay
-                   would walk live past the trace for every
-                   register-bound loop, and the spill sweep would walk
-                   the same levels again — re-record here instead
-                   (see {!family_traces}) *)
-                replay_all t (record_family t mode config) config
-            | None -> (
-                match
-                  Hashtbl.find_opt t.structure (structure_key mode config)
-                with
-                | Some (_, trs) -> replay_all t trs config
-                | None -> replay_all t (record_family t mode config) config))
+        match store_served t mode config with
+        | Some served -> served
+        | None -> (
+            match mode with
+            | Experiment.Replication_latency0 -> direct_runs t mode config
+            | Experiment.Replication_length ->
+                List.filter_map
+                  (fun (r : Experiment.loop_run) ->
+                    Experiment.keep_or_raise
+                      ~id:r.Experiment.loop.Workload.Generator.id
+                      (Experiment.lengthen_run r))
+                  (runs t Experiment.Replication config)
+            | Experiment.Baseline | Experiment.Replication
+            | Experiment.Macro_replication -> (
+                match Hashtbl.find_opt t.family (family_key mode config) with
+                | Some (rc, trs)
+                  when rc.Machine.Config.total_registers
+                       <= config.Machine.Config.total_registers ->
+                    replay_all t mode trs config
+                | Some _ ->
+                    (* stricter register member than the recording: replay
+                       would walk live past the trace for every
+                       register-bound loop, and the spill sweep would walk
+                       the same levels again — re-record here instead
+                       (see {!family_traces}) *)
+                    replay_all t mode (record_family t mode config) config
+                | None -> (
+                    match
+                      Hashtbl.find_opt t.structure (structure_key mode config)
+                    with
+                    | Some (_, trs) -> replay_all t mode trs config
+                    | None ->
+                        replay_all t mode (record_family t mode config) config)))
       in
       Hashtbl.replace t.cache key r;
       r
@@ -236,9 +287,12 @@ let rec runs t mode config =
 let sweep_runs t mode configs = List.map (fun c -> (c, runs t mode c)) configs
 
 let spill_runs t mode config =
-  replay_all t ~spiller:Sched.Spill.spiller
-    (family_traces t mode ~at:config)
-    config
+  match store_served t mode ~variant:"spill" config with
+  | Some served -> served
+  | None ->
+      replay_all t ~variant:"spill" ~spiller:Sched.Spill.spiller mode
+        (family_traces t mode ~at:config)
+        config
 
 let benchmark_runs t mode config =
   Experiment.group_by_benchmark (runs t mode config)

@@ -29,19 +29,39 @@
       register family re-refines only levels no earlier pass visited.
 
     Both reuses are exact: replayed results, traces and error classes are
-    byte-identical to direct sweeps (pinned by the property suite). *)
+    byte-identical to direct sweeps (pinned by the property suite).
+
+    A third, cross-run layer sits in front of both: when the suite holds
+    a content-addressed schedule {!Store}, every sweep first asks it for
+    the whole (mode, config) result set — served only when {e every}
+    loop answers with a cached success or a recorded give-up, so the
+    trace machinery below never sees a partial sweep — and every pass
+    the suite does run feeds its per-loop results (successes and
+    give-ups alike) back into the store.  Store hits are byte-identical
+    to cold runs by construction (the store returns the very payload a
+    cold run produced, or a pure-function reconstruction of it from the
+    disk tier).  [Replication_length] sweeps bypass the store: they are
+    derived from the replication runs without scheduling. *)
 
 type t
 
 val create :
-  ?loops:Workload.Generator.loop list -> ?jobs:int -> ?window:int -> unit -> t
+  ?loops:Workload.Generator.loop list ->
+  ?jobs:int ->
+  ?window:int ->
+  ?store:Store.t ->
+  unit ->
+  t
 (** Defaults to the full 678-loop suite.  [jobs] (default 1) is the
     number of domains each uncached sweep runs on ({!Pool}); the caches
     and skeleton store are only touched by the calling domain (per-loop
     hierarchy views are built before work is handed to the pool, and a
     view reaches at most one worker per pass).  [window] speculates that
     many II levels inside every escalation the suite runs or records;
-    results and figures are identical at any window. *)
+    results and figures are identical at any window.  [store] installs a
+    content-addressed schedule store consulted before, and fed by, every
+    sweep (the suite only touches it on the calling domain; remember to
+    {!Store.save} it afterwards when it has a disk tier). *)
 
 val loops : t -> Workload.Generator.loop list
 
@@ -82,7 +102,9 @@ val spill_runs :
     place on recorded levels whose placement overflows this member
     ({!Sched.Driver.Trace.replay}), so only loops that actually overflow
     — and among those only levels where spilling could help — pay for
-    rescheduling.  Not stored in the plain-runs cache. *)
+    rescheduling.  Not stored in the plain-runs cache; in the schedule
+    store it lives under the ["spill"] variant, keyed apart from the
+    plain runs. *)
 
 val benchmark_runs :
   t ->

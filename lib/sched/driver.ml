@@ -1,3 +1,9 @@
+(* Bump whenever a change could alter any schedule, error class or
+   statistic the driver produces: on-disk entries of the
+   content-addressed schedule store are keyed on this string, so stale
+   results self-invalidate instead of surviving a scheduler change. *)
+let version = "sched-7"
+
 type cause = Bus | Recurrence | Registers
 
 type outcome = {

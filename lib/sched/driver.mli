@@ -11,6 +11,13 @@
     partition (adding replicas, dropping dead originals) to eliminate the
     excess communications at the current II. *)
 
+val version : string
+(** Scheduler behaviour version.  Bumped whenever a change could alter
+    any schedule, error class or statistic the driver produces; the
+    on-disk tier of the content-addressed schedule store
+    ({!Metrics.Store}) keys its entries on it, so results cached by an
+    older scheduler self-invalidate. *)
+
 type cause =
   | Bus          (** more communications than bus slots, a copy without a
                      bus slot, or a copy-stretched dependence *)

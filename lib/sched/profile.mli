@@ -1,14 +1,18 @@
-(** Per-phase wall-clock accounting for the scheduling pipeline
-    ([bench --profile]).
+(** Per-phase wall-clock and allocation accounting for the scheduling
+    pipeline ([bench --profile]).
 
     Off by default; {!time} then costs one flag read per call.  When
     enabled, every outermost entry into an instrumented phase adds its
-    wall-clock time to a domain-local counter; domains merge their
-    counters into the global totals with {!flush} — [Metrics.Pool]
-    workers flush on exit, and {!seconds}/{!snapshot} flush the calling
-    domain — so parallel runs report the sum over every participating
-    domain.  Re-entering the phase currently running on this domain is
-    not double-counted. *)
+    wall-clock time and Gc minor/major word deltas to domain-local
+    counters; domains merge their counters into the global totals with
+    {!flush} — [Metrics.Pool] workers flush on exit, and
+    {!seconds}/{!snapshot} flush the calling domain — so parallel runs
+    report the sum over every participating domain.  Re-entering the
+    phase currently running on this domain is not double-counted.
+
+    The cache counters at the bottom are always on (they track the
+    content-addressed schedule store, {!Metrics.Store}, which is
+    consulted outside the hot scheduling path). *)
 
 type phase = Partition | Ordering | Placement | Regalloc | Replication
 
@@ -41,3 +45,27 @@ val seconds : phase -> float
 
 val snapshot : unit -> (string * float) list
 (** [(name, seconds)] for every phase, in {!phases} order. *)
+
+val alloc_words : phase -> int * int
+(** Accumulated [(minor, major)] Gc words allocated during the phase
+    since the last {!reset}, over every flushed domain plus the calling
+    one (implies a {!flush}).  Includes the sampling overhead, a few
+    words per outermost phase entry. *)
+
+val alloc_snapshot : unit -> (string * (int * int)) list
+(** [(name, (minor_words, major_words))] for every phase, in {!phases}
+    order. *)
+
+(** {1 Schedule-store counters}
+
+    Always on, global (the store runs on the orchestrating domain).
+    Zeroed by {!reset}. *)
+
+val cache_hit : unit -> unit
+val cache_miss : unit -> unit
+
+val cache_io : read:int -> written:int -> unit
+(** Add bytes moved to/from the on-disk tier. *)
+
+val cache_counters : unit -> (string * int) list
+(** [("hits", _); ("misses", _); ("bytes_read", _); ("bytes_written", _)]. *)

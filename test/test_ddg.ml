@@ -108,6 +108,143 @@ let test_figure3_shape () =
   in
   check (Alcotest.list Alcotest.string) "comms D E J" [ "D"; "E"; "J" ] coms
 
+(* ---------------- canonical fingerprints (Fingerprint) ------------- *)
+
+(* Rebuild [g] with node ids renumbered by [perm] (perm.(old) = new). *)
+let permuted g perm =
+  let n = Graph.n_nodes g in
+  let inv = Array.make n 0 in
+  Array.iteri (fun old_id new_id -> inv.(new_id) <- old_id) perm;
+  let b = Graph.Builder.create ~name:(Graph.name g) () in
+  Array.iter
+    (fun old_id ->
+      ignore
+        (Graph.Builder.add b ~label:(Graph.label g old_id)
+           (Graph.op g old_id)))
+    inv;
+  List.iter
+    (fun (e : Graph.edge) ->
+      let src = perm.(e.Graph.src) and dst = perm.(e.Graph.dst) in
+      match e.Graph.kind with
+      | Graph.Mem ->
+          Graph.Builder.mem_depend b ~distance:e.Graph.distance ~src ~dst
+      | Graph.Reg ->
+          Graph.Builder.depend b ~latency:e.Graph.latency
+            ~distance:e.Graph.distance ~src ~dst)
+    (Graph.edges g);
+  Graph.Builder.build b
+
+let shuffle_perm rng n =
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Workload.Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+(* Rebuild [g] node-for-node, transforming each edge with [edge]. *)
+let rebuilt g ~edge =
+  let b = Graph.Builder.create () in
+  List.iter
+    (fun v -> ignore (Graph.Builder.add b (Graph.op g v)))
+    (Graph.nodes g);
+  List.iteri
+    (fun i (e : Graph.edge) ->
+      let e = edge i e in
+      match e.Graph.kind with
+      | Graph.Mem ->
+          Graph.Builder.mem_depend b ~distance:e.Graph.distance ~src:e.Graph.src
+            ~dst:e.Graph.dst
+      | Graph.Reg ->
+          Graph.Builder.depend b ~latency:e.Graph.latency
+            ~distance:e.Graph.distance ~src:e.Graph.src ~dst:e.Graph.dst)
+    (Graph.edges g);
+  Graph.Builder.build b
+
+let test_fingerprint_permutation_invariant () =
+  let rng = Workload.Rng.create 0xf19e5 in
+  for seed = 0 to 19 do
+    let g =
+      (Workload.Generator.random ~seed ()).Workload.Generator.graph
+    in
+    let n = Graph.n_nodes g in
+    let fp = Fingerprint.canonical g in
+    let rev = Array.init n (fun i -> n - 1 - i) in
+    List.iter
+      (fun perm ->
+        check bool "renumbering keeps the fingerprint" true
+          (String.equal fp (Fingerprint.canonical (permuted g perm))))
+      [ rev; shuffle_perm rng n ]
+  done
+
+let test_fingerprint_discriminates () =
+  let corpus =
+    List.init 40 (fun seed ->
+        (Workload.Generator.random ~seed ()).Workload.Generator.graph)
+  in
+  (* Soundness (the direction the schedule store relies on): graphs
+     with equal structural encodings must fingerprint identically. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if
+            String.equal
+              (Graph.structural_encoding a)
+              (Graph.structural_encoding b)
+          then
+            check bool "equal structure, equal fingerprint" true
+              (String.equal (Fingerprint.canonical a)
+                 (Fingerprint.canonical b)))
+        corpus)
+    corpus;
+  (* Discrimination sanity: the fuzz corpus should not pile up on a few
+     fingerprint buckets. *)
+  let distinct = Hashtbl.create 64 in
+  List.iter
+    (fun g -> Hashtbl.replace distinct (Fingerprint.canonical g) ())
+    corpus;
+  check bool "fuzz corpus spreads over fingerprints" true
+    (Hashtbl.length distinct >= 35);
+  List.iter
+    (fun g ->
+      check bool "deep equality is reflexive" true
+        (Fingerprint.equal_structure g g))
+    corpus
+
+let test_fingerprint_sensitive () =
+  let g = (Workload.Generator.random ~seed:7 ()).Workload.Generator.graph in
+  let fp = Fingerprint.canonical g in
+  check bool "identity rebuild round-trips" true
+    (String.equal fp (Fingerprint.canonical (rebuilt g ~edge:(fun _ e -> e))));
+  (* Find a register edge to perturb (every generated loop has one). *)
+  let victim =
+    let rec first i = function
+      | [] -> -1
+      | (e : Graph.edge) :: tl ->
+          if e.Graph.kind = Graph.Reg then i else first (i + 1) tl
+    in
+    first 0 (Graph.edges g)
+  in
+  check bool "corpus loop has a register edge" true (victim >= 0);
+  let bump_latency i (e : Graph.edge) =
+    if i = victim then { e with Graph.latency = e.Graph.latency + 1 } else e
+  in
+  let bump_distance i (e : Graph.edge) =
+    if i = victim then { e with Graph.distance = e.Graph.distance + 1 } else e
+  in
+  check bool "latency change changes the fingerprint" false
+    (String.equal fp (Fingerprint.canonical (rebuilt g ~edge:bump_latency)));
+  check bool "distance change changes the fingerprint" false
+    (String.equal fp (Fingerprint.canonical (rebuilt g ~edge:bump_distance)));
+  let empty = Graph.Builder.build (Graph.Builder.create ()) in
+  check bool "empty graph is stable" true
+    (String.equal (Fingerprint.canonical empty) (Fingerprint.canonical empty));
+  check bool "empty differs from non-empty" false
+    (String.equal fp (Fingerprint.canonical empty))
+
 let suite =
   [
     Alcotest.test_case "builder basics" `Quick test_builder_basics;
@@ -122,4 +259,10 @@ let suite =
     Alcotest.test_case "ops of kind" `Quick test_ops_of_kind;
     Alcotest.test_case "dot export" `Quick test_dot_export;
     Alcotest.test_case "figure3 shape" `Quick test_figure3_shape;
+    Alcotest.test_case "fingerprint permutation invariance" `Quick
+      test_fingerprint_permutation_invariant;
+    Alcotest.test_case "fingerprint discrimination" `Quick
+      test_fingerprint_discriminates;
+    Alcotest.test_case "fingerprint sensitivity" `Quick
+      test_fingerprint_sensitive;
   ]

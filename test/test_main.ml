@@ -22,6 +22,7 @@ let () =
       ("unroll", Test_unroll.suite);
       ("acyclic", Test_acyclic.suite);
       ("metrics", Test_metrics.suite);
+      ("store", Test_store.suite);
       ("robustness", Test_robustness.suite);
       ("faults", Test_faults.suite);
       ("sched_error", Test_sched_error.suite);

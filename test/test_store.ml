@@ -1,0 +1,260 @@
+(* Content-addressed schedule store ({!Metrics.Store}): byte-identical
+   cache service through both tiers and at any job count, the caching
+   policy (timeouts and bugs never recorded, give-ups recorded with
+   their class), scheduler-version invalidation of the disk tier,
+   eviction, the independent schedule oracle over fully cache-served
+   runs, and the always-on profile counters. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: tl -> x :: take (k - 1) tl
+
+let small_loops =
+  lazy
+    (List.concat_map
+       (fun b -> take 2 (Workload.Generator.generate b))
+       Workload.Benchmark.all)
+
+let config = Option.get (Machine.Config.of_name "4c1b2l64r")
+
+let render_all ?jobs ?store () =
+  let suite =
+    Metrics.Suite.create ~loops:(Lazy.force small_loops) ?jobs ?store ()
+  in
+  Metrics.Figures.all suite
+
+let renders = Alcotest.(list (pair string string))
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sched_store_test_%d_%d" (Unix.getpid ()) !counter)
+
+let remove_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> remove_dir dir) (fun () -> f dir)
+
+(* A run every figure needs, served entirely from the in-memory tier on
+   the second pass: renders must be byte-identical and the pass must
+   add no misses. *)
+let test_memory_tier_byte_equal () =
+  let store = Metrics.Store.create () in
+  let cold = render_all ~store () in
+  let after_cold = Metrics.Store.stats store in
+  check bool "cold pass recorded misses" true (after_cold.misses > 0);
+  let warm = render_all ~store () in
+  let after_warm = Metrics.Store.stats store in
+  check renders "memory-tier service is byte-identical" cold warm;
+  check int "warm pass added no misses" after_cold.misses after_warm.misses;
+  check bool "warm pass hit" true (after_warm.hits > after_cold.hits)
+
+(* Same through the disk tier: a fresh store over the saved directory
+   must serve the whole figure suite without a single miss, and a
+   parallel suite (jobs=8) over yet another fresh store must agree
+   byte-for-byte. *)
+let test_disk_tier_byte_equal () =
+  with_dir @@ fun dir ->
+  let s1 = Metrics.Store.create ~dir () in
+  let cold = render_all ~store:s1 () in
+  Metrics.Store.save s1;
+  check bool "disk tier wrote bytes" true
+    ((Metrics.Store.stats s1).bytes_written > 0);
+  let s2 = Metrics.Store.create ~dir () in
+  let warm = render_all ~store:s2 () in
+  let st2 = Metrics.Store.stats s2 in
+  check renders "disk-tier service is byte-identical" cold warm;
+  check int "warm run from disk has zero misses" 0 st2.misses;
+  check bool "warm run from disk hit" true (st2.hits > 0);
+  check bool "warm run read the disk tier" true (st2.bytes_read > 0);
+  let s3 = Metrics.Store.create ~dir () in
+  let warm8 = render_all ~jobs:8 ~store:s3 () in
+  check renders "cache-served figures at jobs=8" cold warm8;
+  check int "jobs=8 warm run has zero misses" 0
+    (Metrics.Store.stats s3).misses
+
+(* Every schedule a cache-served sweep returns must satisfy the
+   independent oracle, exactly like a direct run's ({!Check.Validate}
+   knows nothing about the store). *)
+let test_validate_cache_served () =
+  with_dir @@ fun dir ->
+  let loops = take 8 (Lazy.force small_loops) in
+  let populate = Metrics.Store.create ~dir () in
+  let cold_suite = Metrics.Suite.create ~loops ~store:populate () in
+  List.iter
+    (fun mode -> ignore (Metrics.Suite.runs cold_suite mode config))
+    [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ];
+  Metrics.Store.save populate;
+  let serve = Metrics.Store.create ~dir () in
+  let warm_suite = Metrics.Suite.create ~loops ~store:serve () in
+  List.iter
+    (fun mode ->
+      let runs = Metrics.Suite.runs warm_suite mode config in
+      check bool "cache-served sweep produced runs" true (runs <> []);
+      List.iter
+        (fun (r : Metrics.Experiment.loop_run) ->
+          match
+            Check.Validate.run ~original:r.loop.Workload.Generator.graph
+              r.outcome.Sched.Driver.schedule
+          with
+          | Ok () -> ()
+          | Error issues ->
+              Alcotest.failf "oracle rejects cache-served %s: %s"
+                r.loop.Workload.Generator.id
+                (String.concat "; " (Check.Validate.to_strings issues)))
+        runs)
+    [ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ];
+  check int "oracle pass was fully cache-served" 0
+    (Metrics.Store.stats serve).misses
+
+let lookup_is_miss store l =
+  match
+    Metrics.Store.lookup store ~mode:Metrics.Experiment.Baseline ~config l
+  with
+  | Metrics.Store.Miss -> true
+  | Metrics.Store.Hit _ | Metrics.Store.Hit_give_up _ -> false
+
+(* Timeouts are wall-clock-dependent and bug-class errors must stay
+   loud, so recording either is a silent no-op; give-ups are data and
+   come back with their class. *)
+let test_record_policy () =
+  let l = List.hd (Lazy.force small_loops) in
+  let store = Metrics.Store.create () in
+  let record err =
+    Metrics.Store.record store ~mode:Metrics.Experiment.Baseline ~config l
+      (Error err)
+  in
+  record (Sched.Sched_error.Timeout { at_ii = 3; attempts = 0; elapsed_s = 0.1 });
+  check bool "timeout never cached" true (lookup_is_miss store l);
+  record (Sched.Sched_error.Internal "boom");
+  check bool "bug never cached" true (lookup_is_miss store l);
+  record (Sched.Sched_error.Checker_violation [ "bad" ]);
+  check bool "checker violation never cached" true (lookup_is_miss store l);
+  let give_up = Sched.Sched_error.Escalation_cap { mii = 3; cap = 5 } in
+  record give_up;
+  (match
+     Metrics.Store.lookup store ~mode:Metrics.Experiment.Baseline ~config l
+   with
+  | Metrics.Store.Hit_give_up (cls, _) ->
+      check Alcotest.string "give-up class round-trips"
+        (Sched.Sched_error.class_name give_up)
+        cls
+  | Metrics.Store.Hit _ | Metrics.Store.Miss ->
+      Alcotest.fail "give-up was not cached");
+  (* A success recorded after the give-up does not displace it (first
+     write wins; determinism makes a real conflict impossible). *)
+  (match Metrics.Experiment.run_loop Metrics.Experiment.Baseline config l with
+  | Ok r ->
+      Metrics.Store.record store ~mode:Metrics.Experiment.Baseline ~config l
+        (Ok r)
+  | Error e -> Alcotest.failf "run failed: %s" (Sched.Sched_error.to_string e));
+  match
+    Metrics.Store.lookup store ~mode:Metrics.Experiment.Baseline ~config l
+  with
+  | Metrics.Store.Hit_give_up _ -> ()
+  | Metrics.Store.Hit _ | Metrics.Store.Miss ->
+      Alcotest.fail "first write did not win"
+
+let record_success store l =
+  match Metrics.Experiment.run_loop Metrics.Experiment.Baseline config l with
+  | Ok r ->
+      Metrics.Store.record store ~mode:Metrics.Experiment.Baseline ~config l
+        (Ok r);
+      r
+  | Error e -> Alcotest.failf "run failed: %s" (Sched.Sched_error.to_string e)
+
+let replace_all ~sub ~by text =
+  let ls = String.length sub and lt = String.length text in
+  let buf = Buffer.create lt in
+  let i = ref 0 in
+  while !i <= lt - ls do
+    if String.equal (String.sub text !i ls) sub then begin
+      Buffer.add_string buf by;
+      i := !i + ls
+    end
+    else begin
+      Buffer.add_char buf text.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_substring buf text !i (lt - !i);
+  Buffer.contents buf
+
+(* A saved file stamped by a different scheduler version must be
+   ignored wholesale: stale caches self-invalidate. *)
+let test_version_invalidation () =
+  with_dir @@ fun dir ->
+  let l = List.hd (Lazy.force small_loops) in
+  let store = Metrics.Store.create ~dir () in
+  ignore (record_success store l);
+  Metrics.Store.save store;
+  let reread = Metrics.Store.create ~dir () in
+  check bool "same version serves" false (lookup_is_miss reread l);
+  Array.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let text = In_channel.with_open_text path In_channel.input_all in
+      let patched =
+        replace_all ~sub:Sched.Driver.version ~by:"stale-0" text
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc patched))
+    (Sys.readdir dir);
+  let fresh = Metrics.Store.create ~dir () in
+  check bool "other scheduler version ignored" true (lookup_is_miss fresh l)
+
+let test_evict () =
+  let l = List.hd (Lazy.force small_loops) in
+  let store = Metrics.Store.create () in
+  let r = record_success store l in
+  check bool "recorded entry answers" false (lookup_is_miss store l);
+  Metrics.Store.evict store ~mode:Metrics.Experiment.Baseline ~config l;
+  check bool "evicted entry misses" true (lookup_is_miss store l);
+  Metrics.Store.record store ~mode:Metrics.Experiment.Baseline ~config l
+    (Ok r);
+  check bool "re-recorded entry answers again" false (lookup_is_miss store l)
+
+(* The always-on global counters ({!Sched.Profile.cache_counters})
+   mirror per-store traffic. *)
+let test_profile_counters () =
+  let counters () = Sched.Profile.cache_counters () in
+  let before = counters () in
+  let l = List.hd (Lazy.force small_loops) in
+  let store = Metrics.Store.create () in
+  check bool "cold lookup misses" true (lookup_is_miss store l);
+  ignore (record_success store l);
+  check bool "recorded lookup hits" false (lookup_is_miss store l);
+  let after = counters () in
+  let delta k = List.assoc k after - List.assoc k before in
+  check bool "global hit counter advanced" true (delta "hits" >= 1);
+  check bool "global miss counter advanced" true (delta "misses" >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "memory tier byte equality" `Quick
+      test_memory_tier_byte_equal;
+    Alcotest.test_case "disk tier byte equality (jobs 1 and 8)" `Slow
+      test_disk_tier_byte_equal;
+    Alcotest.test_case "oracle over cache-served runs" `Slow
+      test_validate_cache_served;
+    Alcotest.test_case "record policy" `Quick test_record_policy;
+    Alcotest.test_case "scheduler-version invalidation" `Quick
+      test_version_invalidation;
+    Alcotest.test_case "evict" `Quick test_evict;
+    Alcotest.test_case "profile cache counters" `Quick test_profile_counters;
+  ]

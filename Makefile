@@ -1,7 +1,8 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all check check-fast test check-faults fuzz-smoke validate-quick \
-  check-cache bench bench-smoke bench-scaling bench-warm bench-diff clean
+  check-cache check-serve bench bench-smoke bench-scaling bench-warm \
+  bench-diff clean
 
 all:
 	dune build
@@ -49,6 +50,14 @@ check-cache:
 	diff /tmp/suite_cold.txt /tmp/suite_warm.txt
 	grep -q "misses=0 " /tmp/suite_warm_err.txt
 	rm -rf /tmp/sched_cache_gate
+
+# Serve gate: a real `repro serve` daemon driven through the whole
+# degradation ladder — cold/warm/restart replies byte-identical to
+# direct runs, overload shedding at the queue bound, budget timeouts,
+# bad-request, poison quarantine, torn-table-file recovery and a clean
+# SIGTERM drain (scripts/check_serve.sh; see docs/SERVING.md).
+check-serve:
+	sh scripts/check_serve.sh
 
 # Full benchmark run (all 678 loops; takes a while).  Requests 8 jobs;
 # the harness clamps to the machine's recommended domain count and

@@ -467,9 +467,12 @@ let run_warm ~quick ~jobs ~dir () =
     let dt = Unix.gettimeofday () -. t0 in
     let ok = List.for_all (fun t -> t.t_ok) timings in
     let st = Metrics.Store.stats store in
-    Printf.printf
-      "--- %s pass: %.1fs (cache: %d hits, %d misses)%s ---\n\n%!" label dt
-      st.Metrics.Store.hits st.Metrics.Store.misses
+    (* cache traffic goes to stderr in the shared [repro] one-line
+       format; stdout keeps only the human timing line *)
+    Metrics.Log.cache_stats ~hits:st.Metrics.Store.hits
+      ~misses:st.Metrics.Store.misses ~bytes_read:st.Metrics.Store.bytes_read
+      ~bytes_written:st.Metrics.Store.bytes_written;
+    Printf.printf "--- %s pass: %.1fs%s ---\n\n%!" label dt
       (if ok then "" else " [sections FAILED]");
     (dt, ok, n_loops, st)
   in
@@ -805,12 +808,7 @@ let () =
             exit 2)
   in
   let jobs = Metrics.Pool.clamp_jobs jobs_requested in
-  if jobs <> jobs_requested then
-    Printf.eprintf
-      "bench: --jobs %d clamped to %d (the recommended domain count of \
-       this machine)\n\
-       %!"
-      jobs_requested jobs;
+  Metrics.Log.clamp_warning ~requested:jobs_requested ~effective:jobs;
   let bench_json = value_of "--bench-json" in
   let quick = has "--quick" in
   let profiling = has "--profile" in

@@ -6,6 +6,8 @@
    repro faults    - run the fault-injection catalog against the checker
    repro workload  - describe the synthetic 678-loop suite
    repro example   - walk through the paper's Figure-3 worked example
+   repro serve     - long-running scheduling service on a Unix socket
+   repro client    - talk to a running serve daemon
 
    Scheduling failures exit with the stable per-class codes of
    Sched.Sched_error.exit_code and print one structured line on stderr:
@@ -223,12 +225,7 @@ let loop_cmd =
    eight-way run (the bench harness warns and records likewise). *)
 let effective_jobs jobs =
   let e = Metrics.Pool.clamp_jobs jobs in
-  if e <> jobs then
-    Printf.eprintf
-      "repro: --jobs %d clamped to %d (the recommended domain count of \
-       this machine)\n\
-       %!"
-      jobs e;
+  Metrics.Log.clamp_warning ~requested:jobs ~effective:e;
   e
 
 let suite_run config quick jobs window strict retry checkpoint poison budget
@@ -256,8 +253,11 @@ let suite_run config quick jobs window strict retry checkpoint poison budget
             None)
     | _ -> None
   in
+  (* Retries are spaced by a jittered exponential backoff so a resource
+     blip on a loaded machine is not retried straight back into. *)
+  let backoff = if retry then Some (Metrics.Backoff.make ()) else None in
   let outcome =
-    Metrics.Robust.run ~jobs ~retry ~poison ?budget_s:budget
+    Metrics.Robust.run ~jobs ~retry ?backoff ~poison ?budget_s:budget
       ?window:(if window > 1 then Some window else None) ?resume ?store
       ~modes:[ Metrics.Experiment.Baseline; Metrics.Experiment.Replication ]
       config loops
@@ -267,10 +267,9 @@ let suite_run config quick jobs window strict retry checkpoint poison budget
   | Some s ->
       Metrics.Store.save s;
       let st = Metrics.Store.stats s in
-      Printf.eprintf
-        "repro: cache hits=%d misses=%d read=%dB written=%dB\n%!"
-        st.Metrics.Store.hits st.Metrics.Store.misses
-        st.Metrics.Store.bytes_read st.Metrics.Store.bytes_written);
+      Metrics.Log.cache_stats ~hits:st.Metrics.Store.hits
+        ~misses:st.Metrics.Store.misses ~bytes_read:st.Metrics.Store.bytes_read
+        ~bytes_written:st.Metrics.Store.bytes_written);
   (match checkpoint with
   | Some path ->
       Metrics.Checkpoint.save outcome.Metrics.Robust.o_checkpoint ~path;
@@ -690,6 +689,303 @@ let workload_cmd =
     Term.(const workload_describe $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* serve / client: the long-running scheduling service                 *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/repro-serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_run socket cache queue_bound budget budget_attempts retries poison =
+  let limits =
+    {
+      Metrics.Serve.queue_bound;
+      budget_s = budget;
+      budget_attempts;
+      retries;
+    }
+  in
+  exit (Metrics.Serve.serve_unix ~limits ~poison ?store_dir:cache ~socket ())
+
+let serve_cmd =
+  let cache =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Persist the schedule store under $(docv): entries survive \
+             restarts and are served warm.  A corrupt table file is \
+             quarantined at startup, not fatal.")
+  in
+  let queue_bound =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Admitted-but-unanswered requests beyond which new requests \
+             are shed with an overloaded reply.")
+  in
+  let budget =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Default wall-clock budget per request (a request's own \
+             budget_s field overrides); expiry degrades the reply to a \
+             timeout class.")
+  in
+  let budget_attempts =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget-attempts" ] ~docv:"N"
+          ~doc:"Default escalation-attempt budget per request.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Re-attempts (with exponential backoff) before a faulting \
+             request is convicted and its key poisoned.")
+  in
+  let poison =
+    Arg.(
+      value & opt (list string) []
+      & info [ "poison" ] ~docv:"IDS"
+          ~doc:
+            "Inject a fault into schedule requests for the named loop ids \
+             (testing the per-request quarantine).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling service: a Unix-socket daemon answering \
+          schedule requests from the content-addressed store, with \
+          backpressure, per-request budgets, retry with backoff, poison \
+          quarantine and clean SIGTERM drain.")
+    Term.(
+      const serve_run $ socket_arg $ cache $ queue_bound $ budget
+      $ budget_attempts $ retries $ poison)
+
+let client_requests config mode benchmark indices repeat budget_s
+    budget_attempts evict =
+  let loops = Workload.Generator.generate (Workload.Benchmark.find benchmark) in
+  let picked =
+    List.map
+      (fun i ->
+        try List.nth loops i
+        with _ ->
+          failwith
+            (Printf.sprintf "%s has %d loops" benchmark (List.length loops)))
+      indices
+  in
+  List.concat_map
+    (fun (l : Workload.Generator.loop) ->
+      List.init repeat (fun k ->
+          let id = Printf.sprintf "%s#%d" l.Workload.Generator.id k in
+          if evict then Metrics.Serve.evict_request ~id ~mode ~config l
+          else
+            Metrics.Serve.request ~id ?budget_s ?budget_attempts ~mode ~config
+              l))
+    picked
+
+let client_direct config mode benchmark indices repeat budget_s budget_attempts
+    =
+  let loops = Workload.Generator.generate (Workload.Benchmark.find benchmark) in
+  List.concat_map
+    (fun i ->
+      let l = List.nth loops i in
+      List.init repeat (fun k ->
+          let id = Printf.sprintf "%s#%d" l.Workload.Generator.id k in
+          Metrics.Serve.direct_reply ~id ?budget_s ?budget_attempts ~mode
+            ~config l))
+    indices
+
+let client_exchange ~socket ~timeout_s lines =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "repro: error class=server cannot connect to %s: %s\n%!"
+        socket (Unix.error_message e);
+      exit 22
+  | () -> ());
+  List.iter
+    (fun line ->
+      let b = Bytes.of_string (line ^ "\n") in
+      let n = Bytes.length b in
+      let rec send off =
+        if off < n then
+          match Unix.write fd b off (n - off) with
+          | w -> send (off + w)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> send off
+      in
+      send 0)
+    lines;
+  (* Read one reply per request; tolerate an early EOF (the daemon may
+     be draining) and a deadline (so CI cannot hang on a stuck daemon). *)
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let expected = List.length lines in
+  let got = ref 0 in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let eof = ref false in
+  while (not !eof) && !got < expected do
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0. then begin
+      Printf.eprintf "repro: error class=server reply timeout after %gs\n%!"
+        timeout_s;
+      exit 22
+    end;
+    match Unix.select [ fd ] [] [] remaining with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | 0 -> eof := true
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            let s = Buffer.contents buf in
+            (match String.rindex_opt s '\n' with
+            | None -> ()
+            | Some last ->
+                Buffer.clear buf;
+                Buffer.add_string buf
+                  (String.sub s (last + 1) (String.length s - last - 1));
+                List.iter
+                  (fun line ->
+                    if not (String.equal line "") then begin
+                      incr got;
+                      print_endline line
+                    end)
+                  (String.split_on_char '\n' (String.sub s 0 last))))
+  done;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  if !eof && !got < expected then
+    Printf.eprintf "repro: daemon closed after %d of %d replies (draining?)\n%!"
+      !got expected
+
+let mode_conv =
+  let parse s =
+    match Metrics.Experiment.mode_of_tag s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "bad mode tag: %s" s))
+  in
+  Arg.conv
+    (parse, fun ppf m -> Format.pp_print_string ppf (Metrics.Experiment.mode_tag m))
+
+let client_run socket local config mode benchmark indices repeat budget_s
+    budget_attempts evict health stats raw timeout_s =
+  if local then
+    List.iter print_endline
+      (client_direct config mode benchmark indices repeat budget_s
+         budget_attempts)
+  else begin
+    let lines =
+      (match raw with
+      | Some line -> [ line ]
+      | None ->
+          if indices = [] then []
+          else
+            client_requests config mode benchmark indices repeat budget_s
+              budget_attempts evict)
+      @ (if health then [ Metrics.Serve.health_request () ] else [])
+      @ if stats then [ Metrics.Serve.stats_request () ] else []
+    in
+    if lines = [] then
+      Printf.eprintf "repro: client has nothing to send (see --loops)\n%!"
+    else client_exchange ~socket ~timeout_s lines
+  end
+
+let client_cmd =
+  let local =
+    Arg.(
+      value & flag
+      & info [ "local" ]
+          ~doc:
+            "Do not contact a daemon: print the reference replies computed \
+             inline ($(b,Serve.direct_reply)) — the equality gate diffs \
+             these against daemon replies.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Metrics.Experiment.Baseline
+      & info [ "mode" ] ~docv:"TAG"
+          ~doc:"Mode tag: base, repl, repl0, macro, repllen.")
+  in
+  let benchmark =
+    Arg.(
+      value & opt string "tomcatv"
+      & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let indices =
+    Arg.(
+      value
+      & opt (list int) [ 0 ]
+      & info [ "loops" ] ~docv:"INDICES"
+          ~doc:"Comma-separated loop indices within the benchmark.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Send each request N times (load/overload testing).")
+  in
+  let budget_s =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Per-request wall budget field.")
+  in
+  let budget_attempts =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget-attempts" ] ~docv:"N"
+          ~doc:
+            "Per-request escalation-attempt budget field (0 degrades every \
+             miss to a timeout reply).")
+  in
+  let evict =
+    Arg.(
+      value & flag
+      & info [ "evict" ]
+          ~doc:"Send evict requests for the selected loops instead.")
+  in
+  let health =
+    Arg.(value & flag & info [ "health" ] ~doc:"Append a health request.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Append a stats request.")
+  in
+  let raw =
+    Arg.(
+      value & opt (some string) None
+      & info [ "raw" ] ~docv:"LINE"
+          ~doc:
+            "Send $(docv) verbatim instead of building schedule requests \
+             (testing the bad-request path).")
+  in
+  let timeout_s =
+    Arg.(
+      value & opt float 60.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Give up waiting for replies after $(docv) seconds.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running repro serve daemon: send schedule, evict, \
+          health and stats requests and print one reply line each; or \
+          print the inline reference replies with --local.")
+    Term.(
+      const client_run $ socket_arg $ local $ config_arg $ mode $ benchmark
+      $ indices $ repeat $ budget_s $ budget_attempts $ evict $ health $ stats
+      $ raw $ timeout_s)
+
+(* ------------------------------------------------------------------ *)
 (* example: the paper's Figure 3 walkthrough                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -775,5 +1071,6 @@ let () =
        (Cmd.group info
           [
             figures_cmd; loop_cmd; suite_cmd; faults_cmd; validate_cmd;
-            fuzz_cmd; benchmark_cmd; workload_cmd; example_cmd;
+            fuzz_cmd; benchmark_cmd; workload_cmd; example_cmd; serve_cmd;
+            client_cmd;
           ]))

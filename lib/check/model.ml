@@ -11,6 +11,10 @@ type cmd =
   | Sweep of { loop : int; regs : int list }
   | Cache_probe of { mode : int; loop : int }
   | Cache_evict of { mode : int; loop : int }
+  | Serve_request of { mode : int; loop : int }
+  | Serve_evict of { mode : int; loop : int }
+  | Serve_restart
+  | Serve_burst of { reqs : (int * int) list }
 
 let cmd_to_string = function
   | Run_loop { mode; loop } -> Printf.sprintf "Run_loop(mode=%d,loop=%d)" mode loop
@@ -29,6 +33,15 @@ let cmd_to_string = function
       Printf.sprintf "Cache_probe(mode=%d,loop=%d)" mode loop
   | Cache_evict { mode; loop } ->
       Printf.sprintf "Cache_evict(mode=%d,loop=%d)" mode loop
+  | Serve_request { mode; loop } ->
+      Printf.sprintf "Serve_request(mode=%d,loop=%d)" mode loop
+  | Serve_evict { mode; loop } ->
+      Printf.sprintf "Serve_evict(mode=%d,loop=%d)" mode loop
+  | Serve_restart -> "Serve_restart"
+  | Serve_burst { reqs } ->
+      Printf.sprintf "Serve_burst(%s)"
+        (String.concat ";"
+           (List.map (fun (m, l) -> Printf.sprintf "%d/%d" m l) reqs))
 
 (* ------------------------------------------------------------------ *)
 (* The fixed environment: four tomcatv loops on the paper's reference
@@ -64,6 +77,11 @@ type model = {
   sweeps : (int * int, string) Hashtbl.t;
       (* (loop index, register count) -> outcome signature, shared by
          direct schedules and sweep replays *)
+  serve_replies : (int * int, string) Hashtbl.t;
+      (* (mode, loop) -> the reply bytes a serve daemon owes this
+         request: memoized from Serve.direct_reply on first use, pinned
+         forever after — hits, recomputes after evict, and warm replies
+         after a restart must all produce exactly these bytes *)
   mutable table : string option;   (* IPC table of a clean full run *)
   mutable last_cp : (string * string * string) list option;
   mutable saved : (string * string * string) list option;
@@ -73,6 +91,8 @@ type env = {
   sabotage : string;
   manifest_path : string;
   store : Metrics.Store.t;  (* memory-tier schedule store under test *)
+  serve_dir : string;  (* disk tier of the serve engine under test *)
+  mutable serve : Metrics.Serve.t;
   mutable last_cp_real : Metrics.Checkpoint.t option;
   mutable saved_real : Metrics.Checkpoint.t option;
 }
@@ -127,6 +147,46 @@ let table_of (o : Metrics.Robust.outcome) =
   Metrics.Robust.ipc_table base_config
     ~base:(Metrics.Robust.summaries o ~mode:"base")
     ~repl:(Metrics.Robust.summaries o ~mode:"repl")
+
+(* --- the fake serve daemon's contract ------------------------------ *)
+
+(* Deterministic, never-sleeping engine over the run's disk tier. *)
+let fresh_serve ~dir =
+  Metrics.Serve.create
+    ~io:(Metrics.Serve.Io.silent ())
+    ~backoff:(Metrics.Backoff.none ())
+    ~store_dir:dir ()
+
+(* The "serve-starve" sabotage silently staples a zero-attempt budget
+   to every request the harness sends: the first miss then degrades to
+   a timeout reply instead of the memoized direct bytes — which the
+   postcondition must catch. *)
+let serve_request_line env ~mode l =
+  let md = mode_of.(mode) in
+  if env.sabotage = "serve-starve" then
+    Metrics.Serve.request ~budget_attempts:0 ~mode:md ~config:base_config l
+  else Metrics.Serve.request ~mode:md ~config:base_config l
+
+let check_serve_reply m ~mode ~loop reply =
+  let expect =
+    match Hashtbl.find_opt m.serve_replies (mode, loop) with
+    | Some e -> e
+    | None ->
+        let l = (Lazy.force env_loops).(loop) in
+        let d =
+          Metrics.Serve.direct_reply ~mode:mode_of.(mode) ~config:base_config l
+        in
+        Hashtbl.replace m.serve_replies (mode, loop) d;
+        d
+  in
+  if reply <> expect then
+    post "serve reply diverged from the direct run: wanted %S, got %S" expect
+      reply
+
+let serve_one env m ~mode ~loop =
+  let l = (Lazy.force env_loops).(loop) in
+  let line = serve_request_line env ~mode l in
+  check_serve_reply m ~mode ~loop (Metrics.Serve.handle env.serve line)
 
 (* ------------------------------------------------------------------ *)
 (* Command execution: real system on the left, fake on the right       *)
@@ -285,6 +345,58 @@ let exec env m cmd =
           post "evicted entry still answered");
       let sg = run_sig (Metrics.Experiment.run_loop md base_config l) in
       observe m ~tag ~id:l.Workload.Generator.id sg
+  | Serve_request { mode; loop } -> serve_one env m ~mode ~loop
+  | Serve_evict { mode; loop } ->
+      (* The ack is fixed bytes; coherence is checked by whatever
+         Serve_request comes later — the recompute must reproduce the
+         memoized reply exactly, or the store fed the server stale
+         data. *)
+      let l = loops.(loop) in
+      let md = mode_of.(mode) in
+      let reply =
+        Metrics.Serve.handle env.serve
+          (Metrics.Serve.evict_request ~mode:md ~config:base_config l)
+      in
+      let expect =
+        Metrics.Json.print
+          (Metrics.Json.Obj
+             [
+               ("id", Metrics.Json.Str l.Workload.Generator.id);
+               ("status", Metrics.Json.Str "ok");
+               ("role", Metrics.Json.Str "evict");
+             ])
+      in
+      if reply <> expect then
+        post "serve evict ack diverged: wanted %S, got %S" expect reply
+  | Serve_restart ->
+      (* Persist the disk tier and boot a fresh engine over it: from the
+         model's point of view nothing may change — warm replies must
+         still be the memoized bytes. *)
+      Metrics.Serve.save env.serve;
+      env.serve <- fresh_serve ~dir:env.serve_dir
+  | Serve_burst { reqs } ->
+      (* Concurrent pipelined clients: every request is admitted before
+         any is answered, then the engine steps them one by one.
+         Replies must come back in admission order and each must be
+         byte-identical to the direct run, however they interleave. *)
+      let lines =
+        List.map (fun (mode, loop) -> serve_request_line env ~mode loops.(loop))
+          reqs
+      in
+      List.iter
+        (fun line ->
+          match Metrics.Serve.offer env.serve line with
+          | None -> ()
+          | Some _ -> post "burst within the queue bound was shed")
+        lines;
+      List.iter2
+        (fun (mode, loop) line ->
+          match Metrics.Serve.step env.serve with
+          | None -> post "engine lost an admitted request"
+          | Some (line', reply) ->
+              if line' <> line then post "replies out of admission order";
+              check_serve_reply m ~mode ~loop reply)
+        reqs lines
 
 (* ------------------------------------------------------------------ *)
 (* Generation, preconditions, shrinking                                *)
@@ -294,7 +406,7 @@ let gen_cmds rng ~len =
   let has_cp = ref false and has_saved = ref false in
   List.init len (fun _ ->
       let rec pick () =
-        match Rng.int rng 14 with
+        match Rng.int rng 18 with
         | 0 | 1 | 2 ->
             Run_loop { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
         | 3 -> Budget_timeout { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
@@ -320,6 +432,18 @@ let gen_cmds rng ~len =
               }
         | 12 -> Cache_probe { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
         | 13 -> Cache_evict { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
+        | 14 ->
+            Serve_request { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
+        | 15 -> Serve_evict { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
+        | 16 -> Serve_restart
+        | 17 ->
+            Serve_burst
+              {
+                reqs =
+                  List.init
+                    (2 + Rng.int rng 3)
+                    (fun _ -> (Rng.int rng 2, Rng.int rng n_loops));
+              }
         | _ -> pick ()
       in
       pick ())
@@ -332,8 +456,16 @@ let valid cmds =
       | Run_loop { mode; loop }
       | Budget_timeout { mode; loop }
       | Cache_probe { mode; loop }
-      | Cache_evict { mode; loop } ->
+      | Cache_evict { mode; loop }
+      | Serve_request { mode; loop }
+      | Serve_evict { mode; loop } ->
           (mode = 0 || mode = 1) && loop_ok loop
+      | Serve_restart -> true
+      | Serve_burst { reqs } ->
+          reqs <> []
+          && List.for_all
+               (fun (m, l) -> (m = 0 || m = 1) && loop_ok l)
+               reqs
       | Run_suite { jobs } ->
           has_cp := true;
           jobs >= 1
@@ -353,24 +485,39 @@ let valid cmds =
 
 type failure = { x_index : int; x_cmd : cmd; x_msg : string }
 
+let remove_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
 let run_cmds ?(sabotage = "") cmds =
   let manifest_path = Filename.temp_file "model" ".json" in
+  let serve_dir = Filename.temp_file "model_serve" "" in
+  Sys.remove serve_dir;
   let env =
     {
       sabotage;
       manifest_path;
       store = Metrics.Store.create ();
+      serve_dir;
+      serve = fresh_serve ~dir:serve_dir;
       last_cp_real = None;
       saved_real = None;
     }
   in
   Fun.protect
-    ~finally:(fun () -> try Sys.remove manifest_path with Sys_error _ -> ())
+    ~finally:(fun () ->
+      (try Sys.remove manifest_path with Sys_error _ -> ());
+      remove_dir serve_dir)
     (fun () ->
       let m =
         {
           learned = Hashtbl.create 16;
           sweeps = Hashtbl.create 16;
+          serve_replies = Hashtbl.create 16;
           table = None;
           last_cp = None;
           saved = None;

@@ -54,6 +54,24 @@ type cmd =
   | Cache_evict of { mode : int; loop : int }
       (** evict the pair's store entry: the next lookup must miss, and
           recomputing the loop must still match the model's history *)
+  | Serve_request of { mode : int; loop : int }
+      (** one schedule request through an in-memory serve engine
+          ({!Metrics.Serve.handle}): the reply bytes must equal
+          {!Metrics.Serve.direct_reply} of the same (mode, loop), as
+          memoized by the fake on first use — cold misses, warm hits
+          and post-restart disk hits are all held to the same bytes *)
+  | Serve_evict of { mode : int; loop : int }
+      (** evict through the serve engine: the ack is fixed bytes, and a
+          later [Serve_request] of the pair must recompute to exactly
+          the memoized reply *)
+  | Serve_restart
+      (** persist the engine's disk tier and replace the engine with a
+          fresh one over the same directory — warm replies afterwards
+          must still match the memoized bytes *)
+  | Serve_burst of { reqs : (int * int) list }
+      (** concurrent pipelined clients: admit every request before
+          stepping any, then require replies in admission order, each
+          byte-identical to the direct run *)
 
 val cmd_to_string : cmd -> string
 
@@ -75,7 +93,10 @@ val run_cmds : ?sabotage:string -> cmd list -> (unit, failure) result
 (** Execute a sequence against the real system and the fake.  Each call
     builds a fresh environment (loops, config, temp manifest file).
     [sabotage] (for tests of the harness itself): ["ignore-budget"]
-    silently drops the budget from [Budget_timeout] on the real side. *)
+    silently drops the budget from [Budget_timeout] on the real side;
+    ["serve-starve"] staples a zero-attempt budget to every serve
+    request, so the first cold miss degrades to a timeout reply instead
+    of the direct-run bytes. *)
 
 type counterexample = {
   c_seed : int;

@@ -1,0 +1,39 @@
+(* Capped exponential backoff with seeded jitter and an injectable
+   sleep.  The jitter source is a private Random.State so delays are a
+   pure function of (seed, number of calls so far) — tests pin the
+   whole schedule without sleeping. *)
+
+type t = {
+  base_s : float;
+  factor : float;
+  max_s : float;
+  jitter : float;
+  rng : Random.State.t;
+  sleep : float -> unit;
+}
+
+let make ?(base_s = 0.05) ?(factor = 2.0) ?(max_s = 2.0) ?(jitter = 0.5)
+    ?(seed = 0) ?(sleep = Unix.sleepf) () =
+  if base_s < 0. || factor < 1. || max_s < 0. then
+    invalid_arg "Backoff.make: negative delay or factor below 1";
+  if jitter < 0. || jitter > 1. then
+    invalid_arg "Backoff.make: jitter outside [0, 1]";
+  { base_s; factor; max_s; jitter; rng = Random.State.make [| seed |]; sleep }
+
+let delay t ~attempt =
+  if attempt < 0 then invalid_arg "Backoff.delay: negative attempt";
+  let d = min t.max_s (t.base_s *. (t.factor ** float_of_int attempt)) in
+  if t.jitter = 0. then d
+  else begin
+    (* uniform in [d * (1 - jitter), d]; the stream advances exactly
+       once per call so schedules stay reproducible *)
+    let u = Random.State.float t.rng 1.0 in
+    d *. (1. -. (t.jitter *. u))
+  end
+
+let pause t ~attempt =
+  let d = delay t ~attempt in
+  if d > 0. then t.sleep d
+
+let none () =
+  make ~base_s:0. ~max_s:0. ~jitter:0. ~sleep:(fun _ -> ()) ()

@@ -1,0 +1,45 @@
+(** Exponential backoff with deterministic jitter, behind an injectable
+    sleep.
+
+    Retry paths (the suite runner's [--retry], the serve daemon's
+    transient-fault recovery) used to re-run a failed item immediately;
+    on a loaded machine that retries straight into the same resource
+    blip.  A backoff spaces attempt [k]'s retry by
+    [min max_s (base_s * factor^k)], shrunk by a jittered fraction so
+    simultaneous retriers decorrelate.
+
+    Everything is deterministic and injectable, in the spirit of
+    {!Sched.Budget}'s clock: the jitter stream is seeded (same seed,
+    same delays) and the sleep is a parameter, so unit tests assert the
+    exact schedule with a recording fake and never actually wait. *)
+
+type t
+
+val make :
+  ?base_s:float ->
+  ?factor:float ->
+  ?max_s:float ->
+  ?jitter:float ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  unit ->
+  t
+(** Defaults: [base_s = 0.05], [factor = 2.0], [max_s = 2.0],
+    [jitter = 0.5], [seed = 0], [sleep = Unix.sleepf].  [jitter] is the
+    fraction of each delay that is randomized: a delay [d] becomes
+    uniform in [[d * (1 - jitter), d]] ([0.] disables jitter, making
+    {!delay} exactly the capped exponential). *)
+
+val delay : t -> attempt:int -> float
+(** The delay before retry number [attempt] (0-based), advancing the
+    jitter stream.  Non-negative; deterministic for a given [(seed,
+    call sequence)]. *)
+
+val pause : t -> attempt:int -> unit
+(** [sleep (delay t ~attempt)] — skipping the sleep entirely for a zero
+    delay. *)
+
+val none : unit -> t
+(** A backoff that never waits (all delays 0, sleep never called):
+    the immediate-retry behaviour, for callers that need the old
+    semantics or tests that want no pauses. *)

@@ -12,6 +12,14 @@ let mode_tag = function
   | Macro_replication -> "macro"
   | Replication_length -> "repllen"
 
+let mode_of_tag = function
+  | "base" -> Some Baseline
+  | "repl" -> Some Replication
+  | "repl0" -> Some Replication_latency0
+  | "macro" -> Some Macro_replication
+  | "repllen" -> Some Replication_length
+  | _ -> None
+
 type loop_run = {
   loop : Workload.Generator.loop;
   mode : mode;
@@ -145,8 +153,13 @@ let () =
     | Injected_fault id -> Some ("injected fault on loop " ^ id)
     | _ -> None)
 
-let run_suite_isolated ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s
-    ?window mode config loops =
+let run_suite_isolated ?(jobs = 1) ?(retry = false) ?(retries = 1) ?backoff
+    ?(poison = []) ?budget_s ?window mode config loops =
+  let retries = max 1 retries in
+  (* Immediate retries by default (the historical behaviour); callers
+     that retry against transient faults install a {!Backoff} so the
+     k-th retry of a loop waits the capped exponential delay first. *)
+  let backoff = match backoff with Some b -> b | None -> Backoff.none () in
   let budget () =
     Option.map (fun s -> Sched.Budget.make ~wall_seconds:s ()) budget_s
   in
@@ -177,10 +190,11 @@ let run_suite_isolated ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s
       loops
       (Pool.map_result ~jobs attempt loops)
   in
-  (* Optionally re-run quarantined loops sequentially once: a failure
-     that does not reproduce in isolation (e.g. a resource blip on a
-     loaded machine) is promoted back to a result; a deterministic one
-     stays quarantined, now marked as retried. *)
+  (* Optionally re-run quarantined loops sequentially, [retries] times,
+     pausing per the backoff before each attempt: a failure that does
+     not reproduce in isolation (e.g. a resource blip on a loaded
+     machine) is promoted back to a result; a deterministic one stays
+     quarantined, now marked as retried. *)
   let entries =
     if not retry then first_pass
     else
@@ -188,18 +202,27 @@ let run_suite_isolated ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s
         (function
           | `Quarantine q ->
               let l = q.q_loop in
-              let outcome =
-                match attempt l with
-                | r -> Ok r
-                | exception e ->
-                    Error
-                      {
-                        Pool.index = 0;
-                        exn = e;
-                        backtrace = Printexc.get_backtrace ();
-                      }
+              let run_once k =
+                Backoff.pause backoff ~attempt:k;
+                let outcome =
+                  match attempt l with
+                  | r -> Ok r
+                  | exception e ->
+                      Error
+                        {
+                          Pool.index = 0;
+                          exn = e;
+                          backtrace = Printexc.get_backtrace ();
+                        }
+                in
+                classify ~retried:true l outcome
               in
-              classify ~retried:true l outcome
+              let rec go k =
+                match run_once k with
+                | `Quarantine _ when k + 1 < retries -> go (k + 1)
+                | final -> final
+              in
+              go 0
           | other -> other)
         first_pass
   in

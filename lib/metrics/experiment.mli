@@ -27,6 +27,11 @@ val mode_tag : mode -> string
 (** Stable short tag ("base", "repl", "repl0", "macro", "repllen") used
     in cache keys and checkpoint manifests. *)
 
+val mode_of_tag : string -> mode option
+(** Inverse of {!mode_tag} ([None] on an unknown tag) — the serve
+    daemon's request decoder and other wire layers resolve mode tags
+    through this. *)
+
 type loop_run = {
   loop : Workload.Generator.loop;
   mode : mode;
@@ -137,6 +142,8 @@ exception Injected_fault of string
 val run_suite_isolated :
   ?jobs:int ->
   ?retry:bool ->
+  ?retries:int ->
+  ?backoff:Backoff.t ->
   ?poison:string list ->
   ?budget_s:float ->
   ?window:int ->
@@ -148,11 +155,14 @@ val run_suite_isolated :
     errors and worker exceptions land in [iso_quarantined] (with the
     captured backtrace when there is one), give-up classes in
     [iso_skipped], successes in [iso_runs] — all in input order within
-    each bucket.  [retry] re-runs each quarantined loop once,
-    sequentially, and promotes it back on success.  [poison] injects a
-    deliberate {!Injected_fault} into the named loops.  [budget_s]
-    bounds each loop's escalation wall-clock; expiry quarantines the
-    loop as [Timeout].  [window] as in {!run_loop}. *)
+    each bucket.  [retry] re-runs each quarantined loop sequentially, up
+    to [retries] times (default 1), and promotes it back on success;
+    each retry attempt [k] first waits [Backoff.pause backoff
+    ~attempt:k] (default {!Backoff.none}: immediate retries, the
+    historical behaviour).  [poison] injects a deliberate
+    {!Injected_fault} into the named loops.  [budget_s] bounds each
+    loop's escalation wall-clock; expiry quarantines the loop as
+    [Timeout].  [window] as in {!run_loop}. *)
 
 (** {1 Register-family sweeps}
 

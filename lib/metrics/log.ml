@@ -1,0 +1,15 @@
+(* One shared stderr line format for operational diagnostics, so the
+   CLI tools stop drifting apart ("repro: ..." vs "bench: ..." vs a
+   stdout cache line) and CI can scrape a single stable prefix. *)
+
+let line fmt =
+  Printf.ksprintf (fun s -> Printf.eprintf "[repro] %s\n%!" s) fmt
+
+let clamp_warning ~requested ~effective =
+  if requested <> effective then
+    line "jobs: %d clamped to %d (the recommended domain count of this machine)"
+      requested effective
+
+let cache_stats ~hits ~misses ~bytes_read ~bytes_written =
+  line "cache: hits=%d misses=%d read=%dB written=%dB" hits misses bytes_read
+    bytes_written

@@ -17,8 +17,9 @@ type outcome = {
   o_cache_hits : int;  (* entries answered from the schedule store *)
 }
 
-let run ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s ?window ?resume
-    ?store ~modes config (loops : Workload.Generator.loop list) =
+let run ?(jobs = 1) ?(retry = false) ?retries ?backoff ?(poison = [])
+    ?budget_s ?window ?resume ?store ~modes config
+    (loops : Workload.Generator.loop list) =
   (* A wall-clock budget makes results time-dependent: such runs neither
      consult nor feed the store, so cached entries stay budget-free. *)
   let store = if budget_s <> None then None else store in
@@ -74,8 +75,8 @@ let run ?(jobs = 1) ?(retry = false) ?(poison = []) ?budget_s ?window ?resume
         computed := !computed + List.length fresh;
         if fresh <> [] then begin
           let iso =
-            Experiment.run_suite_isolated ~jobs ~retry ~poison ?budget_s
-              ?window mode config fresh
+            Experiment.run_suite_isolated ~jobs ~retry ?retries ?backoff
+              ~poison ?budget_s ?window mode config fresh
           in
           List.iter
             (fun (r : Experiment.loop_run) ->

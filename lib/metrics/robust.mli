@@ -25,6 +25,8 @@ type outcome = {
 val run :
   ?jobs:int ->
   ?retry:bool ->
+  ?retries:int ->
+  ?backoff:Backoff.t ->
   ?poison:string list ->
   ?budget_s:float ->
   ?window:int ->

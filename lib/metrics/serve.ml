@@ -1,0 +1,648 @@
+(* The serve engine and its Unix-socket daemon.  See serve.mli for the
+   protocol and the degradation ladder; the engine half is deliberately
+   socket-free and effect-injected so every failure mode is exercised by
+   plain unit tests with fake clocks and recording sleeps. *)
+
+module Io = struct
+  type t = {
+    now : unit -> float;
+    sleep : float -> unit;
+    log : string -> unit;
+  }
+
+  let real () =
+    {
+      now = Unix.gettimeofday;
+      sleep = Unix.sleepf;
+      log = (fun s -> Log.line "serve: %s" s);
+    }
+
+  let silent () =
+    { now = Unix.gettimeofday; sleep = Unix.sleepf; log = ignore }
+end
+
+type limits = {
+  queue_bound : int;
+  budget_s : float option;
+  budget_attempts : int option;
+  retries : int;
+}
+
+let default_limits =
+  { queue_bound = 64; budget_s = None; budget_attempts = None; retries = 2 }
+
+type counters = {
+  mutable served : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable give_ups : int;
+  mutable timeouts : int;
+  mutable faults : int;
+  mutable poisoned : int;
+  mutable overloaded : int;
+  mutable bad_requests : int;
+  mutable evictions : int;
+  mutable retries_used : int;
+}
+
+type t = {
+  io : Io.t;
+  limits : limits;
+  backoff : Backoff.t;
+  poison : string list;
+  store : Store.t;
+  queue : string Queue.t;
+  poisoned_keys : (string, string * string) Hashtbl.t;
+      (* conviction key -> (error class, rendered message) *)
+  c : counters;
+  mutable is_draining : bool;
+}
+
+let create ?io ?limits ?backoff ?(poison = []) ?store_dir () =
+  let io = match io with Some io -> io | None -> Io.real () in
+  let limits = Option.value limits ~default:default_limits in
+  let backoff =
+    match backoff with
+    | Some b -> b
+    | None -> Backoff.make ~sleep:io.Io.sleep ()
+  in
+  {
+    io;
+    limits;
+    backoff;
+    poison;
+    store = Store.create ?dir:store_dir ();
+    queue = Queue.create ();
+    poisoned_keys = Hashtbl.create 16;
+    c =
+      {
+        served = 0;
+        hits = 0;
+        misses = 0;
+        give_ups = 0;
+        timeouts = 0;
+        faults = 0;
+        poisoned = 0;
+        overloaded = 0;
+        bad_requests = 0;
+        evictions = 0;
+        retries_used = 0;
+      };
+    is_draining = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reply encoding                                                      *)
+(*                                                                     *)
+(* Every field here must be a pure function of the request key: no     *)
+(* elapsed times, no hit/miss provenance.  The serve equality gate     *)
+(* diffs these bytes across cold, warm and restarted daemons and       *)
+(* against [direct_reply].                                             *)
+(* ------------------------------------------------------------------ *)
+
+let jint n = Json.Num (float_of_int n)
+let jints a = Json.List (Array.to_list (Array.map jint a))
+
+let json_of_counts (c : Sim.Lockstep.counts) =
+  Json.Obj
+    [
+      ("cycles", jint c.cycles);
+      ("iterations", jint c.iterations);
+      ("dynamic_ops", jint c.dynamic_ops);
+      ("dynamic_copies", jint c.dynamic_copies);
+      ("useful_ops", jint c.useful_ops);
+      ("explicit_iterations", jint c.explicit_iterations);
+    ]
+
+let json_of_repl_stats (s : Replication.Replicate.stats) =
+  Json.Obj
+    [
+      ("comms_before", jint s.comms_before);
+      ("comms_removed", jint s.comms_removed);
+      ("added_instances", jint s.added_instances);
+      ("removed_instances", jint s.removed_instances);
+    ]
+
+let with_id id fields = Json.Obj (("id", Json.Str id) :: fields)
+
+let ok_json ~id (r : Experiment.loop_run) =
+  let o = r.outcome in
+  let bus, recur, regs =
+    List.fold_left
+      (fun (b, rc, g) (cause, n) ->
+        match (cause : Sched.Driver.cause) with
+        | Sched.Driver.Bus -> (b + n, rc, g)
+        | Sched.Driver.Recurrence -> (b, rc + n, g)
+        | Sched.Driver.Registers -> (b, rc, g + n))
+      (0, 0, 0) o.increments
+  in
+  with_id id
+    [
+      ("status", Json.Str "ok");
+      ("loop", Json.Str r.loop.Workload.Generator.id);
+      ("mode", Json.Str (Experiment.mode_tag r.mode));
+      ("ii", jint o.ii);
+      ("mii", jint o.mii);
+      ("n_comms", jint o.n_comms);
+      ( "increments",
+        Json.Obj
+          [
+            ("bus", jint bus);
+            ("recurrence", jint recur);
+            ("registers", jint regs);
+          ] );
+      ("cycles", jints o.schedule.Sched.Schedule.cycles);
+      ("buses", jints o.schedule.Sched.Schedule.buses);
+      ("counts", json_of_counts r.counts);
+      ( "stats",
+        match r.repl_stats with
+        | None -> Json.Null
+        | Some s -> json_of_repl_stats s );
+    ]
+
+let give_up_json ~id ~cls ~msg =
+  with_id id
+    [
+      ("status", Json.Str "give-up");
+      ("class", Json.Str cls);
+      ("message", Json.Str msg);
+    ]
+
+(* A timeout is the one result that depends on the wall clock; its reply
+   carries the class alone so a degraded answer is still deterministic
+   bytes. *)
+let degraded_json ~id =
+  with_id id [ ("status", Json.Str "degraded"); ("class", Json.Str "timeout") ]
+
+let fault_json ~id ~cls ~msg =
+  with_id id
+    [
+      ("status", Json.Str "fault");
+      ("class", Json.Str cls);
+      ("message", Json.Str msg);
+    ]
+
+let error_json ~id (e : Sched.Sched_error.t) =
+  let cls = Sched.Sched_error.class_name e in
+  if Sched.Sched_error.is_give_up e then
+    give_up_json ~id ~cls ~msg:(Sched.Sched_error.to_string e)
+  else if String.equal cls "timeout" then degraded_json ~id
+  else fault_json ~id ~cls ~msg:(Sched.Sched_error.to_string e)
+
+let bad_json ~id msg =
+  with_id id [ ("status", Json.Str "bad-request"); ("message", Json.Str msg) ]
+
+(* ------------------------------------------------------------------ *)
+(* Request decoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let opt_field conv k j =
+  match Json.member_opt k j with
+  | None | Some Json.Null -> None
+  | Some v -> Some (conv v)
+
+let id_of j =
+  match Json.member_opt "id" j with Some (Json.Str s) -> s | _ -> ""
+
+type decoded = {
+  d_mode : Experiment.mode;
+  d_config : Machine.Config.t;
+  d_loop : Workload.Generator.loop;
+  d_budget_s : float option;
+  d_budget_attempts : int option;
+}
+
+let decode_schedule j =
+  let tag = Json.to_str (Json.member "mode" j) in
+  let d_mode =
+    match Experiment.mode_of_tag tag with
+    | Some m -> m
+    | None -> raise (Json.Bad ("unknown mode tag: " ^ tag))
+  in
+  let cname = Json.to_str (Json.member "config" j) in
+  let d_config =
+    match Machine.Config.of_name cname with
+    | Some c -> c
+    | None -> raise (Json.Bad ("unknown configuration: " ^ cname))
+  in
+  let lj = Json.member "loop" j in
+  let d_loop =
+    {
+      Workload.Generator.id = Json.to_str (Json.member "id" lj);
+      benchmark =
+        Option.value (opt_field Json.to_str "benchmark" lj) ~default:"adhoc";
+      graph = Store.Graph_json.decode (Json.member "graph" lj);
+      trip = Json.to_int (Json.member "trip" lj);
+      visits = Option.value (opt_field Json.to_int "visits" lj) ~default:1;
+    }
+  in
+  {
+    d_mode;
+    d_config;
+    d_loop;
+    d_budget_s = opt_field Json.to_num "budget_s" j;
+    d_budget_attempts = opt_field Json.to_int "budget_attempts" j;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The compute path                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Conviction key of a schedule request: what the scheduler would
+   actually see.  Same mode + config + graph bytes + trip -> same key,
+   whatever the loop is called. *)
+let conviction_key ~mode ~config (l : Workload.Generator.loop) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            Experiment.mode_tag mode;
+            Machine.Config.cache_key config;
+            Ddg.Graph.structural_encoding l.Workload.Generator.graph;
+            string_of_int l.Workload.Generator.trip;
+          ]))
+
+let make_budget ~now ?budget_s ?budget_attempts () =
+  match (budget_s, budget_attempts) with
+  | None, None -> None
+  | _ ->
+      Some
+        (Sched.Budget.make ?wall_seconds:budget_s ?max_attempts:budget_attempts
+           ~clock:now ())
+
+let attempt_once ~now ?budget_s ?budget_attempts ~poison ~mode ~config loop =
+  try
+    if List.mem loop.Workload.Generator.id poison then
+      raise (Experiment.Injected_fault loop.Workload.Generator.id);
+    Experiment.run_loop
+      ?budget:(make_budget ~now ?budget_s ?budget_attempts ())
+      mode config loop
+  with e -> Error (Sched.Sched_error.Internal (Printexc.to_string e))
+
+(* Transient = a raise or a bug-class error: worth retrying, spaced by
+   the backoff.  Give-ups are facts and timeouts would just burn the
+   budget again; neither retries. *)
+let compute t (d : decoded) =
+  (* the request's own budget fields override the server-wide defaults *)
+  let first a b = match a with Some _ -> a | None -> b in
+  let budget_s = first d.d_budget_s t.limits.budget_s in
+  let budget_attempts = first d.d_budget_attempts t.limits.budget_attempts in
+  let attempt () =
+    attempt_once ~now:t.io.Io.now ?budget_s ?budget_attempts ~poison:t.poison
+      ~mode:d.d_mode ~config:d.d_config d.d_loop
+  in
+  let rec go k =
+    match attempt () with
+    | Error e
+      when Sched.Sched_error.is_bug e && k < t.limits.retries ->
+        t.c.retries_used <- t.c.retries_used + 1;
+        Backoff.pause t.backoff ~attempt:k;
+        go (k + 1)
+    | final -> final
+  in
+  go 0
+
+let schedule_reply t ~id j =
+  let d = decode_schedule j in
+  let key = conviction_key ~mode:d.d_mode ~config:d.d_config d.d_loop in
+  match Hashtbl.find_opt t.poisoned_keys key with
+  | Some (cls, msg) ->
+      t.c.poisoned <- t.c.poisoned + 1;
+      with_id id
+        [
+          ("status", Json.Str "poisoned");
+          ("class", Json.Str cls);
+          ("message", Json.Str msg);
+        ]
+  | None -> (
+      match Store.lookup t.store ~mode:d.d_mode ~config:d.d_config d.d_loop with
+      | Store.Hit r ->
+          t.c.hits <- t.c.hits + 1;
+          t.c.served <- t.c.served + 1;
+          ok_json ~id r
+      | Store.Hit_give_up (cls, msg) ->
+          t.c.hits <- t.c.hits + 1;
+          t.c.give_ups <- t.c.give_ups + 1;
+          give_up_json ~id ~cls ~msg
+      | Store.Miss -> (
+          t.c.misses <- t.c.misses + 1;
+          match compute t d with
+          | Ok r ->
+              Store.record t.store ~mode:d.d_mode ~config:d.d_config d.d_loop
+                (Ok r);
+              t.c.served <- t.c.served + 1;
+              ok_json ~id r
+          | Error e when Sched.Sched_error.is_give_up e ->
+              Store.record t.store ~mode:d.d_mode ~config:d.d_config d.d_loop
+                (Error e);
+              t.c.give_ups <- t.c.give_ups + 1;
+              error_json ~id e
+          | Error e when String.equal (Sched.Sched_error.class_name e) "timeout"
+            ->
+              t.c.timeouts <- t.c.timeouts + 1;
+              error_json ~id e
+          | Error e ->
+              (* A fault that survived every retry convicts its own key —
+                 and only its own key: the next identical request answers
+                 "poisoned" without touching the scheduler, every other
+                 request is unaffected. *)
+              t.c.faults <- t.c.faults + 1;
+              Hashtbl.replace t.poisoned_keys key
+                ( Sched.Sched_error.class_name e,
+                  Sched.Sched_error.to_string e );
+              t.io.Io.log
+                (Printf.sprintf "fault: loop %s quarantined (%s)"
+                   d.d_loop.Workload.Generator.id
+                   (Sched.Sched_error.class_name e));
+              error_json ~id e))
+
+let evict_reply t ~id j =
+  let d = decode_schedule j in
+  Store.evict t.store ~mode:d.d_mode ~config:d.d_config d.d_loop;
+  Hashtbl.remove t.poisoned_keys
+    (conviction_key ~mode:d.d_mode ~config:d.d_config d.d_loop);
+  t.c.evictions <- t.c.evictions + 1;
+  with_id id [ ("status", Json.Str "ok"); ("role", Json.Str "evict") ]
+
+let health_json t ~id =
+  with_id id
+    [
+      ("status", Json.Str "ok");
+      ("role", Json.Str "health");
+      ("pending", jint (Queue.length t.queue));
+      ("draining", Json.Bool t.is_draining);
+      ("version", Json.Str Sched.Driver.version);
+    ]
+
+let stats_json t ~id =
+  let s = Store.stats t.store in
+  with_id id
+    [
+      ("status", Json.Str "ok");
+      ("role", Json.Str "stats");
+      ("served", jint t.c.served);
+      ("hits", jint t.c.hits);
+      ("misses", jint t.c.misses);
+      ("give_ups", jint t.c.give_ups);
+      ("timeouts", jint t.c.timeouts);
+      ("faults", jint t.c.faults);
+      ("poisoned", jint t.c.poisoned);
+      ("overloaded", jint t.c.overloaded);
+      ("bad_requests", jint t.c.bad_requests);
+      ("evictions", jint t.c.evictions);
+      ("retries", jint t.c.retries_used);
+      ("pending", jint (Queue.length t.queue));
+      ( "store",
+        Json.Obj
+          [
+            ("hits", jint s.Store.hits);
+            ("misses", jint s.Store.misses);
+            ("read", jint s.Store.bytes_read);
+            ("written", jint s.Store.bytes_written);
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The engine surface                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let bad t ~id msg =
+  t.c.bad_requests <- t.c.bad_requests + 1;
+  bad_json ~id msg
+
+let process t line =
+  match Json.parse line with
+  | exception Json.Bad msg -> bad t ~id:"" msg
+  | j -> (
+      let id = id_of j in
+      match
+        match Json.member_opt "op" j with
+        | Some (Json.Str op) -> Ok op
+        | _ -> Error "missing op field"
+      with
+      | Error msg -> bad t ~id msg
+      | Ok "health" -> health_json t ~id
+      | Ok "stats" -> stats_json t ~id
+      | Ok "evict" -> (
+          try evict_reply t ~id j with Json.Bad msg -> bad t ~id msg)
+      | Ok "schedule" -> (
+          try schedule_reply t ~id j with Json.Bad msg -> bad t ~id msg)
+      | Ok op -> bad t ~id ("unknown op: " ^ op))
+
+(* [handle] never raises and never kills the engine: a failure anywhere
+   in [process] — decoder bug, scheduler explosion outside the retry
+   path — is converted into a fault reply for this one request. *)
+let handle t line =
+  let j =
+    try process t line
+    with e ->
+      t.c.faults <- t.c.faults + 1;
+      fault_json ~id:"" ~cls:"internal" ~msg:(Printexc.to_string e)
+  in
+  Json.print j
+
+let shed_reply t line ~reason =
+  let id = try id_of (Json.parse line) with Json.Bad _ -> "" in
+  t.c.overloaded <- t.c.overloaded + 1;
+  Json.print
+    (with_id id
+       [ ("status", Json.Str "overloaded"); ("reason", Json.Str reason) ])
+
+let offer t line =
+  if t.is_draining then Some (shed_reply t line ~reason:"draining")
+  else if Queue.length t.queue >= t.limits.queue_bound then
+    Some (shed_reply t line ~reason:"queue-full")
+  else begin
+    Queue.add line t.queue;
+    None
+  end
+
+let step t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some line -> Some (line, handle t line)
+
+let pending t = Queue.length t.queue
+
+let begin_drain t =
+  if not t.is_draining then begin
+    t.is_draining <- true;
+    t.io.Io.log
+      (Printf.sprintf "drain: shedding new work, %d request(s) in flight"
+         (Queue.length t.queue))
+  end
+
+let draining t = t.is_draining
+let save t = Store.save t.store
+
+(* ------------------------------------------------------------------ *)
+(* Client-side codecs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let request_json ~op ?budget_s ?budget_attempts ~id ~mode ~config
+    (l : Workload.Generator.loop) =
+  Json.Obj
+    (("op", Json.Str op) :: ("id", Json.Str id)
+     :: ("mode", Json.Str (Experiment.mode_tag mode))
+     :: ("config", Json.Str (Machine.Config.name config))
+     :: ( "loop",
+          Json.Obj
+            [
+              ("id", Json.Str l.Workload.Generator.id);
+              ("benchmark", Json.Str l.Workload.Generator.benchmark);
+              ("trip", jint l.Workload.Generator.trip);
+              ("visits", jint l.Workload.Generator.visits);
+              ("graph", Store.Graph_json.encode l.Workload.Generator.graph);
+            ] )
+     ::
+     (match budget_s with
+     | None -> []
+     | Some s -> [ ("budget_s", Json.Num s) ])
+    @
+    match budget_attempts with
+    | None -> []
+    | Some n -> [ ("budget_attempts", jint n) ])
+
+let request ?id ?budget_s ?budget_attempts ~mode ~config
+    (l : Workload.Generator.loop) =
+  let id = Option.value id ~default:l.Workload.Generator.id in
+  Json.print
+    (request_json ~op:"schedule" ?budget_s ?budget_attempts ~id ~mode ~config l)
+
+let health_request ?(id = "health") () =
+  Json.print (Json.Obj [ ("op", Json.Str "health"); ("id", Json.Str id) ])
+
+let stats_request ?(id = "stats") () =
+  Json.print (Json.Obj [ ("op", Json.Str "stats"); ("id", Json.Str id) ])
+
+let evict_request ?id ~mode ~config (l : Workload.Generator.loop) =
+  let id = Option.value id ~default:l.Workload.Generator.id in
+  Json.print (request_json ~op:"evict" ~id ~mode ~config l)
+
+let direct_reply ?id ?budget_s ?budget_attempts ~mode ~config
+    (l : Workload.Generator.loop) =
+  let id = Option.value id ~default:l.Workload.Generator.id in
+  let result =
+    attempt_once ~now:Unix.gettimeofday ?budget_s ?budget_attempts ~poison:[]
+      ~mode ~config l
+  in
+  Json.print
+    (match result with Ok r -> ok_json ~id r | Error e -> error_json ~id e)
+
+(* ------------------------------------------------------------------ *)
+(* The Unix-socket daemon                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_line fd s =
+  let b = Bytes.of_string (s ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) ->
+          (* a client that went away loses only its own replies *)
+          ()
+  in
+  go 0
+
+(* Complete lines out of a client's input buffer; the tail (no newline
+   yet) stays buffered. *)
+let drain_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear buf;
+      Buffer.add_string buf
+        (String.sub s (last + 1) (String.length s - last - 1));
+      String.split_on_char '\n' (String.sub s 0 last)
+
+let serve_unix ?io ?limits ?backoff ?poison ?store_dir ~socket () =
+  let t = create ?io ?limits ?backoff ?poison ?store_dir () in
+  let io = t.io in
+  let fail msg =
+    let e = Sched.Sched_error.Server msg in
+    io.Io.log (Sched.Sched_error.to_string e);
+    Sched.Sched_error.exit_code e
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = ref false in
+  let on_signal _ = stop := true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  (try if Sys.file_exists socket then Sys.remove socket
+   with Sys_error _ -> ());
+  match
+    let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind lfd (Unix.ADDR_UNIX socket);
+    Unix.listen lfd 64;
+    lfd
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      fail
+        (Printf.sprintf "cannot bind socket %s: %s" socket
+           (Unix.error_message e))
+  | lfd ->
+      io.Io.log (Printf.sprintf "listening on %s" socket);
+      let clients = ref [] in
+      (* admitted requests and their client sockets stay in lockstep:
+         the engine queue is FIFO and so is this one *)
+      let reply_to = Queue.create () in
+      let chunk = Bytes.create 65536 in
+      let close_client cfd =
+        clients := List.filter (fun (fd, _) -> fd != cfd) !clients;
+        try Unix.close cfd with Unix.Unix_error _ -> ()
+      in
+      let read_client (cfd, buf) =
+        match Unix.read cfd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (_, _, _) -> close_client cfd
+        | 0 -> close_client cfd
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            List.iter
+              (fun line ->
+                if not (String.equal line "") then
+                  match offer t line with
+                  | Some shed -> write_line cfd shed
+                  | None -> Queue.add cfd reply_to)
+              (drain_lines buf)
+      in
+      let running = ref true in
+      while !running do
+        if !stop then begin_drain t;
+        if t.is_draining && pending t = 0 then running := false
+        else begin
+          let rds =
+            (if t.is_draining then [] else [ lfd ])
+            @ List.map fst !clients
+          in
+          let timeout = if pending t > 0 then 0. else 0.25 in
+          (match Unix.select rds [] [] timeout with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | ready, _, _ ->
+              if List.memq lfd ready then begin
+                match Unix.accept lfd with
+                | exception Unix.Unix_error (_, _, _) -> ()
+                | cfd, _ -> clients := (cfd, Buffer.create 256) :: !clients
+              end;
+              List.iter
+                (fun ((cfd, _) as client) ->
+                  if List.memq cfd ready then read_client client)
+                !clients);
+          match step t with
+          | None -> ()
+          | Some (_, reply) -> (
+              match Queue.take_opt reply_to with
+              | Some cfd -> write_line cfd reply
+              | None -> ())
+        end
+      done;
+      save t;
+      List.iter (fun (cfd, _) -> try Unix.close cfd with _ -> ()) !clients;
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (try Sys.remove socket with Sys_error _ -> ());
+      io.Io.log "drained: store saved, exiting cleanly";
+      0

@@ -1,0 +1,197 @@
+(** The resilient scheduling service behind [repro serve] — a
+    long-running daemon answering schedule requests over newline-delimited
+    JSON, backed by the content-addressed {!Store}.
+
+    {2 Shape}
+
+    The module is two layers:
+
+    {ul
+    {- The {e engine} ({!t}): a deterministic, socket-free request
+       processor.  One request line in, one reply line out
+       ({!handle}/{!offer}/{!step}); every effectful dependency — clock,
+       sleep, logging — enters through the {!Io} seam, so the whole
+       degradation ladder (overload shedding, budget timeouts,
+       retry/backoff, poison quarantine, drain) is unit-testable with
+       fakes and never sleeps in tests.}
+    {- {!serve_unix}: a thin Unix-domain-socket select loop on top,
+       owning accept/read/write, SIGTERM/SIGINT drain and the final
+       {!Store.save}.}}
+
+    {2 Wire protocol}
+
+    One JSON object per line, both directions (see docs/SERVING.md for
+    the full field tables).  Requests carry an ["op"]:
+    ["schedule"] (mode tag + config name + inlined DDG + trip),
+    ["health"], ["stats"], ["evict"].  Replies always carry the
+    request's ["id"] (when one could be parsed) and a ["status"]:
+    ["ok"], ["give-up"], ["degraded"] (over budget), ["fault"],
+    ["poisoned"], ["overloaded"], ["bad-request"].
+
+    {2 Determinism and the equality gate}
+
+    A successful reply is a pure function of (mode, config, DDG, trip):
+    cache hits are fingerprint-confirmed ({!Store.lookup}), and replies
+    deliberately exclude anything wall-clock- or provenance-dependent
+    (no elapsed times, no hit/miss marker, timeouts reply with class
+    only).  Hence the CI serve gate: cold daemon, warm daemon and
+    restarted daemon replies are byte-identical to {!direct_reply},
+    which computes the same answer inline with no store at all.
+
+    {2 Degradation ladder}
+
+    {ul
+    {- Queue full or draining → immediate ["overloaded"] reply; the
+       request is never admitted.}
+    {- Per-request {!Sched.Budget} expiry → ["degraded"] with class
+       ["timeout"]; never cached, never retried.}
+    {- A raise or bug-class error → up to [retries] sequential
+       re-attempts spaced by {!Backoff}; if it still fails the request
+       is answered ["fault"] and its key is {e poisoned}: subsequent
+       identical requests answer ["poisoned"] without touching the
+       scheduler.  One crashing request convicts only itself.}
+    {- Corrupt request line → ["bad-request"]; corrupt on-disk store
+       file → quarantined by {!Store} at load, daemon boots cold.}} *)
+
+(** The effect seam: every way the engine touches the world outside its
+    own state.  {!real} for the daemon, recording fakes for tests. *)
+module Io : sig
+  type t = {
+    now : unit -> float;  (** seconds; feeds {!Sched.Budget}'s clock *)
+    sleep : float -> unit;  (** feeds {!Backoff}'s pauses *)
+    log : string -> unit;  (** one operational line, no trailing [\n] *)
+  }
+
+  val real : unit -> t
+  (** [Unix.gettimeofday], [Unix.sleepf], and {!Log.line}. *)
+
+  val silent : unit -> t
+  (** Real clock, real sleep, logging dropped — for tests that only
+      assert replies. *)
+end
+
+type limits = {
+  queue_bound : int;
+      (** admitted-but-unprocessed requests beyond which {!offer} sheds
+          (default 64) *)
+  budget_s : float option;
+      (** default per-request wall budget; a request's own [budget_s]
+          field overrides (default [None], unlimited) *)
+  budget_attempts : int option;  (** likewise for escalation attempts *)
+  retries : int;
+      (** re-attempts after a transient fault before convicting
+          (default 2) *)
+}
+
+val default_limits : limits
+
+type t
+(** A serve engine.  Single-domain: drive it from one thread only (the
+    select loop does). *)
+
+val create :
+  ?io:Io.t ->
+  ?limits:limits ->
+  ?backoff:Backoff.t ->
+  ?poison:string list ->
+  ?store_dir:string ->
+  unit ->
+  t
+(** [io] defaults to {!Io.real}.  [backoff] spaces transient-fault
+    retries (default [Backoff.make ~sleep:io.sleep ()]).  [poison]
+    names loop ids whose schedule requests raise
+    {!Experiment.Injected_fault} inside the worker — the fault-injection
+    hook [repro serve --poison] exposes.  [store_dir] enables the disk
+    tier: entries persisted by {!save} are served warm after a restart;
+    a corrupt table file is quarantined at load ({!Store}), not fatal. *)
+
+val handle : t -> string -> string
+(** Process one request line synchronously, bypassing the queue.  Never
+    raises: malformed input answers ["bad-request"], a crashing
+    computation answers ["fault"]. *)
+
+val offer : t -> string -> string option
+(** Admit a request line into the bounded queue.  [None] = admitted
+    (answer comes from a later {!step}); [Some reply] = shed — the
+    queue is at [queue_bound], or the engine is draining — and [reply]
+    is the ["overloaded"] line to send back immediately. *)
+
+val step : t -> (string * string) option
+(** Dequeue and process the oldest admitted request:
+    [Some (request_line, reply_line)], or [None] on an empty queue.
+    Admission order is reply order — {!serve_unix} pairs replies with
+    client sockets by FIFO position. *)
+
+val pending : t -> int
+(** Admitted requests not yet processed. *)
+
+val begin_drain : t -> unit
+(** Stop admitting ({!offer} sheds everything); already-admitted
+    requests still {!step} to completion.  Idempotent. *)
+
+val draining : t -> bool
+
+val save : t -> unit
+(** Persist the store's disk tier ({!Store.save}); no-op without
+    [store_dir]. *)
+
+(** {1 Client-side codecs}
+
+    Builders for request lines and the inline reference answer; [repro
+    client] and the tests share them so both ends of the wire agree on
+    the bytes. *)
+
+val request :
+  ?id:string ->
+  ?budget_s:float ->
+  ?budget_attempts:int ->
+  mode:Experiment.mode ->
+  config:Machine.Config.t ->
+  Workload.Generator.loop ->
+  string
+(** The ["schedule"] request line for one loop.  [id] defaults to the
+    loop id. *)
+
+val health_request : ?id:string -> unit -> string
+
+val stats_request : ?id:string -> unit -> string
+
+val evict_request :
+  ?id:string ->
+  mode:Experiment.mode ->
+  config:Machine.Config.t ->
+  Workload.Generator.loop ->
+  string
+
+val direct_reply :
+  ?id:string ->
+  ?budget_s:float ->
+  ?budget_attempts:int ->
+  mode:Experiment.mode ->
+  config:Machine.Config.t ->
+  Workload.Generator.loop ->
+  string
+(** The reply a daemon must produce for {!request} with the same
+    arguments, computed inline with no store, no queue and no retries —
+    the reference side of the serve equality gate ([repro client
+    --local]). *)
+
+(** {1 The daemon} *)
+
+val serve_unix :
+  ?io:Io.t ->
+  ?limits:limits ->
+  ?backoff:Backoff.t ->
+  ?poison:string list ->
+  ?store_dir:string ->
+  socket:string ->
+  unit ->
+  int
+(** Run the daemon on a Unix-domain stream socket at [socket] (a stale
+    socket file is unlinked first) until SIGTERM/SIGINT, then drain:
+    admitted requests finish and their replies flush, new work is shed,
+    the store is saved atomically, and the process result is [0].
+    Setup failures (e.g. the socket path cannot be bound) log one line
+    and return {!Sched.Sched_error.exit_code} of a [Server] error
+    (22).  SIGPIPE is ignored; a client that disconnects early loses
+    only its own replies. *)

@@ -171,6 +171,11 @@ let graph_of_json j =
     (Json.to_list (Json.member "edges" j));
   G.Builder.build b
 
+module Graph_json = struct
+  let encode = json_of_graph
+  let decode = graph_of_json
+end
+
 let json_of_counts (c : Sim.Lockstep.counts) =
   Json.Obj
     [
@@ -334,6 +339,19 @@ let file_of t ~group ~ckey =
         (Filename.concat dir
            (Printf.sprintf "%s-%s.json" group (String.sub h 0 16)))
 
+(* A table file that cannot be read or parsed — a torn write from a
+   crashed process, a hand-truncated file, disk corruption — is
+   quarantined: renamed aside to <file>.corrupt with one warning line,
+   and the run continues cold on that table.  The rename (best-effort)
+   keeps the evidence for inspection while guaranteeing the next save
+   writes a clean file; a merely *stale* file (version or config
+   mismatch after a successful parse) is not corrupt and is left in
+   place to be rewritten silently. *)
+let quarantine_file path =
+  (try Sys.rename path (path ^ ".corrupt") with Sys_error _ -> ());
+  Log.line "store: quarantined corrupt table file %s.corrupt (continuing cold)"
+    path
+
 let load_table t tb =
   match file_of t ~group:tb.tb_group ~ckey:tb.tb_ckey with
   | None -> ()
@@ -345,7 +363,7 @@ let load_table t tb =
         Sched.Profile.cache_io ~read:(String.length text) ~written:0;
         Json.parse text
       with
-      | exception _ -> ()
+      | exception _ -> quarantine_file path
       | doc -> (
           try
             if
@@ -371,7 +389,10 @@ let load_table t tb =
                       in
                       Hashtbl.replace tb.tb_entries fp (en :: bucket))
                 (Json.to_list (Json.member "entries" doc))
-          with _ -> ()))
+          with _ ->
+            (* parsed as JSON but not shaped like a table file *)
+            Hashtbl.reset tb.tb_entries;
+            quarantine_file path))
 
 let table t ~mode ~variant ~config =
   let group = group_of ~mode ~variant in

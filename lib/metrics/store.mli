@@ -15,8 +15,12 @@
     loaded lazily on the table's first lookup and written atomically by
     {!save}.  Files are versioned with a format number and
     {!Sched.Driver.version}; entries written by a different scheduler
-    version (or a corrupt/foreign file) are ignored wholesale, so stale
-    caches self-invalidate instead of serving outdated schedules.
+    version are ignored wholesale, so stale caches self-invalidate
+    instead of serving outdated schedules.  A file that cannot even be
+    read or parsed — a torn write, a truncation — is {e quarantined}:
+    renamed to [<file>.corrupt] with one ["[repro] store:"] warning on
+    stderr, and the run continues cold on that table instead of
+    surfacing a load failure.
 
     Caching policy: successful runs and give-up errors
     ({!Sched.Sched_error.is_give_up}) are recorded; [Timeout] results
@@ -93,3 +97,13 @@ val save : t -> unit
 val stats : t -> stats
 (** Counters since {!create}, for this store instance.  The global
     cross-store view lives in {!Sched.Profile.cache_counters}. *)
+
+(** The store's DDG wire codec, shared with the serve daemon's request
+    protocol ({!Serve}) so a graph travels the socket in exactly the
+    bytes the disk tier uses. *)
+module Graph_json : sig
+  val encode : Ddg.Graph.t -> Json.t
+
+  val decode : Json.t -> Ddg.Graph.t
+  (** @raise Json.Bad on a malformed graph object. *)
+end

@@ -6,6 +6,7 @@ type t =
   | Checker_violation of string list
   | Timeout of { at_ii : int; attempts : int; elapsed_s : float }
   | Internal of string
+  | Server of string
 
 exception E of t
 
@@ -17,6 +18,7 @@ let class_name = function
   | Checker_violation _ -> "checker-violation"
   | Timeout _ -> "timeout"
   | Internal _ -> "internal"
+  | Server _ -> "server"
 
 let one_line s =
   String.map (function '\n' | '\r' -> ' ' | c -> c) s
@@ -42,6 +44,7 @@ let to_string = function
         "escalation budget expired at II=%d after %d attempts (%.2fs)" at_ii
         attempts elapsed_s
   | Internal msg -> Printf.sprintf "internal: %s" (one_line msg)
+  | Server msg -> Printf.sprintf "server: %s" (one_line msg)
 
 let exit_code = function
   | Infeasible_partition _ -> 10
@@ -51,18 +54,19 @@ let exit_code = function
   | Timeout _ -> 14
   | Checker_violation _ -> 20
   | Internal _ -> 21
+  | Server _ -> 22
 
 let is_bug = function
   | Checker_violation _ | Internal _ -> true
   | Infeasible_partition _ | Escalation_cap _ | Register_pressure _
-  | Bus_saturation _ | Timeout _ ->
+  | Bus_saturation _ | Timeout _ | Server _ ->
       false
 
 let is_give_up = function
   | Infeasible_partition _ | Escalation_cap _ | Register_pressure _
   | Bus_saturation _ ->
       true
-  | Checker_violation _ | Timeout _ | Internal _ -> false
+  | Checker_violation _ | Timeout _ | Internal _ | Server _ -> false
 
 (* One representative value per class, in constructor order.  Kept next
    to the type so adding a class without extending the table is a
@@ -76,6 +80,7 @@ let examples =
     Checker_violation [ "node A has no issue cycle"; "bus 0 oversubscribed" ];
     Timeout { at_ii = 9; attempts = 12; elapsed_s = 1.5 };
     Internal "Failure(\"boom\")";
+    Server "cannot bind socket /tmp/repro.sock";
   ]
 
 let () =

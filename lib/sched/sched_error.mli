@@ -35,6 +35,13 @@ type t =
   | Internal of string
       (** An unexpected exception, captured with its printed form; like
           {!Checker_violation}, treated as a bug. *)
+  | Server of string
+      (** An operational failure of the scheduling service ([repro
+          serve]): a socket that cannot be bound, a store directory that
+          cannot be written, a client protocol breach that prevents the
+          daemon from starting.  Not a scheduling give-up (no loop was
+          judged) and not a scheduler bug — the request/environment is
+          at fault. *)
 
 exception E of t
 (** Carrier for the taxonomy across layers that communicate by
@@ -44,7 +51,7 @@ exception E of t
 val class_name : t -> string
 (** Stable machine-readable tag: ["infeasible-partition"],
     ["escalation-cap"], ["register-pressure"], ["bus-saturation"],
-    ["checker-violation"], ["timeout"], ["internal"]. *)
+    ["checker-violation"], ["timeout"], ["internal"], ["server"]. *)
 
 val to_string : t -> string
 (** One-line human-readable rendering (no newlines). *)
@@ -52,7 +59,7 @@ val to_string : t -> string
 val exit_code : t -> int
 (** Stable process exit code per class: 10 infeasible-partition,
     11 escalation-cap, 12 register-pressure, 13 bus-saturation,
-    14 timeout, 20 checker-violation, 21 internal. *)
+    14 timeout, 20 checker-violation, 21 internal, 22 server. *)
 
 val is_bug : t -> bool
 (** [Checker_violation] and [Internal]: a schedule or pipeline in a

@@ -23,6 +23,7 @@ let () =
       ("acyclic", Test_acyclic.suite);
       ("metrics", Test_metrics.suite);
       ("store", Test_store.suite);
+      ("serve", Test_serve.suite);
       ("robustness", Test_robustness.suite);
       ("faults", Test_faults.suite);
       ("sched_error", Test_sched_error.suite);

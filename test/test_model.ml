@@ -97,6 +97,53 @@ let test_sabotage_caught_and_shrunk () =
       | [ Budget_timeout _ ] -> ()
       | other -> failf "did not shrink to the lying command: %s" (pp_cmds other))
 
+(* The serve-engine commands, exercised through a fixed sequence that
+   walks every service path: cold request, warm re-request, evict +
+   recompute, restart onto the disk tier, a pipelined burst, and the
+   second mode — each reply held to the memoized direct-run bytes. *)
+let test_serve_commands_pass () =
+  let cmds =
+    [
+      Serve_request { mode = 0; loop = 0 };
+      Serve_request { mode = 0; loop = 0 };
+      Serve_evict { mode = 0; loop = 0 };
+      Serve_request { mode = 0; loop = 0 };
+      Serve_restart;
+      Serve_request { mode = 0; loop = 0 };
+      Serve_burst { reqs = [ (0, 1); (1, 0); (0, 0) ] };
+      Serve_request { mode = 1; loop = 1 };
+      Serve_restart;
+      Serve_burst { reqs = [ (1, 1); (0, 1) ] };
+    ]
+  in
+  if not (valid cmds) then failf "bad fixture";
+  match run_cmds cmds with
+  | Ok () -> ()
+  | Error f -> failf "serve sequence failed at %s: %s" (cmd_to_string f.x_cmd) f.x_msg
+
+let test_serve_sabotage_caught_and_shrunk () =
+  (* the serve-starve lie staples a zero-attempt budget to every serve
+     request on the real side, so the first cold request degrades to a
+     timeout reply instead of the direct-run bytes; the counterexample
+     must shrink to a single serve command *)
+  let is_serve = function
+    | Serve_request _ | Serve_burst _ -> true
+    | _ -> false
+  in
+  let rec seed_with_serve s =
+    if s > 500 then failf "no seed generates a serve command?"
+    else if List.exists is_serve (gen_cmds (Workload.Rng.create s) ~len:8)
+    then s
+    else seed_with_serve (s + 1)
+  in
+  let seed = seed_with_serve 0 in
+  match Check.Model.check ~sabotage:"serve-starve" ~seeds:[ seed ] ~len:8 () with
+  | None -> failf "sabotaged serve run passed"
+  | Some c -> (
+      match c.c_shrunk with
+      | [ cmd ] when is_serve cmd -> ()
+      | other -> failf "did not shrink to one serve command: %s" (pp_cmds other))
+
 let suite =
   [
     test_case "generated sequences are valid" `Quick
@@ -106,4 +153,8 @@ let suite =
       test_minimize_pure_predicate;
     test_case "sabotage is caught and shrunk to one command" `Slow
       test_sabotage_caught_and_shrunk;
+    test_case "serve commands satisfy the model" `Slow
+      test_serve_commands_pass;
+    test_case "serve sabotage is caught and shrunk" `Slow
+      test_serve_sabotage_caught_and_shrunk;
   ]

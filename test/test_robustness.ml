@@ -170,6 +170,82 @@ let test_quarantine_retry_marks () =
   | qs -> failf "expected one quarantined loop, got %d" (List.length qs)
 
 (* ------------------------------------------------------------------ *)
+(* Backoff                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* With jitter disabled the delay is exactly the capped exponential,
+   and [pause] feeds each one to the injected sleep — the whole
+   schedule asserted against a recording fake, no real waiting. *)
+let test_backoff_exact_schedule () =
+  let slept = ref [] in
+  let b =
+    Metrics.Backoff.make ~base_s:0.1 ~factor:2.0 ~max_s:0.5 ~jitter:0.0
+      ~sleep:(fun d -> slept := d :: !slept)
+      ()
+  in
+  List.iter (fun k -> Metrics.Backoff.pause b ~attempt:k) [ 0; 1; 2; 3; 4 ];
+  check
+    (list (float 1e-9))
+    "capped exponential schedule"
+    [ 0.1; 0.2; 0.4; 0.5; 0.5 ]
+    (List.rev !slept)
+
+let test_backoff_jitter_deterministic_and_bounded () =
+  let delays seed =
+    let b = Metrics.Backoff.make ~base_s:0.1 ~factor:2.0 ~max_s:2.0
+        ~jitter:0.5 ~seed ~sleep:(fun _ -> ()) ()
+    in
+    List.map (fun k -> Metrics.Backoff.delay b ~attempt:k) [ 0; 1; 2; 3 ]
+  in
+  check (list (float 1e-9)) "same seed, same delays" (delays 7) (delays 7);
+  check bool "different seed decorrelates" true (delays 7 <> delays 8);
+  List.iteri
+    (fun k d ->
+      let full = 0.1 *. (2.0 ** float_of_int k) in
+      check bool
+        (Printf.sprintf "attempt %d jittered into [d/2, d]" k)
+        true
+        (d >= (full /. 2.) -. 1e-9 && d <= full +. 1e-9))
+    (delays 7)
+
+let test_backoff_none_never_sleeps () =
+  let b = Metrics.Backoff.none () in
+  List.iter
+    (fun k ->
+      check (float 0.) "delay is zero" 0. (Metrics.Backoff.delay b ~attempt:k);
+      (* pause skips a zero sleep entirely, so nothing can block *)
+      Metrics.Backoff.pause b ~attempt:k)
+    [ 0; 1; 5 ]
+
+(* The suite runner's retry path threads the backoff through: a loop
+   that keeps crashing is re-attempted [retries] times, each attempt
+   spaced by the exact schedule, then quarantined with the retry mark. *)
+let test_suite_retry_threads_backoff () =
+  let loops = Lazy.force tomcatv_loops in
+  let victim = (List.nth loops 0).Workload.Generator.id in
+  let slept = ref [] in
+  let backoff =
+    Metrics.Backoff.make ~base_s:0.05 ~factor:2.0 ~jitter:0.0
+      ~sleep:(fun d -> slept := d :: !slept)
+      ()
+  in
+  let iso =
+    Metrics.Experiment.run_suite_isolated ~retry:true ~retries:3 ~backoff
+      ~poison:[ victim ] Metrics.Experiment.Baseline config4c loops
+  in
+  (match iso.Metrics.Experiment.iso_quarantined with
+  | [ q ] ->
+      check string "victim still quarantined" victim
+        q.Metrics.Experiment.q_loop.Workload.Generator.id;
+      check bool "marked retried" true q.Metrics.Experiment.q_retried
+  | qs -> failf "expected one quarantined loop, got %d" (List.length qs));
+  check
+    (list (float 1e-9))
+    "three attempts paced by the backoff schedule"
+    [ 0.05; 0.1; 0.2 ]
+    (List.rev !slept)
+
+(* ------------------------------------------------------------------ *)
 (* Checkpoints                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -302,6 +378,14 @@ let suite =
       test_quarantine_poisoned_loop;
     test_case "retry marks surviving quarantine" `Quick
       test_quarantine_retry_marks;
+    test_case "backoff: exact capped-exponential schedule" `Quick
+      test_backoff_exact_schedule;
+    test_case "backoff: jitter is seeded and bounded" `Quick
+      test_backoff_jitter_deterministic_and_bounded;
+    test_case "backoff: none never sleeps" `Quick
+      test_backoff_none_never_sleeps;
+    test_case "suite retry threads the backoff" `Quick
+      test_suite_retry_threads_backoff;
     test_case "checkpoint string roundtrip" `Quick test_checkpoint_roundtrip;
     test_case "checkpoint disk roundtrip" `Quick test_checkpoint_save_load;
     test_case "checkpoint rejects garbage" `Quick

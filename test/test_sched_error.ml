@@ -19,6 +19,7 @@ let table =
     ("checker-violation", 20, true, false);
     ("timeout", 14, false, false);
     ("internal", 21, true, false);
+    ("server", 22, false, false);
   ]
 
 let row_of e =
@@ -63,11 +64,13 @@ let test_bug_give_up_partition () =
         false
         (is_bug e && is_give_up e))
     examples;
-  (* timeout is the one class that is neither: retryable, not discardable *)
+  (* timeout (retryable, not discardable) and server (operational, no
+     loop was judged) are the classes that are neither *)
   let neither =
     List.filter (fun e -> (not (is_bug e)) && not (is_give_up e)) examples
   in
-  check (list string) "only timeout is neither" [ "timeout" ]
+  check (list string) "only timeout and server are neither"
+    [ "timeout"; "server" ]
     (List.map class_name neither)
 
 let test_one_line_rendering () =

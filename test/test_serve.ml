@@ -1,0 +1,307 @@
+(* The serve engine ({!Metrics.Serve}): reply equality against the
+   inline reference through every service path (cold, warm, post-evict,
+   post-restart disk tier), the degradation ladder (overload shedding at
+   the queue bound, budget timeouts, bad requests, fault + poison
+   quarantine), the retry/backoff schedule under a recording fake sleep,
+   drain semantics, and the health/stats counters.  All engine-level:
+   no sockets, no real sleeps, no wall-clock dependence. *)
+
+open Alcotest
+
+let config = Option.get (Machine.Config.of_name "4c1b2l64r")
+let base = Option.get (Metrics.Experiment.mode_of_tag "base")
+let repl = Option.get (Metrics.Experiment.mode_of_tag "repl")
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: tl -> x :: take (k - 1) tl
+
+let loops =
+  lazy (take 5 (Workload.Generator.generate (Workload.Benchmark.find "tomcatv")))
+
+let loop i = List.nth (Lazy.force loops) i
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve_test_%d_%d" (Unix.getpid ()) !counter)
+
+let remove_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> remove_dir dir) (fun () -> f dir)
+
+(* every test drives a silent engine with a no-wait backoff unless it
+   is specifically about the backoff schedule *)
+let engine ?limits ?backoff ?poison ?store_dir () =
+  let backoff =
+    match backoff with Some b -> b | None -> Metrics.Backoff.none ()
+  in
+  Metrics.Serve.create
+    ~io:(Metrics.Serve.Io.silent ())
+    ?limits ~backoff ?poison ?store_dir ()
+
+let request ?id ?budget_s ?budget_attempts ~mode i =
+  Metrics.Serve.request ?id ?budget_s ?budget_attempts ~mode ~config (loop i)
+
+let direct ?id ?budget_s ?budget_attempts ~mode i =
+  Metrics.Serve.direct_reply ?id ?budget_s ?budget_attempts ~mode ~config
+    (loop i)
+
+let field name reply = Metrics.Json.(member name (parse reply))
+let status reply = Metrics.Json.to_str (field "status" reply)
+let count name reply = Metrics.Json.to_int (field name reply)
+
+(* ------------------------------------------------------------------ *)
+(* Reply equality: cold, warm, evict, restart                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cold_warm_equal_direct () =
+  let t = engine () in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun i ->
+          let reference = direct ~mode i in
+          check string "cold reply equals direct" reference
+            (Metrics.Serve.handle t (request ~mode i));
+          check string "warm reply equals cold" reference
+            (Metrics.Serve.handle t (request ~mode i)))
+        [ 0; 1 ])
+    [ base; repl ]
+
+let test_evict_then_recompute () =
+  let t = engine () in
+  let cold = Metrics.Serve.handle t (request ~mode:repl 0) in
+  check string "evict acks with fixed bytes"
+    (Metrics.Json.print
+       (Metrics.Json.Obj
+          [
+            ("id", Metrics.Json.Str "e");
+            ("status", Metrics.Json.Str "ok");
+            ("role", Metrics.Json.Str "evict");
+          ]))
+    (Metrics.Serve.handle t
+       (Metrics.Serve.evict_request ~id:"e" ~mode:repl ~config (loop 0)));
+  check string "recompute after evict equals cold" cold
+    (Metrics.Serve.handle t (request ~mode:repl 0));
+  let stats = Metrics.Serve.handle t (Metrics.Serve.stats_request ()) in
+  check int "one eviction counted" 1 (count "evictions" stats);
+  check int "evicted entry recomputed as a miss" 2 (count "misses" stats)
+
+let test_restart_serves_disk_tier () =
+  with_dir @@ fun dir ->
+  let t1 = engine ~store_dir:dir () in
+  let cold =
+    List.map (fun i -> Metrics.Serve.handle t1 (request ~mode:repl i)) [ 0; 1 ]
+  in
+  Metrics.Serve.save t1;
+  let t2 = engine ~store_dir:dir () in
+  let warm =
+    List.map (fun i -> Metrics.Serve.handle t2 (request ~mode:repl i)) [ 0; 1 ]
+  in
+  check (list string) "restarted replies byte-identical" cold warm;
+  let stats = Metrics.Serve.handle t2 (Metrics.Serve.stats_request ()) in
+  check int "restarted engine recomputed nothing" 0 (count "misses" stats);
+  check int "restarted engine served from the store" 2 (count "hits" stats)
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure and drain                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_bound_sheds () =
+  let limits = { Metrics.Serve.default_limits with queue_bound = 2 } in
+  let t = engine ~limits () in
+  let lines = List.map (fun i -> request ~mode:base i) [ 0; 1; 2 ] in
+  (match List.map (Metrics.Serve.offer t) lines with
+  | [ None; None; Some shed ] ->
+      check string "excess load answered overloaded" "overloaded" (status shed);
+      check string "shed reply carries the request id" (loop 2).Workload.Generator.id
+        (Metrics.Json.to_str (field "id" shed))
+  | _ -> failf "queue bound 2 did not admit exactly 2 of 3");
+  check int "pending counts the admitted requests" 2 (Metrics.Serve.pending t);
+  (* admission order is reply order, and queued service still matches
+     the inline reference *)
+  List.iteri
+    (fun i line ->
+      match Metrics.Serve.step t with
+      | Some (line', reply) ->
+          check string "step dequeues in admission order" line line';
+          check string "queued reply equals direct" (direct ~mode:base i) reply
+      | None -> failf "step %d found an empty queue" i)
+    [ List.nth lines 0; List.nth lines 1 ];
+  check bool "drained queue steps None" true (Metrics.Serve.step t = None);
+  (* the shed made room: the queue admits again *)
+  check bool "freed queue admits again" true
+    (Metrics.Serve.offer t (List.nth lines 2) = None)
+
+let test_drain_sheds_but_finishes_admitted () =
+  let t = engine () in
+  let line = request ~mode:base 0 in
+  check bool "pre-drain offer admitted" true (Metrics.Serve.offer t line = None);
+  check bool "not draining yet" false (Metrics.Serve.draining t);
+  Metrics.Serve.begin_drain t;
+  check bool "draining" true (Metrics.Serve.draining t);
+  (match Metrics.Serve.offer t (request ~mode:base 1) with
+  | Some shed -> check string "drain sheds new work" "overloaded" (status shed)
+  | None -> failf "draining engine admitted new work");
+  match Metrics.Serve.step t with
+  | Some (_, reply) ->
+      check string "admitted request still finishes across the drain"
+        (direct ~mode:base 0) reply
+  | None -> failf "admitted request lost in the drain"
+
+(* ------------------------------------------------------------------ *)
+(* Degradation: budgets, bad requests, faults, poison                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_degrades_to_timeout () =
+  let t = engine () in
+  let reply = Metrics.Serve.handle t (request ~budget_attempts:0 ~mode:repl 2) in
+  check string "over-budget request degrades" "degraded" (status reply);
+  check string "degradation class is timeout" "timeout"
+    (Metrics.Json.to_str (field "class" reply));
+  check string "timeout replies are wall-clock-free, hence reproducible"
+    (direct ~budget_attempts:0 ~mode:repl 2) reply;
+  (* a server-default budget degrades the same way *)
+  let strict =
+    engine
+      ~limits:
+        { Metrics.Serve.default_limits with budget_attempts = Some 0 }
+      ()
+  in
+  check string "server-wide budget default applies" "degraded"
+    (status (Metrics.Serve.handle strict (request ~mode:repl 2)));
+  (* timeouts are never cached: lifting the budget recomputes a full
+     reply equal to the reference *)
+  check string "lifting the budget recovers the real answer"
+    (direct ~mode:repl 2)
+    (Metrics.Serve.handle t (request ~mode:repl 2))
+
+let test_bad_requests () =
+  let t = engine () in
+  List.iter
+    (fun line ->
+      check string
+        (Printf.sprintf "%S answers bad-request" line)
+        "bad-request"
+        (status (Metrics.Serve.handle t line)))
+    [
+      "";
+      "not json at all";
+      "{\"op\":\"schedule\",\"id\":\"torn";
+      "{\"op\":\"no-such-op\",\"id\":\"x\"}";
+      "{\"op\":\"schedule\",\"id\":\"x\",\"mode\":\"warp\",\"config\":\"4c1b2l64r\"}";
+    ];
+  let reply =
+    Metrics.Serve.handle t "{\"op\":\"no-such-op\",\"id\":\"keepme\"}"
+  in
+  check string "a parseable id survives into the reply" "keepme"
+    (Metrics.Json.to_str (field "id" reply));
+  (* bad lines hurt only themselves *)
+  check string "the engine still serves after bad input"
+    (direct ~mode:base 0)
+    (Metrics.Serve.handle t (request ~mode:base 0))
+
+let test_fault_retries_backoff_then_poisons () =
+  let slept = ref [] in
+  let backoff =
+    Metrics.Backoff.make ~base_s:0.05 ~factor:2.0 ~jitter:0.0
+      ~sleep:(fun d -> slept := d :: !slept)
+      ()
+  in
+  let victim = (loop 3).Workload.Generator.id in
+  let t = engine ~backoff ~poison:[ victim ] () in
+  let fault = Metrics.Serve.handle t (request ~mode:base 3) in
+  check string "crashing request answers fault" "fault" (status fault);
+  (* default limits allow 2 retries: attempts 0 and 1 each paused by the
+     exact jitter-free exponential before conviction *)
+  check (list (float 1e-9)) "retry pauses follow the backoff schedule"
+    [ 0.05; 0.1 ] (List.rev !slept);
+  let again = Metrics.Serve.handle t (request ~mode:base 3) in
+  check string "repeat offender is quarantined" "poisoned" (status again);
+  check (list (float 1e-9)) "quarantine never re-runs, so never sleeps"
+    [ 0.05; 0.1 ] (List.rev !slept);
+  (* conviction is per-key: the same loop under another mode crashes on
+     its own (fault, not poisoned), and healthy loops are untouched *)
+  check string "other keys convict independently" "fault"
+    (status (Metrics.Serve.handle t (request ~mode:repl 3)));
+  check string "healthy request unaffected by the quarantine"
+    (direct ~mode:base 0)
+    (Metrics.Serve.handle t (request ~mode:base 0));
+  let stats = Metrics.Serve.handle t (Metrics.Serve.stats_request ()) in
+  check int "both convictions counted" 2 (count "faults" stats);
+  check int "quarantined answer counted" 1 (count "poisoned" stats);
+  check int "every retry counted" 4 (count "retries" stats)
+
+(* ------------------------------------------------------------------ *)
+(* Health and stats                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_health () =
+  let t = engine () in
+  let reply = Metrics.Serve.handle t (Metrics.Serve.health_request ~id:"h" ()) in
+  check string "health is ok" "ok" (status reply);
+  check string "health names its role" "health"
+    (Metrics.Json.to_str (field "role" reply));
+  check string "health echoes the id" "h"
+    (Metrics.Json.to_str (field "id" reply));
+  check int "nothing pending" 0 (count "pending" reply);
+  check bool "not draining" false
+    (Metrics.Json.parse reply |> Metrics.Json.member "draining"
+     = Metrics.Json.Bool true);
+  check string "health pins the scheduler version" Sched.Driver.version
+    (Metrics.Json.to_str (field "version" reply))
+
+let test_stats_counters () =
+  let t = engine () in
+  ignore (Metrics.Serve.handle t (request ~mode:base 0));
+  ignore (Metrics.Serve.handle t (request ~mode:base 0));
+  ignore (Metrics.Serve.handle t "garbage");
+  ignore (Metrics.Serve.handle t (request ~budget_attempts:0 ~mode:base 1));
+  let reply = Metrics.Serve.handle t (Metrics.Serve.stats_request ()) in
+  check string "stats is ok" "ok" (status reply);
+  (* served = answered with a full schedule; the timed-out request is
+     counted under timeouts (and its store miss under misses) instead *)
+  check int "served counts full answers" 2 (count "served" reply);
+  check int "one warm hit" 1 (count "hits" reply);
+  check int "cold and timed-out requests both missed" 2 (count "misses" reply);
+  check int "one timeout" 1 (count "timeouts" reply);
+  check int "one bad request" 1 (count "bad_requests" reply);
+  check int "no faults" 0 (count "faults" reply);
+  let store = field "store" reply in
+  check int "store hit counter agrees" 1
+    (Metrics.Json.to_int (Metrics.Json.member "hits" store))
+
+let suite =
+  [
+    test_case "cold and warm replies equal the inline reference" `Slow
+      test_cold_warm_equal_direct;
+    test_case "evict acks and recomputes to the same bytes" `Quick
+      test_evict_then_recompute;
+    test_case "restart serves the disk tier byte-identically" `Quick
+      test_restart_serves_disk_tier;
+    test_case "queue bound sheds, admission order is reply order" `Quick
+      test_queue_bound_sheds;
+    test_case "drain sheds new work, finishes admitted work" `Quick
+      test_drain_sheds_but_finishes_admitted;
+    test_case "budget expiry degrades to a timeout reply" `Quick
+      test_budget_degrades_to_timeout;
+    test_case "bad requests answer bad-request and hurt only themselves"
+      `Quick test_bad_requests;
+    test_case "faults retry on the backoff schedule, then poison" `Quick
+      test_fault_retries_backoff_then_poisons;
+    test_case "health reply" `Quick test_health;
+    test_case "stats counters" `Quick test_stats_counters;
+  ]

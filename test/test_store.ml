@@ -218,6 +218,36 @@ let test_version_invalidation () =
   let fresh = Metrics.Store.create ~dir () in
   check bool "other scheduler version ignored" true (lookup_is_miss fresh l)
 
+(* A torn table file — hand-truncated mid-JSON, as a crash mid-write or
+   disk corruption would leave it — is quarantined at load: renamed to
+   <file>.corrupt (warning on stderr), never fatal, and the store
+   continues cold with the entry recomputable. *)
+let test_corrupt_file_quarantined () =
+  with_dir @@ fun dir ->
+  let l = List.hd (Lazy.force small_loops) in
+  let store = Metrics.Store.create ~dir () in
+  ignore (record_success store l);
+  Metrics.Store.save store;
+  let table =
+    match
+      List.filter
+        (fun f -> Filename.check_suffix f ".json")
+        (Array.to_list (Sys.readdir dir))
+    with
+    | [ f ] -> Filename.concat dir f
+    | fs -> Alcotest.failf "expected one table file, found %d" (List.length fs)
+  in
+  let text = In_channel.with_open_text table In_channel.input_all in
+  Out_channel.with_open_text table (fun oc ->
+      Out_channel.output_string oc (String.sub text 0 40));
+  let reread = Metrics.Store.create ~dir () in
+  check bool "torn table answers cold" true (lookup_is_miss reread l);
+  check bool "torn file renamed aside" false (Sys.file_exists table);
+  check bool "quarantined to .corrupt" true
+    (Sys.file_exists (table ^ ".corrupt"));
+  ignore (record_success reread l);
+  check bool "recomputed entry answers again" false (lookup_is_miss reread l)
+
 let test_evict () =
   let l = List.hd (Lazy.force small_loops) in
   let store = Metrics.Store.create () in
@@ -255,6 +285,8 @@ let suite =
     Alcotest.test_case "record policy" `Quick test_record_policy;
     Alcotest.test_case "scheduler-version invalidation" `Quick
       test_version_invalidation;
+    Alcotest.test_case "corrupt table file quarantined" `Quick
+      test_corrupt_file_quarantined;
     Alcotest.test_case "evict" `Quick test_evict;
     Alcotest.test_case "profile cache counters" `Quick test_profile_counters;
   ]

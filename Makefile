@@ -2,7 +2,7 @@
 
 .PHONY: all check check-fast test check-faults fuzz-smoke validate-quick \
   check-cache check-serve bench bench-smoke bench-scaling bench-warm \
-  bench-diff clean
+  bench-serve bench-diff clean
 
 all:
 	dune build
@@ -78,6 +78,16 @@ bench-scaling:
 bench-warm:
 	dune exec bench/main.exe -- --warm --bench-json BENCH_sched.json
 
+# Serving benchmark: the figure suite's requests driven through the
+# in-process serve engine at worker counts {0, 1, 2, 4} (each point a
+# fresh engine and store, workers-0 the inline reference every other
+# point must match byte-for-byte), plus a 100-identical-request
+# coalescing burst; refreshes only the "serve" payload of
+# BENCH_sched.json.  ok requires byte equality at every point and the
+# burst collapsing onto exactly one computation.
+bench-serve:
+	dune exec bench/main.exe -- --serve --bench-json BENCH_sched.json
+
 # Quick smoke run on the deterministic small subset; writes the same
 # per-section timing JSON.  Exits non-zero if any section fails.
 bench-smoke:
@@ -85,11 +95,12 @@ bench-smoke:
 
 # Regression gate: re-run the quick benchmark and compare against the
 # committed BENCH_sched.json with bench/diff.exe — every payload
-# ("quick"/"full"/"scaling"/"warm") present in both files is checked
-# (total wall time within 25%, no section newly failing, hard-loop
-# reuse speedup kept, scaling's highest-job point within tolerance,
-# warm speedup and hit rate kept).  A quick re-run only refreshes the
-# "quick" payload, so the committed "full", "scaling" and "warm"
+# ("quick"/"full"/"scaling"/"warm"/"serve") present in both files is
+# checked (total wall time within 25%, no section newly failing,
+# hard-loop reuse speedup kept, scaling's highest-job point within
+# tolerance, warm speedup and hit rate kept, serve throughput and
+# coalesce rate kept).  A quick re-run only refreshes the "quick"
+# payload, so the committed "full", "scaling", "warm" and "serve"
 # numbers ride along untouched and uncompared.
 bench-diff:
 	rm -f /tmp/bench_new.json

@@ -22,6 +22,12 @@
    on its warm-over-cold speedup and its warm hit rate — the store
    going silently cold (misses creeping back in) is exactly the
    regression this slot exists to catch — plus its overall ok bit.
+   The "serve" payload (batched serving throughput) is gated on its
+   requests/sec, its coalesce rate (a burst of identical requests must
+   keep collapsing onto one computation), the highest-worker point of
+   its scaling curve, and its ok bit (which encodes byte-equality of
+   every worker count against the inline reference); p50/p95 latency
+   is reported but informational.
 
    Exits 0 when every comparable payload passes, 1 on any regression or
    unreadable input.  Payloads present on only one side are reported and
@@ -132,9 +138,76 @@ let compare_warm old_p new_p =
     && Json.member "ok" new_p <> Json.Bool true
   then fail "warm: regressed from ok to failed"
 
+(* The serve payload: gate throughput, the coalesce rate, the
+   highest-worker scaling point and the ok bit; latency percentiles are
+   informational (sojourn time of an open-loop burst tracks burst size,
+   so they print but do not gate). *)
+let compare_serve old_p new_p =
+  let old_rps = Json.(to_num (member "rps" old_p)) in
+  let new_rps = Json.(to_num (member "rps" new_p)) in
+  Printf.printf
+    "bench-diff: serve throughput committed %.1f req/s, current %.1f req/s\n"
+    old_rps new_rps;
+  if new_rps < old_rps *. (1. -. !tolerance) then
+    fail "serve: %.1f req/s < %.1f * %.2f" new_rps old_rps (1. -. !tolerance);
+  (match
+     ( Option.bind (Json.member_opt "coalesce" old_p) (Json.member_opt "rate"),
+       Option.bind (Json.member_opt "coalesce" new_p) (Json.member_opt "rate")
+     )
+   with
+  | Some (Json.Num old_r), Some (Json.Num new_r) ->
+      Printf.printf
+        "bench-diff: serve coalesce rate committed %.3f, current %.3f\n"
+        old_r new_r;
+      if new_r < old_r *. (1. -. !tolerance) then
+        fail "serve: coalesce rate %.3f < %.3f * %.2f" new_r old_r
+          (1. -. !tolerance)
+  | _ -> ());
+  (match
+     ( Option.map Json.to_num (Json.member_opt "p50_ms" new_p),
+       Option.map Json.to_num (Json.member_opt "p95_ms" new_p) )
+   with
+  | Some p50, Some p95 ->
+      Printf.printf
+        "bench-diff: serve latency (informational) p50 %.3fms, p95 %.3fms\n"
+        p50 p95
+  | _ -> ());
+  let top p =
+    List.fold_left
+      (fun best pt ->
+        match best with
+        | Some b
+          when Json.(to_num (member "workers" b))
+               >= Json.(to_num (member "workers" pt)) ->
+            best
+        | _ -> Some pt)
+      None
+      (match Json.member_opt "workers" p with
+      | Some (Json.List pts) -> pts
+      | _ -> [])
+  in
+  (match (top old_p, top new_p) with
+  | Some o, Some n ->
+      let ow = Json.(to_num (member "workers" o)) in
+      let os = Json.(to_num (member "seconds" o)) in
+      let ns = Json.(to_num (member "seconds" n)) in
+      Printf.printf
+        "bench-diff: serve top point committed %.3fs (%.0f workers), \
+         current %.3fs\n"
+        os ow ns;
+      if ns > os *. (1. +. !tolerance) then
+        fail "serve: %.3fs > %.3fs * %.2f at %.0f workers" ns os
+          (1. +. !tolerance) ow
+  | _ -> fail "serve: payload has no worker points");
+  if
+    Json.member "ok" old_p = Json.Bool true
+    && Json.member "ok" new_p <> Json.Bool true
+  then fail "serve: regressed from ok to failed"
+
 let compare_payload name old_p new_p =
   if String.equal name "scaling" then compare_scaling old_p new_p
   else if String.equal name "warm" then compare_warm old_p new_p
+  else if String.equal name "serve" then compare_serve old_p new_p
   else begin
   let old_total = Json.(to_num (member "total_seconds" old_p)) in
   let new_total = Json.(to_num (member "total_seconds" new_p)) in
@@ -198,7 +271,7 @@ let () =
                     "bench-diff: %s present only in %s, skipped\n" name
                     new_path
               | None, None -> ())
-            [ "quick"; "full"; "scaling"; "warm" ];
+            [ "quick"; "full"; "scaling"; "warm"; "serve" ];
           if !compared = 0 then begin
             Printf.printf "bench-diff: FAIL no comparable payload\n";
             exit 1

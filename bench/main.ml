@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- --profile
      dune exec bench/main.exe -- --scaling --bench-json BENCH_sched.json
      dune exec bench/main.exe -- --warm --bench-json BENCH_sched.json
+     dune exec bench/main.exe -- --serve --bench-json BENCH_sched.json
      dune exec bench/main.exe -- --cache /tmp/sched-cache
      dune exec bench/main.exe -- --jobs 4 --bench-json BENCH_sched.json
 
@@ -35,12 +36,15 @@
 
    --bench-json PATH writes the wall times to PATH so successive
    commits can track the perf trajectory; the process exits non-zero
-   if any section failed.  The file holds up to four payloads —
+   if any section failed.  The file holds up to five payloads —
    "quick" (written by --quick runs), "full" (written by full figure
    runs, which also measure the hard-loop escalation subset seq vs
-   reuse vs speculative), "scaling" (written by --scaling runs) and
-   "warm" (written by --warm runs) — and a run only overwrites its own
-   payload, so each can be refreshed independently. *)
+   reuse vs speculative), "scaling" (written by --scaling runs),
+   "warm" (written by --warm runs) and "serve" (written by --serve
+   runs: the engine's coalescing burst, open-loop throughput with
+   p50/p95 latency, and the worker-domain scaling curve) — and a run
+   only overwrites its own payload, so each can be refreshed
+   independently. *)
 
 module Json = Metrics.Json
 
@@ -119,6 +123,9 @@ let cache_json (st : Metrics.Store.stats) =
       ("hit_rate", Json.Num (Float.round (rate *. 1000.) /. 1000.));
       ("bytes_read", Json.Num (float_of_int st.Metrics.Store.bytes_read));
       ("bytes_written", Json.Num (float_of_int st.Metrics.Store.bytes_written));
+      ("tables_saved", Json.Num (float_of_int st.Metrics.Store.tables_saved));
+      ( "tables_skipped",
+        Json.Num (float_of_int st.Metrics.Store.tables_skipped) );
     ]
 
 let payload_json ~mode ~jobs ~jobs_requested ~n_loops ~timings ~total
@@ -192,7 +199,7 @@ let write_bench_json path ~slot payload =
   let doc =
     Json.Obj
       (("schema", Json.Str "bench_sched/v2")
-      :: List.concat_map field [ "quick"; "full"; "scaling"; "warm" ])
+      :: List.concat_map field [ "quick"; "full"; "scaling"; "warm"; "serve" ])
   in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (pretty doc ^ "\n"))
@@ -471,7 +478,9 @@ let run_warm ~quick ~jobs ~dir () =
        format; stdout keeps only the human timing line *)
     Metrics.Log.cache_stats ~hits:st.Metrics.Store.hits
       ~misses:st.Metrics.Store.misses ~bytes_read:st.Metrics.Store.bytes_read
-      ~bytes_written:st.Metrics.Store.bytes_written;
+      ~bytes_written:st.Metrics.Store.bytes_written
+      ~tables_saved:st.Metrics.Store.tables_saved
+      ~tables_skipped:st.Metrics.Store.tables_skipped;
     Printf.printf "--- %s pass: %.1fs%s ---\n\n%!" label dt
       (if ok then "" else " [sections FAILED]");
     (dt, ok, n_loops, st)
@@ -500,6 +509,213 @@ let run_warm ~quick ~jobs ~dir () =
         ("warm_seconds", seconds warm_dt);
         ("speedup", Json.Num (Float.round (speedup *. 100.) /. 100.));
         ("cache", cache_json warm_st);
+        ("ok", Json.Bool ok);
+      ]
+  in
+  (payload, ok)
+
+(* ------------------------------------------------------------------ *)
+(* Serve throughput: coalescing burst + worker scaling                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Three measurements over the serve engine (no sockets — the engine is
+   the daemon minus the select loop, so the numbers track scheduling
+   service capacity, not kernel I/O):
+
+     coalesce   a batched burst of [coalesce_n] identical cold requests
+                through a one-worker engine must collapse onto exactly
+                one computation and answer bytes identical to the
+                inline reference ("ok" requires both)
+     latency    an open-loop burst of distinct requests (every loop in
+                both modes, admitted upfront) measured per reply as it
+                funnels back: requests/sec plus p50/p95 sojourn
+     workers    the same burst re-run on fresh engines at 0/1/2/4
+                worker domains; every point's replies must be
+                byte-identical to the workers=0 inline reference *)
+
+let serve_points = [ 0; 1; 2; 4 ]
+let coalesce_n = 100
+
+let run_serve ~quick () =
+  let loops =
+    take (if quick then 24 else 120) (Workload.Generator.suite ())
+  in
+  let config = Option.get (Machine.Config.of_name "4c1b2l64r") in
+  let base = Option.get (Metrics.Experiment.mode_of_tag "base") in
+  let repl = Option.get (Metrics.Experiment.mode_of_tag "repl") in
+  let lines =
+    List.concat_map
+      (fun l ->
+        [
+          Metrics.Serve.request ~mode:base ~config l;
+          Metrics.Serve.request ~mode:repl ~config l;
+        ])
+      loops
+  in
+  let n_requests = List.length lines in
+  let mk workers =
+    Metrics.Serve.create
+      ~io:(Metrics.Serve.Io.silent ())
+      ~limits:
+        {
+          Metrics.Serve.default_limits with
+          workers;
+          queue_bound = max 256 (n_requests + coalesce_n);
+        }
+      ~backoff:(Metrics.Backoff.none ())
+      ~worker_backoff:(fun _ -> Metrics.Backoff.none ())
+      ()
+  in
+  let with_engine workers f =
+    let t = mk workers in
+    Fun.protect ~finally:(fun () -> Metrics.Serve.shutdown t) (fun () -> f t)
+  in
+  let stat t name =
+    let r = Metrics.Serve.handle t (Metrics.Serve.stats_request ()) in
+    Json.to_int (Json.member name (Json.parse r))
+  in
+  (* -------- coalescing burst -------------------------------------- *)
+  let coalesce =
+    with_engine 1 @@ fun t ->
+    let l = List.hd loops in
+    let burst =
+      Metrics.Serve.batch_request
+        (List.init coalesce_n (fun _ ->
+             Metrics.Serve.request ~mode:repl ~config l))
+    in
+    let expect =
+      Metrics.Serve.batch_request
+        (List.init coalesce_n (fun _ ->
+             Metrics.Serve.direct_reply ~mode:repl ~config l))
+    in
+    (match Metrics.Serve.offer t burst with
+    | None -> ()
+    | Some _ -> failwith "serve bench: coalescing burst was shed");
+    let rec drain acc =
+      if Metrics.Serve.busy t then drain (acc @ Metrics.Serve.pump_wait t)
+      else acc
+    in
+    let equal =
+      match drain [] with [ (_, reply) ] -> reply = expect | _ -> false
+    in
+    let computes = stat t "computes" and coalesced = stat t "coalesced" in
+    let rate =
+      if computes + coalesced = 0 then 0.
+      else float_of_int coalesced /. float_of_int (computes + coalesced)
+    in
+    let ok = equal && computes = 1 in
+    Printf.printf
+      "--- coalesce: burst of %d identical requests -> %d computation(s), \
+       rate %.3f%s ---\n\
+       %!"
+      coalesce_n computes rate
+      (if ok then "" else " [FAILED]");
+    ( ok,
+      Json.Obj
+        [
+          ("burst", Json.Num (float_of_int coalesce_n));
+          ("computes", Json.Num (float_of_int computes));
+          ("coalesced", Json.Num (float_of_int coalesced));
+          ("rate", Json.Num (Float.round (rate *. 1000.) /. 1000.));
+          ("ok", Json.Bool ok);
+        ] )
+  in
+  let coalesce_ok, coalesce_json = coalesce in
+  (* -------- open-loop burst, per worker count ---------------------- *)
+  let run_point workers =
+    with_engine workers @@ fun t ->
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun line ->
+        match Metrics.Serve.admit t line with
+        | Ok _ -> ()
+        | Error _ -> failwith "serve bench: open-loop burst was shed")
+      lines;
+    let replies = ref [] and latencies = ref [] in
+    while Metrics.Serve.busy t do
+      let finished = Metrics.Serve.pump_wait t in
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun (seq, reply) ->
+          replies := (seq, reply) :: !replies;
+          latencies := (now -. t0) :: !latencies)
+        finished
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let replies =
+      List.sort (fun (a, _) (b, _) -> compare a b) !replies |> List.map snd
+    in
+    (dt, replies, !latencies)
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else sorted.(min (n - 1) (int_of_float ((float_of_int (n - 1) *. p) +. 0.5)))
+  in
+  let points =
+    List.map
+      (fun workers ->
+        let dt, replies, latencies = run_point workers in
+        let rps = if dt > 0. then float_of_int n_requests /. dt else 0. in
+        (workers, dt, rps, replies, latencies))
+      serve_points
+  in
+  let reference =
+    match points with (0, _, _, replies, _) :: _ -> replies | _ -> []
+  in
+  let points =
+    List.map
+      (fun (workers, dt, rps, replies, latencies) ->
+        let ok = replies = reference in
+        Printf.printf
+          "--- serve point: %d worker(s), %d requests: %.2fs, %.0f req/s%s \
+           ---\n\
+           %!"
+          workers n_requests dt rps
+          (if ok then "" else " [replies DIVERGED from workers=0]");
+        (workers, dt, rps, latencies, ok))
+      points
+  in
+  let top =
+    List.fold_left
+      (fun acc (w, dt, rps, lats, _) ->
+        match acc with
+        | Some (w', _, _, _) when w' >= w -> acc
+        | _ -> Some (w, dt, rps, lats))
+      None points
+  in
+  let seconds_top, rps_top, p50, p95 =
+    match top with
+    | Some (_, dt, rps, lats) ->
+        let sorted = Array.of_list lats in
+        Array.sort compare sorted;
+        (dt, rps, percentile sorted 0.5 *. 1000., percentile sorted 0.95 *. 1000.)
+    | None -> (0., 0., 0., 0.)
+  in
+  let ok = coalesce_ok && List.for_all (fun (_, _, _, _, ok) -> ok) points in
+  let payload =
+    Json.Obj
+      [
+        ("mode", Json.Str (if quick then "serve-quick" else "serve"));
+        ("requests", Json.Num (float_of_int n_requests));
+        ("seconds", seconds seconds_top);
+        ("rps", Json.Num (Float.round (rps_top *. 10.) /. 10.));
+        ("p50_ms", Json.Num (Float.round (p50 *. 1000.) /. 1000.));
+        ("p95_ms", Json.Num (Float.round (p95 *. 1000.) /. 1000.));
+        ("coalesce", coalesce_json);
+        ( "workers",
+          Json.List
+            (List.map
+               (fun (workers, dt, rps, _, ok) ->
+                 Json.Obj
+                   [
+                     ("workers", Json.Num (float_of_int workers));
+                     ("seconds", seconds dt);
+                     ("rps", Json.Num (Float.round (rps *. 10.) /. 10.));
+                     ("ok", Json.Bool ok);
+                   ])
+               points) );
         ("ok", Json.Bool ok);
       ]
   in
@@ -842,6 +1058,16 @@ let () =
     (match bench_json with
     | Some path ->
         write_bench_json path ~slot:"warm" payload;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    exit (if ok then 0 else 1)
+  end;
+  if has "--serve" then begin
+    let payload, ok = run_serve ~quick () in
+    Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. t0);
+    (match bench_json with
+    | Some path ->
+        write_bench_json path ~slot:"serve" payload;
         Printf.printf "wrote %s\n" path
     | None -> ());
     exit (if ok then 0 else 1)

@@ -15,6 +15,7 @@ type cmd =
   | Serve_evict of { mode : int; loop : int }
   | Serve_restart
   | Serve_burst of { reqs : (int * int) list }
+  | Serve_concurrent of { mode : int; loop : int; n : int }
 
 let cmd_to_string = function
   | Run_loop { mode; loop } -> Printf.sprintf "Run_loop(mode=%d,loop=%d)" mode loop
@@ -42,6 +43,8 @@ let cmd_to_string = function
       Printf.sprintf "Serve_burst(%s)"
         (String.concat ";"
            (List.map (fun (m, l) -> Printf.sprintf "%d/%d" m l) reqs))
+  | Serve_concurrent { mode; loop; n } ->
+      Printf.sprintf "Serve_concurrent(mode=%d,loop=%d,n=%d)" mode loop n
 
 (* ------------------------------------------------------------------ *)
 (* The fixed environment: four tomcatv loops on the paper's reference
@@ -82,6 +85,10 @@ type model = {
          request: memoized from Serve.direct_reply on first use, pinned
          forever after — hits, recomputes after evict, and warm replies
          after a restart must all produce exactly these bytes *)
+  cc_seen : (int * int, unit) Hashtbl.t;
+      (* (mode, loop) pairs the concurrent worker-pool engine has
+         already computed: the first burst of a pair must coalesce onto
+         exactly one computation, later bursts must be all store hits *)
   mutable table : string option;   (* IPC table of a clean full run *)
   mutable last_cp : (string * string * string) list option;
   mutable saved : (string * string * string) list option;
@@ -92,6 +99,9 @@ type env = {
   manifest_path : string;
   store : Metrics.Store.t;  (* memory-tier schedule store under test *)
   serve_dir : string;  (* disk tier of the serve engine under test *)
+  serve_cc : Metrics.Serve.t;
+      (* a second engine with a one-domain worker pool (memory-only
+         store), driven only by Serve_concurrent *)
   mutable serve : Metrics.Serve.t;
   mutable last_cp_real : Metrics.Checkpoint.t option;
   mutable saved_real : Metrics.Checkpoint.t option;
@@ -156,6 +166,17 @@ let fresh_serve ~dir =
     ~io:(Metrics.Serve.Io.silent ())
     ~backoff:(Metrics.Backoff.none ())
     ~store_dir:dir ()
+
+(* The concurrent engine: one worker domain, never-sleeping backoff on
+   both retry paths, memory-only store — coalescing behaviour is what
+   Serve_concurrent pins, not persistence. *)
+let fresh_serve_cc () =
+  Metrics.Serve.create
+    ~io:(Metrics.Serve.Io.silent ())
+    ~limits:{ Metrics.Serve.default_limits with workers = 1; queue_bound = 256 }
+    ~backoff:(Metrics.Backoff.none ())
+    ~worker_backoff:(fun _ -> Metrics.Backoff.none ())
+    ()
 
 (* The "serve-starve" sabotage silently staples a zero-attempt budget
    to every request the harness sends: the first miss then degrades to
@@ -397,6 +418,81 @@ let exec env m cmd =
               if line' <> line then post "replies out of admission order";
               check_serve_reply m ~mode ~loop reply)
         reqs lines
+  | Serve_concurrent { mode; loop; n } ->
+      (* A batched burst of n identical requests (distinct ids) through
+         the worker-pool engine: one array reply whose elements are each
+         byte-identical to the per-id direct run, with counters proving
+         the burst coalesced onto one computation the first time and was
+         all store hits afterwards. *)
+      let l = loops.(loop) in
+      let md = mode_of.(mode) in
+      let t = env.serve_cc in
+      let ids = List.init n (Printf.sprintf "cc%d") in
+      let lines =
+        List.map
+          (fun id -> Metrics.Serve.request ~id ~mode:md ~config:base_config l)
+          ids
+      in
+      let stat name =
+        let r = Metrics.Serve.handle t (Metrics.Serve.stats_request ()) in
+        Metrics.Json.to_int (Metrics.Json.member name (Metrics.Json.parse r))
+      in
+      let computes0 = stat "computes"
+      and coalesced0 = stat "coalesced"
+      and hits0 = stat "hits"
+      and misses0 = stat "misses" in
+      (match Metrics.Serve.offer t (Metrics.Serve.batch_request lines) with
+      | None -> ()
+      | Some _ -> post "concurrent burst within the queue bound was shed");
+      let rec drain acc =
+        if Metrics.Serve.busy t then drain (acc @ Metrics.Serve.pump_wait t)
+        else acc
+      in
+      let reply =
+        match drain [] with
+        | [ (_, r) ] -> r
+        | rs ->
+            post "concurrent burst answered %d lines, wanted 1"
+              (List.length rs)
+      in
+      (* The "coalesce-lie" sabotage simulates a server that stamps the
+         leader's rendered reply on every coalesced waiter instead of
+         rendering each with its own request id. *)
+      let reply =
+        if env.sabotage = "coalesce-lie" then
+          Metrics.Serve.batch_request
+            (List.init n (fun _ ->
+                 Metrics.Serve.direct_reply ~id:(List.hd ids) ~mode:md
+                   ~config:base_config l))
+        else reply
+      in
+      let expect =
+        Metrics.Serve.batch_request
+          (List.map
+             (fun id ->
+               Metrics.Serve.direct_reply ~id ~mode:md ~config:base_config l)
+             ids)
+      in
+      if reply <> expect then
+        post "concurrent replies diverged from the per-id direct runs";
+      let delta name before wanted =
+        let moved = stat name - before in
+        if moved <> wanted then
+          post "%s moved %d across the burst, wanted %d" name moved wanted
+      in
+      if Hashtbl.mem m.cc_seen (mode, loop) then begin
+        delta "computes" computes0 0;
+        delta "coalesced" coalesced0 0;
+        delta "hits" hits0 n;
+        delta "misses" misses0 0
+      end
+      else begin
+        Hashtbl.replace m.cc_seen (mode, loop) ();
+        delta "computes" computes0 1;
+        delta "coalesced" coalesced0 (n - 1);
+        delta "hits" hits0 0;
+        delta "misses" misses0 n
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Generation, preconditions, shrinking                                *)
@@ -406,7 +502,7 @@ let gen_cmds rng ~len =
   let has_cp = ref false and has_saved = ref false in
   List.init len (fun _ ->
       let rec pick () =
-        match Rng.int rng 18 with
+        match Rng.int rng 19 with
         | 0 | 1 | 2 ->
             Run_loop { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
         | 3 -> Budget_timeout { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
@@ -444,6 +540,13 @@ let gen_cmds rng ~len =
                     (2 + Rng.int rng 3)
                     (fun _ -> (Rng.int rng 2, Rng.int rng n_loops));
               }
+        | 18 ->
+            Serve_concurrent
+              {
+                mode = Rng.int rng 2;
+                loop = Rng.int rng n_loops;
+                n = 2 + Rng.int rng 3;
+              }
         | _ -> pick ()
       in
       pick ())
@@ -466,6 +569,8 @@ let valid cmds =
           && List.for_all
                (fun (m, l) -> (m = 0 || m = 1) && loop_ok l)
                reqs
+      | Serve_concurrent { mode; loop; n } ->
+          (mode = 0 || mode = 1) && loop_ok loop && n >= 2
       | Run_suite { jobs } ->
           has_cp := true;
           jobs >= 1
@@ -503,6 +608,7 @@ let run_cmds ?(sabotage = "") cmds =
       manifest_path;
       store = Metrics.Store.create ();
       serve_dir;
+      serve_cc = fresh_serve_cc ();
       serve = fresh_serve ~dir:serve_dir;
       last_cp_real = None;
       saved_real = None;
@@ -510,6 +616,7 @@ let run_cmds ?(sabotage = "") cmds =
   in
   Fun.protect
     ~finally:(fun () ->
+      Metrics.Serve.shutdown env.serve_cc;
       (try Sys.remove manifest_path with Sys_error _ -> ());
       remove_dir serve_dir)
     (fun () ->
@@ -518,6 +625,7 @@ let run_cmds ?(sabotage = "") cmds =
           learned = Hashtbl.create 16;
           sweeps = Hashtbl.create 16;
           serve_replies = Hashtbl.create 16;
+          cc_seen = Hashtbl.create 16;
           table = None;
           last_cp = None;
           saved = None;

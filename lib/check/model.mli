@@ -72,6 +72,14 @@ type cmd =
       (** concurrent pipelined clients: admit every request before
           stepping any, then require replies in admission order, each
           byte-identical to the direct run *)
+  | Serve_concurrent of { mode : int; loop : int; n : int }
+      (** a batched burst of [n] identical requests (distinct ids)
+          through a second engine backed by a one-domain worker pool:
+          the reply must be one array line whose elements each equal the
+          per-id direct run byte-for-byte, and the stats counters must
+          show the burst coalescing onto exactly one computation the
+          first time a (mode, loop) pair is seen — all store hits
+          afterwards *)
 
 val cmd_to_string : cmd -> string
 
@@ -96,7 +104,9 @@ val run_cmds : ?sabotage:string -> cmd list -> (unit, failure) result
     silently drops the budget from [Budget_timeout] on the real side;
     ["serve-starve"] staples a zero-attempt budget to every serve
     request, so the first cold miss degrades to a timeout reply instead
-    of the direct-run bytes. *)
+    of the direct-run bytes; ["coalesce-lie"] makes the concurrent
+    engine appear to stamp the leader's rendered reply on every
+    coalesced waiter instead of rendering each with its own id. *)
 
 type counterexample = {
   c_seed : int;

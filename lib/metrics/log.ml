@@ -10,6 +10,7 @@ let clamp_warning ~requested ~effective =
     line "jobs: %d clamped to %d (the recommended domain count of this machine)"
       requested effective
 
-let cache_stats ~hits ~misses ~bytes_read ~bytes_written =
-  line "cache: hits=%d misses=%d read=%dB written=%dB" hits misses bytes_read
-    bytes_written
+let cache_stats ~hits ~misses ~bytes_read ~bytes_written ~tables_saved
+    ~tables_skipped =
+  line "cache: hits=%d misses=%d read=%dB written=%dB saved=%d skipped=%d"
+    hits misses bytes_read bytes_written tables_saved tables_skipped

@@ -18,7 +18,15 @@ val clamp_warning : requested:int -> effective:int -> unit
     [requested = effective]. *)
 
 val cache_stats :
-  hits:int -> misses:int -> bytes_read:int -> bytes_written:int -> unit
+  hits:int ->
+  misses:int ->
+  bytes_read:int ->
+  bytes_written:int ->
+  tables_saved:int ->
+  tables_skipped:int ->
+  unit
 (** The shared schedule-store statistics line:
-    ["[repro] cache: hits=H misses=M read=RB written=WB"] — the
-    [make check-cache] gate greps ["misses=0 "] out of it. *)
+    ["[repro] cache: hits=H misses=M read=RB written=WB saved=S skipped=K"]
+    — the [make check-cache] gate greps ["misses=0 "] out of it, and the
+    save-skip gate greps [" saved=0 "] out of a warm run's line (a clean
+    table is never rewritten). *)

@@ -149,6 +149,149 @@ let map ?jobs f xs =
 
 let filter_map ?jobs f xs = List.filter_map Fun.id (map ?jobs f xs)
 
+(* ------------------------------------------------------------------ *)
+(* Service: a persistent worker-domain pool with a result funnel       *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike the bulk maps above, a [Service.t] outlives any one batch of
+   work: the serve daemon submits cache misses as they arrive and polls
+   finished results back on its select loop, so cheap requests keep
+   answering while expensive ones compute.  Jobs and results move
+   through two mutex-guarded queues; [on_result] fires outside the lock
+   after every completion so the owner can wake its event loop (the
+   daemon writes a self-pipe byte).  Worker failures are captured as
+   {!fault}s in the funnel, never re-raised inside a domain. *)
+module Service = struct
+  type ('a, 'b) t = {
+    m : Mutex.t;
+    work : Condition.t;  (* signalled on submit and on shutdown *)
+    idle : Condition.t;  (* signalled on every completion *)
+    jobs : (int * 'a) Queue.t;
+    results : ('a * ('b, fault) result) Queue.t;
+    mutable submitted : int;
+    mutable completed : int;
+    mutable stopping : bool;
+    mutable domains : unit Domain.t list;
+    width : int;
+    on_result : unit -> unit;
+  }
+
+  let create ?(on_result = fun () -> ()) ~workers f =
+    let width = max 1 workers in
+    let t =
+      {
+        m = Mutex.create ();
+        work = Condition.create ();
+        idle = Condition.create ();
+        jobs = Queue.create ();
+        results = Queue.create ();
+        submitted = 0;
+        completed = 0;
+        stopping = false;
+        domains = [];
+        width;
+        on_result;
+      }
+    in
+    let body widx () =
+      let rec loop () =
+        Mutex.lock t.m;
+        while (not t.stopping) && Queue.is_empty t.jobs do
+          Condition.wait t.work t.m
+        done;
+        match Queue.take_opt t.jobs with
+        | None ->
+            (* stopping with an empty queue: exit *)
+            Mutex.unlock t.m
+        | Some (ix, job) ->
+            Mutex.unlock t.m;
+            let res =
+              match f widx job with
+              | v -> Ok v
+              | exception e ->
+                  Error
+                    {
+                      index = ix;
+                      exn = e;
+                      backtrace =
+                        Printexc.raw_backtrace_to_string
+                          (Printexc.get_raw_backtrace ());
+                    }
+            in
+            Mutex.lock t.m;
+            Queue.add (job, res) t.results;
+            t.completed <- t.completed + 1;
+            Condition.broadcast t.idle;
+            Mutex.unlock t.m;
+            t.on_result ();
+            loop ()
+      in
+      loop ()
+    in
+    t.domains <-
+      List.init width (fun i ->
+          Domain.spawn (fun () -> in_worker (body i)));
+    t
+
+  let width t = t.width
+
+  let submit t job =
+    Mutex.lock t.m;
+    if t.stopping then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.Service.submit: service is shut down"
+    end
+    else begin
+      Queue.add (t.submitted, job) t.jobs;
+      t.submitted <- t.submitted + 1;
+      Condition.signal t.work;
+      Mutex.unlock t.m
+    end
+
+  let poll t =
+    Mutex.lock t.m;
+    let out =
+      Queue.fold (fun acc r -> r :: acc) [] t.results |> List.rev
+    in
+    Queue.clear t.results;
+    Mutex.unlock t.m;
+    out
+
+  let in_flight t =
+    Mutex.lock t.m;
+    let n = t.submitted - t.completed in
+    Mutex.unlock t.m;
+    n
+
+  let has_results t =
+    Mutex.lock t.m;
+    let b = not (Queue.is_empty t.results) in
+    Mutex.unlock t.m;
+    b
+
+  (* Block until a result is pollable or nothing is in flight; [true]
+     iff the funnel has results.  The owner's "nothing else to do"
+     path — never called from a worker. *)
+  let wait t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.results && t.submitted > t.completed do
+      Condition.wait t.idle t.m
+    done;
+    let b = not (Queue.is_empty t.results) in
+    Mutex.unlock t.m;
+    b
+
+  let shutdown t =
+    Mutex.lock t.m;
+    if not t.stopping then begin
+      t.stopping <- true;
+      Condition.broadcast t.work
+    end;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+end
+
 (* A domain-backed executor for the scheduler's speculative windows.
 
    Unlike [run_all], [jobs] is deliberately NOT capped at the

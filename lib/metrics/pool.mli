@@ -54,6 +54,63 @@ val filter_map : ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b list
 (** [filter_map ~jobs f xs] is [List.filter_map f xs] with the
     applications of [f] distributed like {!map}. *)
 
+(** A persistent worker-domain pool with a result funnel.
+
+    Where the bulk maps above run one batch and join, a [Service.t]
+    stays up: the owner submits jobs as they arrive and polls finished
+    results back, interleaved with its other work.  The serve daemon
+    ({!Serve.serve_unix}) dispatches cache misses here so health, stats
+    and cache-hit requests keep answering while misses compute.
+
+    Results come back in completion order, not submission order — each
+    carries its original job so the owner can re-associate.  Worker
+    failures are captured as {!fault}s in the funnel (with the job's
+    submission index), never re-raised inside a domain.  All functions
+    are safe to call from the owning domain; [submit] after [shutdown]
+    raises [Invalid_argument]. *)
+module Service : sig
+  type ('a, 'b) t
+  (** A pool computing ['b] results from ['a] jobs. *)
+
+  val create :
+    ?on_result:(unit -> unit) ->
+    workers:int ->
+    (int -> 'a -> 'b) ->
+    ('a, 'b) t
+  (** [create ~workers f] spawns [max 1 workers] domains, each running
+      [f worker_index job] under the pool's worker wrapper (enlarged
+      minor heap; profile flush at domain exit).  [on_result] fires
+      after every completion, outside the pool lock and on the worker's
+      domain — it must be async-safe cheap (the daemon writes one byte
+      to a self-pipe to wake its [select]). *)
+
+  val width : ('a, 'b) t -> int
+  (** Number of worker domains spawned. *)
+
+  val submit : ('a, 'b) t -> 'a -> unit
+  (** Enqueue a job.  Never blocks (the queue is unbounded — the
+      daemon's admission bound is upstream). *)
+
+  val poll : ('a, 'b) t -> ('a * ('b, fault) result) list
+  (** Drain all finished results, in completion order.  Never blocks. *)
+
+  val in_flight : ('a, 'b) t -> int
+  (** Jobs submitted whose results have not yet been produced (they may
+      still be waiting in the funnel for a {!poll}). *)
+
+  val has_results : ('a, 'b) t -> bool
+  (** Whether {!poll} would return a non-empty list. *)
+
+  val wait : ('a, 'b) t -> bool
+  (** Block until the funnel has a result or nothing is in flight;
+      [true] iff results are available.  Owner-side only. *)
+
+  val shutdown : ('a, 'b) t -> unit
+  (** Stop accepting work, let workers finish jobs already queued, and
+      join every domain.  Idempotent.  Results of those final jobs
+      remain pollable after the join. *)
+end
+
 val exec : ?jobs:int -> unit -> Sched.Exec.t
 (** A domain-backed {!Sched.Exec.t} for speculative II windows: elements
     are claimed one atomic increment at a time by up to [jobs] domains

@@ -1,7 +1,16 @@
 (* The serve engine and its Unix-socket daemon.  See serve.mli for the
    protocol and the degradation ladder; the engine half is deliberately
    socket-free and effect-injected so every failure mode is exercised by
-   plain unit tests with fake clocks and recording sleeps. *)
+   plain unit tests with fake clocks and recording sleeps.
+
+   Since the batched rework the engine is a small state machine over
+   admitted *entries* (one per wire line; a JSON array line is one entry
+   with many slots).  Slots move Todo -> Waiting -> Done: classification
+   answers what it can immediately (health, stats, cache hits, poisoned
+   keys), coalesces identical in-flight misses onto one computation, and
+   dispatches fresh misses either inline (workers = 0, the byte-identical
+   reference) or to a persistent {!Pool.Service} worker pool whose
+   results funnel back through {!pump}. *)
 
 module Io = struct
   type t = {
@@ -26,10 +35,17 @@ type limits = {
   budget_s : float option;
   budget_attempts : int option;
   retries : int;
+  workers : int;
 }
 
 let default_limits =
-  { queue_bound = 64; budget_s = None; budget_attempts = None; retries = 2 }
+  {
+    queue_bound = 64;
+    budget_s = None;
+    budget_attempts = None;
+    retries = 2;
+    workers = 0;
+  }
 
 type counters = {
   mutable served : int;
@@ -43,61 +59,18 @@ type counters = {
   mutable bad_requests : int;
   mutable evictions : int;
   mutable retries_used : int;
+  mutable coalesced : int;
+  mutable computes : int;
+  mutable batches : int;
 }
-
-type t = {
-  io : Io.t;
-  limits : limits;
-  backoff : Backoff.t;
-  poison : string list;
-  store : Store.t;
-  queue : string Queue.t;
-  poisoned_keys : (string, string * string) Hashtbl.t;
-      (* conviction key -> (error class, rendered message) *)
-  c : counters;
-  mutable is_draining : bool;
-}
-
-let create ?io ?limits ?backoff ?(poison = []) ?store_dir () =
-  let io = match io with Some io -> io | None -> Io.real () in
-  let limits = Option.value limits ~default:default_limits in
-  let backoff =
-    match backoff with
-    | Some b -> b
-    | None -> Backoff.make ~sleep:io.Io.sleep ()
-  in
-  {
-    io;
-    limits;
-    backoff;
-    poison;
-    store = Store.create ?dir:store_dir ();
-    queue = Queue.create ();
-    poisoned_keys = Hashtbl.create 16;
-    c =
-      {
-        served = 0;
-        hits = 0;
-        misses = 0;
-        give_ups = 0;
-        timeouts = 0;
-        faults = 0;
-        poisoned = 0;
-        overloaded = 0;
-        bad_requests = 0;
-        evictions = 0;
-        retries_used = 0;
-      };
-    is_draining = false;
-  }
 
 (* ------------------------------------------------------------------ *)
 (* Reply encoding                                                      *)
 (*                                                                     *)
 (* Every field here must be a pure function of the request key: no     *)
 (* elapsed times, no hit/miss provenance.  The serve equality gate     *)
-(* diffs these bytes across cold, warm and restarted daemons and       *)
-(* against [direct_reply].                                             *)
+(* diffs these bytes across cold, warm and restarted daemons, across   *)
+(* worker counts, and against [direct_reply].                          *)
 (* ------------------------------------------------------------------ *)
 
 let jint n = Json.Num (float_of_int n)
@@ -182,6 +155,14 @@ let fault_json ~id ~cls ~msg =
       ("message", Json.Str msg);
     ]
 
+let poisoned_json ~id ~cls ~msg =
+  with_id id
+    [
+      ("status", Json.Str "poisoned");
+      ("class", Json.Str cls);
+      ("message", Json.Str msg);
+    ]
+
 let error_json ~id (e : Sched.Sched_error.t) =
   let cls = Sched.Sched_error.class_name e in
   if Sched.Sched_error.is_give_up e then
@@ -191,6 +172,9 @@ let error_json ~id (e : Sched.Sched_error.t) =
 
 let bad_json ~id msg =
   with_id id [ ("status", Json.Str "bad-request"); ("message", Json.Str msg) ]
+
+let overloaded_json ~id ~reason =
+  with_id id [ ("status", Json.Str "overloaded"); ("reason", Json.Str reason) ]
 
 (* ------------------------------------------------------------------ *)
 (* Request decoding                                                    *)
@@ -250,7 +234,9 @@ let decode_schedule j =
 
 (* Conviction key of a schedule request: what the scheduler would
    actually see.  Same mode + config + graph bytes + trip -> same key,
-   whatever the loop is called. *)
+   whatever the loop is called.  This is also the coalescing key: two
+   requests with the same key must produce the same reply fields, so
+   they can share one computation. *)
 let conviction_key ~mode ~config (l : Workload.Generator.loop) =
   Digest.to_hex
     (Digest.string
@@ -281,80 +267,190 @@ let attempt_once ~now ?budget_s ?budget_attempts ~poison ~mode ~config loop =
 
 (* Transient = a raise or a bug-class error: worth retrying, spaced by
    the backoff.  Give-ups are facts and timeouts would just burn the
-   budget again; neither retries. *)
-let compute t (d : decoded) =
+   budget again; neither retries.  This function carries no engine
+   state, so it runs identically on the owning domain (workers = 0) and
+   inside a pool worker — only the backoff instance differs, and backoff
+   schedules never reach a reply. *)
+let compute_with ~now ~backoff ~(limits : limits) ~poison (d : decoded) =
   (* the request's own budget fields override the server-wide defaults *)
   let first a b = match a with Some _ -> a | None -> b in
-  let budget_s = first d.d_budget_s t.limits.budget_s in
-  let budget_attempts = first d.d_budget_attempts t.limits.budget_attempts in
+  let budget_s = first d.d_budget_s limits.budget_s in
+  let budget_attempts = first d.d_budget_attempts limits.budget_attempts in
   let attempt () =
-    attempt_once ~now:t.io.Io.now ?budget_s ?budget_attempts ~poison:t.poison
-      ~mode:d.d_mode ~config:d.d_config d.d_loop
+    attempt_once ~now ?budget_s ?budget_attempts ~poison ~mode:d.d_mode
+      ~config:d.d_config d.d_loop
   in
+  let retries = ref 0 in
   let rec go k =
     match attempt () with
-    | Error e
-      when Sched.Sched_error.is_bug e && k < t.limits.retries ->
-        t.c.retries_used <- t.c.retries_used + 1;
-        Backoff.pause t.backoff ~attempt:k;
+    | Error e when Sched.Sched_error.is_bug e && k < limits.retries ->
+        incr retries;
+        Backoff.pause backoff ~attempt:k;
         go (k + 1)
     | final -> final
   in
-  go 0
+  let result = go 0 in
+  (result, !retries)
 
-let schedule_reply t ~id j =
-  let d = decode_schedule j in
-  let key = conviction_key ~mode:d.d_mode ~config:d.d_config d.d_loop in
-  match Hashtbl.find_opt t.poisoned_keys key with
-  | Some (cls, msg) ->
-      t.c.poisoned <- t.c.poisoned + 1;
-      with_id id
-        [
-          ("status", Json.Str "poisoned");
-          ("class", Json.Str cls);
-          ("message", Json.Str msg);
-        ]
-  | None -> (
-      match Store.lookup t.store ~mode:d.d_mode ~config:d.d_config d.d_loop with
-      | Store.Hit r ->
-          t.c.hits <- t.c.hits + 1;
-          t.c.served <- t.c.served + 1;
-          ok_json ~id r
-      | Store.Hit_give_up (cls, msg) ->
-          t.c.hits <- t.c.hits + 1;
-          t.c.give_ups <- t.c.give_ups + 1;
-          give_up_json ~id ~cls ~msg
-      | Store.Miss -> (
-          t.c.misses <- t.c.misses + 1;
-          match compute t d with
-          | Ok r ->
-              Store.record t.store ~mode:d.d_mode ~config:d.d_config d.d_loop
-                (Ok r);
-              t.c.served <- t.c.served + 1;
-              ok_json ~id r
-          | Error e when Sched.Sched_error.is_give_up e ->
-              Store.record t.store ~mode:d.d_mode ~config:d.d_config d.d_loop
-                (Error e);
-              t.c.give_ups <- t.c.give_ups + 1;
-              error_json ~id e
-          | Error e when String.equal (Sched.Sched_error.class_name e) "timeout"
-            ->
-              t.c.timeouts <- t.c.timeouts + 1;
-              error_json ~id e
-          | Error e ->
-              (* A fault that survived every retry convicts its own key —
-                 and only its own key: the next identical request answers
-                 "poisoned" without touching the scheduler, every other
-                 request is unaffected. *)
-              t.c.faults <- t.c.faults + 1;
-              Hashtbl.replace t.poisoned_keys key
-                ( Sched.Sched_error.class_name e,
-                  Sched.Sched_error.to_string e );
-              t.io.Io.log
-                (Printf.sprintf "fault: loop %s quarantined (%s)"
-                   d.d_loop.Workload.Generator.id
-                   (Sched.Sched_error.class_name e));
-              error_json ~id e))
+(* ------------------------------------------------------------------ *)
+(* Engine state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* What a pool worker computes: the conviction key travels with the
+   decoded request so the funnel can find every waiter. *)
+type job = { jb_key : string; jb_d : decoded }
+type outcome = {
+  o_result : (Experiment.loop_run, Sched.Sched_error.t) result;
+  o_retries : int;
+}
+
+type payload = P_obj of Json.t | P_bad of string
+
+type slot_state =
+  | Todo of payload  (** admitted, not yet classified *)
+  | Waiting of { w_id : string; w_key : string }
+      (** a computation for [w_key] is in flight; the reply renders with
+          this slot's own [w_id] when the result funnels back *)
+  | Done of string  (** the reply line (or array element) bytes *)
+
+type slot = { mutable s_state : slot_state }
+
+(* One wire line.  A JSON array line is a batch: admitted atomically,
+   answered as one array line whose elements are byte-identical to the
+   standalone replies. *)
+type entry = {
+  e_seq : int;
+  e_line : string;
+  e_batch : bool;
+  e_slots : slot array;
+}
+
+type t = {
+  io : Io.t;
+  limits : limits;
+  backoff : Backoff.t;
+  poison : string list;
+  store : Store.t;
+  mutable entries : entry list;  (* admission order, oldest first *)
+  mutable seq : int;
+  mutable n_todo : int;  (* slots awaiting classification *)
+  mutable n_wait : int;  (* slots waiting on an in-flight computation *)
+  inflight : (string, unit) Hashtbl.t;  (* conviction keys computing now *)
+  service : (job, outcome) Pool.Service.t option;
+  poisoned_keys : (string, string * string) Hashtbl.t;
+      (* conviction key -> (error class, rendered message) *)
+  c : counters;
+  mutable is_draining : bool;
+}
+
+let create ?io ?limits ?backoff ?worker_backoff ?(poison = []) ?store_dir
+    ?on_result () =
+  let io = match io with Some io -> io | None -> Io.real () in
+  let limits = Option.value limits ~default:default_limits in
+  let backoff =
+    match backoff with
+    | Some b -> b
+    | None -> Backoff.make ~sleep:io.Io.sleep ()
+  in
+  let service =
+    if limits.workers <= 0 then None
+    else begin
+      let mk =
+        match worker_backoff with
+        | Some f -> f
+        | None -> fun i -> Backoff.make ~seed:(i + 1) ~sleep:io.Io.sleep ()
+      in
+      (* One backoff per worker: a Backoff.t is single-owner, and worker
+         [i] only ever runs on its own domain. *)
+      let backoffs = Array.init limits.workers mk in
+      Some
+        (Pool.Service.create ?on_result ~workers:limits.workers
+           (fun widx (jb : job) ->
+             let o_result, o_retries =
+               compute_with ~now:io.Io.now ~backoff:backoffs.(widx) ~limits
+                 ~poison jb.jb_d
+             in
+             { o_result; o_retries }))
+    end
+  in
+  {
+    io;
+    limits;
+    backoff;
+    poison;
+    store = Store.create ?dir:store_dir ();
+    entries = [];
+    seq = 0;
+    n_todo = 0;
+    n_wait = 0;
+    inflight = Hashtbl.create 16;
+    service;
+    poisoned_keys = Hashtbl.create 16;
+    c =
+      {
+        served = 0;
+        hits = 0;
+        misses = 0;
+        give_ups = 0;
+        timeouts = 0;
+        faults = 0;
+        poisoned = 0;
+        overloaded = 0;
+        bad_requests = 0;
+        evictions = 0;
+        retries_used = 0;
+        coalesced = 0;
+        computes = 0;
+        batches = 0;
+      };
+    is_draining = false;
+  }
+
+let pending t = t.n_todo + t.n_wait
+let busy t = t.entries <> []
+
+(* ------------------------------------------------------------------ *)
+(* Request handlers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Render one terminal schedule result as this waiter's reply.  Counters
+   here count *delivered replies* (each coalesced waiter gets one); the
+   once-per-computation effects live in [settle_result]. *)
+let render_result t ~id result =
+  match result with
+  | Ok r ->
+      t.c.served <- t.c.served + 1;
+      ok_json ~id r
+  | Error e when Sched.Sched_error.is_give_up e ->
+      t.c.give_ups <- t.c.give_ups + 1;
+      error_json ~id e
+  | Error e when String.equal (Sched.Sched_error.class_name e) "timeout" ->
+      t.c.timeouts <- t.c.timeouts + 1;
+      error_json ~id e
+  | Error e ->
+      t.c.faults <- t.c.faults + 1;
+      error_json ~id e
+
+(* Once per computation, whoever ran it: record cacheable facts, convict
+   survivors of the retry ladder. *)
+let settle_result t ~key (d : decoded) result =
+  match result with
+  | Ok r ->
+      Store.record t.store ~mode:d.d_mode ~config:d.d_config d.d_loop (Ok r)
+  | Error e when Sched.Sched_error.is_give_up e ->
+      Store.record t.store ~mode:d.d_mode ~config:d.d_config d.d_loop (Error e)
+  | Error e when String.equal (Sched.Sched_error.class_name e) "timeout" -> ()
+  | Error e ->
+      (* A fault that survived every retry convicts its own key — and
+         only its own key: the next identical request answers "poisoned"
+         without touching the scheduler, every other request is
+         unaffected. *)
+      Hashtbl.replace t.poisoned_keys key
+        (Sched.Sched_error.class_name e, Sched.Sched_error.to_string e);
+      t.io.Io.log
+        (Printf.sprintf "fault: loop %s quarantined (%s)"
+           d.d_loop.Workload.Generator.id
+           (Sched.Sched_error.class_name e))
 
 let evict_reply t ~id j =
   let d = decode_schedule j in
@@ -369,8 +465,9 @@ let health_json t ~id =
     [
       ("status", Json.Str "ok");
       ("role", Json.Str "health");
-      ("pending", jint (Queue.length t.queue));
+      ("pending", jint (pending t));
       ("draining", Json.Bool t.is_draining);
+      ("workers", jint t.limits.workers);
       ("version", Json.Str Sched.Driver.version);
     ]
 
@@ -391,7 +488,11 @@ let stats_json t ~id =
       ("bad_requests", jint t.c.bad_requests);
       ("evictions", jint t.c.evictions);
       ("retries", jint t.c.retries_used);
-      ("pending", jint (Queue.length t.queue));
+      ("coalesced", jint t.c.coalesced);
+      ("computes", jint t.c.computes);
+      ("batches", jint t.c.batches);
+      ("workers", jint t.limits.workers);
+      ("pending", jint (pending t));
       ( "store",
         Json.Obj
           [
@@ -399,81 +500,339 @@ let stats_json t ~id =
             ("misses", jint s.Store.misses);
             ("read", jint s.Store.bytes_read);
             ("written", jint s.Store.bytes_written);
+            ("saved", jint s.Store.tables_saved);
+            ("skipped", jint s.Store.tables_skipped);
           ] );
     ]
-
-(* ------------------------------------------------------------------ *)
-(* The engine surface                                                  *)
-(* ------------------------------------------------------------------ *)
 
 let bad t ~id msg =
   t.c.bad_requests <- t.c.bad_requests + 1;
   bad_json ~id msg
 
-let process t line =
-  match Json.parse line with
-  | exception Json.Bad msg -> bad t ~id:"" msg
-  | j -> (
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Decide one schedule slot.  [inline] forces the reference path: the
+   computation runs here, on this domain, with the engine's own backoff
+   — [handle]/[step] use it, and it is the whole story at workers = 0.
+   Otherwise a fresh miss is dispatched to the pool and an identical
+   in-flight miss coalesces onto the existing computation. *)
+let classify_schedule t ~inline ~id j slot =
+  let d = decode_schedule j in
+  let key = conviction_key ~mode:d.d_mode ~config:d.d_config d.d_loop in
+  match Hashtbl.find_opt t.poisoned_keys key with
+  | Some (cls, msg) ->
+      t.c.poisoned <- t.c.poisoned + 1;
+      slot.s_state <- Done (Json.print (poisoned_json ~id ~cls ~msg))
+  | None -> (
+      if (not inline) && Hashtbl.mem t.inflight key then begin
+        (* identical request already computing: attach, don't recompute *)
+        t.c.misses <- t.c.misses + 1;
+        t.c.coalesced <- t.c.coalesced + 1;
+        t.n_wait <- t.n_wait + 1;
+        slot.s_state <- Waiting { w_id = id; w_key = key }
+      end
+      else
+        match
+          Store.lookup t.store ~mode:d.d_mode ~config:d.d_config d.d_loop
+        with
+        | Store.Hit r ->
+            t.c.hits <- t.c.hits + 1;
+            t.c.served <- t.c.served + 1;
+            slot.s_state <- Done (Json.print (ok_json ~id r))
+        | Store.Hit_give_up (cls, msg) ->
+            t.c.hits <- t.c.hits + 1;
+            t.c.give_ups <- t.c.give_ups + 1;
+            slot.s_state <- Done (Json.print (give_up_json ~id ~cls ~msg))
+        | Store.Miss -> (
+            t.c.misses <- t.c.misses + 1;
+            t.c.computes <- t.c.computes + 1;
+            match (if inline then None else t.service) with
+            | Some svc ->
+                Hashtbl.add t.inflight key ();
+                Pool.Service.submit svc { jb_key = key; jb_d = d };
+                t.n_wait <- t.n_wait + 1;
+                slot.s_state <- Waiting { w_id = id; w_key = key }
+            | None ->
+                let result, retries =
+                  compute_with ~now:t.io.Io.now ~backoff:t.backoff
+                    ~limits:t.limits ~poison:t.poison d
+                in
+                t.c.retries_used <- t.c.retries_used + retries;
+                settle_result t ~key d result;
+                slot.s_state <- Done (Json.print (render_result t ~id result))))
+
+let classify_slot t ~inline payload slot =
+  match payload with
+  | P_bad msg -> slot.s_state <- Done (Json.print (bad t ~id:"" msg))
+  | P_obj j -> (
       let id = id_of j in
       match
         match Json.member_opt "op" j with
         | Some (Json.Str op) -> Ok op
         | _ -> Error "missing op field"
       with
-      | Error msg -> bad t ~id msg
-      | Ok "health" -> health_json t ~id
-      | Ok "stats" -> stats_json t ~id
-      | Ok "evict" -> (
-          try evict_reply t ~id j with Json.Bad msg -> bad t ~id msg)
+      | Error msg -> slot.s_state <- Done (Json.print (bad t ~id msg))
+      | Ok "health" -> slot.s_state <- Done (Json.print (health_json t ~id))
+      | Ok "stats" -> slot.s_state <- Done (Json.print (stats_json t ~id))
+      | Ok "evict" ->
+          slot.s_state <-
+            Done
+              (Json.print
+                 (try evict_reply t ~id j
+                  with Json.Bad msg -> bad t ~id msg))
       | Ok "schedule" -> (
-          try schedule_reply t ~id j with Json.Bad msg -> bad t ~id msg)
-      | Ok op -> bad t ~id ("unknown op: " ^ op))
+          try classify_schedule t ~inline ~id j slot
+          with Json.Bad msg -> slot.s_state <- Done (Json.print (bad t ~id msg))
+          )
+      | Ok op ->
+          slot.s_state <- Done (Json.print (bad t ~id ("unknown op: " ^ op))))
 
-(* [handle] never raises and never kills the engine: a failure anywhere
-   in [process] — decoder bug, scheduler explosion outside the retry
-   path — is converted into a fault reply for this one request. *)
-let handle t line =
-  let j =
-    try process t line
-    with e ->
-      t.c.faults <- t.c.faults + 1;
-      fault_json ~id:"" ~cls:"internal" ~msg:(Printexc.to_string e)
+(* Never raises and never kills the engine: a failure anywhere in
+   classification — decoder bug, scheduler explosion outside the retry
+   path — is converted into a fault reply for this one slot. *)
+let classify_guarded t ~inline payload slot =
+  try classify_slot t ~inline payload slot
+  with e ->
+    t.c.faults <- t.c.faults + 1;
+    slot.s_state <-
+      Done
+        (Json.print
+           (fault_json ~id:"" ~cls:"internal" ~msg:(Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type parsed = L_bad of string | L_obj of Json.t | L_batch of Json.t list
+
+let parse_line line =
+  match Json.parse line with
+  | exception Json.Bad msg -> L_bad msg
+  | Json.List els -> L_batch els
+  | j -> L_obj j
+
+let shed_parsed t p ~reason =
+  let one id =
+    t.c.overloaded <- t.c.overloaded + 1;
+    Json.print (overloaded_json ~id ~reason)
   in
-  Json.print j
+  let safe_id j = try id_of j with Json.Bad _ -> "" in
+  match p with
+  | L_bad _ -> one ""
+  | L_obj j -> one (safe_id j)
+  | L_batch els ->
+      (* a shed batch is shed atomically: every element is refused *)
+      "[" ^ String.concat "," (List.map (fun j -> one (safe_id j)) els) ^ "]"
 
-let shed_reply t line ~reason =
-  let id = try id_of (Json.parse line) with Json.Bad _ -> "" in
-  t.c.overloaded <- t.c.overloaded + 1;
-  Json.print
-    (with_id id
-       [ ("status", Json.Str "overloaded"); ("reason", Json.Str reason) ])
+let enqueue t p line =
+  let payloads, batch =
+    match p with
+    | L_bad msg -> ([ P_bad msg ], false)
+    | L_obj j -> ([ P_obj j ], false)
+    | L_batch els ->
+        t.c.batches <- t.c.batches + 1;
+        (List.map (fun j -> P_obj j) els, true)
+  in
+  let e =
+    {
+      e_seq = t.seq;
+      e_line = line;
+      e_batch = batch;
+      e_slots =
+        Array.of_list (List.map (fun p -> { s_state = Todo p }) payloads);
+    }
+  in
+  t.seq <- t.seq + 1;
+  t.n_todo <- t.n_todo + Array.length e.e_slots;
+  t.entries <- t.entries @ [ e ];
+  e.e_seq
+
+let admit t line =
+  let p = parse_line line in
+  if t.is_draining then Error (shed_parsed t p ~reason:"draining")
+  else
+    let n = match p with L_batch els -> List.length els | _ -> 1 in
+    if pending t + n > t.limits.queue_bound then
+      Error (shed_parsed t p ~reason:"queue-full")
+    else Ok (enqueue t p line)
 
 let offer t line =
-  if t.is_draining then Some (shed_reply t line ~reason:"draining")
-  else if Queue.length t.queue >= t.limits.queue_bound then
-    Some (shed_reply t line ~reason:"queue-full")
-  else begin
-    Queue.add line t.queue;
-    None
-  end
+  match admit t line with Error shed -> Some shed | Ok _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* The pump: funnel, classification, collection                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Drain finished worker results into the engine: settle each
+   computation once, then fulfil every waiter on its key — rendered per
+   slot with the slot's own id, so a coalesced reply is byte-identical
+   to the reply the waiter would have received alone. *)
+let integrate t =
+  match t.service with
+  | None -> ()
+  | Some svc ->
+      List.iter
+        (fun ((jb : job), res) ->
+          Hashtbl.remove t.inflight jb.jb_key;
+          let result =
+            match res with
+            | Ok (o : outcome) ->
+                t.c.retries_used <- t.c.retries_used + o.o_retries;
+                o.o_result
+            | Error (f : Pool.fault) ->
+                (* the worker itself crashed outside the retry ladder:
+                   same taxonomy as an inline raise *)
+                Error
+                  (Sched.Sched_error.Internal (Printexc.to_string f.Pool.exn))
+          in
+          settle_result t ~key:jb.jb_key jb.jb_d result;
+          List.iter
+            (fun e ->
+              Array.iter
+                (fun slot ->
+                  match slot.s_state with
+                  | Waiting w when String.equal w.w_key jb.jb_key ->
+                      t.n_wait <- t.n_wait - 1;
+                      slot.s_state <-
+                        Done (Json.print (render_result t ~id:w.w_id result))
+                  | _ -> ())
+                e.e_slots)
+            t.entries)
+        (Pool.Service.poll svc)
+
+let classify_pending t =
+  List.iter
+    (fun e ->
+      Array.iter
+        (fun slot ->
+          match slot.s_state with
+          | Todo payload ->
+              t.n_todo <- t.n_todo - 1;
+              classify_guarded t ~inline:false payload slot
+          | Waiting _ | Done _ -> ())
+        e.e_slots)
+    t.entries
+
+let entry_done e =
+  Array.for_all
+    (fun s -> match s.s_state with Done _ -> true | _ -> false)
+    e.e_slots
+
+let entry_reply e =
+  let texts =
+    Array.to_list
+      (Array.map
+         (fun s -> match s.s_state with Done r -> r | _ -> assert false)
+         e.e_slots)
+  in
+  if e.e_batch then "[" ^ String.concat "," texts ^ "]"
+  else match texts with [ r ] -> r | _ -> assert false
+
+let collect t =
+  let ready, rest = List.partition entry_done t.entries in
+  t.entries <- rest;
+  List.map (fun e -> (e.e_seq, entry_reply e)) ready
+
+let pump t =
+  integrate t;
+  classify_pending t;
+  (* results that landed while classifying (or were produced by inline
+     computes racing the pool) flush without waiting for the next call *)
+  integrate t;
+  collect t
+
+let needs_pump t =
+  t.n_todo > 0
+  || (match t.service with
+     | Some svc -> Pool.Service.has_results svc
+     | None -> false)
+  || List.exists entry_done t.entries
+
+let rec pump_wait t =
+  match pump t with
+  | [] when busy t -> (
+      match t.service with
+      | Some svc
+        when Pool.Service.in_flight svc > 0 || Pool.Service.has_results svc ->
+          ignore (Pool.Service.wait svc);
+          pump_wait t
+      | _ ->
+          (* a slot can only be Waiting while its computation is in
+             flight, so an unresolved engine always has something to
+             wait on; fail loud rather than spin *)
+          failwith "Serve.pump_wait: unresolved requests with nothing in flight"
+      )
+  | out -> out
+
+(* ------------------------------------------------------------------ *)
+(* The synchronous surface (the workers = 0 reference path)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Process the oldest entry to completion on this domain.  Todo slots
+   compute inline; Waiting slots (a worker engine driven through [step])
+   resolve through the funnel. *)
 let step t =
-  match Queue.take_opt t.queue with
-  | None -> None
-  | Some line -> Some (line, handle t line)
+  match t.entries with
+  | [] -> None
+  | e :: rest ->
+      Array.iter
+        (fun slot ->
+          match slot.s_state with
+          | Todo payload ->
+              t.n_todo <- t.n_todo - 1;
+              classify_guarded t ~inline:true payload slot
+          | Waiting _ | Done _ -> ())
+        e.e_slots;
+      while not (entry_done e) do
+        (match t.service with
+        | Some svc -> ignore (Pool.Service.wait svc)
+        | None ->
+            failwith "Serve.step: unresolved slot without a worker pool");
+        integrate t
+      done;
+      t.entries <- rest;
+      Some (e.e_line, entry_reply e)
 
-let pending t = Queue.length t.queue
+(* One request line in, one reply line out, bypassing the queue.  A
+   batch line answers one array line.  Never raises. *)
+let handle t line =
+  let payloads, batch =
+    match parse_line line with
+    | L_bad msg -> ([ P_bad msg ], false)
+    | L_obj j -> ([ P_obj j ], false)
+    | L_batch els ->
+        t.c.batches <- t.c.batches + 1;
+        (List.map (fun j -> P_obj j) els, true)
+  in
+  let slots = List.map (fun p -> { s_state = Todo p }) payloads in
+  List.iter
+    (fun slot ->
+      match slot.s_state with
+      | Todo p -> classify_guarded t ~inline:true p slot
+      | Waiting _ | Done _ -> ())
+    slots;
+  let texts =
+    List.map
+      (fun s -> match s.s_state with Done r -> r | _ -> assert false)
+      slots
+  in
+  if batch then "[" ^ String.concat "," texts ^ "]" else List.hd texts
 
 let begin_drain t =
   if not t.is_draining then begin
     t.is_draining <- true;
     t.io.Io.log
       (Printf.sprintf "drain: shedding new work, %d request(s) in flight"
-         (Queue.length t.queue))
+         (pending t))
   end
 
 let draining t = t.is_draining
 let save t = Store.save t.store
+
+let shutdown t =
+  match t.service with None -> () | Some svc -> Pool.Service.shutdown svc
 
 (* ------------------------------------------------------------------ *)
 (* Client-side codecs                                                  *)
@@ -508,6 +867,8 @@ let request ?id ?budget_s ?budget_attempts ~mode ~config
   let id = Option.value id ~default:l.Workload.Generator.id in
   Json.print
     (request_json ~op:"schedule" ?budget_s ?budget_attempts ~id ~mode ~config l)
+
+let batch_request lines = "[" ^ String.concat "," lines ^ "]"
 
 let health_request ?(id = "health") () =
   Json.print (Json.Obj [ ("op", Json.Str "health"); ("id", Json.Str id) ])
@@ -559,8 +920,33 @@ let drain_lines buf =
         (String.sub s (last + 1) (String.length s - last - 1));
       String.split_on_char '\n' (String.sub s 0 last)
 
-let serve_unix ?io ?limits ?backoff ?poison ?store_dir ~socket () =
-  let t = create ?io ?limits ?backoff ?poison ?store_dir () in
+(* Per-connection state: [cl_waiting] is the FIFO of admitted entry
+   sequence numbers this client is owed replies for.  Replies are
+   delivered in admission order *per client* — so any single pipelined
+   client sees exactly the workers = 0 byte stream — while independent
+   clients' replies interleave as their computations finish (a health
+   probe is never stuck behind another connection's miss). *)
+type client = {
+  cl_fd : Unix.file_descr;
+  cl_buf : Buffer.t;
+  cl_waiting : int Queue.t;
+}
+
+let serve_unix ?io ?limits ?backoff ?worker_backoff ?poison ?store_dir ~socket
+    () =
+  (* self-pipe: worker completions wake the select loop immediately *)
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  let wake = Bytes.make 1 '!' in
+  let on_result () =
+    (* a full pipe already holds a wake-up; dropping the byte is fine *)
+    try ignore (Unix.write pipe_w wake 0 1) with Unix.Unix_error _ -> ()
+  in
+  let t =
+    create ?io ?limits ?backoff ?worker_backoff ?poison ?store_dir ~on_result
+      ()
+  in
   let io = t.io in
   let fail msg =
     let e = Sched.Sched_error.Server msg in
@@ -581,68 +967,119 @@ let serve_unix ?io ?limits ?backoff ?poison ?store_dir ~socket () =
     lfd
   with
   | exception Unix.Unix_error (e, _, _) ->
+      shutdown t;
       fail
         (Printf.sprintf "cannot bind socket %s: %s" socket
            (Unix.error_message e))
   | lfd ->
       io.Io.log (Printf.sprintf "listening on %s" socket);
+      if t.limits.workers > 0 then
+        io.Io.log
+          (Printf.sprintf "worker pool: %d domain(s)" t.limits.workers);
       let clients = ref [] in
-      (* admitted requests and their client sockets stay in lockstep:
-         the engine queue is FIFO and so is this one *)
-      let reply_to = Queue.create () in
+      (* entry seq -> owning client, and finished replies not yet
+         writable because an earlier reply of the same client is still
+         computing *)
+      let owners : (int, client) Hashtbl.t = Hashtbl.create 64 in
+      let unsent : (int, string) Hashtbl.t = Hashtbl.create 64 in
       let chunk = Bytes.create 65536 in
-      let close_client cfd =
-        clients := List.filter (fun (fd, _) -> fd != cfd) !clients;
-        try Unix.close cfd with Unix.Unix_error _ -> ()
+      let drain_pipe () =
+        let rec go () =
+          match Unix.read pipe_r chunk 0 256 with
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (_, _, _) -> ()
+          | 0 -> ()
+          | _ -> go ()
+        in
+        go ()
       in
-      let read_client (cfd, buf) =
-        match Unix.read cfd chunk 0 (Bytes.length chunk) with
+      let close_client c =
+        clients := List.filter (fun c' -> c' != c) !clients;
+        Queue.iter
+          (fun seq ->
+            Hashtbl.remove owners seq;
+            Hashtbl.remove unsent seq)
+          c.cl_waiting;
+        Queue.clear c.cl_waiting;
+        try Unix.close c.cl_fd with Unix.Unix_error _ -> ()
+      in
+      let read_client c =
+        match Unix.read c.cl_fd chunk 0 (Bytes.length chunk) with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | exception Unix.Unix_error (_, _, _) -> close_client cfd
-        | 0 -> close_client cfd
+        | exception Unix.Unix_error (_, _, _) -> close_client c
+        | 0 -> close_client c
         | n ->
-            Buffer.add_subbytes buf chunk 0 n;
+            Buffer.add_subbytes c.cl_buf chunk 0 n;
             List.iter
               (fun line ->
                 if not (String.equal line "") then
-                  match offer t line with
-                  | Some shed -> write_line cfd shed
-                  | None -> Queue.add cfd reply_to)
-              (drain_lines buf)
+                  match admit t line with
+                  | Error shed -> write_line c.cl_fd shed
+                  | Ok seq ->
+                      Queue.add seq c.cl_waiting;
+                      Hashtbl.replace owners seq c)
+              (drain_lines c.cl_buf)
+      in
+      let dispatch (seq, reply) =
+        match Hashtbl.find_opt owners seq with
+        | Some _ -> Hashtbl.replace unsent seq reply
+        | None -> () (* the client disconnected; drop its reply *)
+      in
+      let rec flush_client c =
+        match Queue.peek_opt c.cl_waiting with
+        | Some seq -> (
+            match Hashtbl.find_opt unsent seq with
+            | Some reply ->
+                ignore (Queue.pop c.cl_waiting);
+                Hashtbl.remove unsent seq;
+                Hashtbl.remove owners seq;
+                write_line c.cl_fd reply;
+                flush_client c
+            | None -> ())
+        | None -> ()
       in
       let running = ref true in
       while !running do
         if !stop then begin_drain t;
-        if t.is_draining && pending t = 0 then running := false
+        if t.is_draining && not (busy t) then running := false
         else begin
           let rds =
             (if t.is_draining then [] else [ lfd ])
-            @ List.map fst !clients
+            @ (pipe_r :: List.map (fun c -> c.cl_fd) !clients)
           in
-          let timeout = if pending t > 0 then 0. else 0.25 in
+          let timeout = if needs_pump t then 0. else 0.25 in
           (match Unix.select rds [] [] timeout with
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
           | ready, _, _ ->
+              if List.memq pipe_r ready then drain_pipe ();
               if List.memq lfd ready then begin
                 match Unix.accept lfd with
                 | exception Unix.Unix_error (_, _, _) -> ()
-                | cfd, _ -> clients := (cfd, Buffer.create 256) :: !clients
+                | cfd, _ ->
+                    clients :=
+                      {
+                        cl_fd = cfd;
+                        cl_buf = Buffer.create 256;
+                        cl_waiting = Queue.create ();
+                      }
+                      :: !clients
               end;
               List.iter
-                (fun ((cfd, _) as client) ->
-                  if List.memq cfd ready then read_client client)
+                (fun c -> if List.memq c.cl_fd ready then read_client c)
                 !clients);
-          match step t with
-          | None -> ()
-          | Some (_, reply) -> (
-              match Queue.take_opt reply_to with
-              | Some cfd -> write_line cfd reply
-              | None -> ())
+          List.iter dispatch (pump t);
+          List.iter flush_client !clients
         end
       done;
+      shutdown t;
       save t;
-      List.iter (fun (cfd, _) -> try Unix.close cfd with _ -> ()) !clients;
+      List.iter (fun c -> try Unix.close c.cl_fd with _ -> ()) !clients;
       (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+      (try Unix.close pipe_w with Unix.Unix_error _ -> ());
       (try Sys.remove socket with Sys_error _ -> ());
       io.Io.log "drained: store saved, exiting cleanly";
       0

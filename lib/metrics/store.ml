@@ -62,6 +62,8 @@ type stats = {
   misses : int;
   bytes_read : int;
   bytes_written : int;
+  tables_saved : int;
+  tables_skipped : int;
 }
 
 type t = {
@@ -74,6 +76,8 @@ type t = {
   mutable s_misses : int;
   mutable s_read : int;
   mutable s_written : int;
+  mutable s_saved : int;
+  mutable s_skipped : int;
 }
 
 type answer =
@@ -90,6 +94,8 @@ let create ?dir () =
     s_misses = 0;
     s_read = 0;
     s_written = 0;
+    s_saved = 0;
+    s_skipped = 0;
   }
 
 let stats t =
@@ -98,6 +104,8 @@ let stats t =
     misses = t.s_misses;
     bytes_read = t.s_read;
     bytes_written = t.s_written;
+    tables_saved = t.s_saved;
+    tables_skipped = t.s_skipped;
   }
 
 let group_of ~mode ~variant =
@@ -428,7 +436,12 @@ let save t =
       mkdir_p dir;
       Hashtbl.iter
         (fun _ tb ->
-          if tb.tb_dirty then begin
+          if not tb.tb_dirty then
+            (* Clean since its last load or save: a repeated drain (or a
+               suite shutdown after a warm, all-hit run) rewrites
+               nothing.  Counted so the cache stats line can prove it. *)
+            t.s_skipped <- t.s_skipped + 1
+          else begin
             match file_of t ~group:tb.tb_group ~ckey:tb.tb_ckey with
             | None -> ()
             | Some path ->
@@ -456,6 +469,7 @@ let save t =
                     Out_channel.output_string oc text);
                 Sys.rename tmp path;
                 t.s_written <- t.s_written + String.length text;
+                t.s_saved <- t.s_saved + 1;
                 Sched.Profile.cache_io ~read:0 ~written:(String.length text);
                 tb.tb_dirty <- false
           end)

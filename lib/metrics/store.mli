@@ -51,6 +51,8 @@ type stats = {
   misses : int;
   bytes_read : int;    (** disk-tier bytes loaded *)
   bytes_written : int; (** disk-tier bytes saved *)
+  tables_saved : int;   (** dirty tables written by {!save} calls *)
+  tables_skipped : int; (** clean tables {!save} did not rewrite *)
 }
 
 val create : ?dir:string -> unit -> t
@@ -91,8 +93,11 @@ val evict :
 
 val save : t -> unit
 (** Write every dirty table of the disk tier (atomic per file:
-    temp-file + rename, like {!Checkpoint.save}).  No-op for
-    memory-only stores. *)
+    temp-file + rename, like {!Checkpoint.save}).  A table untouched
+    since its last load or save is skipped, not rewritten — repeated
+    drains and warm all-hit shutdowns cost zero disk writes; the
+    {!stats} [tables_saved]/[tables_skipped] counters record both
+    sides.  No-op for memory-only stores. *)
 
 val stats : t -> stats
 (** Counters since {!create}, for this store instance.  The global

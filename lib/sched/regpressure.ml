@@ -3,22 +3,37 @@ open Ddg
 (* Live ranges: a non-copy value lives in its own cluster from issue to
    the last local use; a copy's value lives in every consuming cluster
    from its arrival (issue + bus latency) to the last use there.  Stores
-   and copies of nothing produce no range. *)
-let live_ranges sched =
+   and copies of nothing produce no range.
+
+   The ranges are accumulated straight into per-slot occupancy counters:
+   this runs once per placed schedule at every escalation level (and
+   once per spill round), so the intermediate range list a previous
+   version built here — one tuple and one cons per value per level —
+   was the Regalloc phase's top allocation site in the register-sweep
+   profile (profile_gc), with the boxed pressure matrix and a per-node
+   touched-cluster list close behind.  One flat [clusters * ii] block,
+   written in place, replaces all three. *)
+let per_cluster sched =
   let route = sched.Schedule.route in
   let g = route.Route.graph in
   let config = sched.Schedule.config in
   let ii = sched.Schedule.ii in
   let cycles = sched.Schedule.cycles in
-  let ranges = ref [] in
-  let add cluster def last_use =
-    if last_use > def then ranges := (cluster, def, last_use) :: !ranges
+  let clusters = config.Machine.Config.clusters in
+  let slots = Array.make (clusters * ii) 0 in
+  (* A lifetime spanning k * II overlaps itself k times (modulo variable
+     expansion), which walking the full [def, last) range counts
+     naturally: each wrap bumps the same slot again. *)
+  let add cluster def last =
+    if last > def then
+      for cyc = def to last - 1 do
+        let s = (cluster * ii) + (cyc mod ii) in
+        slots.(s) <- slots.(s) + 1
+      done
   in
   (* Latest use per consuming cluster, kept in a scratch array (clusters
-     are few, this runs once per successful placement). *)
-  let clusters = config.Machine.Config.clusters in
+     are few, so resetting by sweep beats tracking touched ones). *)
   let latest = Array.make clusters min_int in
-  let touched = ref [] in
   List.iter
     (fun v ->
       List.iter
@@ -26,7 +41,6 @@ let live_ranges sched =
           let w = e.Graph.dst in
           let use = cycles.(w) + (ii * e.Graph.distance) in
           let c = route.Route.assign.(w) in
-          if latest.(c) = min_int then touched := c :: !touched;
           if use > latest.(c) then latest.(c) <- use)
         (Graph.reg_succs g v);
       (if Route.is_copy route v then
@@ -39,33 +53,29 @@ let live_ranges sched =
            | [] -> config.Machine.Config.bus_latency
          in
          let arrival = cycles.(v) + transfer in
-         List.iter (fun c -> add c arrival (latest.(c) + 1)) !touched
+         for c = 0 to clusters - 1 do
+           if latest.(c) <> min_int then add c arrival (latest.(c) + 1)
+         done
        else if not (Graph.is_store g v) then begin
          (* All consumers of a non-copy node are local after routing. *)
          let def = cycles.(v) in
-         let last =
-           List.fold_left (fun acc c -> max acc latest.(c)) def !touched
-         in
-         add route.Route.assign.(v) def (last + 1)
+         let last = ref def in
+         for c = 0 to clusters - 1 do
+           if latest.(c) > !last then last := latest.(c)
+         done;
+         add route.Route.assign.(v) def (!last + 1)
        end);
-      List.iter (fun c -> latest.(c) <- min_int) !touched;
-      touched := [])
-    (Graph.nodes g);
-  !ranges
-
-let per_cluster sched =
-  let config = sched.Schedule.config in
-  let ii = sched.Schedule.ii in
-  let clusters = config.Machine.Config.clusters in
-  let pressure = Array.make_matrix clusters ii 0 in
-  List.iter
-    (fun (c, def, last) ->
-      for cyc = def to last - 1 do
-        let s = cyc mod ii in
-        pressure.(c).(s) <- pressure.(c).(s) + 1
+      for c = 0 to clusters - 1 do
+        latest.(c) <- min_int
       done)
-    (live_ranges sched);
-  Array.map (fun slots -> Array.fold_left max 0 slots) pressure
+    (Graph.nodes g);
+  Array.init clusters (fun c ->
+      let m = ref 0 in
+      for s = 0 to ii - 1 do
+        let occ = slots.((c * ii) + s) in
+        if occ > !m then m := occ
+      done;
+      !m)
 
 let max_per_cluster = per_cluster
 

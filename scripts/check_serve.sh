@@ -13,9 +13,17 @@
 #      misses=0) with byte-identical replies
 #   9. a torn on-disk table file is quarantined at startup and the
 #      daemon still boots and answers (cold)
+#  10. a --workers 4 daemon answers the whole degradation ladder
+#      (schedule / timeout / fault / poisoned) byte-identically to the
+#      workers-0 replies above
+#  11. a batched burst of identical requests coalesces onto exactly one
+#      computation (stats computes=1, coalesced=99) with replies
+#      byte-identical to the inline reference, and a SIGTERM landing
+#      mid-burst still drains cleanly
 #
-# Fault classes covered: torn disk write (9), worker crash (5),
-# over-budget request (3), corrupt request JSON (4).
+# Fault classes covered: torn disk write (9), worker crash (5, 10),
+# over-budget request (3, 10), corrupt request JSON (4), signal during
+# in-flight worker computation (11).
 set -eu
 
 DIR=$(mktemp -d /tmp/check_serve.XXXXXX)
@@ -130,5 +138,51 @@ diff "$DIR/cold_first.txt" "$DIR/torn.txt" || fail "cold recompute after torn fi
 grep -q "quarantined corrupt table file" "$DIR/daemon.log" || fail "torn file not quarantined"
 ls "$CACHE"/*.corrupt >/dev/null 2>&1 || fail "no .corrupt quarantine file"
 stop_daemon
+
+# --- 10. worker pool: --workers 4 byte-identical to workers 0 --------
+# A fresh cache so every schedule request is a genuine miss computed on
+# a worker domain, then the whole ladder re-held to the workers-0 bytes
+# captured above: full replies, the timeout degrade, the fault and the
+# quarantine.
+CACHE="$DIR/cache_workers"
+: > "$DIR/daemon.log"
+start_daemon "--poison tomcatv.3 --workers 4 --queue-bound 256"
+grep -q "worker pool: 4 domain(s)" "$DIR/daemon.log" || fail "daemon did not start its worker pool"
+$REPRO client --socket "$SOCK" -b tomcatv --loops 0,1 --mode repl > "$DIR/workers.txt"
+diff "$DIR/cold.txt" "$DIR/workers.txt" || fail "--workers 4 replies differ from workers-0"
+$REPRO client --socket "$SOCK" -b tomcatv --loops 2 --budget-attempts 0 > "$DIR/workers_budget.txt"
+diff "$DIR/budget.txt" "$DIR/workers_budget.txt" || fail "--workers 4 timeout reply differs"
+$REPRO client --socket "$SOCK" -b tomcatv --loops 3 > "$DIR/workers_fault.txt"
+diff "$DIR/fault1.txt" "$DIR/workers_fault.txt" || fail "--workers 4 fault reply differs"
+$REPRO client --socket "$SOCK" -b tomcatv --loops 3 > "$DIR/workers_poisoned.txt"
+diff "$DIR/fault2.txt" "$DIR/workers_poisoned.txt" || fail "--workers 4 poisoned reply differs"
+$REPRO client --socket "$SOCK" --loops "" --stats > "$DIR/workers_stats.txt"
+grep -q '"workers":4' "$DIR/workers_stats.txt" || fail "stats does not report the worker count"
+stop_daemon
+
+# --- 11. batched burst coalesces, SIGTERM mid-burst drains -----------
+# 100 identical cold requests in one atomically-admitted batch line:
+# exactly one computation runs, the other 99 coalesce onto it, and the
+# one array reply is byte-identical to 100 inline reference replies.
+CACHE="$DIR/cache_batch"
+: > "$DIR/daemon.log"
+start_daemon "--workers 4 --queue-bound 256"
+$REPRO client --socket "$SOCK" -b tomcatv --loops 2 --mode repl --batch --repeat 100 > "$DIR/burst_batch.txt"
+[ "$(wc -l < "$DIR/burst_batch.txt")" -eq 1 ] || fail "batch did not answer one array line"
+$REPRO client --local -b tomcatv --loops 2 --mode repl --repeat 100 > "$DIR/burst_direct.txt"
+printf '[%s]\n' "$(paste -sd, "$DIR/burst_direct.txt")" > "$DIR/burst_expect.txt"
+diff "$DIR/burst_expect.txt" "$DIR/burst_batch.txt" || fail "batched burst replies differ from the inline reference"
+$REPRO client --socket "$SOCK" --loops "" --stats > "$DIR/burst_stats.txt"
+grep -q '"computes":1' "$DIR/burst_stats.txt" || fail "burst of 100 ran more than one computation"
+grep -q '"coalesced":99' "$DIR/burst_stats.txt" || fail "burst of 100 did not coalesce 99 requests"
+# SIGTERM lands while a fresh batch is still computing on the workers:
+# the admitted batch finishes, its reply flushes, the daemon exits 0.
+$REPRO client --socket "$SOCK" -b swim --loops 3,4 --mode repl --batch --repeat 10 > "$DIR/drain_batch.txt" &
+CLIENT_PID=$!
+sleep 0.3
+stop_daemon
+wait "$CLIENT_PID" || fail "batch client failed across the drain"
+[ "$(wc -l < "$DIR/drain_batch.txt")" -eq 1 ] || fail "mid-drain batch lost its reply"
+grep -q "drained: store saved" "$DIR/daemon.log" || fail "no clean-drain log line after mid-burst SIGTERM"
 
 echo "check-serve: all serve-gate checks passed"

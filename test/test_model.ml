@@ -114,6 +114,9 @@ let test_serve_commands_pass () =
       Serve_request { mode = 1; loop = 1 };
       Serve_restart;
       Serve_burst { reqs = [ (1, 1); (0, 1) ] };
+      Serve_concurrent { mode = 0; loop = 2; n = 4 };
+      Serve_concurrent { mode = 0; loop = 2; n = 3 };
+      Serve_concurrent { mode = 1; loop = 2; n = 2 };
     ]
   in
   if not (valid cmds) then failf "bad fixture";
@@ -144,6 +147,25 @@ let test_serve_sabotage_caught_and_shrunk () =
       | [ cmd ] when is_serve cmd -> ()
       | other -> failf "did not shrink to one serve command: %s" (pp_cmds other))
 
+let test_coalesce_lie_caught_and_shrunk () =
+  (* the coalesce-lie sabotage makes the worker-pool engine appear to
+     answer every coalesced waiter with the leader's reply (the leader's
+     id stamped on all n elements): the per-id byte equality must fail
+     and shrink to one concurrent command *)
+  let is_cc = function Serve_concurrent _ -> true | _ -> false in
+  let rec seed_with_cc s =
+    if s > 2000 then failf "no seed generates Serve_concurrent?"
+    else if List.exists is_cc (gen_cmds (Workload.Rng.create s) ~len:8) then s
+    else seed_with_cc (s + 1)
+  in
+  let seed = seed_with_cc 0 in
+  match Check.Model.check ~sabotage:"coalesce-lie" ~seeds:[ seed ] ~len:8 () with
+  | None -> failf "coalesce-lying run passed"
+  | Some c -> (
+      match c.c_shrunk with
+      | [ Serve_concurrent _ ] -> ()
+      | other -> failf "did not shrink to the lying command: %s" (pp_cmds other))
+
 let suite =
   [
     test_case "generated sequences are valid" `Quick
@@ -157,4 +179,6 @@ let suite =
       test_serve_commands_pass;
     test_case "serve sabotage is caught and shrunk" `Slow
       test_serve_sabotage_caught_and_shrunk;
+    test_case "coalesce lying is caught and shrunk" `Slow
+      test_coalesce_lie_caught_and_shrunk;
   ]

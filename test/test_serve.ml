@@ -52,6 +52,31 @@ let engine ?limits ?backoff ?poison ?store_dir () =
     ~io:(Metrics.Serve.Io.silent ())
     ?limits ~backoff ?poison ?store_dir ()
 
+(* a worker-pool engine: silent, no-wait backoff on both the inline and
+   the per-worker retry paths, and a queue wide enough for batch bursts *)
+let worker_engine ?(workers = 1) ?(queue_bound = 256) ?poison () =
+  let limits =
+    { Metrics.Serve.default_limits with workers; queue_bound }
+  in
+  Metrics.Serve.create
+    ~io:(Metrics.Serve.Io.silent ())
+    ~limits
+    ~backoff:(Metrics.Backoff.none ())
+    ~worker_backoff:(fun _ -> Metrics.Backoff.none ())
+    ?poison ()
+
+(* pump (blocking on the worker funnel as needed) until every admitted
+   entry has been collected; replies accumulate in completion order *)
+let run_to_completion t =
+  let out = ref [] in
+  while Metrics.Serve.busy t do
+    out := !out @ Metrics.Serve.pump_wait t
+  done;
+  !out
+
+let in_admission_order replies =
+  List.sort (fun (a, _) (b, _) -> compare a b) replies |> List.map snd
+
 let request ?id ?budget_s ?budget_attempts ~mode i =
   Metrics.Serve.request ?id ?budget_s ?budget_attempts ~mode ~config (loop i)
 
@@ -284,6 +309,96 @@ let test_stats_counters () =
   check int "store hit counter agrees" 1
     (Metrics.Json.to_int (Metrics.Json.member "hits" store))
 
+(* ------------------------------------------------------------------ *)
+(* Batching, coalescing and the worker pool                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_coalesces_to_one_compute () =
+  let n = 100 in
+  let t = worker_engine () in
+  Fun.protect ~finally:(fun () -> Metrics.Serve.shutdown t) @@ fun () ->
+  let batch =
+    Metrics.Serve.batch_request (List.init n (fun _ -> request ~mode:repl 0))
+  in
+  check bool "batch admitted atomically" true
+    (Metrics.Serve.offer t batch = None);
+  (match run_to_completion t with
+  | [ (_, reply) ] ->
+      check string "burst replies byte-identical to the inline reference"
+        (Metrics.Serve.batch_request
+           (List.init n (fun _ -> direct ~mode:repl 0)))
+        reply
+  | rs -> failf "batch answered %d lines, wanted 1" (List.length rs));
+  let stats = Metrics.Serve.handle t (Metrics.Serve.stats_request ()) in
+  check int "exactly one computation ran" 1 (count "computes" stats);
+  check int "every other request coalesced onto it" (n - 1)
+    (count "coalesced" stats);
+  check int "every slot was a store miss" n (count "misses" stats);
+  check int "one batch admitted" 1 (count "batches" stats);
+  check int "every waiter was served" n (count "served" stats)
+
+let test_worker_counts_agree_bytewise () =
+  let victim = (loop 3).Workload.Generator.id in
+  (* mixed workload: two plain misses, a poisoned crasher, a budget
+     timeout — then a second wave re-hitting all three degradation
+     outcomes once the first wave's convictions have settled *)
+  let wave1 () =
+    [
+      request ~mode:repl 0;
+      request ~mode:repl 1;
+      request ~mode:base 3;
+      request ~budget_attempts:0 ~mode:repl 2;
+    ]
+  and wave2 () =
+    [
+      request ~mode:repl 0;
+      request ~mode:base 3;
+      request ~budget_attempts:0 ~mode:repl 2;
+    ]
+  in
+  let run workers =
+    let t =
+      if workers = 0 then engine ~poison:[ victim ] ()
+      else worker_engine ~workers ~poison:[ victim ] ()
+    in
+    Fun.protect ~finally:(fun () -> Metrics.Serve.shutdown t) @@ fun () ->
+    let wave lines =
+      List.iter
+        (fun l ->
+          match Metrics.Serve.offer t l with
+          | None -> ()
+          | Some shed -> failf "request shed unexpectedly: %s" shed)
+        lines;
+      in_admission_order (run_to_completion t)
+    in
+    wave (wave1 ()) @ wave (wave2 ())
+  in
+  let reference = run 0 in
+  List.iter
+    (fun w ->
+      check (list string)
+        (Printf.sprintf "--workers %d replies byte-equal the inline path" w)
+        reference (run w))
+    [ 1; 4 ]
+
+let test_drain_finishes_worker_inflight () =
+  let t = worker_engine ~workers:2 () in
+  Fun.protect ~finally:(fun () -> Metrics.Serve.shutdown t) @@ fun () ->
+  let lines = [ request ~mode:repl 0; request ~mode:repl 1 ] in
+  List.iter
+    (fun l ->
+      check bool "pre-drain offer admitted" true
+        (Metrics.Serve.offer t l = None))
+    lines;
+  Metrics.Serve.begin_drain t;
+  check (list string) "admitted misses finish across the drain"
+    [ direct ~mode:repl 0; direct ~mode:repl 1 ]
+    (in_admission_order (run_to_completion t));
+  match Metrics.Serve.offer t (request ~mode:repl 2) with
+  | Some shed ->
+      check string "draining sheds new work" "overloaded" (status shed)
+  | None -> failf "draining engine admitted new work"
+
 let suite =
   [
     test_case "cold and warm replies equal the inline reference" `Slow
@@ -304,4 +419,10 @@ let suite =
       test_fault_retries_backoff_then_poisons;
     test_case "health reply" `Quick test_health;
     test_case "stats counters" `Quick test_stats_counters;
+    test_case "a batched burst coalesces onto one computation" `Quick
+      test_batch_coalesces_to_one_compute;
+    test_case "worker counts 0/1/4 answer byte-identically" `Slow
+      test_worker_counts_agree_bytewise;
+    test_case "drain finishes worker in-flight computations" `Quick
+      test_drain_finishes_worker_inflight;
   ]

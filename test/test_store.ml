@@ -259,6 +259,40 @@ let test_evict () =
     (Ok r);
   check bool "re-recorded entry answers again" false (lookup_is_miss store l)
 
+(* Dirty-table tracking: a save writes each touched table once; a
+   second save with nothing new skips every table, and a fresh store
+   over the same directory that only serves hits saves nothing on
+   shutdown. *)
+let test_save_skips_clean_tables () =
+  with_dir @@ fun dir ->
+  let l = List.hd (Lazy.force small_loops) in
+  let store = Metrics.Store.create ~dir () in
+  ignore (record_success store l);
+  Metrics.Store.save store;
+  let st1 = Metrics.Store.stats store in
+  check int "first save wrote the dirty table" 1 st1.tables_saved;
+  check int "first save skipped nothing" 0 st1.tables_skipped;
+  Metrics.Store.save store;
+  let st2 = Metrics.Store.stats store in
+  check int "repeated save wrote nothing new" 1 st2.tables_saved;
+  check int "repeated save skipped the clean table" 1 st2.tables_skipped;
+  check int "repeated save moved no bytes" st1.bytes_written st2.bytes_written;
+  (* a new record dirties exactly its own table again *)
+  Metrics.Store.record store ~mode:Metrics.Experiment.Replication ~config l
+    (Error (Sched.Sched_error.Escalation_cap { mii = 3; cap = 5 }));
+  Metrics.Store.save store;
+  let st3 = Metrics.Store.stats store in
+  check int "the new table saved" 2 st3.tables_saved;
+  check int "the untouched table skipped again" 2 st3.tables_skipped;
+  (* an all-hit restart saves nothing at shutdown *)
+  let warm = Metrics.Store.create ~dir () in
+  check bool "warm store answers from disk" false (lookup_is_miss warm l);
+  Metrics.Store.save warm;
+  let stw = Metrics.Store.stats warm in
+  check int "all-hit shutdown rewrote no table" 0 stw.tables_saved;
+  check bool "all-hit shutdown skipped its loaded tables" true
+    (stw.tables_skipped > 0)
+
 (* The always-on global counters ({!Sched.Profile.cache_counters})
    mirror per-store traffic. *)
 let test_profile_counters () =
@@ -288,5 +322,7 @@ let suite =
     Alcotest.test_case "corrupt table file quarantined" `Quick
       test_corrupt_file_quarantined;
     Alcotest.test_case "evict" `Quick test_evict;
+    Alcotest.test_case "save skips clean tables" `Quick
+      test_save_skips_clean_tables;
     Alcotest.test_case "profile cache counters" `Quick test_profile_counters;
   ]

@@ -1,8 +1,8 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all check check-fast test check-faults fuzz-smoke validate-quick \
-  check-cache check-serve bench bench-smoke bench-scaling bench-warm \
-  bench-serve bench-diff clean
+  check-cache check-serve check-exact bench bench-smoke bench-scaling \
+  bench-warm bench-serve bench-gap bench-diff clean
 
 all:
 	dune build
@@ -59,6 +59,15 @@ check-cache:
 check-serve:
 	sh scripts/check_serve.sh
 
+# Exact-oracle gate: a fast heuristic-vs-exact gap run over fuzz-drawn
+# small loops (the generated suite bottoms out at 16 nodes, so the
+# fuzz generator supplies the tiny bodies), each exact witness
+# re-verified by Check.Validate and the lockstep simulator; exits 20
+# on any checker violation, including a negative gap
+# (docs/TESTING.md).
+check-exact:
+	dune exec bin/repro.exe -- gap --fuzz 12 --budget 5
+
 # Full benchmark run (all 678 loops; takes a while).  Requests 8 jobs;
 # the harness clamps to the machine's recommended domain count and
 # records both numbers in the payload.
@@ -88,6 +97,14 @@ bench-warm:
 bench-serve:
 	dune exec bench/main.exe -- --serve --bench-json BENCH_sched.json
 
+# Heuristic-vs-exact gap benchmark: the exact SAT oracle over a fixed
+# subset of the suite's smallest loops, into the "gap" payload of
+# BENCH_sched.json.  Every value except wall time is deterministic, so
+# the diff gate holds the recorded IIs and proven bits to exact
+# equality.
+bench-gap:
+	dune exec bench/main.exe -- --gap --bench-json BENCH_sched.json
+
 # Quick smoke run on the deterministic small subset; writes the same
 # per-section timing JSON.  Exits non-zero if any section fails.
 bench-smoke:
@@ -95,7 +112,7 @@ bench-smoke:
 
 # Regression gate: re-run the quick benchmark and compare against the
 # committed BENCH_sched.json with bench/diff.exe — every payload
-# ("quick"/"full"/"scaling"/"warm"/"serve") present in both files is
+# ("quick"/"full"/"scaling"/"warm"/"serve"/"gap") present in both files is
 # checked (total wall time within 25%, no section newly failing,
 # hard-loop reuse speedup kept, scaling's highest-job point within
 # tolerance, warm speedup and hit rate kept, serve throughput and

@@ -27,7 +27,12 @@
    keep collapsing onto one computation), the highest-worker point of
    its scaling curve, and its ok bit (which encodes byte-equality of
    every worker count against the inline reference); p50/p95 latency
-   is reported but informational.
+   is reported but informational.  The "gap" payload (exact SAT oracle
+   vs heuristic on a fixed loop subset) records values that are
+   deterministic by construction, so its per-loop heuristic II, exact
+   II, proven bit and note must match the committed ones exactly; only
+   its wall time is compared with tolerance, and its ok bit (every
+   witness re-validated, no negative gap) must not regress.
 
    Exits 0 when every comparable payload passes, 1 on any regression or
    unreadable input.  Payloads present on only one side are reported and
@@ -204,10 +209,55 @@ let compare_serve old_p new_p =
     && Json.member "ok" new_p <> Json.Bool true
   then fail "serve: regressed from ok to failed"
 
+(* The gap payload: every recorded value except wall time is
+   deterministic (the SAT core, the encoder and the heuristic consult
+   no clock and no randomness under their conflict caps), so rows are
+   held to exact equality — a changed exact II means the oracle or the
+   encoder changed behaviour, which must be a deliberate, committed
+   refresh rather than drift. *)
+let compare_gap old_p new_p =
+  let rows p =
+    match Json.member_opt "rows" p with
+    | Some (Json.List rs) -> rs
+    | _ -> []
+  in
+  let id_of r = Json.(to_str (member "id" r)) in
+  let field name r = Json.member_opt name r in
+  (match
+     ( Option.map Json.to_num (Json.member_opt "seconds" old_p),
+       Option.map Json.to_num (Json.member_opt "seconds" new_p) )
+   with
+  | Some os, Some ns ->
+      Printf.printf "bench-diff: gap committed %.3fs, current %.3fs\n" os ns;
+      if ns > os *. (1. +. !tolerance) then
+        fail "gap: %.3fs > %.3fs * %.2f" ns os (1. +. !tolerance)
+  | _ -> ());
+  List.iter
+    (fun o ->
+      let id = id_of o in
+      match List.find_opt (fun n -> id_of n = id) (rows new_p) with
+      | None -> fail "gap: loop %s disappeared from the payload" id
+      | Some n ->
+          List.iter
+            (fun name ->
+              match (field name o, field name n) with
+              | Some ov, Some nv when ov <> nv ->
+                  fail "gap: %s %s changed from %s to %s" id name
+                    (Json.print ov) (Json.print nv)
+              | Some _, None -> fail "gap: %s lost its %s field" id name
+              | _ -> ())
+            [ "heur_ii"; "exact_ii"; "proven"; "note" ])
+    (rows old_p);
+  if
+    Json.member "ok" old_p = Json.Bool true
+    && Json.member "ok" new_p <> Json.Bool true
+  then fail "gap: regressed from ok to failed"
+
 let compare_payload name old_p new_p =
   if String.equal name "scaling" then compare_scaling old_p new_p
   else if String.equal name "warm" then compare_warm old_p new_p
   else if String.equal name "serve" then compare_serve old_p new_p
+  else if String.equal name "gap" then compare_gap old_p new_p
   else begin
   let old_total = Json.(to_num (member "total_seconds" old_p)) in
   let new_total = Json.(to_num (member "total_seconds" new_p)) in
@@ -271,7 +321,7 @@ let () =
                     "bench-diff: %s present only in %s, skipped\n" name
                     new_path
               | None, None -> ())
-            [ "quick"; "full"; "scaling"; "warm"; "serve" ];
+            [ "quick"; "full"; "scaling"; "warm"; "serve"; "gap" ];
           if !compared = 0 then begin
             Printf.printf "bench-diff: FAIL no comparable payload\n";
             exit 1

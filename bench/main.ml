@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- --scaling --bench-json BENCH_sched.json
      dune exec bench/main.exe -- --warm --bench-json BENCH_sched.json
      dune exec bench/main.exe -- --serve --bench-json BENCH_sched.json
+     dune exec bench/main.exe -- --gap --bench-json BENCH_sched.json
      dune exec bench/main.exe -- --cache /tmp/sched-cache
      dune exec bench/main.exe -- --jobs 4 --bench-json BENCH_sched.json
 
@@ -40,11 +41,13 @@
    "quick" (written by --quick runs), "full" (written by full figure
    runs, which also measure the hard-loop escalation subset seq vs
    reuse vs speculative), "scaling" (written by --scaling runs),
-   "warm" (written by --warm runs) and "serve" (written by --serve
+   "warm" (written by --warm runs), "serve" (written by --serve
    runs: the engine's coalescing burst, open-loop throughput with
-   p50/p95 latency, and the worker-domain scaling curve) — and a run
-   only overwrites its own payload, so each can be refreshed
-   independently. *)
+   p50/p95 latency, and the worker-domain scaling curve) and "gap"
+   (written by --gap runs: the exact SAT oracle against the heuristic
+   on a fixed subset of small suite loops — deterministic IIs gated to
+   exact equality, wall time to tolerance) — and a run only overwrites
+   its own payload, so each can be refreshed independently. *)
 
 module Json = Metrics.Json
 
@@ -199,7 +202,8 @@ let write_bench_json path ~slot payload =
   let doc =
     Json.Obj
       (("schema", Json.Str "bench_sched/v2")
-      :: List.concat_map field [ "quick"; "full"; "scaling"; "warm"; "serve" ])
+      :: List.concat_map field
+           [ "quick"; "full"; "scaling"; "warm"; "serve"; "gap" ])
   in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (pretty doc ^ "\n"))
@@ -722,6 +726,125 @@ let run_serve ~quick () =
   (payload, ok)
 
 (* ------------------------------------------------------------------ *)
+(* Heuristic-vs-exact gap (--gap)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A small fixed subset of the suite's smallest loops through the exact
+   SAT oracle (Sched.Exact) on the paper's reference machine: per loop,
+   the best heuristic II (baseline vs replication), the oracle's II
+   under a deterministic conflict cap, and whether the optimum was
+   proven.  Everything the payload records except wall time is
+   deterministic — heuristic, encoder and SAT core consult no clock and
+   no randomness — so the regression gate holds heur/exact/proven to
+   exact equality and is tolerant only on seconds.  Every exact witness
+   is re-checked by the independent validator; a rejection fails the
+   section (ok=false). *)
+let run_gap ~quick () =
+  let config = Option.get (Machine.Config.of_name "4c1b2l64r") in
+  let loops =
+    List.filter
+      (fun (l : Workload.Generator.loop) ->
+        Ddg.Graph.n_nodes l.graph <= 18)
+      (Workload.Generator.suite ())
+    |> take (if quick then 3 else 6)
+  in
+  let t0 = Unix.gettimeofday () in
+  let ok = ref true in
+  let rows =
+    List.map
+      (fun (l : Workload.Generator.loop) ->
+        let g = l.graph in
+        let heur =
+          let base = Sched.Driver.schedule_loop config g in
+          let tf, _ = Replication.Replicate.transform () in
+          let repl = Sched.Driver.schedule_loop ~transform:tf config g in
+          match (base, repl) with
+          | Ok a, Ok b ->
+              Some (if b.Sched.Driver.ii <= a.Sched.Driver.ii then b else a)
+          | Ok a, Error _ -> Some a
+          | Error _, Ok b -> Some b
+          | Error _, Error _ -> None
+        in
+        match heur with
+        | None ->
+            Json.Obj
+              [
+                ("id", Json.Str l.id);
+                ("nodes", Json.Num (float_of_int (Ddg.Graph.n_nodes g)));
+                ("note", Json.Str "heuristic-gave-up");
+              ]
+        | Some o ->
+            let heur_ii = o.Sched.Driver.ii in
+            let horizon =
+              Sched.Schedule.length o.Sched.Driver.schedule + heur_ii + 2
+            in
+            let exact_ii, proven, note =
+              match
+                Sched.Exact.minimum_ii ~horizon ~max_ii:heur_ii
+                  ~max_conflicts:20_000 ~max_cegar:40 config g
+              with
+              | Ok f ->
+                  (match
+                     Check.Validate.run ~original:g f.Sched.Exact.f_schedule
+                   with
+                  | Ok () -> ()
+                  | Error _ ->
+                      ok := false;
+                      Printf.printf
+                        "--- gap: %s witness REJECTED by the validator ---\n%!"
+                        l.id);
+                  (f.Sched.Exact.f_ii, f.Sched.Exact.f_proven, "exact")
+              | Error e ->
+                  (heur_ii, false, Sched.Sched_error.class_name e)
+            in
+            if exact_ii > heur_ii then begin
+              ok := false;
+              Printf.printf "--- gap: %s exact II %d ABOVE heuristic %d ---\n%!"
+                l.id exact_ii heur_ii
+            end;
+            Printf.printf "gap %-12s heur=%d exact=%d proven=%b (%s)\n%!" l.id
+              heur_ii exact_ii proven note;
+            Json.Obj
+              [
+                ("id", Json.Str l.id);
+                ("nodes", Json.Num (float_of_int (Ddg.Graph.n_nodes g)));
+                ("heur_ii", Json.Num (float_of_int heur_ii));
+                ("exact_ii", Json.Num (float_of_int exact_ii));
+                ("gap", Json.Num (float_of_int (heur_ii - exact_ii)));
+                ("proven", Json.Bool proven);
+                ("note", Json.Str note);
+              ])
+      loops
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  let int_field name row =
+    match Json.member_opt name row with
+    | Some (Json.Num n) -> int_of_float n
+    | _ -> 0
+  in
+  let proven_n =
+    List.length
+      (List.filter (fun r -> Json.member_opt "proven" r = Some (Json.Bool true))
+         rows)
+  in
+  let total_gap = List.fold_left (fun a r -> a + int_field "gap" r) 0 rows in
+  Printf.printf "gap: %d loops, %d proven optimal, total gap %d\n%!"
+    (List.length rows) proven_n total_gap;
+  let payload =
+    Json.Obj
+      [
+        ("mode", Json.Str (if quick then "gap-quick" else "gap"));
+        ("loops", Json.Num (float_of_int (List.length rows)));
+        ("proven", Json.Num (float_of_int proven_n));
+        ("total_gap", Json.Num (float_of_int total_gap));
+        ("seconds", seconds total);
+        ("rows", Json.List rows);
+        ("ok", Json.Bool !ok);
+      ]
+  in
+  (payload, !ok)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md section 5)                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1068,6 +1191,16 @@ let () =
     (match bench_json with
     | Some path ->
         write_bench_json path ~slot:"serve" payload;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    exit (if ok then 0 else 1)
+  end;
+  if has "--gap" then begin
+    let payload, ok = run_gap ~quick () in
+    Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. t0);
+    (match bench_json with
+    | Some path ->
+        write_bench_json path ~slot:"gap" payload;
         Printf.printf "wrote %s\n" path
     | None -> ());
     exit (if ok then 0 else 1)

@@ -7,7 +7,10 @@ type failure = {
   f_mode : string;
   f_rule : string;
   f_detail : string;
+  f_gen : string;
 }
+
+let stale f = f.f_gen <> Generator.version
 
 type verdict = Scheduled | Gave_up of string | Failed of failure
 
@@ -58,6 +61,7 @@ let run_case ~seed ~nodes =
         f_mode = mode;
         f_rule = rule;
         f_detail = detail;
+        f_gen = Generator.version;
       }
   in
   let transform =
@@ -109,6 +113,7 @@ let write_corpus ~path failures =
            ("mode", Str f.f_mode);
            ("rule", Str f.f_rule);
            ("detail", Str f.f_detail);
+           ("gen", Str f.f_gen);
          ])
   in
   let tmp = path ^ ".tmp" in
@@ -167,6 +172,11 @@ let read_corpus ~path =
           f_mode = to_str (member "mode" j);
           f_rule = to_str (member "rule" j);
           f_detail = to_str (member "detail" j);
+          (* corpora written before the tag existed read back as stale:
+             absent a recorded generator version, a case cannot be
+             trusted to regenerate *)
+          f_gen =
+            (match member_opt "gen" j with Some g -> to_str g | None -> "");
         }
       in
       match
@@ -181,7 +191,14 @@ let replay ~corpus =
   match read_corpus ~path:corpus with
   | Error msg -> failwith ("fuzz corpus " ^ corpus ^ ": " ^ msg)
   | Ok fs ->
-      List.map (fun f -> (f, run_case ~seed:f.f_seed ~nodes:f.f_nodes)) fs
+      (* entries recorded under another generator version denote
+         different loops now; re-running them would misattribute any
+         outcome, so they are surfaced as stale instead of replayed *)
+      List.map
+        (fun f ->
+          if stale f then (f, None)
+          else (f, Some (run_case ~seed:f.f_seed ~nodes:f.f_nodes)))
+        fs
 
 let summary_lines s =
   let b = Buffer.create 256 in

@@ -29,7 +29,18 @@ type failure = {
           bug-class scheduler error, or ["sim"] for a lockstep
           rejection *)
   f_detail : string;  (** one-line diagnosis *)
+  f_gen : string;
+      (** {!Workload.Generator.version} at recording time.  A corpus
+          entry only denotes the case that tripped it while the
+          generator still regenerates the same loop from
+          [(f_seed, f_nodes)]; when the versions diverge the entry is
+          {!stale} and replay refuses to re-run it. *)
 }
+
+val stale : failure -> bool
+(** The entry was recorded under a different generator version (or none
+    at all — pre-tag corpora), so its [(seed, nodes)] pair now denotes a
+    different loop and any replay outcome would be misattributed. *)
 
 type verdict =
   | Scheduled       (** scheduled, validated and simulated clean *)
@@ -65,8 +76,10 @@ val write_corpus : path:string -> failure list -> unit
 val read_corpus : path:string -> (failure list, string) result
 (** JSON-lines: one failure object per line. *)
 
-val replay : corpus:string -> (failure * verdict) list
-(** Re-run every recorded failure at its recorded [(seed, nodes)].
+val replay : corpus:string -> (failure * verdict option) list
+(** Re-run every recorded failure at its recorded [(seed, nodes)];
+    {!stale} entries are returned with [None] instead of being re-run —
+    the corpus self-invalidates when the generator changes.
     @raise Failure when the corpus cannot be read. *)
 
 val summary_lines : summary -> string list

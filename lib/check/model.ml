@@ -16,6 +16,7 @@ type cmd =
   | Serve_restart
   | Serve_burst of { reqs : (int * int) list }
   | Serve_concurrent of { mode : int; loop : int; n : int }
+  | Exact_gap of { mode : int; loop : int }
 
 let cmd_to_string = function
   | Run_loop { mode; loop } -> Printf.sprintf "Run_loop(mode=%d,loop=%d)" mode loop
@@ -45,6 +46,8 @@ let cmd_to_string = function
            (List.map (fun (m, l) -> Printf.sprintf "%d/%d" m l) reqs))
   | Serve_concurrent { mode; loop; n } ->
       Printf.sprintf "Serve_concurrent(mode=%d,loop=%d,n=%d)" mode loop n
+  | Exact_gap { mode; loop } ->
+      Printf.sprintf "Exact_gap(mode=%d,loop=%d)" mode loop
 
 (* ------------------------------------------------------------------ *)
 (* The fixed environment: four tomcatv loops on the paper's reference
@@ -493,6 +496,59 @@ let exec env m cmd =
         delta "hits" hits0 0;
         delta "misses" misses0 n
       end
+  | Exact_gap { mode; loop } ->
+      (* The exact oracle against the heuristic driver on the same
+         (mode, loop): the exact II can never exceed the heuristic II
+         (the heuristic schedule is itself a witness inside the oracle's
+         horizon, so the gap is non-negative by construction — a
+         negative gap means the oracle lied), and the whole observation
+         must be deterministic across re-runs.  The conflict cap keeps
+         every outcome — including Unknown — reproducible: no wall
+         clock is consulted anywhere. *)
+      let l = loops.(loop) in
+      let g = l.Workload.Generator.graph in
+      let transform =
+        if mode = 1 then Some (fst (Replication.Replicate.transform ()))
+        else None
+      in
+      let tag = "gap/" ^ Metrics.Experiment.mode_tag mode_of.(mode) in
+      (match Sched.Driver.schedule_loop ?transform base_config g with
+      | Error e when Sched.Sched_error.is_bug e ->
+          post "bug-class error: %s" (Sched.Sched_error.to_string e)
+      | Error e ->
+          observe m ~tag ~id:l.Workload.Generator.id
+            ("heur-" ^ Sched.Sched_error.class_name e)
+      | Ok o ->
+          let heur_ii = o.Sched.Driver.ii in
+          let horizon =
+            Sched.Schedule.length o.Sched.Driver.schedule + heur_ii + 2
+          in
+          (* The "gap-lie" sabotage replaces the oracle's verdict with a
+             fabricated exact II above the heuristic one — a negative
+             gap the postcondition must refuse (the oracle itself is
+             not consulted: the lie is in the reporting). *)
+          let verdict =
+            if env.sabotage = "gap-lie" then Ok (heur_ii + 1, false)
+            else
+              match
+                Sched.Exact.minimum_ii ~replicate:(mode = 1) ~horizon
+                  ~max_ii:heur_ii ~max_conflicts:1_000 ~max_cegar:4
+                  base_config g
+              with
+              | Ok f -> Ok (f.Sched.Exact.f_ii, f.Sched.Exact.f_proven)
+              | Error e -> Error (Sched.Sched_error.class_name e)
+          in
+          let sg =
+            match verdict with
+            | Ok (f_ii, proven) ->
+                if f_ii > heur_ii then
+                  post "negative gap: exact II %d above heuristic II %d" f_ii
+                    heur_ii;
+                Printf.sprintf "heur=%d exact=%d proven=%b" heur_ii f_ii
+                  proven
+            | Error cls -> Printf.sprintf "heur=%d exact-%s" heur_ii cls
+          in
+          observe m ~tag ~id:l.Workload.Generator.id sg)
 
 (* ------------------------------------------------------------------ *)
 (* Generation, preconditions, shrinking                                *)
@@ -502,7 +558,7 @@ let gen_cmds rng ~len =
   let has_cp = ref false and has_saved = ref false in
   List.init len (fun _ ->
       let rec pick () =
-        match Rng.int rng 19 with
+        match Rng.int rng 20 with
         | 0 | 1 | 2 ->
             Run_loop { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
         | 3 -> Budget_timeout { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
@@ -547,6 +603,7 @@ let gen_cmds rng ~len =
                 loop = Rng.int rng n_loops;
                 n = 2 + Rng.int rng 3;
               }
+        | 19 -> Exact_gap { mode = Rng.int rng 2; loop = Rng.int rng n_loops }
         | _ -> pick ()
       in
       pick ())
@@ -561,7 +618,8 @@ let valid cmds =
       | Cache_probe { mode; loop }
       | Cache_evict { mode; loop }
       | Serve_request { mode; loop }
-      | Serve_evict { mode; loop } ->
+      | Serve_evict { mode; loop }
+      | Exact_gap { mode; loop } ->
           (mode = 0 || mode = 1) && loop_ok loop
       | Serve_restart -> true
       | Serve_burst { reqs } ->

@@ -80,6 +80,14 @@ type cmd =
           show the burst coalescing onto exactly one computation the
           first time a (mode, loop) pair is seen — all store hits
           afterwards *)
+  | Exact_gap of { mode : int; loop : int }
+      (** run the heuristic driver and the exact oracle
+          ({!Sched.Exact.minimum_ii}, conflict-capped so the outcome is
+          deterministic) on the same loop: the gap must be non-negative
+          — the heuristic schedule is a witness inside the oracle's
+          horizon, so an exact II above the heuristic II is a lie — and
+          the full observation (both IIs and the proven bit) must be
+          identical on every re-observation of the pair *)
 
 val cmd_to_string : cmd -> string
 
@@ -106,7 +114,9 @@ val run_cmds : ?sabotage:string -> cmd list -> (unit, failure) result
     request, so the first cold miss degrades to a timeout reply instead
     of the direct-run bytes; ["coalesce-lie"] makes the concurrent
     engine appear to stamp the leader's rendered reply on every
-    coalesced waiter instead of rendering each with its own id. *)
+    coalesced waiter instead of rendering each with its own id;
+    ["gap-lie"] makes [Exact_gap] report an exact II one above the
+    heuristic II — a negative gap the postcondition must refuse. *)
 
 type counterexample = {
   c_seed : int;

@@ -26,6 +26,9 @@ let now t =
 let attempts t = t.spent
 let elapsed t = now t -. t.started
 
+let expired t =
+  match t.deadline with None -> false | Some d -> now t >= d
+
 let spend t =
   let time_ok = match t.deadline with None -> true | Some d -> now t < d in
   let tries_ok =

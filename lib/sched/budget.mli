@@ -27,6 +27,13 @@ val make :
     budget.  [clock] (for tests) replaces [Unix.gettimeofday]; it must
     return seconds as a float. *)
 
+val expired : t -> bool
+(** Whether the wall-clock deadline has passed.  Unlike {!spend} this
+    neither consumes an attempt nor looks at the attempt ceiling — it is
+    the in-flight abort probe for work that has already been paid for
+    (the exact backend polls it between SAT rounds inside one II
+    level). *)
+
 val spend : t -> bool
 (** Register one escalation attempt; [false] when either ceiling was
     already exhausted (the attempt must then not run). *)

@@ -1,6 +1,13 @@
 open Ddg
 open Machine
 
+(* Bump whenever generation changes in a way that could alter the loop a
+   given (seed, nodes) pair denotes — op mix, dependence wiring, profile
+   randomisation, Rng stream consumption order.  Recorded fuzz corpora
+   carry this tag and self-invalidate when it no longer matches
+   (Check.Fuzz.stale). *)
+let version = "gen-1"
+
 type loop = {
   id : string;
   benchmark : string;

@@ -20,6 +20,13 @@ type loop = {
   visits : int;         (** times the loop is entered *)
 }
 
+val version : string
+(** Generator version tag, recorded alongside fuzz corpus entries so a
+    corpus self-invalidates when regeneration semantics change.  Bumped
+    whenever a change could alter the loop a given [(seed, nodes)] pair
+    denotes — op mix, dependence wiring, profile randomisation, or the
+    order the {!Rng} stream is consumed in. *)
+
 val generate : Benchmark.t -> loop list
 (** All loops of one benchmark. *)
 

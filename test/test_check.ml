@@ -160,6 +160,7 @@ let test_corpus_roundtrip () =
         f_mode = "repl";
         f_rule = "bus-conflict";
         f_detail = "bus 0 slot 1 carries cp_A+cp_B";
+        f_gen = Workload.Generator.version;
       };
       {
         Check.Fuzz.f_seed = 77;
@@ -168,6 +169,7 @@ let test_corpus_roundtrip () =
         f_mode = "base";
         f_rule = "sim";
         f_detail = "operand of \"X\" not ready";
+        f_gen = Workload.Generator.version;
       };
     ]
   in
@@ -177,6 +179,43 @@ let test_corpus_roundtrip () =
   | Ok fs ->
       check int "two records" 2 (List.length fs);
       if fs <> failures then failf "corpus round trip changed the records"
+
+let test_stale_corpus_self_invalidates () =
+  (* entries recorded under another generator version — or none at all,
+     as pre-tag corpora read back — must be flagged stale and skipped by
+     replay rather than re-run against loops they no longer denote *)
+  let path = Filename.temp_file "corpus" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let fresh =
+    {
+      Check.Fuzz.f_seed = 123;
+      f_nodes = 9;
+      f_config = "4c1b2l64r";
+      f_mode = "repl";
+      f_rule = "bus-conflict";
+      f_detail = "current";
+      f_gen = Workload.Generator.version;
+    }
+  in
+  let old = { fresh with Check.Fuzz.f_seed = 77; f_gen = "gen-0" } in
+  check bool "current version is fresh" false (Check.Fuzz.stale fresh);
+  check bool "other version is stale" true (Check.Fuzz.stale old);
+  Check.Fuzz.write_corpus ~path [ fresh; old ];
+  (* a legacy line with no gen field at all *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc
+    "{\"seed\": 55, \"nodes\": 6, \"config\": \"unified64r\", \"mode\": \
+     \"base\", \"rule\": \"sim\", \"detail\": \"legacy\"}\n";
+  close_out oc;
+  match Check.Fuzz.replay ~corpus:path with
+  | [ (f1, v1); (f2, v2); (f3, v3) ] ->
+      check int "fresh entry kept its seed" 123 f1.Check.Fuzz.f_seed;
+      check bool "fresh entry was replayed" true (v1 <> None);
+      check int "stale entry kept its seed" 77 f2.Check.Fuzz.f_seed;
+      check bool "stale entry was not replayed" true (v2 = None);
+      check bool "legacy entry reads back stale" true (Check.Fuzz.stale f3);
+      check bool "legacy entry was not replayed" true (v3 = None)
+  | rs -> failf "expected 3 replay results, got %d" (List.length rs)
 
 let test_case_regeneration_stable () =
   (* a recorded (seed, nodes) pair regenerates the identical case:
@@ -205,6 +244,8 @@ let suite =
     test_case "fuzz finds no failures in the real pipeline" `Quick
       test_fuzz_clean_on_real_pipeline;
     test_case "corpus write/read round trip" `Quick test_corpus_roundtrip;
+    test_case "stale corpus self-invalidates" `Quick
+      test_stale_corpus_self_invalidates;
     test_case "case regeneration is stable" `Quick
       test_case_regeneration_stable;
   ]

@@ -30,6 +30,8 @@ let () =
       ("json", Test_json.suite);
       ("check", Test_check.suite);
       ("model", Test_model.suite);
+      ("sat", Test_sat.suite);
+      ("exact", Test_exact.suite);
       ("misc", Test_misc.suite);
       ("export", Test_export.suite);
       ("props", Props.suite);

@@ -166,6 +166,46 @@ let test_coalesce_lie_caught_and_shrunk () =
       | [ Serve_concurrent _ ] -> ()
       | other -> failf "did not shrink to the lying command: %s" (pp_cmds other))
 
+(* The exact-oracle command: a fixed sequence that re-observes the same
+   (mode, loop) pair (pinning determinism of both IIs and the proven
+   bit), crosses modes on one loop, and interleaves a plain run. *)
+let test_exact_gap_commands_pass () =
+  let cmds =
+    [
+      Exact_gap { mode = 0; loop = 0 };
+      Exact_gap { mode = 0; loop = 0 };
+      Run_loop { mode = 0; loop = 0 };
+      Exact_gap { mode = 1; loop = 0 };
+      Exact_gap { mode = 0; loop = 1 };
+      Exact_gap { mode = 1; loop = 0 };
+    ]
+  in
+  if not (valid cmds) then failf "bad fixture";
+  match run_cmds cmds with
+  | Ok () -> ()
+  | Error f ->
+      failf "exact-gap sequence failed at %s: %s" (cmd_to_string f.x_cmd)
+        f.x_msg
+
+let test_gap_lie_caught_and_shrunk () =
+  (* the gap-lie sabotage reports an exact II one above the heuristic
+     II: the non-negative-gap postcondition must fail and shrink to the
+     single lying command *)
+  let is_gap = function Exact_gap _ -> true | _ -> false in
+  let rec seed_with_gap s =
+    if s > 2000 then failf "no seed generates Exact_gap?"
+    else if List.exists is_gap (gen_cmds (Workload.Rng.create s) ~len:8)
+    then s
+    else seed_with_gap (s + 1)
+  in
+  let seed = seed_with_gap 0 in
+  match Check.Model.check ~sabotage:"gap-lie" ~seeds:[ seed ] ~len:8 () with
+  | None -> failf "gap-lying run passed"
+  | Some c -> (
+      match c.c_shrunk with
+      | [ Exact_gap _ ] -> ()
+      | other -> failf "did not shrink to the lying command: %s" (pp_cmds other))
+
 let suite =
   [
     test_case "generated sequences are valid" `Quick
@@ -181,4 +221,8 @@ let suite =
       test_serve_sabotage_caught_and_shrunk;
     test_case "coalesce lying is caught and shrunk" `Slow
       test_coalesce_lie_caught_and_shrunk;
+    test_case "exact-gap commands satisfy the model" `Slow
+      test_exact_gap_commands_pass;
+    test_case "gap lying is caught and shrunk" `Slow
+      test_gap_lie_caught_and_shrunk;
   ]

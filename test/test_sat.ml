@@ -1,0 +1,260 @@
+(* Property tests for the CDCL core (Sched.Sat), cross-checked against
+   a deliberately naive DPLL reference implemented right here — the two
+   share nothing but the CNF.  Random 3-CNF instances are small enough
+   (≤ 12 variables) that the reference's exponential worst case never
+   bites. *)
+
+(* ---- naive DPLL reference -------------------------------------- *)
+
+exception Conflict
+
+(* assignment: asg.(v) = 0 undef / 1 true / -1 false, 1-based vars *)
+let lit_val asg l =
+  let a = asg.(abs l) in
+  if a = 0 then 0 else if (l > 0) = (a > 0) then 1 else -1
+
+(* Unit-propagation to fixpoint over plain clause lists; raises
+   [Conflict] on an all-false clause.  Mutates [asg]. *)
+let unit_prop asg clauses =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun c ->
+        if not (List.exists (fun l -> lit_val asg l = 1) c) then
+          match List.filter (fun l -> lit_val asg l = 0) c with
+          | [] -> raise Conflict
+          | [ l ] ->
+              asg.(abs l) <- (if l > 0 then 1 else -1);
+              changed := true
+          | _ -> ())
+      clauses
+  done
+
+let rec dpll nv clauses asg =
+  match unit_prop asg clauses with
+  | exception Conflict -> None
+  | () ->
+      let v = ref 0 in
+      for i = nv downto 1 do
+        if asg.(i) = 0 then v := i
+      done;
+      if !v = 0 then Some (Array.copy asg)
+      else
+        let branch b =
+          let a = Array.copy asg in
+          a.(!v) <- b;
+          dpll nv clauses a
+        in
+        (match branch 1 with Some m -> Some m | None -> branch (-1))
+
+let naive_solve nv clauses = dpll nv clauses (Array.make (nv + 1) 0)
+
+let satisfies asg clauses =
+  List.for_all (fun c -> List.exists (fun l -> lit_val asg l = 1) c) clauses
+
+(* ---- CDCL under test ------------------------------------------- *)
+
+let cdcl_solve ?assumptions nv clauses =
+  let s = Sched.Sat.create () in
+  for _ = 1 to nv do
+    ignore (Sched.Sat.new_var s)
+  done;
+  List.iter (Sched.Sat.add_clause s) clauses;
+  let r = Sched.Sat.solve ?assumptions s in
+  (s, r)
+
+let model_of s nv =
+  Array.init (nv + 1) (fun v ->
+      if v = 0 then 0 else if Sched.Sat.value s v then 1 else -1)
+
+(* ---- random 3-CNF ---------------------------------------------- *)
+
+let cnf_gen =
+  QCheck.Gen.(
+    let* nv = 3 -- 12 in
+    let* nc = 1 -- 50 in
+    let lit = map2 (fun v sign -> if sign then v else -v) (1 -- nv) bool in
+    let clause = list_size (1 -- 3) lit in
+    let+ cs = list_size (return nc) clause in
+    (nv, cs))
+
+let cnf_print (nv, cs) =
+  Printf.sprintf "nv=%d cnf=%s" nv
+    (String.concat " & "
+       (List.map
+          (fun c ->
+            "(" ^ String.concat "|" (List.map string_of_int c) ^ ")")
+          cs))
+
+let cnf_arb = QCheck.make ~print:cnf_print cnf_gen
+
+(* ---- properties ------------------------------------------------- *)
+
+let prop_agreement =
+  QCheck.Test.make ~name:"CDCL agrees with naive DPLL on sat/unsat"
+    ~count:500 cnf_arb (fun (nv, cs) ->
+      let _, r = cdcl_solve nv cs in
+      let reference = naive_solve nv cs in
+      match (r, reference) with
+      | Sched.Sat.Sat, Some _ | Sched.Sat.Unsat, None -> true
+      | Sched.Sat.Unknown, _ ->
+          QCheck.Test.fail_reportf "solver returned Unknown unbudgeted"
+      | Sched.Sat.Sat, None ->
+          QCheck.Test.fail_reportf "CDCL says Sat, reference says Unsat"
+      | Sched.Sat.Unsat, Some _ ->
+          QCheck.Test.fail_reportf "CDCL says Unsat, reference says Sat")
+
+let prop_model_satisfies =
+  QCheck.Test.make ~name:"CDCL models satisfy every clause" ~count:500
+    cnf_arb (fun (nv, cs) ->
+      let s, r = cdcl_solve nv cs in
+      match r with
+      | Sched.Sat.Sat ->
+          let m = model_of s nv in
+          satisfies m cs
+          || QCheck.Test.fail_reportf "model does not satisfy the CNF"
+      | _ -> QCheck.assume_fail ())
+
+(* Literals forced by unit propagation alone are logical consequences:
+   any model the solver returns must contain them, and a UP-level
+   conflict must mean Unsat. *)
+let prop_unit_fixpoint =
+  QCheck.Test.make ~name:"models extend the unit-propagation fixpoint"
+    ~count:500 cnf_arb (fun (nv, cs) ->
+      let asg = Array.make (nv + 1) 0 in
+      match unit_prop asg cs with
+      | exception Conflict ->
+          let _, r = cdcl_solve nv cs in
+          r = Sched.Sat.Unsat
+          || QCheck.Test.fail_reportf "UP-refutable CNF not Unsat"
+      | () -> (
+          let s, r = cdcl_solve nv cs in
+          match r with
+          | Sched.Sat.Sat ->
+              let m = model_of s nv in
+              (try
+                 for v = 1 to nv do
+                   if asg.(v) <> 0 && asg.(v) <> m.(v) then raise Exit
+                 done;
+                 true
+               with Exit ->
+                 QCheck.Test.fail_reportf
+                   "model contradicts a unit-propagated literal")
+          | _ -> true))
+
+(* Every learned clause must be implied by the original CNF: appending
+   its negation (as unit clauses) must leave the CNF unsatisfiable. *)
+let prop_learned_redundant =
+  QCheck.Test.make ~name:"learned clauses are implied by the CNF"
+    ~count:200 cnf_arb (fun (nv, cs) ->
+      let s, _ = cdcl_solve nv cs in
+      let learned = Sched.Sat.learned_clauses s in
+      List.for_all
+        (fun c ->
+          let negated = List.map (fun l -> [ -l ]) c in
+          match naive_solve nv (cs @ negated) with
+          | None -> true
+          | Some _ ->
+              QCheck.Test.fail_reportf "learned clause %s is not implied"
+                (String.concat "|" (List.map string_of_int c)))
+        learned)
+
+(* Assumptions: the same solver instance must answer Sat or Unsat per
+   call without poisoning its clause set — the incremental pattern
+   Exact relies on for II levels. *)
+let test_assumptions () =
+  let s = Sched.Sat.create () in
+  let x = Sched.Sat.new_var s in
+  let y = Sched.Sat.new_var s in
+  Sched.Sat.add_clause s [ x; y ];
+  Sched.Sat.add_clause s [ -x; y ];
+  Alcotest.(check bool) "assume ~y -> unsat" true
+    (Sched.Sat.solve ~assumptions:[ -y ] s = Sched.Sat.Unsat);
+  Alcotest.(check bool) "still ok" true (Sched.Sat.ok s);
+  Alcotest.(check bool) "assume y -> sat" true
+    (Sched.Sat.solve ~assumptions:[ y ] s = Sched.Sat.Sat);
+  Alcotest.(check bool) "y true in model" true (Sched.Sat.value s y);
+  Alcotest.(check bool) "unconstrained -> sat" true
+    (Sched.Sat.solve s = Sched.Sat.Sat);
+  (* the guard-literal pattern: clause group retractable by selector *)
+  let g = Sched.Sat.new_var s in
+  Sched.Sat.add_clause s [ -g; -y ];
+  Alcotest.(check bool) "guard on -> unsat" true
+    (Sched.Sat.solve ~assumptions:[ g ] s = Sched.Sat.Unsat);
+  Alcotest.(check bool) "guard off -> sat" true
+    (Sched.Sat.solve ~assumptions:[ -g ] s = Sched.Sat.Sat)
+
+(* Pigeonhole PHP(6,5): 6 pigeons, 5 holes — classic UNSAT regression
+   that exercises learning and restarts well beyond unit propagation. *)
+let test_pigeonhole () =
+  let pigeons = 6 and holes = 5 in
+  let s = Sched.Sat.create () in
+  let var = Array.make_matrix pigeons holes 0 in
+  for p = 0 to pigeons - 1 do
+    for h = 0 to holes - 1 do
+      var.(p).(h) <- Sched.Sat.new_var s
+    done
+  done;
+  for p = 0 to pigeons - 1 do
+    Sched.Sat.add_clause s
+      (List.init holes (fun h -> var.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Sched.Sat.add_clause s [ -var.(p1).(h); -var.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "PHP(6,5) unsat" true
+    (Sched.Sat.solve s = Sched.Sat.Unsat);
+  Alcotest.(check bool) "conflicts were needed" true
+    (Sched.Sat.n_conflicts s > 0)
+
+let test_trivia () =
+  let s = Sched.Sat.create () in
+  Alcotest.(check bool) "empty CNF sat" true
+    (Sched.Sat.solve s = Sched.Sat.Sat);
+  let x = Sched.Sat.new_var s in
+  Sched.Sat.add_clause s [ x ];
+  Sched.Sat.add_clause s [ -x ];
+  Alcotest.(check bool) "x & -x kills the solver" false (Sched.Sat.ok s);
+  Alcotest.(check bool) "and stays unsat" true
+    (Sched.Sat.solve s = Sched.Sat.Unsat)
+
+let test_budget () =
+  (* a hard instance under a one-conflict budget must answer Unknown *)
+  let pigeons = 8 and holes = 7 in
+  let s = Sched.Sat.create () in
+  let var = Array.make_matrix pigeons holes 0 in
+  for p = 0 to pigeons - 1 do
+    for h = 0 to holes - 1 do
+      var.(p).(h) <- Sched.Sat.new_var s
+    done
+  done;
+  for p = 0 to pigeons - 1 do
+    Sched.Sat.add_clause s (List.init holes (fun h -> var.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Sched.Sat.add_clause s [ -var.(p1).(h); -var.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "budget exhaustion is Unknown" true
+    (Sched.Sat.solve ~max_conflicts:1 s = Sched.Sat.Unknown)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_agreement;
+    QCheck_alcotest.to_alcotest prop_model_satisfies;
+    QCheck_alcotest.to_alcotest prop_unit_fixpoint;
+    QCheck_alcotest.to_alcotest prop_learned_redundant;
+    Alcotest.test_case "assumptions and guard literals" `Quick
+      test_assumptions;
+    Alcotest.test_case "pigeonhole PHP(6,5) unsat" `Quick test_pigeonhole;
+    Alcotest.test_case "trivial cases" `Quick test_trivia;
+    Alcotest.test_case "conflict budget yields Unknown" `Quick test_budget;
+  ]
